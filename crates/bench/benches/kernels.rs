@@ -1,0 +1,50 @@
+//! Microbenchmarks of the state-vector substrate: the basic operations the
+//! paper's cost metric counts, plus the state-clone cost behind each MSV.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qsim_statevec::{Matrix2, Matrix4, Pauli, StateVector};
+
+fn prepared(n: usize) -> StateVector {
+    let mut s = StateVector::zero_state(n);
+    for q in 0..n {
+        s.apply_1q(&Matrix2::u(0.3 + q as f64 * 0.1, 0.2, -0.4), q).expect("valid qubit");
+    }
+    s
+}
+
+fn kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    group.sample_size(10);
+    for n in [10usize, 16, 20] {
+        let state = prepared(n);
+        group.bench_with_input(BenchmarkId::new("apply_1q", n), &state, |b, s| {
+            let h = Matrix2::h();
+            let mut s = s.clone();
+            b.iter(|| s.apply_1q(&h, n / 2).expect("valid qubit"));
+        });
+        group.bench_with_input(BenchmarkId::new("apply_2q", n), &state, |b, s| {
+            let cx = Matrix4::cx();
+            let mut s = s.clone();
+            b.iter(|| s.apply_2q(&cx, 0, n - 1).expect("valid qubits"));
+        });
+        group.bench_with_input(BenchmarkId::new("apply_cx_fast", n), &state, |b, s| {
+            let mut s = s.clone();
+            b.iter(|| s.apply_cx(n - 1, 0).expect("valid qubits"));
+        });
+        group.bench_with_input(BenchmarkId::new("apply_pauli_x", n), &state, |b, s| {
+            let mut s = s.clone();
+            b.iter(|| s.apply_pauli(Pauli::X, n / 2).expect("valid qubit"));
+        });
+        group.bench_with_input(BenchmarkId::new("clone_msv_cost", n), &state, |b, s| {
+            b.iter(|| s.clone());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, kernels);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Throughput of the static pipeline: trial generation (direct vs binomial
+//! fast path), reordering, and the LCP cost analyzer.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qsim_circuit::catalog;
+use qsim_noise::{NoiseModel, TrialGenerator};
+use redsim::analysis::analyze_sorted;
+use redsim::order::reorder;
+
+fn pipeline(c: &mut Criterion) {
+    let layered = catalog::quantum_volume(10, 10, 1).layered().expect("qv layers");
+    let model = NoiseModel::artificial(10, 1e-3);
+    let generator = TrialGenerator::new(&layered, &model).expect("native circuit");
+
+    let mut group = c.benchmark_group("static_pipeline");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    group.sample_size(10);
+    for n in [10_000usize, 100_000] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("generate_direct", n), &n, |b, &n| {
+            b.iter(|| generator.generate(n, 3));
+        });
+        group.bench_with_input(BenchmarkId::new("generate_fast", n), &n, |b, &n| {
+            b.iter(|| generator.generate_fast(n, 3));
+        });
+        let set = generator.generate_fast(n, 3);
+        group.bench_with_input(BenchmarkId::new("reorder", n), &set, |b, set| {
+            b.iter(|| {
+                let mut trials = set.trials().to_vec();
+                reorder(&mut trials);
+                trials
+            });
+        });
+        let mut sorted = set.trials().to_vec();
+        reorder(&mut sorted);
+        group.bench_with_input(BenchmarkId::new("analyze", n), &sorted, |b, sorted| {
+            b.iter(|| analyze_sorted(&layered, sorted).expect("trials fit"));
+        });
+        group.bench_with_input(BenchmarkId::new("estimate", n), &n, |b, &n| {
+            b.iter(|| redsim::estimate::estimate_first_order(&layered, &generator, n));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, pipeline);
+criterion_main!(benches);

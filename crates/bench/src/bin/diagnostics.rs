@@ -1,0 +1,71 @@
+//! Diagnostic deep-dive for one benchmark: trial statistics, the
+//! shared-prefix (LCP) profile behind the savings, the analytic prediction,
+//! and the per-layer noise mass.
+//!
+//! Usage: `diagnostics [--bench NAME] [--trials N] [--seed N]`
+
+use qsim_noise::TrialGenerator;
+use redsim::analysis::{analyze_sorted, lcp_histogram};
+use redsim::estimate::estimate_first_order;
+use redsim::order::reorder;
+use redsim_bench::arg_value;
+use redsim_bench::suite::{yorktown_model, yorktown_suite};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let name = arg_value(&args, "--bench", "qft4".to_owned());
+    let trials = arg_value(&args, "--trials", 4096usize);
+    let seed = arg_value(&args, "--seed", 2020u64);
+
+    let suite = yorktown_suite();
+    let bench = suite
+        .iter()
+        .find(|b| b.name == name)
+        .unwrap_or_else(|| {
+            let names: Vec<&str> = suite.iter().map(|b| b.name.as_str()).collect();
+            panic!("unknown benchmark {name:?}; pick one of {names:?}")
+        });
+    let model = yorktown_model();
+    let generator =
+        TrialGenerator::new(&bench.layered, &model).expect("suite validated against model");
+
+    println!("benchmark: {} ({})", bench.name, bench.layered);
+    println!(
+        "error positions: {} (expected injections/trial λ = {:.3})\n",
+        generator.n_positions(),
+        generator.expected_injections()
+    );
+
+    let set = generator.generate(trials, seed);
+    println!("trial statistics over {trials} trials:");
+    println!("  mean injections:     {:.3}", set.mean_injections());
+    println!("  error-free fraction: {:.3}", set.error_free_fraction());
+    let inj_hist = set.injection_histogram();
+    for (k, count) in inj_hist.iter().enumerate() {
+        println!("  {k} errors: {count}");
+    }
+
+    println!("\nnoise mass by layer (top 5):");
+    let mut by_layer: Vec<(usize, usize)> =
+        set.layer_histogram().into_iter().enumerate().collect();
+    by_layer.sort_by_key(|&(_, count)| std::cmp::Reverse(count));
+    for &(layer, count) in by_layer.iter().take(5) {
+        println!("  layer {layer:>3}: {count}");
+    }
+
+    let mut sorted = set.into_trials();
+    reorder(&mut sorted);
+    let report = analyze_sorted(&bench.layered, &sorted).expect("trials fit the circuit");
+    println!("\ncost analysis: {report}");
+    let predicted = estimate_first_order(&bench.layered, &generator, trials);
+    println!(
+        "analytic prediction: normalized {:.4} (measured {:.4})",
+        predicted.normalized_computation(),
+        report.normalized_computation()
+    );
+
+    println!("\nshared-prefix profile (consecutive sorted trials sharing k errors):");
+    for (k, count) in lcp_histogram(&sorted).expect("sorted").iter().enumerate() {
+        println!("  k = {k}: {count}");
+    }
+}

@@ -1,0 +1,47 @@
+//! Writes the benchmark catalog as OpenQASM 2.0 files (both logical and
+//! Yorktown-compiled forms) into `benchmarks/`, so external tools and the
+//! `qsim` CLI can consume the paper's workload directly.
+//!
+//! Usage: `export_qasm [--dir PATH]`
+
+use std::fs;
+use std::path::PathBuf;
+
+use qsim_circuit::{catalog, to_qasm};
+use redsim_bench::arg_value;
+use redsim_bench::suite::yorktown_suite;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let dir: PathBuf = arg_value(&args, "--dir", "benchmarks".to_owned()).into();
+    let logical_dir = dir.join("logical");
+    let compiled_dir = dir.join("yorktown");
+    fs::create_dir_all(&logical_dir)?;
+    fs::create_dir_all(&compiled_dir)?;
+
+    let mut count = 0;
+    for bench in yorktown_suite() {
+        fs::write(logical_dir.join(format!("{}.qasm", bench.name)), to_qasm(&bench.logical))?;
+        fs::write(compiled_dir.join(format!("{}.qasm", bench.name)), to_qasm(&bench.compiled))?;
+        count += 2;
+    }
+    // Extended catalog entries beyond Table I.
+    for qc in [
+        catalog::ghz(4),
+        catalog::qpe(3, 5),
+        catalog::adder_2bit(2, 3),
+        catalog::hidden_shift(4, 0b1011),
+    ] {
+        fs::write(logical_dir.join(format!("{}.qasm", qc.name())), to_qasm(&qc))?;
+        count += 1;
+    }
+    // Ship the Fig.-4 calibration alongside the circuits.
+    let calib_dir = PathBuf::from("calibrations");
+    fs::create_dir_all(&calib_dir)?;
+    fs::write(
+        calib_dir.join("ibm_yorktown.cal"),
+        qsim_noise::calibration::emit(&qsim_noise::NoiseModel::ibm_yorktown()),
+    )?;
+    println!("wrote {count} QASM files under {} and calibrations/ibm_yorktown.cal", dir.display());
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! Regenerates the paper's Fig. 6: Maintained State Vectors per benchmark
+//! on the realistic model at 1024 trials (with 8192 shown to confirm the
+//! paper's observation that MSVs barely change with trial count).
+//!
+//! Two accountings are printed:
+//! * **path policy** — the paper's storage scheme (a frontier kept at every
+//!   node of the current trial's path); reproduces Fig. 6's absolute values.
+//! * **eager policy** — this crate's one-trial-lookahead improvement, a
+//!   strict lower bound.
+//!
+//! Usage: `fig6 [--seed N]`
+
+use redsim_bench::experiments::realistic_sweep;
+use redsim_bench::table::Table;
+use redsim_bench::{arg_flag, arg_value, json};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seed = arg_value(&args, "--seed", 2020u64);
+    let rows = realistic_sweep(&[1024, 8192], seed);
+
+    if arg_flag(&args, "--json") {
+        let rendered = json::array(rows.iter().map(|row| {
+            json::object(&[
+                ("benchmark", json::string(&row.name)),
+                (
+                    "points",
+                    json::array(row.points.iter().map(|(n, report)| {
+                        json::object(&[
+                            ("trials", format!("{n}")),
+                            ("msv_eager", format!("{}", report.msv_peak)),
+                            ("msv_path", format!("{}", report.msv_path_peak)),
+                        ])
+                    })),
+                ),
+            ])
+        }));
+        println!("{}", json::object(&[("figure", json::string("fig6")), ("rows", rendered)]));
+        return;
+    }
+
+    let mut table = Table::new([
+        "Benchmark",
+        "MSVs @1024 (path)",
+        "MSVs @8192 (path)",
+        "MSVs @1024 (eager)",
+        "MSVs @8192 (eager)",
+    ]);
+    for row in &rows {
+        table.row([
+            row.name.clone(),
+            row.points[0].1.msv_path_peak.to_string(),
+            row.points[1].1.msv_path_peak.to_string(),
+            row.points[0].1.msv_peak.to_string(),
+            row.points[1].1.msv_peak.to_string(),
+        ]);
+    }
+    println!("Fig. 6: memory consumption (Maintained State Vectors), IBM Yorktown model");
+    println!("{table}");
+    println!("paper reference: 3 MSVs for rb up to 6 for qft5/qv_n5d5, nearly flat in trial count");
+}

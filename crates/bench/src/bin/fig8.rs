@@ -1,0 +1,60 @@
+//! Regenerates the paper's Fig. 8: Maintained State Vectors for the QV
+//! scalability sweep, default 10⁶ trials as in the paper.
+//!
+//! Usage: `fig8 [--trials N] [--seed N]`
+
+use redsim_bench::experiments::scalability_sweep;
+use redsim_bench::suite::SCALABILITY_RATES;
+use redsim_bench::table::Table;
+use redsim_bench::{arg_flag, arg_value, json};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let trials = arg_value(&args, "--trials", 1_000_000usize);
+    let seed = arg_value(&args, "--seed", 2020u64);
+    eprintln!("running scalability sweep with {trials} trials per configuration...");
+
+    let rows = scalability_sweep(trials, seed);
+
+    if arg_flag(&args, "--json") {
+        let rendered = json::array(rows.iter().map(|row| {
+            json::object(&[
+                ("circuit", json::string(&row.label)),
+                (
+                    "points",
+                    json::array(row.points.iter().map(|(rate, report)| {
+                        json::object(&[
+                            ("single_qubit_rate", json::number(*rate)),
+                            ("msv_eager", format!("{}", report.msv_peak)),
+                            ("msv_path", format!("{}", report.msv_path_peak)),
+                        ])
+                    })),
+                ),
+            ])
+        }));
+        println!(
+            "{}",
+            json::object(&[
+                ("figure", json::string("fig8")),
+                ("trials", format!("{trials}")),
+                ("rows", rendered),
+            ])
+        );
+        return;
+    }
+    let mut header = vec!["Circuit".to_owned()];
+    header.extend(SCALABILITY_RATES.iter().map(|r| format!("1q rate {r:.0e}")));
+    header.push("path policy @1e-3".to_owned());
+    let mut table = Table::new(header);
+    for row in &rows {
+        let mut cells = vec![row.label.clone()];
+        cells.extend(row.points.iter().map(|(_, report)| report.msv_peak.to_string()));
+        cells.push(row.points[0].1.msv_path_peak.to_string());
+        table.row(cells);
+    }
+    println!("Fig. 8: memory consumption (Maintained State Vectors), scalability models ({trials} trials)");
+    println!("{table}");
+    println!(
+        "paper reference: ~6 MSVs on average, growing slowly with depth and shrinking as qubit count grows"
+    );
+}

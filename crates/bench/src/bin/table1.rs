@@ -1,0 +1,40 @@
+//! Regenerates the paper's Table I: post-compilation benchmark
+//! characteristics, side by side with the published numbers.
+//!
+//! Our transpiler replaces the Enfield compiler the paper used, so absolute
+//! gate counts differ (different router and fusion); the qubit and
+//! measurement counts must match exactly.
+
+use redsim_bench::suite::{yorktown_suite, PAPER_TABLE1};
+use redsim_bench::table::Table;
+
+fn main() {
+    let mut table = Table::new([
+        "Name",
+        "Qubit #",
+        "Single # (ours)",
+        "Single # (paper)",
+        "CNOT # (ours)",
+        "CNOT # (paper)",
+        "Measure #",
+        "Layers",
+    ]);
+    for (bench, &(_, _, paper_single, paper_cnot, paper_measure)) in
+        yorktown_suite().iter().zip(&PAPER_TABLE1)
+    {
+        let counts = bench.counts();
+        assert_eq!(counts.measure, paper_measure, "{}: measurement count mismatch", bench.name);
+        table.row([
+            bench.name.clone(),
+            bench.logical.n_qubits().to_string(),
+            counts.single.to_string(),
+            paper_single.to_string(),
+            counts.cnot.to_string(),
+            paper_cnot.to_string(),
+            counts.measure.to_string(),
+            bench.layered.n_layers().to_string(),
+        ]);
+    }
+    println!("Table I: benchmark characteristics (compiled to IBM Yorktown)");
+    println!("{table}");
+}

@@ -1,0 +1,142 @@
+//! Terminal bar charts for the figure binaries — the paper's Figs. 5–8 are
+//! grouped bar charts, and `--chart` renders the same shape in ASCII.
+
+/// A horizontal grouped bar chart.
+#[derive(Clone, Debug, Default)]
+pub struct BarChart {
+    title: String,
+    /// Series names, one per bar within a group.
+    series: Vec<String>,
+    /// `(group label, values[series])`.
+    groups: Vec<(String, Vec<f64>)>,
+    /// Fixed maximum for the axis; `None` = auto from the data.
+    max: Option<f64>,
+}
+
+/// Glyphs per series, cycled.
+const GLYPHS: [char; 4] = ['█', '▓', '▒', '░'];
+/// Bar body width in characters.
+const WIDTH: usize = 40;
+
+impl BarChart {
+    /// Start a chart with a title and per-group series names.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(title: impl Into<String>, series: I) -> Self {
+        BarChart {
+            title: title.into(),
+            series: series.into_iter().map(Into::into).collect(),
+            groups: Vec::new(),
+            max: None,
+        }
+    }
+
+    /// Fix the axis maximum (e.g. 1.0 for normalized computation).
+    pub fn with_max(mut self, max: f64) -> Self {
+        self.max = Some(max);
+        self
+    }
+
+    /// Append one group of bars.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value count does not match the series count.
+    pub fn group(&mut self, label: impl Into<String>, values: Vec<f64>) -> &mut Self {
+        assert_eq!(values.len(), self.series.len(), "group width mismatch");
+        self.groups.push((label.into(), values));
+        self
+    }
+
+    /// Render the chart.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        let max = self.max.unwrap_or_else(|| {
+            self.groups
+                .iter()
+                .flat_map(|(_, values)| values.iter().copied())
+                .fold(0.0f64, f64::max)
+                .max(f64::MIN_POSITIVE)
+        });
+        let label_width = self
+            .groups
+            .iter()
+            .map(|(label, _)| label.chars().count())
+            .max()
+            .unwrap_or(0)
+            .max(self.series.iter().map(|s| s.chars().count()).max().unwrap_or(0));
+        // Legend.
+        for (i, name) in self.series.iter().enumerate() {
+            out.push_str(&format!(
+                "  {} {name}\n",
+                GLYPHS[i % GLYPHS.len()]
+            ));
+        }
+        for (label, values) in &self.groups {
+            for (i, &value) in values.iter().enumerate() {
+                let bar_len =
+                    ((value / max).clamp(0.0, 1.0) * WIDTH as f64).round() as usize;
+                let header = if i == 0 { label.as_str() } else { "" };
+                out.push_str(&format!(
+                    "{header:>label_width$} |{}{} {value:.3}\n",
+                    std::iter::repeat_n(GLYPHS[i % GLYPHS.len()], bar_len)
+                        .collect::<String>(),
+                    std::iter::repeat_n(' ', WIDTH - bar_len).collect::<String>(),
+                ));
+            }
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for BarChart {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scaled_bars() {
+        let mut chart = BarChart::new("demo", ["a", "b"]).with_max(1.0);
+        chart.group("g1", vec![1.0, 0.5]);
+        chart.group("g2", vec![0.25, 0.0]);
+        let text = chart.render();
+        assert!(text.starts_with("demo\n"));
+        // Full bar for 1.0, half for 0.5.
+        let lines: Vec<&str> = text.lines().collect();
+        let full: usize = lines[3].matches('█').count();
+        let half: usize = lines[4].matches('▓').count();
+        assert_eq!(full, WIDTH);
+        assert_eq!(half, WIDTH / 2);
+        assert!(lines[6].contains("0.000"));
+    }
+
+    #[test]
+    fn auto_max_uses_the_largest_value() {
+        let mut chart = BarChart::new("auto", ["x"]);
+        chart.group("g", vec![2.0]);
+        chart.group("h", vec![1.0]);
+        let text = chart.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[2].matches('█').count(), WIDTH);
+        assert_eq!(lines[3].matches('█').count(), WIDTH / 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn group_width_is_enforced() {
+        let mut chart = BarChart::new("bad", ["a", "b"]);
+        chart.group("g", vec![1.0]);
+    }
+
+    #[test]
+    fn values_above_max_are_clamped() {
+        let mut chart = BarChart::new("clamp", ["a"]).with_max(1.0);
+        chart.group("g", vec![5.0]);
+        assert_eq!(chart.render().lines().nth(2).unwrap().matches('█').count(), WIDTH);
+    }
+}

@@ -1,0 +1,159 @@
+//! The compiled benchmark suites of the paper's two experiment groups.
+
+use qsim_circuit::transpile::{transpile, TranspileOptions};
+use qsim_circuit::{catalog, Circuit, CouplingMap, GateCounts, LayeredCircuit};
+use qsim_noise::NoiseModel;
+
+/// One benchmark ready for noisy simulation: the logical program, its
+/// Yorktown-compiled form, and the layered view the simulator consumes.
+#[derive(Clone, Debug)]
+pub struct Benchmark {
+    /// Table-I name.
+    pub name: String,
+    /// Pre-compilation circuit.
+    pub logical: Circuit,
+    /// Post-compilation circuit (device basis, routed, fused).
+    pub compiled: Circuit,
+    /// Layered view of the compiled circuit.
+    pub layered: LayeredCircuit,
+}
+
+impl Benchmark {
+    /// Post-compilation gate counts (the numbers Table I reports).
+    pub fn counts(&self) -> GateCounts {
+        self.compiled.counts()
+    }
+}
+
+/// The paper's Table-I characteristics for each benchmark, for side-by-side
+/// reporting: `(name, qubits, single, cnot, measure)`.
+pub const PAPER_TABLE1: [(&str, usize, usize, usize, usize); 12] = [
+    ("rb", 2, 9, 2, 2),
+    ("grover", 3, 87, 25, 3),
+    ("wstate", 3, 21, 9, 3),
+    ("7x1mod15", 4, 17, 9, 4),
+    ("bv4", 4, 8, 3, 3),
+    ("bv5", 5, 10, 4, 4),
+    ("qft4", 4, 42, 15, 4),
+    ("qft5", 5, 83, 26, 5),
+    ("qv_n5d2", 5, 44, 12, 5),
+    ("qv_n5d3", 5, 74, 21, 5),
+    ("qv_n5d4", 5, 100, 30, 5),
+    ("qv_n5d5", 5, 130, 36, 5),
+];
+
+/// Compile the 12 Table-I benchmarks to the IBM Yorktown device — the
+/// workload of the paper's realistic experiments (§V.A).
+///
+/// # Panics
+///
+/// Panics if any catalog circuit fails to compile (a programming error
+/// covered by tests, not a runtime condition).
+pub fn yorktown_suite() -> Vec<Benchmark> {
+    let options = TranspileOptions::for_device(CouplingMap::yorktown());
+    catalog::realistic_suite()
+        .into_iter()
+        .map(|logical| {
+            let out = transpile(&logical, &options)
+                .unwrap_or_else(|e| panic!("{} failed to compile: {e}", logical.name()));
+            let layered = out
+                .circuit
+                .layered()
+                .unwrap_or_else(|e| panic!("{} failed to layer: {e}", logical.name()));
+            Benchmark { name: logical.name().to_owned(), logical, compiled: out.circuit, layered }
+        })
+        .collect()
+}
+
+/// The realistic error model of §V.A (Fig. 4 calibration).
+pub fn yorktown_model() -> NoiseModel {
+    NoiseModel::ibm_yorktown()
+}
+
+/// The QV scalability workload of §V.B: `(n_qubits, depth)` pairs.
+pub const SCALABILITY_SHAPES: [(usize, usize); 7] =
+    [(10, 5), (10, 10), (10, 15), (10, 20), (20, 20), (30, 20), (40, 20)];
+
+/// The four error settings of §V.B, as single-qubit rates (two-qubit and
+/// measurement rates are 10×): `10⁻³, 5·10⁻⁴, 2·10⁻⁴, 10⁻⁴`.
+pub const SCALABILITY_RATES: [f64; 4] = [1e-3, 5e-4, 2e-4, 1e-4];
+
+/// Build one scalability benchmark: a QV circuit of the given shape, layered
+/// directly (the artificial future device is fully connected and its native
+/// set already matches the generator's output, so no routing is needed).
+///
+/// # Panics
+///
+/// Panics on layering failure (covered by tests).
+pub fn scalability_circuit(n_qubits: usize, depth: usize) -> LayeredCircuit {
+    let seed = (n_qubits * 1000 + depth) as u64;
+    catalog::quantum_volume(n_qubits, depth, seed)
+        .layered()
+        .expect("QV circuits always layer")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_matches_paper_roster_and_is_native() {
+        let suite = yorktown_suite();
+        assert_eq!(suite.len(), 12);
+        for (bench, &(paper_name, paper_qubits, ..)) in suite.iter().zip(&PAPER_TABLE1) {
+            assert_eq!(bench.name, paper_name);
+            assert_eq!(bench.logical.n_qubits(), paper_qubits, "{}", bench.name);
+            assert_eq!(bench.compiled.counts().other_multi, 0, "{}", bench.name);
+            assert_eq!(
+                bench.compiled.counts().measure,
+                bench.logical.counts().measure,
+                "{}",
+                bench.name
+            );
+        }
+    }
+
+    #[test]
+    fn compiled_cnots_respect_the_coupling_map() {
+        let map = CouplingMap::yorktown();
+        for bench in yorktown_suite() {
+            for op in bench.compiled.gate_ops() {
+                if op.qubits.len() == 2 {
+                    assert!(
+                        map.are_adjacent(op.qubits[0], op.qubits[1]),
+                        "{}: cx {:?} off the coupling map",
+                        bench.name,
+                        op.qubits
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn yorktown_model_covers_the_suite() {
+        let model = yorktown_model();
+        for bench in yorktown_suite() {
+            assert!(qsim_noise::TrialGenerator::new(&bench.layered, &model).is_ok(), "{}", bench.name);
+        }
+    }
+
+    #[test]
+    fn scalability_shapes_layer_at_expected_width() {
+        for &(n, d) in &SCALABILITY_SHAPES[..4] {
+            let layered = scalability_circuit(n, d);
+            assert_eq!(layered.n_qubits(), n);
+            assert!(layered.n_layers() >= d, "depth {d} produced {} layers", layered.n_layers());
+            assert!(layered.total_gates() > 0);
+        }
+    }
+
+    #[test]
+    fn scalability_model_is_ten_x() {
+        for &rate in &SCALABILITY_RATES {
+            let model = NoiseModel::artificial(10, rate);
+            assert_eq!(model.two_rate(0, 1), rate * 10.0);
+            assert_eq!(model.readout_rate(0), rate * 10.0);
+        }
+    }
+}

@@ -1,0 +1,756 @@
+//! The benchmark catalog of the paper's evaluation (Table I) plus the
+//! parameterized Quantum Volume generator used in the scalability study.
+//!
+//! Every builder returns the *logical* circuit; run it through
+//! [`crate::transpile::transpile`] with the Yorktown coupling map to obtain
+//! the post-compilation programs whose characteristics Table I reports.
+
+use std::f64::consts::PI;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::Circuit;
+
+/// Randomized-benchmarking style sequence on 2 qubits: 9 single-qubit gates
+/// and 2 CNOTs composing to the identity, so the noiseless outcome is
+/// deterministically `00` (the defining property of an RB sequence).
+///
+/// ```
+/// let qc = qsim_circuit::catalog::rb();
+/// let s = qc.simulate().unwrap();
+/// assert!((s.probability(0) - 1.0).abs() < 1e-9);
+/// ```
+pub fn rb() -> Circuit {
+    let mut qc = Circuit::new("rb", 2, 2);
+    // rz on the CX control and rx on the CX target commute through CX, so
+    // the rotation telescopes cancel and the outer pairs square to identity.
+    qc.h(0)
+        .x(1)
+        .cx(0, 1)
+        .rz(0.7, 0)
+        .rx(0.3, 1)
+        .rz(-0.7, 0)
+        .rx(0.5, 1)
+        .rx(-0.8, 1)
+        .cx(0, 1)
+        .h(0)
+        .x(1)
+        .measure_all();
+    qc
+}
+
+/// Grover search on 3 qubits for the marked state `|111⟩`, `iterations`
+/// rounds of oracle + diffusion. Two iterations give success probability
+/// ≈ 0.945.
+pub fn grover_3q(iterations: usize) -> Circuit {
+    let mut qc = Circuit::new("grover", 3, 3);
+    for q in 0..3 {
+        qc.h(q);
+    }
+    for _ in 0..iterations {
+        // Oracle: CCZ marking |111⟩ (H-conjugated Toffoli).
+        qc.h(2).ccx(0, 1, 2).h(2);
+        // Diffusion: reflect about the uniform superposition.
+        for q in 0..3 {
+            qc.h(q);
+        }
+        for q in 0..3 {
+            qc.x(q);
+        }
+        qc.h(2).ccx(0, 1, 2).h(2);
+        for q in 0..3 {
+            qc.x(q);
+        }
+        for q in 0..3 {
+            qc.h(q);
+        }
+    }
+    qc.measure_all();
+    qc
+}
+
+/// Grover search over `n_data` qubits for an arbitrary `marked` basis
+/// state, with `iterations` rounds. Multi-controlled phase flips are built
+/// from a Toffoli AND-ladder over `max(n_data − 2, 0)` ancilla qubits
+/// (standard compute/uncompute construction), so the circuit uses
+/// `n_data + max(n_data − 2, 0)` qubits total; only the data register is
+/// measured.
+///
+/// The optimal iteration count is `⌊π/4·√2ⁿ⌋`; success probability follows
+/// `sin²((2k+1)·asin(2^{−n/2}))`.
+///
+/// # Panics
+///
+/// Panics if `n_data < 2` or `marked` does not fit the register.
+pub fn grover(n_data: usize, marked: usize, iterations: usize) -> Circuit {
+    assert!(n_data >= 2, "grover needs at least two data qubits");
+    assert!(marked < 1 << n_data, "marked state wider than the register");
+    let n_anc = n_data.saturating_sub(2);
+    let mut qc = Circuit::new(format!("grover{n_data}"), n_data + n_anc, n_data);
+
+    // Phase-flip exactly the |1…1⟩ data state via an AND-ladder:
+    // anc[0] = d0·d1, anc[i] = anc[i−1]·d_{i+1}, then CZ onto the last
+    // data qubit, then uncompute. For n_data = 2 it is a bare CZ.
+    fn flip_all_ones(qc: &mut Circuit, n_data: usize) {
+        if n_data == 2 {
+            qc.cz(0, 1);
+            return;
+        }
+        let anc = |i: usize| n_data + i;
+        qc.ccx(0, 1, anc(0));
+        for i in 1..n_data - 2 {
+            qc.ccx(anc(i - 1), i + 1, anc(i));
+        }
+        qc.cz(anc(n_data - 3), n_data - 1);
+        for i in (1..n_data - 2).rev() {
+            qc.ccx(anc(i - 1), i + 1, anc(i));
+        }
+        qc.ccx(0, 1, anc(0));
+    }
+
+    for q in 0..n_data {
+        qc.h(q);
+    }
+    for _ in 0..iterations {
+        // Oracle: phase-flip |marked⟩ = X-conjugated flip of |1…1⟩.
+        for q in 0..n_data {
+            if marked >> q & 1 == 0 {
+                qc.x(q);
+            }
+        }
+        flip_all_ones(&mut qc, n_data);
+        for q in 0..n_data {
+            if marked >> q & 1 == 0 {
+                qc.x(q);
+            }
+        }
+        // Diffusion: reflect about the uniform superposition.
+        for q in 0..n_data {
+            qc.h(q);
+        }
+        for q in 0..n_data {
+            qc.x(q);
+        }
+        flip_all_ones(&mut qc, n_data);
+        for q in 0..n_data {
+            qc.x(q);
+        }
+        for q in 0..n_data {
+            qc.h(q);
+        }
+    }
+    for q in 0..n_data {
+        qc.measure(q, q);
+    }
+    qc
+}
+
+/// Prepare the three-qubit W state `(|001⟩ + |010⟩ + |100⟩)/√3`.
+pub fn wstate_3q() -> Circuit {
+    let mut qc = Circuit::new("wstate", 3, 3);
+    // Split one excitation: q0 carries |1⟩ with amplitude √(2/3).
+    let phi = 2.0 * (1.0 / 3.0_f64.sqrt()).acos();
+    qc.ry(phi, 0);
+    // Controlled-H from q0 to q1 (ry(−π/4) · CX · ry(π/4) conjugation).
+    qc.ry(-PI / 4.0, 1).cx(0, 1).ry(PI / 4.0, 1);
+    qc.cx(1, 2).cx(0, 1).x(0);
+    qc.measure_all();
+    qc
+}
+
+/// The modular-multiplication benchmark `7·1 mod 15`: prepare `x = 1`, then
+/// apply the ×7 (mod 15) permutation as ×8 (a rotate-right of the 4-bit
+/// register) followed by ×(−1) (bitwise complement). The noiseless outcome
+/// is deterministically `0111` (= 7).
+pub fn seven_x1_mod15() -> Circuit {
+    let mut qc = Circuit::new("7x1mod15", 4, 4);
+    qc.x(0);
+    // ×8 ≡ rotate right: new bit k = old bit k+1 (mod 4).
+    qc.swap(0, 1).swap(1, 2).swap(2, 3);
+    // ×(−1) mod 15 ≡ complement every bit.
+    for q in 0..4 {
+        qc.x(q);
+    }
+    qc.measure_all();
+    qc
+}
+
+/// Bernstein–Vazirani over `n_qubits − 1` data qubits with the given hidden
+/// string (bit `i` of `hidden` pairs data qubit `i`); the last qubit is the
+/// phase-kickback ancilla. The noiseless outcome equals `hidden`.
+///
+/// # Panics
+///
+/// Panics if `n_qubits < 2` or `hidden` has bits beyond the data register.
+pub fn bv(n_qubits: usize, hidden: usize) -> Circuit {
+    assert!(n_qubits >= 2, "bv needs at least one data qubit plus the ancilla");
+    let data = n_qubits - 1;
+    assert!(hidden < 1 << data, "hidden string 0b{hidden:b} wider than {data} data qubits");
+    let mut qc = Circuit::new(format!("bv{n_qubits}"), n_qubits, data);
+    let anc = data;
+    qc.x(anc);
+    for q in 0..n_qubits {
+        qc.h(q);
+    }
+    for q in 0..data {
+        if hidden >> q & 1 == 1 {
+            qc.cx(q, anc);
+        }
+    }
+    for q in 0..data {
+        qc.h(q);
+    }
+    for q in 0..data {
+        qc.measure(q, q);
+    }
+    qc
+}
+
+/// The quantum Fourier transform on `n_qubits`, with the conventional final
+/// qubit-reversal SWAPs so that
+/// `QFT|x⟩ = (1/√N) Σ_y e^{2πi·x·y/N} |y⟩` in the standard little-endian
+/// index convention.
+pub fn qft(n_qubits: usize) -> Circuit {
+    let mut qc = Circuit::new(format!("qft{n_qubits}"), n_qubits, n_qubits);
+    for i in (0..n_qubits).rev() {
+        qc.h(i);
+        for j in (0..i).rev() {
+            qc.cphase(PI / (1 << (i - j)) as f64, j, i);
+        }
+    }
+    for i in 0..n_qubits / 2 {
+        qc.swap(i, n_qubits - 1 - i);
+    }
+    qc.measure_all();
+    qc
+}
+
+/// An IBM-style Quantum Volume model circuit: `depth` layers, each a random
+/// qubit permutation followed by an SU(4)-shaped block (3 CNOTs + 7
+/// single-qubit rotations) on every adjacent pair. Deterministic in `seed`.
+pub fn quantum_volume(n_qubits: usize, depth: usize, seed: u64) -> Circuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut qc = Circuit::new(format!("qv_n{n_qubits}d{depth}"), n_qubits, n_qubits);
+    let angle = |rng: &mut StdRng| rng.random::<f64>() * 2.0 * PI;
+    for _ in 0..depth {
+        // Fisher–Yates permutation.
+        let mut perm: Vec<usize> = (0..n_qubits).collect();
+        for i in (1..n_qubits).rev() {
+            let j = rng.random_range(0..=i);
+            perm.swap(i, j);
+        }
+        for pair in perm.chunks_exact(2) {
+            let (a, b) = (pair[0], pair[1]);
+            qc.u(angle(&mut rng), angle(&mut rng), angle(&mut rng), a);
+            qc.u(angle(&mut rng), angle(&mut rng), angle(&mut rng), b);
+            qc.cx(a, b);
+            qc.rz(angle(&mut rng), a);
+            qc.ry(angle(&mut rng), b);
+            qc.cx(b, a);
+            qc.ry(angle(&mut rng), b);
+            qc.cx(a, b);
+            qc.u(angle(&mut rng), angle(&mut rng), angle(&mut rng), a);
+            qc.u(angle(&mut rng), angle(&mut rng), angle(&mut rng), b);
+        }
+    }
+    qc.measure_all();
+    qc
+}
+
+/// A single-qubit randomized-benchmarking sequence: `length` gates drawn
+/// from a fixed pool followed by the exact inverse of their product (one
+/// `U` gate), so the noiseless outcome is deterministically `0` — the
+/// defining RB property. Deterministic in `seed`.
+pub fn rb_sequence(length: usize, seed: u64) -> Circuit {
+    use qsim_statevec::Matrix2;
+    let pool: [(crate::Gate, Matrix2); 6] = [
+        (crate::Gate::H, Matrix2::h()),
+        (crate::Gate::S, Matrix2::s()),
+        (crate::Gate::Sdg, Matrix2::sdg()),
+        (crate::Gate::X, Matrix2::x()),
+        (crate::Gate::Y, Matrix2::y()),
+        (crate::Gate::T, Matrix2::t()),
+    ];
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut qc = Circuit::new(format!("rb_m{length}"), 1, 1);
+    let mut product = Matrix2::identity();
+    for _ in 0..length {
+        let (gate, matrix) = pool[rng.random_range(0..pool.len())];
+        qc.push_gate(gate, vec![0]).expect("valid operand");
+        product = matrix * product;
+    }
+    let (theta, phi, lambda) = product.adjoint().zyz_angles();
+    qc.u(theta, phi, lambda, 0);
+    qc.measure(0, 0);
+    qc
+}
+
+/// A GHZ-state preparation on `n_qubits`: `(|0…0⟩ + |1…1⟩)/√2`.
+///
+/// # Panics
+///
+/// Panics if `n_qubits == 0`.
+pub fn ghz(n_qubits: usize) -> Circuit {
+    assert!(n_qubits > 0, "ghz needs at least one qubit");
+    let mut qc = Circuit::new(format!("ghz{n_qubits}"), n_qubits, n_qubits);
+    qc.h(0);
+    for q in 1..n_qubits {
+        qc.cx(q - 1, q);
+    }
+    qc.measure_all();
+    qc
+}
+
+/// Iterative quantum phase estimation of the phase gate `P(2π·k/2ⁿ)` with
+/// `n_bits` counting qubits: the counting register reads exactly `k`
+/// noiselessly (via the inverse QFT).
+///
+/// # Panics
+///
+/// Panics if `k >= 2^n_bits` or `n_bits == 0`.
+pub fn qpe(n_bits: usize, k: usize) -> Circuit {
+    assert!(n_bits > 0, "qpe needs at least one counting qubit");
+    assert!(k < 1 << n_bits, "phase index {k} too wide for {n_bits} bits");
+    let n = n_bits + 1; // + eigenstate qubit (last)
+    let mut qc = Circuit::new(format!("qpe{n_bits}"), n, n_bits);
+    let target = n_bits;
+    // Eigenstate |1⟩ of the phase gate.
+    qc.x(target);
+    for q in 0..n_bits {
+        qc.h(q);
+    }
+    // Controlled-U^(2^q): phases accumulate on the counting qubits.
+    let theta = 2.0 * PI * k as f64 / (1 << n_bits) as f64;
+    for q in 0..n_bits {
+        qc.cphase(theta * (1 << q) as f64, q, target);
+    }
+    // Inverse QFT on the counting register (reverse of [`qft`] without the
+    // final swaps, absorbed by reading counting bits in reverse order —
+    // here we emit the full inverse including swaps for clarity).
+    for i in 0..n_bits / 2 {
+        qc.swap(i, n_bits - 1 - i);
+    }
+    for i in 0..n_bits {
+        for j in (0..i).rev() {
+            qc.cphase(-PI / (1 << (i - j)) as f64, j, i);
+        }
+        qc.h(i);
+    }
+    for q in 0..n_bits {
+        qc.measure(q, q);
+    }
+    qc
+}
+
+/// A 2-bit ripple-carry adder: computes the 3-bit sum `a + b` of two 2-bit
+/// inputs with the textbook CARRY/SUM network (two Toffoli-based full
+/// adders). Qubit layout: 0–1 = `a`, 2–3 = `b` (overwritten with the sum
+/// bits), 4 = carry into bit 1, 5 = carry out. The classical register reads
+/// the sum directly: `c = s0 + 2·s1 + 4·carry`.
+///
+/// # Panics
+///
+/// Panics if an input exceeds 2 bits.
+pub fn adder_2bit(a: usize, b: usize) -> Circuit {
+    assert!(a < 4 && b < 4, "inputs must be 2-bit");
+    let mut qc = Circuit::new(format!("add_{a}_{b}"), 6, 3);
+    for bit in 0..2 {
+        if a >> bit & 1 == 1 {
+            qc.x(bit);
+        }
+        if b >> bit & 1 == 1 {
+            qc.x(2 + bit);
+        }
+    }
+    // Bit 0 (half adder): c1 = a0·b0, s0 = a0 ⊕ b0.
+    qc.ccx(0, 2, 4);
+    qc.cx(0, 2);
+    // Bit 1 (full adder with carry-in on qubit 4):
+    // CARRY: c2 = a1·b1 ⊕ c1·(a1 ⊕ b1) = majority(a1, b1, c1).
+    qc.ccx(1, 3, 5);
+    qc.cx(1, 3);
+    qc.ccx(4, 3, 5);
+    // SUM: s1 = a1 ⊕ b1 ⊕ c1.
+    qc.cx(4, 3);
+    qc.measure(2, 0).measure(3, 1).measure(5, 2);
+    qc
+}
+
+/// The Boolean hidden-shift benchmark for the bent function
+/// `f(x) = x₀x₁ ⊕ x₂x₃ …` (Maiorana–McFarland form): `H⊗ⁿ · O_f̃ · H⊗ⁿ ·
+/// O_f · H⊗ⁿ |s⟩`-style circuit whose noiseless outcome is the hidden
+/// shift `s`.
+///
+/// # Panics
+///
+/// Panics if `n_qubits` is odd or `shift` does not fit.
+pub fn hidden_shift(n_qubits: usize, shift: usize) -> Circuit {
+    assert!(n_qubits.is_multiple_of(2), "the bent-function benchmark needs an even qubit count");
+    assert!(shift < 1 << n_qubits, "shift wider than the register");
+    let mut qc = Circuit::new(format!("hs{n_qubits}"), n_qubits, n_qubits);
+    for q in 0..n_qubits {
+        qc.h(q);
+    }
+    // O_{f(x ⊕ s)}: conjugate the oracle with X on shifted bits.
+    for q in 0..n_qubits {
+        if shift >> q & 1 == 1 {
+            qc.x(q);
+        }
+    }
+    for pair in 0..n_qubits / 2 {
+        qc.cz(2 * pair, 2 * pair + 1);
+    }
+    for q in 0..n_qubits {
+        if shift >> q & 1 == 1 {
+            qc.x(q);
+        }
+    }
+    for q in 0..n_qubits {
+        qc.h(q);
+    }
+    // O_f̃ for the dual bent function (same CZ pattern).
+    for pair in 0..n_qubits / 2 {
+        qc.cz(2 * pair, 2 * pair + 1);
+    }
+    for q in 0..n_qubits {
+        qc.h(q);
+    }
+    qc.measure_all();
+    qc
+}
+
+/// The 12 benchmarks of the paper's Table I, in table order, as logical
+/// circuits. QV circuits use fixed seeds so the suite is reproducible.
+pub fn realistic_suite() -> Vec<Circuit> {
+    vec![
+        rb(),
+        grover_3q(2),
+        wstate_3q(),
+        seven_x1_mod15(),
+        bv(4, 0b111),
+        bv(5, 0b1111),
+        qft(4),
+        qft(5),
+        quantum_volume(5, 2, 52),
+        quantum_volume(5, 3, 53),
+        quantum_volume(5, 4, 54),
+        quantum_volume(5, 5, 55),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim_statevec::C64;
+
+    fn deterministic_outcome(qc: &Circuit) -> usize {
+        let s = qc.simulate().unwrap();
+        let probs = s.probabilities();
+        let (idx, p) = probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        assert!((p - 1.0).abs() < 1e-9, "outcome not deterministic: max p = {p}");
+        idx
+    }
+
+    #[test]
+    fn rb_composes_to_identity() {
+        assert_eq!(deterministic_outcome(&rb()), 0);
+        let counts = rb().counts();
+        assert_eq!((counts.single, counts.cnot, counts.measure), (9, 2, 2));
+    }
+
+    #[test]
+    fn grover_amplifies_the_marked_state() {
+        let s = grover_3q(2).simulate().unwrap();
+        assert!(s.probability(0b111) > 0.9, "P(111) = {}", s.probability(0b111));
+        // One iteration is the textbook 0.78125.
+        let s1 = grover_3q(1).simulate().unwrap();
+        assert!((s1.probability(0b111) - 25.0 / 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn generalized_grover_matches_theory() {
+        for (n, marked) in [(2usize, 0b01usize), (3, 0b110), (4, 0b1011), (5, 0b10101)] {
+            let optimal =
+                (std::f64::consts::FRAC_PI_4 * ((1usize << n) as f64).sqrt()).floor() as usize;
+            let iterations = optimal.max(1);
+            let qc = grover(n, marked, iterations);
+            let s = qc.simulate().unwrap();
+            // Probability of the marked state on the data register,
+            // ancillas returned to |0⟩ by the uncompute.
+            let mut p_marked = 0.0;
+            let mut p_anc_dirty = 0.0;
+            for (idx, p) in s.probabilities().into_iter().enumerate() {
+                if idx >> n != 0 {
+                    p_anc_dirty += p;
+                }
+                if idx & ((1 << n) - 1) == marked && idx >> n == 0 {
+                    p_marked += p;
+                }
+            }
+            assert!(p_anc_dirty < 1e-9, "n={n}: ancillas left dirty ({p_anc_dirty})");
+            let theta = (1.0 / ((1u64 << n) as f64).sqrt()).asin();
+            let expected = ((2 * iterations + 1) as f64 * theta).sin().powi(2);
+            assert!(
+                (p_marked - expected).abs() < 1e-9,
+                "n={n} k={iterations}: P = {p_marked}, theory {expected}"
+            );
+            assert!(p_marked > 0.5, "n={n}: success probability too low");
+        }
+    }
+
+    #[test]
+    fn generalized_grover_agrees_with_the_table_one_variant() {
+        // Same physics as grover_3q (marked |111⟩): success probabilities
+        // coincide even though the multi-controlled construction differs.
+        let a = grover_3q(2).simulate().unwrap();
+        let b = grover(3, 0b111, 2).simulate().unwrap();
+        let p_a = a.probability(0b111);
+        let mut p_b = 0.0;
+        for (idx, p) in b.probabilities().into_iter().enumerate() {
+            if idx & 0b111 == 0b111 && idx >> 3 == 0 {
+                p_b += p;
+            }
+        }
+        assert!((p_a - p_b).abs() < 1e-9, "{p_a} vs {p_b}");
+    }
+
+    #[test]
+    fn wstate_has_equal_single_excitation_amplitudes() {
+        let s = wstate_3q().simulate().unwrap();
+        for idx in [0b001, 0b010, 0b100] {
+            assert!(
+                (s.probability(idx) - 1.0 / 3.0).abs() < 1e-9,
+                "P({idx:03b}) = {}",
+                s.probability(idx)
+            );
+        }
+        for idx in [0b000, 0b011, 0b101, 0b110, 0b111] {
+            assert!(s.probability(idx) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn seven_x1_mod15_outputs_seven() {
+        assert_eq!(deterministic_outcome(&seven_x1_mod15()), 7);
+        let counts = seven_x1_mod15().counts();
+        assert_eq!(counts.measure, 4);
+    }
+
+    #[test]
+    fn modular_multiplication_permutes_other_inputs_too() {
+        // Same circuit body applied after preparing x = 2 must give 14.
+        let mut qc = Circuit::new("7x2", 4, 4);
+        qc.x(1); // x = 2
+        qc.swap(0, 1).swap(1, 2).swap(2, 3);
+        for q in 0..4 {
+            qc.x(q);
+        }
+        let s = qc.simulate().unwrap();
+        assert!((s.probability(14) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bv_recovers_hidden_string() {
+        for hidden in [0b000usize, 0b101, 0b111, 0b010] {
+            let qc = bv(4, hidden);
+            let s = qc.simulate().unwrap();
+            // Data qubits read `hidden`; the ancilla ends in |−⟩.
+            let mut p_hidden = 0.0;
+            for (idx, p) in s.probabilities().into_iter().enumerate() {
+                if idx & 0b111 == hidden {
+                    p_hidden += p;
+                }
+            }
+            assert!((p_hidden - 1.0).abs() < 1e-9, "hidden {hidden:b}: P = {p_hidden}");
+        }
+    }
+
+    #[test]
+    fn bv_counts_match_table_one() {
+        let c4 = bv(4, 0b111).counts();
+        assert_eq!((c4.single, c4.cnot, c4.measure), (8, 3, 3));
+        let c5 = bv(5, 0b1111).counts();
+        assert_eq!((c5.single, c5.cnot, c5.measure), (10, 4, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than")]
+    fn bv_rejects_oversized_hidden_string() {
+        let _ = bv(3, 0b111);
+    }
+
+    #[test]
+    fn qft_matches_the_dft_formula() {
+        let n = 3;
+        let dim = 1usize << n;
+        for x in [0usize, 1, 5, 7] {
+            let mut qc = Circuit::new("qft-in", n, n);
+            for q in 0..n {
+                if x >> q & 1 == 1 {
+                    qc.x(q);
+                }
+            }
+            for instr in qft(n).instructions() {
+                if let crate::Instruction::Gate(op) = instr {
+                    qc.push_gate(op.gate, op.qubits.clone()).unwrap();
+                }
+            }
+            let s = qc.simulate().unwrap();
+            let norm = 1.0 / (dim as f64).sqrt();
+            for y in 0..dim {
+                let expected =
+                    C64::from_polar(norm, 2.0 * PI * (x * y) as f64 / dim as f64);
+                let got = s.amplitude(y);
+                assert!(
+                    (got - expected).norm() < 1e-9,
+                    "x={x} y={y}: got {got}, expected {expected}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn qft_gate_shape() {
+        let counts = qft(4).counts();
+        assert_eq!(counts.single, 4); // the Hadamards
+        assert_eq!(counts.other_multi, 6 + 2); // cphases + swaps
+        assert_eq!(counts.measure, 4);
+    }
+
+    #[test]
+    fn quantum_volume_is_deterministic_in_seed() {
+        let a = quantum_volume(5, 3, 9);
+        let b = quantum_volume(5, 3, 9);
+        assert_eq!(a, b);
+        let c = quantum_volume(5, 3, 10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn quantum_volume_block_counts() {
+        // 5 qubits → 2 pairs per layer; block = 7 singles + 3 CX.
+        let qc = quantum_volume(5, 2, 1);
+        let counts = qc.counts();
+        assert_eq!(counts.cnot, 2 * 2 * 3);
+        assert_eq!(counts.single, 2 * 2 * 7);
+        assert_eq!(counts.measure, 5);
+        // Odd qubit left out each layer: width still 5.
+        assert_eq!(qc.n_qubits(), 5);
+    }
+
+    #[test]
+    fn quantum_volume_preserves_norm() {
+        let s = quantum_volume(4, 4, 3).simulate().unwrap();
+        assert!((s.norm_sqr() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rb_sequences_always_invert_to_zero() {
+        for (length, seed) in [(1usize, 0u64), (5, 1), (20, 2), (100, 3)] {
+            let qc = rb_sequence(length, seed);
+            assert_eq!(qc.counts().single, length + 1);
+            let s = qc.simulate().unwrap();
+            assert!(
+                (s.probability(0) - 1.0).abs() < 1e-9,
+                "m={length} seed={seed}: P(0) = {}",
+                s.probability(0)
+            );
+        }
+        // Deterministic in seed.
+        assert_eq!(rb_sequence(10, 7), rb_sequence(10, 7));
+        assert_ne!(rb_sequence(10, 7), rb_sequence(10, 8));
+    }
+
+    #[test]
+    fn ghz_is_a_fifty_fifty_cat_state() {
+        for n in [1usize, 2, 4, 6] {
+            let s = ghz(n).simulate().unwrap();
+            assert!((s.probability(0) - 0.5).abs() < 1e-9, "n={n}");
+            assert!((s.probability((1 << n) - 1) - 0.5).abs() < 1e-9, "n={n}");
+        }
+    }
+
+    #[test]
+    fn qpe_reads_the_exact_phase_index() {
+        for (n_bits, k) in [(2usize, 1usize), (3, 5), (3, 0), (4, 11), (4, 15)] {
+            let qc = qpe(n_bits, k);
+            let s = qc.simulate().unwrap();
+            // Counting register is qubits 0..n_bits; eigenstate qubit stays 1.
+            let mut p_k = 0.0;
+            for (idx, p) in s.probabilities().into_iter().enumerate() {
+                if idx & ((1 << n_bits) - 1) == k {
+                    p_k += p;
+                }
+            }
+            assert!(p_k > 1.0 - 1e-9, "n={n_bits} k={k}: P = {p_k}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "too wide")]
+    fn qpe_rejects_wide_phase() {
+        let _ = qpe(2, 4);
+    }
+
+    #[test]
+    fn adder_sums_every_input_pair() {
+        for a in 0..4usize {
+            for b in 0..4usize {
+                let qc = adder_2bit(a, b);
+                let s = qc.simulate().unwrap();
+                // Read the classical mapping: cbit0=q2, cbit1=q3, cbit2=q5.
+                let (mut best_idx, mut best_p) = (0usize, 0.0);
+                for (idx, p) in s.probabilities().into_iter().enumerate() {
+                    if p > best_p {
+                        best_p = p;
+                        best_idx = idx;
+                    }
+                }
+                assert!(best_p > 1.0 - 1e-9, "a={a} b={b} not deterministic");
+                let sum = (best_idx >> 2 & 1) + 2 * (best_idx >> 3 & 1) + 4 * (best_idx >> 5 & 1);
+                assert_eq!(sum, a + b, "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn hidden_shift_recovers_the_shift() {
+        for (n, shift) in [(2usize, 0b01usize), (4, 0b1011), (4, 0b0000), (6, 0b110101)] {
+            let qc = hidden_shift(n, shift);
+            let s = qc.simulate().unwrap();
+            assert!(
+                (s.probability(shift) - 1.0).abs() < 1e-9,
+                "n={n} shift={shift:b}: P = {}",
+                s.probability(shift)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even qubit count")]
+    fn hidden_shift_rejects_odd_width() {
+        let _ = hidden_shift(3, 0);
+    }
+
+    #[test]
+    fn realistic_suite_matches_paper_roster() {
+        let suite = realistic_suite();
+        let names: Vec<&str> = suite.iter().map(|c| c.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "rb", "grover", "wstate", "7x1mod15", "bv4", "bv5", "qft4", "qft5", "qv_n5d2",
+                "qv_n5d3", "qv_n5d4", "qv_n5d5"
+            ]
+        );
+        for qc in &suite {
+            assert!(qc.n_qubits() <= 5, "{} too wide for Yorktown", qc.name());
+            assert!(qc.counts().measure > 0, "{} must measure", qc.name());
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Circuit equivalence checking — the validation primitive behind every
+//! transpiler pass, exposed for downstream users verifying their own
+//! rewrites.
+
+use qsim_statevec::{C64, StateVecError, StateVector};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::Circuit;
+
+/// Default tolerance on `1 − fidelity` for equivalence checks.
+pub const DEFAULT_TOL: f64 = 1e-9;
+
+/// Above this width an exhaustive basis sweep (2ⁿ simulations) gives way to
+/// random-state probing.
+const EXHAUSTIVE_LIMIT: usize = 6;
+
+/// How two circuits were compared by [`unitarily_equivalent`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum EquivalenceEvidence {
+    /// All `2ⁿ` computational basis states were checked — a proof (up to a
+    /// per-state global phase).
+    Exhaustive,
+    /// A fixed number of Haar-ish random product states were checked —
+    /// overwhelming statistical evidence, not a proof.
+    Probabilistic {
+        /// How many random states were probed.
+        probes: usize,
+    },
+}
+
+/// Check whether two circuits implement the same unitary **up to a global
+/// phase per input state**, by comparing their action (gates only —
+/// measurements and barriers are ignored).
+///
+/// For small registers (≤ 6 qubits) every computational basis state is
+/// checked; beyond that, 16 random states are probed (each detects any
+/// fixed discrepancy with probability overwhelmingly close to 1).
+///
+/// Returns `Ok(Some(evidence))` when equivalent and `Ok(None)` when a
+/// counterexample state was found.
+///
+/// # Errors
+///
+/// Returns [`StateVecError::WidthMismatch`] if the circuits differ in qubit
+/// count.
+pub fn unitarily_equivalent(
+    a: &Circuit,
+    b: &Circuit,
+    tol: f64,
+) -> Result<Option<EquivalenceEvidence>, StateVecError> {
+    if a.n_qubits() != b.n_qubits() {
+        return Err(StateVecError::WidthMismatch { left: a.n_qubits(), right: b.n_qubits() });
+    }
+    let n = a.n_qubits();
+    let run = |input: &StateVector, circuit: &Circuit| -> Result<StateVector, StateVecError> {
+        let mut state = input.clone();
+        for op in circuit.gate_ops() {
+            op.apply_to(&mut state)?;
+        }
+        Ok(state)
+    };
+    if n <= EXHAUSTIVE_LIMIT {
+        for basis in 0..1usize << n {
+            let input = StateVector::basis_state(n, basis)?;
+            let fidelity = run(&input, a)?.fidelity(&run(&input, b)?)?;
+            if fidelity < 1.0 - tol {
+                return Ok(None);
+            }
+        }
+        Ok(Some(EquivalenceEvidence::Exhaustive))
+    } else {
+        let probes = 16;
+        let mut rng = StdRng::seed_from_u64(0x5eed);
+        for _ in 0..probes {
+            let amps: Vec<C64> = (0..1usize << n)
+                .map(|_| C64::new(rng.random::<f64>() - 0.5, rng.random::<f64>() - 0.5))
+                .collect();
+            let mut input = StateVector::from_amplitudes(amps)?;
+            input.normalize();
+            let fidelity = run(&input, a)?.fidelity(&run(&input, b)?)?;
+            if fidelity < 1.0 - tol {
+                return Ok(None);
+            }
+        }
+        Ok(Some(EquivalenceEvidence::Probabilistic { probes }))
+    }
+}
+
+/// Check whether two measured circuits produce the same classical outcome
+/// **distribution** (noiselessly). Unlike [`unitarily_equivalent`] this
+/// tolerates different qubit counts and layouts — exactly what routing
+/// changes — as long as the classical registers match.
+///
+/// # Errors
+///
+/// Returns [`StateVecError::WidthMismatch`] if the classical registers
+/// differ in width.
+pub fn distributions_equivalent(a: &Circuit, b: &Circuit, tol: f64) -> Result<bool, StateVecError> {
+    if a.n_cbits() != b.n_cbits() {
+        return Err(StateVecError::WidthMismatch { left: a.n_cbits(), right: b.n_cbits() });
+    }
+    let dist_a = classical_distribution(a)?;
+    let dist_b = classical_distribution(b)?;
+    Ok(dist_a.iter().zip(&dist_b).all(|(x, y)| (x - y).abs() <= tol))
+}
+
+/// The exact noiseless distribution over the classical register.
+///
+/// # Errors
+///
+/// Propagates simulation failures (cannot occur for validated circuits).
+pub fn classical_distribution(circuit: &Circuit) -> Result<Vec<f64>, StateVecError> {
+    let state = circuit.simulate()?;
+    let mut dist = vec![0.0f64; 1 << circuit.n_cbits()];
+    let map = circuit.measurements();
+    for (idx, p) in state.probabilities().into_iter().enumerate() {
+        let mut pattern = 0usize;
+        for &(q, c) in &map {
+            if idx >> q & 1 == 1 {
+                pattern |= 1 << c;
+            }
+        }
+        dist[pattern] += p;
+    }
+    Ok(dist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transpile::{transpile, TranspileOptions};
+    use crate::{catalog, CouplingMap};
+
+    #[test]
+    fn identical_circuits_are_equivalent_exhaustively() {
+        let qc = catalog::wstate_3q();
+        let evidence = unitarily_equivalent(&qc, &qc, DEFAULT_TOL).unwrap();
+        assert_eq!(evidence, Some(EquivalenceEvidence::Exhaustive));
+    }
+
+    #[test]
+    fn decomposition_is_unitarily_equivalent() {
+        let mut qc = Circuit::new("ccx", 3, 0);
+        qc.ccx(0, 1, 2).swap(0, 2).cz(1, 2);
+        let lowered = crate::transpile::decompose(&qc).unwrap();
+        assert!(unitarily_equivalent(&qc, &lowered, DEFAULT_TOL).unwrap().is_some());
+    }
+
+    #[test]
+    fn detects_non_equivalence() {
+        let mut a = Circuit::new("a", 2, 0);
+        a.h(0).cx(0, 1);
+        let mut b = Circuit::new("b", 2, 0);
+        b.h(0).cx(1, 0);
+        assert_eq!(unitarily_equivalent(&a, &b, DEFAULT_TOL).unwrap(), None);
+        // Phase-only difference per input basis state IS equivalence.
+        let mut c = Circuit::new("c", 2, 0);
+        c.h(0).cx(0, 1).z(1).z(1);
+        assert!(unitarily_equivalent(&a, &c, DEFAULT_TOL).unwrap().is_some());
+    }
+
+    #[test]
+    fn wide_circuits_use_probabilistic_probing() {
+        let mut a = Circuit::new("a", 8, 0);
+        let mut b = Circuit::new("b", 8, 0);
+        for q in 0..8 {
+            a.h(q);
+            b.h(q);
+        }
+        a.cx(0, 7);
+        b.cx(0, 7);
+        let evidence = unitarily_equivalent(&a, &b, DEFAULT_TOL).unwrap();
+        assert_eq!(evidence, Some(EquivalenceEvidence::Probabilistic { probes: 16 }));
+        // A single misplaced gate is caught.
+        b.t(3);
+        assert_eq!(unitarily_equivalent(&a, &b, DEFAULT_TOL).unwrap(), None);
+    }
+
+    #[test]
+    fn width_mismatch_is_an_error() {
+        let a = Circuit::new("a", 2, 0);
+        let b = Circuit::new("b", 3, 0);
+        assert!(unitarily_equivalent(&a, &b, DEFAULT_TOL).is_err());
+    }
+
+    #[test]
+    fn routing_preserves_distributions_but_not_unitaries() {
+        let logical = catalog::bv(4, 0b101);
+        let compiled =
+            transpile(&logical, &TranspileOptions::for_device(CouplingMap::yorktown())).unwrap();
+        // Different widths: unitary comparison is not even well-formed…
+        assert!(unitarily_equivalent(&logical, &compiled.circuit, DEFAULT_TOL).is_err());
+        // …but the measured distribution is exactly preserved.
+        assert!(distributions_equivalent(&logical, &compiled.circuit, 1e-9).unwrap());
+    }
+
+    #[test]
+    fn distribution_checker_flags_real_differences() {
+        let a = catalog::bv(4, 0b101);
+        let b = catalog::bv(4, 0b011);
+        assert!(!distributions_equivalent(&a, &b, 1e-9).unwrap());
+        let narrow = catalog::bv(3, 0b1);
+        assert!(distributions_equivalent(&a, &narrow, 1e-9).is_err());
+    }
+}

@@ -1,0 +1,119 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by circuit construction, layering, and transpilation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CircuitError {
+    /// A qubit operand was at least the register width.
+    QubitOutOfRange {
+        /// Offending qubit index.
+        qubit: usize,
+        /// Register width.
+        n_qubits: usize,
+    },
+    /// A classical bit operand was at least the classical register width.
+    CbitOutOfRange {
+        /// Offending classical bit index.
+        cbit: usize,
+        /// Classical register width.
+        n_cbits: usize,
+    },
+    /// The same qubit appeared twice in one gate's operand list.
+    DuplicateQubit {
+        /// The duplicated qubit index.
+        qubit: usize,
+    },
+    /// A gate received the wrong number of qubit operands.
+    ArityMismatch {
+        /// Gate name.
+        gate: &'static str,
+        /// Required operand count.
+        expected: usize,
+        /// Provided operand count.
+        actual: usize,
+    },
+    /// A gate appeared after a measurement (the noisy-simulation pipeline
+    /// requires all measurements to be terminal, as in the paper's
+    /// benchmarks).
+    GateAfterMeasure {
+        /// Index of the offending instruction.
+        position: usize,
+    },
+    /// A multi-qubit gate was not in the transpiler's supported set.
+    Unsupported {
+        /// Gate name.
+        gate: String,
+        /// Which pass rejected it.
+        pass: &'static str,
+    },
+    /// A two-qubit gate addressed qubits with no path in the coupling map.
+    Disconnected {
+        /// First physical qubit.
+        a: usize,
+        /// Second physical qubit.
+        b: usize,
+    },
+    /// The circuit does not fit on the device.
+    DeviceTooSmall {
+        /// Logical qubits required.
+        required: usize,
+        /// Physical qubits available.
+        available: usize,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::QubitOutOfRange { qubit, n_qubits } => {
+                write!(f, "qubit {qubit} out of range for {n_qubits}-qubit circuit")
+            }
+            CircuitError::CbitOutOfRange { cbit, n_cbits } => {
+                write!(f, "classical bit {cbit} out of range for {n_cbits}-bit register")
+            }
+            CircuitError::DuplicateQubit { qubit } => {
+                write!(f, "gate operand list repeats qubit {qubit}")
+            }
+            CircuitError::ArityMismatch { gate, expected, actual } => {
+                write!(f, "gate {gate} takes {expected} qubits, got {actual}")
+            }
+            CircuitError::GateAfterMeasure { position } => {
+                write!(f, "instruction {position} applies a gate after measurement; measurements must be terminal")
+            }
+            CircuitError::Unsupported { gate, pass } => {
+                write!(f, "gate {gate} is not supported by the {pass} pass")
+            }
+            CircuitError::Disconnected { a, b } => {
+                write!(f, "no coupling path between physical qubits {a} and {b}")
+            }
+            CircuitError::DeviceTooSmall { required, available } => {
+                write!(f, "circuit needs {required} qubits but the device has {available}")
+            }
+        }
+    }
+}
+
+impl Error for CircuitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_operands() {
+        let e = CircuitError::ArityMismatch { gate: "cx", expected: 2, actual: 3 };
+        assert_eq!(e.to_string(), "gate cx takes 2 qubits, got 3");
+        assert!(
+            CircuitError::Disconnected { a: 1, b: 4 }
+                .to_string()
+                .contains("1 and 4")
+        );
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<CircuitError>();
+    }
+}

@@ -1,0 +1,181 @@
+//! Commutation-aware rotation sinking.
+//!
+//! Diagonal (Z-type) gates commute through the **control** of a CNOT and
+//! X-type gates through its **target** — exact operator identities:
+//! `CX·(Rz⊗I) = (Rz⊗I)·CX` and `CX·(I⊗Rx) = (I⊗Rx)·CX`. Sinking such
+//! rotations rightward past CNOTs lets previously separated single-qubit
+//! runs meet, so the ZYZ fusion pass can merge them into fewer hardware
+//! `U` gates — and fewer gates mean fewer error-injection positions in the
+//! noisy simulation.
+
+use crate::{Circuit, CircuitError, Gate, Instruction};
+
+/// `true` for gates diagonal in the Z basis (commute with a CX control).
+fn is_z_type(gate: Gate) -> bool {
+    matches!(gate, Gate::Z | Gate::S | Gate::Sdg | Gate::T | Gate::Tdg | Gate::Rz(_) | Gate::Phase(_))
+}
+
+/// `true` for gates in the span of {I, X} rotations (commute with a CX
+/// target).
+fn is_x_type(gate: Gate) -> bool {
+    matches!(gate, Gate::X | Gate::Rx(_))
+}
+
+/// Sink commuting single-qubit gates rightward past CNOTs until a fixed
+/// point.
+///
+/// # Errors
+///
+/// Infallible for valid circuits; the `Result` mirrors the other passes.
+pub fn commute_rotations(circuit: &Circuit) -> Result<Circuit, CircuitError> {
+    let mut instrs: Vec<Instruction> = circuit.instructions().to_vec();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in 0..instrs.len().saturating_sub(1) {
+            let swap = match (&instrs[i], &instrs[i + 1]) {
+                (Instruction::Gate(one_q), Instruction::Gate(cx))
+                    if cx.gate == Gate::Cx && one_q.qubits.len() == 1 =>
+                {
+                    let q = one_q.qubits[0];
+                    (is_z_type(one_q.gate) && cx.qubits[0] == q)
+                        || (is_x_type(one_q.gate) && cx.qubits[1] == q)
+                }
+                _ => false,
+            };
+            if swap {
+                instrs.swap(i, i + 1);
+                changed = true;
+            }
+        }
+    }
+    let mut out = Circuit::new(circuit.name(), circuit.n_qubits(), circuit.n_cbits());
+    for instr in instrs {
+        out.push(instr)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim_statevec::StateVector;
+
+    fn assert_equivalent(a: &Circuit, b: &Circuit) {
+        for basis in 0..1usize << a.n_qubits() {
+            let mut sa = StateVector::basis_state(a.n_qubits(), basis).unwrap();
+            let mut sb = sa.clone();
+            for op in a.gate_ops() {
+                op.apply_to(&mut sa).unwrap();
+            }
+            for op in b.gate_ops() {
+                op.apply_to(&mut sb).unwrap();
+            }
+            assert!(sa.fidelity(&sb).unwrap() > 1.0 - 1e-9, "basis {basis}");
+        }
+    }
+
+    #[test]
+    fn z_rotation_sinks_through_control() {
+        let mut qc = Circuit::new("t", 2, 0);
+        qc.rz(0.7, 0).cx(0, 1).rz(0.3, 0);
+        let out = commute_rotations(&qc).unwrap();
+        assert_equivalent(&qc, &out);
+        // Both rotations now sit after the CX.
+        let gates: Vec<&str> = out.gate_ops().map(|op| op.gate.name()).collect();
+        assert_eq!(gates, vec!["cx", "rz", "rz"]);
+        // And fusion merges them into one gate.
+        let fused = super::super::fuse_single_qubit(&out).unwrap();
+        assert_eq!(fused.counts().single, 1);
+    }
+
+    #[test]
+    fn x_rotation_sinks_through_target() {
+        let mut qc = Circuit::new("t", 2, 0);
+        qc.rx(0.4, 1).cx(0, 1).x(1);
+        let out = commute_rotations(&qc).unwrap();
+        assert_equivalent(&qc, &out);
+        let gates: Vec<&str> = out.gate_ops().map(|op| op.gate.name()).collect();
+        assert_eq!(gates, vec!["cx", "rx", "x"]);
+    }
+
+    #[test]
+    fn non_commuting_cases_stay_put() {
+        // Z-type on the target does not commute.
+        let mut qc = Circuit::new("t", 2, 0);
+        qc.rz(0.7, 1).cx(0, 1);
+        let out = commute_rotations(&qc).unwrap();
+        let gates: Vec<&str> = out.gate_ops().map(|op| op.gate.name()).collect();
+        assert_eq!(gates, vec!["rz", "cx"]);
+        // X-type on the control does not commute.
+        let mut qc = Circuit::new("t", 2, 0);
+        qc.x(0).cx(0, 1);
+        let out = commute_rotations(&qc).unwrap();
+        let gates: Vec<&str> = out.gate_ops().map(|op| op.gate.name()).collect();
+        assert_eq!(gates, vec!["x", "cx"]);
+        // Hadamard never commutes with either operand.
+        let mut qc = Circuit::new("t", 2, 0);
+        qc.h(0).cx(0, 1).h(1).cx(0, 1);
+        let out = commute_rotations(&qc).unwrap();
+        assert_eq!(out.instructions(), qc.instructions());
+    }
+
+    #[test]
+    fn sinks_through_cnot_chains() {
+        // rz on the shared control drifts past both CNOTs.
+        let mut qc = Circuit::new("t", 3, 0);
+        qc.t(0).cx(0, 1).cx(0, 2).s(0);
+        let out = commute_rotations(&qc).unwrap();
+        assert_equivalent(&qc, &out);
+        let gates: Vec<&str> = out.gate_ops().map(|op| op.gate.name()).collect();
+        assert_eq!(gates, vec!["cx", "cx", "t", "s"]);
+    }
+
+    #[test]
+    fn random_circuits_stay_equivalent() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let mut qc = Circuit::new("rand", 3, 0);
+            for _ in 0..15 {
+                match rng.random_range(0..6) {
+                    0 => {
+                        qc.rz(rng.random::<f64>(), rng.random_range(0..3));
+                    }
+                    1 => {
+                        qc.rx(rng.random::<f64>(), rng.random_range(0..3));
+                    }
+                    2 => {
+                        qc.h(rng.random_range(0..3));
+                    }
+                    3 => {
+                        qc.t(rng.random_range(0..3));
+                    }
+                    _ => {
+                        let a = rng.random_range(0..3);
+                        let b = (a + 1 + rng.random_range(0..2)) % 3;
+                        qc.cx(a, b);
+                    }
+                }
+            }
+            let out = commute_rotations(&qc).unwrap();
+            assert_equivalent(&qc, &out);
+        }
+    }
+
+    #[test]
+    fn measurements_and_barriers_are_left_alone() {
+        let mut qc = Circuit::new("t", 2, 2);
+        qc.rz(0.3, 0).barrier().cx(0, 1).measure_all();
+        let out = commute_rotations(&qc).unwrap();
+        // The barrier is not a CX, so nothing moves across it.
+        let kinds: Vec<bool> = out
+            .instructions()
+            .iter()
+            .map(|i| matches!(i, Instruction::Barrier(_)))
+            .collect();
+        assert_eq!(kinds[1], true);
+        assert_eq!(out.measurements().len(), 2);
+    }
+}

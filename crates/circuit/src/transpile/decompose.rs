@@ -1,0 +1,166 @@
+//! Gate decomposition to the device basis {one-qubit unitaries, CNOT}.
+
+use crate::{Circuit, CircuitError, Gate, Instruction};
+
+/// Rewrite every non-native gate into single-qubit gates and CNOTs, leaving
+/// native gates untouched.
+///
+/// Identities used (all standard, verified by unit tests against the dense
+/// matrices):
+///
+/// * `CZ(a,b) = H(b) · CX(a,b) · H(b)`
+/// * `SWAP(a,b) = CX(a,b) · CX(b,a) · CX(a,b)`
+/// * `CPhase(λ)(a,b) = P(λ/2)(a) · CX(a,b) · P(−λ/2)(b) · CX(a,b) · P(λ/2)(b)`
+/// * `CCX` — the 6-CNOT qelib1 Toffoli network.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::Unsupported`] for gates without a rule (none
+/// today; the arm guards future gate-set growth).
+pub fn decompose(circuit: &Circuit) -> Result<Circuit, CircuitError> {
+    let mut out = Circuit::new(circuit.name(), circuit.n_qubits(), circuit.n_cbits());
+    for instr in circuit.instructions() {
+        match instr {
+            Instruction::Gate(op) => {
+                let q = &op.qubits;
+                match op.gate {
+                    g if g.is_native() => out.push_gate(g, q.clone())?,
+                    Gate::Cz => {
+                        let (a, b) = (q[0], q[1]);
+                        out.h(b).cx(a, b).h(b);
+                    }
+                    Gate::Swap => {
+                        let (a, b) = (q[0], q[1]);
+                        out.cx(a, b).cx(b, a).cx(a, b);
+                    }
+                    Gate::Cphase(lambda) => {
+                        let (a, b) = (q[0], q[1]);
+                        out.phase(lambda / 2.0, a)
+                            .cx(a, b)
+                            .phase(-lambda / 2.0, b)
+                            .cx(a, b)
+                            .phase(lambda / 2.0, b);
+                    }
+                    Gate::Ccx => {
+                        let (a, b, c) = (q[0], q[1], q[2]);
+                        out.h(c)
+                            .cx(b, c)
+                            .tdg(c)
+                            .cx(a, c)
+                            .t(c)
+                            .cx(b, c)
+                            .tdg(c)
+                            .cx(a, c)
+                            .t(b)
+                            .t(c)
+                            .h(c)
+                            .cx(a, b)
+                            .t(a)
+                            .tdg(b)
+                            .cx(a, b);
+                    }
+                    other => {
+                        return Err(CircuitError::Unsupported {
+                            gate: other.to_string(),
+                            pass: "decompose",
+                        });
+                    }
+                }
+            }
+            other => out.push(other.clone())?,
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim_statevec::StateVector;
+
+    /// Apply `build` to every computational basis state and compare the
+    /// resulting states of the original and decomposed circuits.
+    fn assert_equivalent(original: &Circuit) {
+        let lowered = decompose(original).expect("decompose");
+        assert_eq!(lowered.counts().other_multi, 0);
+        let n = original.n_qubits();
+        for basis in 0..1usize << n {
+            let mut a = StateVector::basis_state(n, basis).unwrap();
+            let mut b = a.clone();
+            for op in original.gate_ops() {
+                op.apply_to(&mut a).unwrap();
+            }
+            for op in lowered.gate_ops() {
+                op.apply_to(&mut b).unwrap();
+            }
+            let f = a.fidelity(&b).unwrap();
+            assert!(f > 1.0 - 1e-9, "basis {basis}: fidelity {f}");
+        }
+    }
+
+    #[test]
+    fn cz_rule_is_exact() {
+        let mut qc = Circuit::new("cz", 2, 0);
+        qc.h(0).h(1).cz(0, 1);
+        assert_equivalent(&qc);
+    }
+
+    #[test]
+    fn swap_rule_is_exact() {
+        let mut qc = Circuit::new("swap", 2, 0);
+        qc.h(0).t(1).swap(0, 1);
+        assert_equivalent(&qc);
+    }
+
+    #[test]
+    fn cphase_rule_is_exact() {
+        for lambda in [0.31, -1.2, std::f64::consts::PI / 2.0] {
+            let mut qc = Circuit::new("cp", 2, 0);
+            qc.h(0).h(1).cphase(lambda, 0, 1);
+            assert_equivalent(&qc);
+        }
+    }
+
+    #[test]
+    fn ccx_rule_is_exact_on_all_basis_states() {
+        let mut qc = Circuit::new("ccx", 3, 0);
+        qc.ccx(0, 1, 2);
+        assert_equivalent(&qc);
+    }
+
+    #[test]
+    fn ccx_rule_is_exact_in_superposition() {
+        let mut qc = Circuit::new("ccx-sup", 3, 0);
+        qc.h(0).h(1).h(2).ccx(2, 0, 1).t(1).ccx(0, 1, 2);
+        assert_equivalent(&qc);
+    }
+
+    #[test]
+    fn native_gates_pass_through_unchanged() {
+        let mut qc = Circuit::new("native", 2, 2);
+        qc.h(0).u(0.1, 0.2, 0.3, 1).cx(0, 1).measure_all();
+        let lowered = decompose(&qc).unwrap();
+        assert_eq!(lowered.instructions(), qc.instructions());
+    }
+
+    #[test]
+    fn measures_and_barriers_survive() {
+        let mut qc = Circuit::new("m", 2, 2);
+        qc.swap(0, 1).barrier().measure(0, 1).measure(1, 0);
+        let lowered = decompose(&qc).unwrap();
+        assert_eq!(lowered.measurements(), vec![(0, 1), (1, 0)]);
+        assert!(lowered
+            .instructions()
+            .iter()
+            .any(|i| matches!(i, Instruction::Barrier(_))));
+    }
+
+    #[test]
+    fn ccx_produces_six_cnots() {
+        let mut qc = Circuit::new("ccx", 3, 0);
+        qc.ccx(0, 1, 2);
+        let lowered = decompose(&qc).unwrap();
+        assert_eq!(lowered.counts().cnot, 6);
+        assert_eq!(lowered.counts().single, 9);
+    }
+}

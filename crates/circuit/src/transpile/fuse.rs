@@ -1,0 +1,198 @@
+//! Single-qubit gate fusion: merge runs of consecutive one-qubit gates on
+//! the same qubit into a single `U(θ, φ, λ)` via ZYZ re-synthesis.
+
+use qsim_statevec::Matrix2;
+
+use crate::{Circuit, CircuitError, Instruction};
+
+/// Tolerance below which a fused product counts as the identity (up to
+/// global phase) and is dropped entirely.
+const IDENTITY_TOL: f64 = 1e-9;
+
+/// Merge consecutive one-qubit gates per qubit.
+///
+/// Fusion reduces both the gate count and — more importantly for the noisy
+/// simulation — the number of error-injection positions, matching how
+/// hardware-facing compilers emit one physical `U` per rotation run.
+/// Products equal to the identity up to a global phase are removed.
+///
+/// Relative order with two-qubit gates, barriers, and measurements touching
+/// the same qubit is preserved exactly; single-qubit gates on distinct
+/// qubits commute, so each pending run is flushed immediately before the
+/// first instruction that shares its qubit.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::Unsupported`] if a gate of arity ≥ 3 is present
+/// (run [`super::decompose`] first).
+pub fn fuse_single_qubit(circuit: &Circuit) -> Result<Circuit, CircuitError> {
+    let n = circuit.n_qubits();
+    let mut out = Circuit::new(circuit.name(), n, circuit.n_cbits());
+    let mut pending: Vec<Option<Matrix2>> = vec![None; n];
+
+    fn flush(out: &mut Circuit, pending: &mut [Option<Matrix2>], q: usize) {
+        if let Some(m) = pending[q].take() {
+            if !m.approx_eq_up_to_phase(&Matrix2::identity(), IDENTITY_TOL) {
+                let (theta, phi, lambda) = m.zyz_angles();
+                out.u(theta, phi, lambda, q);
+            }
+        }
+    }
+
+    for instr in circuit.instructions() {
+        match instr {
+            Instruction::Gate(op) => match op.gate.arity() {
+                1 => {
+                    let q = op.qubits[0];
+                    let m = op.gate.matrix1().expect("arity-1 gate has a matrix");
+                    pending[q] = Some(match pending[q].take() {
+                        Some(acc) => m * acc, // later gate multiplies on the left
+                        None => m,
+                    });
+                }
+                2 => {
+                    for &q in &op.qubits {
+                        flush(&mut out, &mut pending, q);
+                    }
+                    out.push_gate(op.gate, op.qubits.clone())?;
+                }
+                _ => {
+                    return Err(CircuitError::Unsupported {
+                        gate: op.gate.to_string(),
+                        pass: "fuse",
+                    });
+                }
+            },
+            Instruction::Measure { qubit, cbit } => {
+                flush(&mut out, &mut pending, *qubit);
+                // Any still-pending rotations on other qubits must land
+                // before the measure instruction to keep measurements
+                // terminal.
+                for q in 0..n {
+                    flush(&mut out, &mut pending, q);
+                }
+                out.push(Instruction::Measure { qubit: *qubit, cbit: *cbit })?;
+            }
+            Instruction::Barrier(qs) => {
+                if qs.is_empty() {
+                    for q in 0..n {
+                        flush(&mut out, &mut pending, q);
+                    }
+                } else {
+                    for &q in qs {
+                        flush(&mut out, &mut pending, q);
+                    }
+                }
+                out.push(Instruction::Barrier(qs.clone()))?;
+            }
+        }
+    }
+    for q in 0..n {
+        flush(&mut out, &mut pending, q);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim_statevec::StateVector;
+
+    fn assert_equivalent_states(a: &Circuit, b: &Circuit) {
+        let n = a.n_qubits();
+        for basis in 0..1usize << n {
+            let mut sa = StateVector::basis_state(n, basis).unwrap();
+            let mut sb = sa.clone();
+            for op in a.gate_ops() {
+                op.apply_to(&mut sa).unwrap();
+            }
+            for op in b.gate_ops() {
+                op.apply_to(&mut sb).unwrap();
+            }
+            let f = sa.fidelity(&sb).unwrap();
+            assert!(f > 1.0 - 1e-9, "basis {basis}: fidelity {f}");
+        }
+    }
+
+    #[test]
+    fn run_of_rotations_becomes_one_u() {
+        let mut qc = Circuit::new("run", 1, 0);
+        qc.h(0).t(0).s(0).rz(0.3, 0).rx(0.7, 0);
+        let fused = fuse_single_qubit(&qc).unwrap();
+        assert_eq!(fused.counts().single, 1);
+        assert_equivalent_states(&qc, &fused);
+    }
+
+    #[test]
+    fn inverse_pair_cancels_to_nothing() {
+        let mut qc = Circuit::new("cancel", 1, 0);
+        qc.h(0).h(0);
+        let fused = fuse_single_qubit(&qc).unwrap();
+        assert_eq!(fused.counts().single, 0);
+    }
+
+    #[test]
+    fn two_qubit_gates_break_runs() {
+        let mut qc = Circuit::new("broken", 2, 0);
+        qc.h(0).t(0).cx(0, 1).s(0).h(0);
+        let fused = fuse_single_qubit(&qc).unwrap();
+        // Two fused singles (before and after the CX) + one CX.
+        assert_eq!(fused.counts().single, 2);
+        assert_eq!(fused.counts().cnot, 1);
+        assert_equivalent_states(&qc, &fused);
+    }
+
+    #[test]
+    fn independent_qubits_fuse_independently() {
+        let mut qc = Circuit::new("indep", 2, 0);
+        qc.h(0).t(1).s(0).h(1).rz(0.4, 0);
+        let fused = fuse_single_qubit(&qc).unwrap();
+        assert_eq!(fused.counts().single, 2);
+        assert_equivalent_states(&qc, &fused);
+    }
+
+    #[test]
+    fn fusion_preserves_heavily_entangling_circuits() {
+        let mut qc = Circuit::new("mix", 3, 0);
+        qc.h(0)
+            .t(0)
+            .cx(0, 1)
+            .s(1)
+            .tdg(1)
+            .cx(1, 2)
+            .h(2)
+            .rz(0.9, 2)
+            .cx(2, 0)
+            .rx(0.2, 0);
+        let fused = fuse_single_qubit(&qc).unwrap();
+        assert_equivalent_states(&qc, &fused);
+        assert!(fused.counts().single <= qc.counts().single);
+    }
+
+    #[test]
+    fn measurement_flushes_pending_run() {
+        let mut qc = Circuit::new("meas", 2, 2);
+        qc.h(0).t(0).h(1).measure(0, 0).measure(1, 1);
+        let fused = fuse_single_qubit(&qc).unwrap();
+        assert_eq!(fused.counts().single, 2);
+        assert_eq!(fused.counts().measure, 2);
+        // Measurements still terminal (push would have errored otherwise).
+    }
+
+    #[test]
+    fn barrier_flushes_involved_qubits() {
+        let mut qc = Circuit::new("barrier", 2, 0);
+        qc.h(0).barrier().h(0);
+        let fused = fuse_single_qubit(&qc).unwrap();
+        // The barrier prevents h·h from cancelling.
+        assert_eq!(fused.counts().single, 2);
+    }
+
+    #[test]
+    fn rejects_undecomposed_multiqubit_gates() {
+        let mut qc = Circuit::new("ccx", 3, 0);
+        qc.ccx(0, 1, 2);
+        let err = fuse_single_qubit(&qc).unwrap_err();
+        assert!(matches!(err, CircuitError::Unsupported { pass: "fuse", .. }));
+    }
+}

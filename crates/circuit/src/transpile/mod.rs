@@ -1,0 +1,206 @@
+//! The compilation pipeline standing in for the Enfield compiler used in the
+//! paper's evaluation: gate decomposition to the device basis, SWAP routing
+//! on a [`CouplingMap`], and single-qubit gate fusion.
+//!
+//! ```
+//! use qsim_circuit::{Circuit, CouplingMap};
+//! use qsim_circuit::transpile::{transpile, TranspileOptions};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut qc = Circuit::new("demo", 4, 4);
+//! qc.h(0).ccx(0, 1, 3).measure_all();
+//! let out = transpile(&qc, &TranspileOptions::for_device(CouplingMap::yorktown()))?;
+//! // Only native gates remain.
+//! assert_eq!(out.circuit.counts().other_multi, 0);
+//! # Ok(())
+//! # }
+//! ```
+
+mod cancel;
+mod commute;
+mod decompose;
+mod fuse;
+mod route;
+
+pub use cancel::cancel_adjacent_cx;
+pub use commute::commute_rotations;
+pub use decompose::decompose;
+pub use fuse::fuse_single_qubit;
+pub use route::{choose_initial_layout, route, route_with_layout, Routed};
+
+use crate::{Circuit, CircuitError, CouplingMap};
+
+/// Configuration for [`transpile`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TranspileOptions {
+    /// Target connectivity; `None` skips routing (all-to-all device).
+    pub coupling: Option<CouplingMap>,
+    /// Merge runs of single-qubit gates into one `U` gate each.
+    pub fuse_single_qubit: bool,
+    /// Cancel adjacent identical CNOT pairs (mostly routing artifacts).
+    pub cancel_cx: bool,
+    /// Sink commuting rotations through CNOTs before fusing.
+    pub commute_rotations: bool,
+}
+
+impl TranspileOptions {
+    /// Decompose-only pipeline (all-to-all device, no fusion).
+    pub fn logical() -> Self {
+        TranspileOptions::default()
+    }
+
+    /// The full device pipeline the paper's evaluation uses: decompose,
+    /// route on `coupling`, cancel CNOT pairs, fuse single-qubit runs.
+    pub fn for_device(coupling: CouplingMap) -> Self {
+        TranspileOptions {
+            coupling: Some(coupling),
+            fuse_single_qubit: true,
+            cancel_cx: true,
+            commute_rotations: true,
+        }
+    }
+}
+
+/// Result of [`transpile`]: the lowered circuit plus layout bookkeeping.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Transpiled {
+    /// The lowered circuit (single-qubit gates + CNOTs on coupled pairs).
+    pub circuit: Circuit,
+    /// `final_layout[logical]` = physical qubit holding that logical qubit
+    /// at the end of the program. Measurements are already remapped, so this
+    /// is informational.
+    pub final_layout: Vec<usize>,
+}
+
+/// Lower a logical circuit to the device basis.
+///
+/// Passes run in order: [`decompose`] → [`route`] (when a coupling map is
+/// configured) → [`cancel_adjacent_cx`] → [`commute_rotations`] →
+/// [`fuse_single_qubit`] (each when enabled).
+///
+/// # Errors
+///
+/// Returns [`CircuitError::DeviceTooSmall`] when the circuit does not fit on
+/// the device, or [`CircuitError::Disconnected`] for unroutable operand
+/// pairs; decomposition failures propagate as
+/// [`CircuitError::Unsupported`].
+pub fn transpile(circuit: &Circuit, options: &TranspileOptions) -> Result<Transpiled, CircuitError> {
+    let decomposed = decompose(circuit)?;
+    let (mut lowered, final_layout) = match &options.coupling {
+        Some(map) => {
+            let routed = route(&decomposed, map)?;
+            (routed.circuit, routed.final_layout)
+        }
+        None => {
+            let identity: Vec<usize> = (0..decomposed.n_qubits()).collect();
+            (decomposed, identity)
+        }
+    };
+    if options.cancel_cx {
+        lowered = cancel_adjacent_cx(&lowered)?;
+    }
+    if options.commute_rotations {
+        lowered = commute_rotations(&lowered)?;
+    }
+    if options.fuse_single_qubit {
+        lowered = fuse_single_qubit(&lowered)?;
+    }
+    Ok(Transpiled { circuit: lowered, final_layout })
+}
+
+#[cfg(test)]
+pub(crate) mod test_util {
+    use crate::{Circuit, Instruction};
+    use qsim_statevec::StateVector;
+
+    /// The exact distribution over classical bit patterns produced by
+    /// simulating `circuit` and reading out its measurements (no noise).
+    pub fn cbit_distribution(circuit: &Circuit) -> Vec<f64> {
+        let state = circuit.simulate().expect("simulation of valid circuit");
+        marginalize(&state, circuit)
+    }
+
+    /// Project a final state's Born distribution onto the classical register
+    /// through the circuit's qubit→cbit measurement map.
+    pub fn marginalize(state: &StateVector, circuit: &Circuit) -> Vec<f64> {
+        let n_cbits = circuit.n_cbits();
+        let mut map = Vec::new();
+        for instr in circuit.instructions() {
+            if let Instruction::Measure { qubit, cbit } = instr {
+                map.push((*qubit, *cbit));
+            }
+        }
+        let mut dist = vec![0.0f64; 1 << n_cbits];
+        for (idx, p) in state.probabilities().into_iter().enumerate() {
+            let mut pattern = 0usize;
+            for &(q, c) in &map {
+                if idx >> q & 1 == 1 {
+                    pattern |= 1 << c;
+                }
+            }
+            dist[pattern] += p;
+        }
+        dist
+    }
+
+    pub fn assert_same_distribution(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() < tol, "distribution mismatch at {i}: {x} vs {y}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_util::*;
+    use super::*;
+    use crate::catalog;
+
+    #[test]
+    fn full_pipeline_preserves_measured_distribution() {
+        let sources = [
+            catalog::bv(4, 0b111),
+            catalog::qft(4),
+            catalog::grover_3q(2),
+            catalog::wstate_3q(),
+            catalog::seven_x1_mod15(),
+        ];
+        for qc in sources {
+            let reference = cbit_distribution(&qc);
+            let out = transpile(&qc, &TranspileOptions::for_device(CouplingMap::yorktown()))
+                .expect("transpile");
+            let lowered = cbit_distribution(&out.circuit);
+            assert_same_distribution(&reference, &lowered, 1e-9);
+            assert_eq!(out.circuit.counts().other_multi, 0, "{}", qc.name());
+        }
+    }
+
+    #[test]
+    fn logical_options_skip_routing() {
+        let mut qc = Circuit::new("far", 5, 5);
+        qc.cx(0, 4).measure_all();
+        let out = transpile(&qc, &TranspileOptions::logical()).unwrap();
+        // Without a coupling map the distant CX stays put.
+        assert_eq!(out.circuit.counts().cnot, 1);
+        assert_eq!(out.final_layout, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn device_too_small_is_reported() {
+        let mut qc = Circuit::new("big", 6, 6);
+        qc.h(5).measure_all();
+        let err = transpile(&qc, &TranspileOptions::for_device(CouplingMap::yorktown()))
+            .unwrap_err();
+        assert!(matches!(err, CircuitError::DeviceTooSmall { required: 6, available: 5 }));
+    }
+
+    #[test]
+    fn transpiled_gate_set_is_native() {
+        let qc = catalog::qft(5);
+        let out = transpile(&qc, &TranspileOptions::for_device(CouplingMap::yorktown())).unwrap();
+        for op in out.circuit.gate_ops() {
+            assert!(op.gate.is_native(), "non-native gate {} survived", op.gate);
+        }
+    }
+}

@@ -1,0 +1,337 @@
+//! Greedy shortest-path SWAP routing onto a device coupling map.
+
+use crate::{Circuit, CircuitError, CouplingMap, Gate, Instruction};
+
+/// Output of [`route`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct Routed {
+    /// The physical circuit (width = device size, CNOTs on coupled pairs).
+    pub circuit: Circuit,
+    /// `final_layout[logical]` = physical position after the last SWAP.
+    pub final_layout: Vec<usize>,
+}
+
+/// Map a decomposed circuit (single-qubit gates + CNOTs only) onto `map`.
+///
+/// The initial layout is chosen by [`choose_initial_layout`]. Whenever a
+/// CNOT addresses non-adjacent physical qubits, the control is walked along
+/// a BFS shortest path with SWAPs (each emitted as three CNOTs, the only
+/// native two-qubit gate) until it neighbours the target. Measurements are
+/// remapped through the final layout, so the observable distribution is
+/// preserved exactly.
+///
+/// # Errors
+///
+/// * [`CircuitError::DeviceTooSmall`] — more logical qubits than physical.
+/// * [`CircuitError::Disconnected`] — operands in different components.
+/// * [`CircuitError::Unsupported`] — a non-native gate reached the router
+///   (run [`super::decompose`] first).
+pub fn route(circuit: &Circuit, map: &CouplingMap) -> Result<Routed, CircuitError> {
+    let layout = choose_initial_layout(circuit, map)?;
+    route_with_layout(circuit, map, &layout)
+}
+
+/// Pick an initial placement by interaction weight: logical qubits that
+/// exchange the most CNOTs are placed on adjacent, high-degree physical
+/// qubits (a light-weight stand-in for Enfield's allocators, which is what
+/// keeps e.g. Bernstein–Vazirani swap-free on Yorktown: the ancilla that
+/// talks to every data qubit lands on the bowtie center).
+///
+/// # Errors
+///
+/// Returns [`CircuitError::DeviceTooSmall`] if the circuit does not fit.
+pub fn choose_initial_layout(
+    circuit: &Circuit,
+    map: &CouplingMap,
+) -> Result<Vec<usize>, CircuitError> {
+    let n_logical = circuit.n_qubits();
+    let n_physical = map.n_qubits();
+    if n_logical > n_physical {
+        return Err(CircuitError::DeviceTooSmall { required: n_logical, available: n_physical });
+    }
+    // Interaction weights between logical qubits.
+    let mut weight = vec![vec![0usize; n_logical]; n_logical];
+    for op in circuit.gate_ops() {
+        if op.qubits.len() == 2 {
+            let (a, b) = (op.qubits[0], op.qubits[1]);
+            weight[a][b] += 1;
+            weight[b][a] += 1;
+        }
+    }
+    // Logical qubits by total interaction, heaviest first.
+    let mut order: Vec<usize> = (0..n_logical).collect();
+    let total = |l: usize| -> usize { weight[l].iter().sum() };
+    order.sort_by_key(|&l| std::cmp::Reverse(total(l)));
+
+    let mut layout = vec![usize::MAX; n_logical];
+    let mut free: Vec<usize> = (0..n_physical).collect();
+    for &l in &order {
+        // Score each free physical slot by adjacency to already-placed
+        // partners; break ties toward high physical degree for headroom.
+        let (best_pos, &best_p) = free
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &p)| {
+                let adjacency: usize = (0..n_logical)
+                    .filter(|&m| layout[m] != usize::MAX && map.are_adjacent(p, layout[m]))
+                    .map(|m| weight[l][m])
+                    .sum();
+                (adjacency, map.neighbors(p).len(), std::cmp::Reverse(p))
+            })
+            .expect("free slots remain while logical qubits do");
+        layout[l] = best_p;
+        free.remove(best_pos);
+    }
+    Ok(layout)
+}
+
+/// [`route`] with an explicit initial layout (`layout[logical]` = physical).
+///
+/// # Errors
+///
+/// As [`route`]; additionally the layout must be injective into the device.
+///
+/// # Panics
+///
+/// Panics if `layout` repeats a physical qubit or has the wrong length.
+pub fn route_with_layout(
+    circuit: &Circuit,
+    map: &CouplingMap,
+    layout: &[usize],
+) -> Result<Routed, CircuitError> {
+    let n_logical = circuit.n_qubits();
+    let n_physical = map.n_qubits();
+    if n_logical > n_physical {
+        return Err(CircuitError::DeviceTooSmall { required: n_logical, available: n_physical });
+    }
+    assert_eq!(layout.len(), n_logical, "layout width mismatch");
+    // phys[l] = physical home of logical l; occupant[p] = logical on p (or MAX).
+    let mut phys: Vec<usize> = layout.to_vec();
+    let mut occupant: Vec<usize> = vec![usize::MAX; n_physical];
+    for (l, &p) in phys.iter().enumerate() {
+        assert!(p < n_physical, "layout places logical {l} off-device at {p}");
+        assert_eq!(occupant[p], usize::MAX, "layout repeats physical qubit {p}");
+        occupant[p] = l;
+    }
+    let mut out = Circuit::new(circuit.name(), n_physical, circuit.n_cbits());
+
+    let emit_swap = |out: &mut Circuit,
+                         phys: &mut Vec<usize>,
+                         occupant: &mut Vec<usize>,
+                         a: usize,
+                         b: usize| {
+        out.cx(a, b).cx(b, a).cx(a, b);
+        let la = occupant[a];
+        let lb = occupant[b];
+        if la != usize::MAX {
+            phys[la] = b;
+        }
+        if lb != usize::MAX {
+            phys[lb] = a;
+        }
+        occupant.swap(a, b);
+    };
+
+    for instr in circuit.instructions() {
+        match instr {
+            Instruction::Gate(op) => match op.gate.arity() {
+                1 => out.push_gate(op.gate, vec![phys[op.qubits[0]]])?,
+                2 if op.gate == Gate::Cx => {
+                    let (c, t) = (op.qubits[0], op.qubits[1]);
+                    let (mut pc, pt) = (phys[c], phys[t]);
+                    if !map.are_adjacent(pc, pt) {
+                        let path = map
+                            .shortest_path(pc, pt)
+                            .ok_or(CircuitError::Disconnected { a: pc, b: pt })?;
+                        // Walk the control up to the hop adjacent to the target.
+                        for &hop in &path[1..path.len() - 1] {
+                            emit_swap(&mut out, &mut phys, &mut occupant, pc, hop);
+                            pc = hop;
+                        }
+                    }
+                    out.cx(pc, pt);
+                }
+                _ => {
+                    return Err(CircuitError::Unsupported {
+                        gate: op.gate.to_string(),
+                        pass: "route",
+                    });
+                }
+            },
+            Instruction::Measure { qubit, cbit } => {
+                out.push(Instruction::Measure { qubit: phys[*qubit], cbit: *cbit })?;
+            }
+            Instruction::Barrier(qs) => {
+                let mapped: Vec<usize> = qs.iter().map(|&q| phys[q]).collect();
+                out.push(Instruction::Barrier(mapped))?;
+            }
+        }
+    }
+    Ok(Routed { circuit: out, final_layout: phys })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transpile::test_util::{assert_same_distribution, cbit_distribution};
+
+    fn identity_layout(n: usize) -> Vec<usize> {
+        (0..n).collect()
+    }
+
+    #[test]
+    fn adjacent_cx_passes_through() {
+        let mut qc = Circuit::new("adj", 2, 2);
+        qc.h(0).cx(0, 1).measure_all();
+        let routed =
+            route_with_layout(&qc, &CouplingMap::yorktown(), &identity_layout(2)).unwrap();
+        assert_eq!(routed.circuit.counts().cnot, 1);
+        assert_eq!(routed.final_layout, vec![0, 1]);
+    }
+
+    #[test]
+    fn distant_cx_inserts_one_swap() {
+        // Yorktown: 0 and 3 are distance 2 via 2 (forced via identity layout).
+        let mut qc = Circuit::new("far", 4, 4);
+        qc.x(0).cx(0, 3).measure_all();
+        let routed =
+            route_with_layout(&qc, &CouplingMap::yorktown(), &identity_layout(4)).unwrap();
+        // 3 CX (swap) + 1 CX (the gate).
+        assert_eq!(routed.circuit.counts().cnot, 4);
+        // Logical 0 migrated to physical 2.
+        assert_eq!(routed.final_layout[0], 2);
+        // Distribution preserved: X then CX means cbits 0 and 3 read 1.
+        let dist = cbit_distribution(&routed.circuit);
+        assert!((dist[0b1001] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn greedy_layout_avoids_the_swap_entirely() {
+        // The same distant CX with the default smart layout needs no SWAP.
+        let mut qc = Circuit::new("far", 4, 4);
+        qc.x(0).cx(0, 3).measure_all();
+        let routed = route(&qc, &CouplingMap::yorktown()).unwrap();
+        assert_eq!(routed.circuit.counts().cnot, 1);
+        let dist = cbit_distribution(&routed.circuit);
+        assert!((dist[0b1001] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn greedy_layout_centers_the_bv_ancilla() {
+        // BV's ancilla (logical 3) talks to every data qubit; on the bowtie
+        // it must land on physical 2, making the circuit swap-free.
+        let qc = {
+            let mut qc = Circuit::new("bv-core", 4, 3);
+            qc.cx(0, 3).cx(1, 3).cx(2, 3).measure(0, 0).measure(1, 1).measure(2, 2);
+            qc
+        };
+        let map = CouplingMap::yorktown();
+        let layout = choose_initial_layout(&qc, &map).unwrap();
+        assert_eq!(layout[3], 2, "ancilla should sit on the bowtie center, layout {layout:?}");
+        let routed = route(&qc, &map).unwrap();
+        assert_eq!(routed.circuit.counts().cnot, 3, "no SWAPs expected");
+    }
+
+    #[test]
+    fn greedy_layout_is_injective() {
+        for n in 2..=5usize {
+            let mut qc = Circuit::new("dense", n, 0);
+            for a in 0..n {
+                for b in 0..n {
+                    if a != b {
+                        qc.cx(a, b);
+                    }
+                }
+            }
+            let layout = choose_initial_layout(&qc, &CouplingMap::yorktown()).unwrap();
+            let unique: std::collections::HashSet<_> = layout.iter().collect();
+            assert_eq!(unique.len(), n);
+            assert!(layout.iter().all(|&p| p < 5));
+        }
+    }
+
+    #[test]
+    fn distribution_preserved_under_heavy_routing() {
+        let mut qc = Circuit::new("heavy", 5, 5);
+        qc.h(0)
+            .cx(0, 4)
+            .t(4)
+            .cx(1, 3)
+            .h(3)
+            .cx(0, 3)
+            .cx(4, 1)
+            .u(0.3, 0.1, -0.4, 2)
+            .cx(2, 0)
+            .measure_all();
+        let reference = cbit_distribution(&qc);
+        let routed = route(&qc, &CouplingMap::yorktown()).unwrap();
+        let lowered = cbit_distribution(&routed.circuit);
+        assert_same_distribution(&reference, &lowered, 1e-9);
+        // Every CX in the output respects the coupling map.
+        let map = CouplingMap::yorktown();
+        for op in routed.circuit.gate_ops() {
+            if op.gate == Gate::Cx {
+                assert!(map.are_adjacent(op.qubits[0], op.qubits[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn routing_on_a_line_walks_the_chain() {
+        let mut qc = Circuit::new("line", 4, 4);
+        qc.x(0).cx(0, 3).measure_all();
+        let routed =
+            route_with_layout(&qc, &CouplingMap::linear(4), &identity_layout(4)).unwrap();
+        // Two SWAPs (0→1→2) then CX: 7 CNOTs.
+        assert_eq!(routed.circuit.counts().cnot, 7);
+        let dist = cbit_distribution(&routed.circuit);
+        assert!((dist[0b1001] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_oversized_circuits() {
+        let mut qc = Circuit::new("big", 3, 0);
+        qc.h(2);
+        let err = route(&qc, &CouplingMap::linear(2)).unwrap_err();
+        assert!(matches!(err, CircuitError::DeviceTooSmall { .. }));
+    }
+
+    #[test]
+    fn rejects_disconnected_targets() {
+        let mut qc = Circuit::new("split", 4, 0);
+        qc.cx(0, 3);
+        let map = CouplingMap::new(4, &[(0, 1), (2, 3)]);
+        let err = route_with_layout(&qc, &map, &identity_layout(4)).unwrap_err();
+        assert!(matches!(err, CircuitError::Disconnected { .. }));
+    }
+
+    #[test]
+    fn rejects_non_native_gates() {
+        let mut qc = Circuit::new("swapgate", 2, 0);
+        qc.swap(0, 1);
+        let err = route(&qc, &CouplingMap::linear(2)).unwrap_err();
+        assert!(matches!(err, CircuitError::Unsupported { pass: "route", .. }));
+    }
+
+    #[test]
+    fn measurements_follow_the_moved_qubit() {
+        let mut qc = Circuit::new("meas", 4, 1);
+        qc.x(0).cx(0, 3).measure(0, 0);
+        let routed =
+            route_with_layout(&qc, &CouplingMap::linear(4), &identity_layout(4)).unwrap();
+        // Logical 0 moved; its measurement must read physical phys[0].
+        let (measured_phys, cbit) = routed.circuit.measurements()[0];
+        assert_eq!(cbit, 0);
+        assert_eq!(measured_phys, routed.final_layout[0]);
+        let dist = cbit_distribution(&routed.circuit);
+        assert!((dist[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn widens_register_to_device_size() {
+        let mut qc = Circuit::new("narrow", 2, 2);
+        qc.h(0).cx(0, 1).measure_all();
+        let routed = route(&qc, &CouplingMap::yorktown()).unwrap();
+        assert_eq!(routed.circuit.n_qubits(), 5);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based validation of the full transpile pipeline: for random
+//! logical circuits, every pass combination must preserve the measured
+//! distribution on every device, and the output must be device-native.
+
+use proptest::prelude::*;
+use qsim_circuit::equiv::{distributions_equivalent, unitarily_equivalent, DEFAULT_TOL};
+use qsim_circuit::transpile::{transpile, TranspileOptions};
+use qsim_circuit::{Circuit, CouplingMap, Gate};
+
+/// One random gate instruction encoded as plain numbers (proptest-friendly).
+#[derive(Clone, Debug)]
+struct OpSpec {
+    kind: usize,
+    a: usize,
+    b: usize,
+    c: usize,
+    angle: f64,
+}
+
+fn arb_op(n: usize) -> impl Strategy<Value = OpSpec> {
+    (0usize..10, 0..n, 0..n, 0..n, -3.1f64..3.1).prop_map(|(kind, a, b, c, angle)| OpSpec {
+        kind,
+        a,
+        b,
+        c,
+        angle,
+    })
+}
+
+/// Materialize specs into a valid circuit (skipping degenerate operands).
+fn build(n: usize, specs: &[OpSpec], measured: bool) -> Circuit {
+    let mut qc = Circuit::new("prop", n, n);
+    for spec in specs {
+        let (a, b, c) = (spec.a, spec.b, spec.c);
+        match spec.kind {
+            0 => {
+                qc.h(a);
+            }
+            1 => {
+                qc.t(a);
+            }
+            2 => {
+                qc.u(spec.angle, spec.angle / 2.0, -spec.angle, a);
+            }
+            3 if a != b => {
+                qc.cx(a, b);
+            }
+            4 if a != b => {
+                qc.cz(a, b);
+            }
+            5 if a != b => {
+                qc.swap(a, b);
+            }
+            6 if a != b => {
+                qc.cphase(spec.angle, a, b);
+            }
+            7 if a != b && b != c && a != c => {
+                qc.ccx(a, b, c);
+            }
+            8 => {
+                qc.rz(spec.angle, a);
+            }
+            _ => {
+                qc.x(a);
+            }
+        }
+    }
+    if measured {
+        qc.measure_all();
+    }
+    qc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Full device pipeline preserves the measured distribution on every
+    /// supported coupling shape.
+    #[test]
+    fn device_pipeline_preserves_distributions(specs in proptest::collection::vec(arb_op(4), 1..25)) {
+        let logical = build(4, &specs, true);
+        for map in [CouplingMap::yorktown(), CouplingMap::linear(4), CouplingMap::grid(2, 2)] {
+            let out = transpile(&logical, &TranspileOptions::for_device(map.clone())).unwrap();
+            prop_assert!(
+                distributions_equivalent(&logical, &out.circuit, 1e-9).unwrap(),
+                "distribution changed on {map}"
+            );
+            for op in out.circuit.gate_ops() {
+                prop_assert!(op.gate.is_native());
+                if op.gate == Gate::Cx {
+                    prop_assert!(map.are_adjacent(op.qubits[0], op.qubits[1]));
+                }
+            }
+        }
+    }
+
+    /// Decompose-only pipeline (no routing) is a strict unitary identity.
+    #[test]
+    fn logical_pipeline_is_unitarily_equivalent(specs in proptest::collection::vec(arb_op(4), 1..25)) {
+        let logical = build(4, &specs, false);
+        let options = TranspileOptions {
+            coupling: None,
+            fuse_single_qubit: true,
+            cancel_cx: true,
+            commute_rotations: true,
+        };
+        let out = transpile(&logical, &options).unwrap();
+        prop_assert!(unitarily_equivalent(&logical, &out.circuit, DEFAULT_TOL).unwrap().is_some());
+    }
+
+    /// Optimization passes never increase the gate count.
+    #[test]
+    fn passes_never_add_gates(specs in proptest::collection::vec(arb_op(4), 1..25)) {
+        let logical = build(4, &specs, false);
+        let plain = transpile(&logical, &TranspileOptions::logical()).unwrap();
+        let optimized = transpile(
+            &logical,
+            &TranspileOptions {
+                coupling: None,
+                fuse_single_qubit: true,
+                cancel_cx: true,
+                commute_rotations: true,
+            },
+        )
+        .unwrap();
+        let count = |c: &Circuit| {
+            let counts = c.counts();
+            counts.single + counts.cnot + counts.other_multi
+        };
+        prop_assert!(count(&optimized.circuit) <= count(&plain.circuit));
+    }
+}

@@ -1,0 +1,331 @@
+//! Hand-rolled argument parsing for the `qsim` CLI.
+
+use std::error::Error;
+use std::fmt;
+
+/// Which subcommand to run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Command {
+    /// Print circuit characteristics (counts, depth, layers).
+    Info,
+    /// Transpile to a device and emit OpenQASM.
+    Transpile,
+    /// Static cost analysis of the reordered noisy simulation.
+    Analyze,
+    /// Run the noisy Monte-Carlo simulation and print the histogram.
+    Run,
+}
+
+/// Target device connectivity.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeviceSpec {
+    /// No routing (all-to-all).
+    None,
+    /// IBM Q5 Yorktown bowtie.
+    Yorktown,
+    /// Linear chain of `n` qubits.
+    Linear(usize),
+    /// `rows × cols` grid.
+    Grid(usize, usize),
+}
+
+/// Noise model selection.
+#[derive(Clone, Debug, PartialEq)]
+pub enum NoiseSpec {
+    /// IBM Yorktown calibration (paper Fig. 4).
+    Yorktown,
+    /// Uniform `(single, two_qubit, readout)` rates.
+    Uniform(f64, f64, f64),
+    /// The paper's artificial model: 1q rate with 10× two-qubit/readout.
+    Artificial(f64),
+    /// Load a calibration file (see `qsim_noise::calibration`).
+    File(String),
+}
+
+/// Parsed command line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Options {
+    /// Subcommand.
+    pub command: Command,
+    /// Input path (`-` = stdin).
+    pub input: String,
+    /// Device for transpilation.
+    pub device: DeviceSpec,
+    /// Noise model (`analyze`/`run`).
+    pub noise: NoiseSpec,
+    /// Monte-Carlo trials.
+    pub trials: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Worker threads for `run` (0 = all cores, 1 = sequential).
+    pub threads: usize,
+    /// Stored-state budget (`usize::MAX` = unbounded).
+    pub budget: usize,
+    /// Run the baseline strategy instead of the reordered one.
+    pub baseline: bool,
+    /// Skip transpilation entirely (input is already device-native).
+    pub no_transpile: bool,
+    /// Write the generated trial set to this path.
+    pub save_trials: Option<String>,
+    /// Replay a previously saved trial set instead of generating.
+    pub load_trials: Option<String>,
+    /// Use compressed at-rest frontiers for the reordered run.
+    pub compressed: bool,
+    /// Layer scheduling: ALAP instead of the default ASAP.
+    pub alap: bool,
+}
+
+/// CLI parsing/validation failure; carries a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl Error for CliError {}
+
+/// Usage text printed on `--help` or bad invocations.
+pub const USAGE: &str = "\
+qsim — noisy quantum-circuit simulation with Monte-Carlo trial reordering
+
+USAGE:
+    qsim <COMMAND> <FILE.qasm | -> [OPTIONS]
+
+COMMANDS:
+    info        circuit characteristics (gate counts, depth, layers)
+    transpile   lower to a device and print OpenQASM
+    analyze     static cost analysis (ops saved, MSVs) — no amplitudes
+    run         noisy Monte-Carlo simulation; prints the outcome histogram
+
+OPTIONS:
+    --device <none|yorktown|linear:N|grid:RxC>   connectivity  [default: yorktown]
+    --noise <yorktown|uniform:P1,P2,PM|artificial:P|file:PATH>  error model [default: yorktown]
+    --trials <N>        Monte-Carlo trials                [default: 4096]
+    --seed <N>          RNG seed                          [default: 2020]
+    --threads <N>       worker threads (0 = all cores)    [default: 1]
+    --budget <N>        stored-state cap (0 = unbounded)  [default: 0]
+    --baseline          run the unoptimized baseline executor
+    --no-transpile      input is already device-native; skip lowering
+    --save-trials <P>   write the generated trial set to a file
+    --load-trials <P>   replay a saved trial set (ignores --trials/--seed)
+    --compressed        store cached frontiers in zero-elided sparse form
+    --alap              schedule layers as-late-as-possible (moves idle errors)
+";
+
+impl Options {
+    /// Parse raw arguments (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError`] with a message suitable for direct printing.
+    pub fn parse(args: &[String]) -> Result<Options, CliError> {
+        if args.iter().any(|a| a == "--help" || a == "-h") {
+            return Err(CliError(USAGE.to_owned()));
+        }
+        let mut positional = Vec::new();
+        let mut opts = Options {
+            command: Command::Info,
+            input: String::new(),
+            device: DeviceSpec::Yorktown,
+            noise: NoiseSpec::Yorktown,
+            trials: 4096,
+            seed: 2020,
+            threads: 1,
+            budget: usize::MAX,
+            baseline: false,
+            no_transpile: false,
+            save_trials: None,
+            load_trials: None,
+            compressed: false,
+            alap: false,
+        };
+        let mut i = 0;
+        while i < args.len() {
+            let arg = &args[i];
+            match arg.as_str() {
+                "--baseline" => opts.baseline = true,
+                "--no-transpile" => opts.no_transpile = true,
+                "--compressed" => opts.compressed = true,
+                "--alap" => opts.alap = true,
+                "--device" | "--noise" | "--trials" | "--seed" | "--threads" | "--budget"
+                | "--save-trials" | "--load-trials" => {
+                    let value = args
+                        .get(i + 1)
+                        .ok_or_else(|| CliError(format!("{arg} needs a value")))?;
+                    match arg.as_str() {
+                        "--device" => opts.device = parse_device(value)?,
+                        "--noise" => opts.noise = parse_noise(value)?,
+                        "--trials" => opts.trials = parse_num(value, arg)?,
+                        "--seed" => opts.seed = parse_num(value, arg)?,
+                        "--threads" => opts.threads = parse_num(value, arg)?,
+                        "--budget" => {
+                            let b: usize = parse_num(value, arg)?;
+                            opts.budget = if b == 0 { usize::MAX } else { b };
+                        }
+                        "--save-trials" => opts.save_trials = Some(value.clone()),
+                        "--load-trials" => opts.load_trials = Some(value.clone()),
+                        _ => unreachable!(),
+                    }
+                    i += 1;
+                }
+                other if other.starts_with("--") => {
+                    return Err(CliError(format!("unknown option {other}\n\n{USAGE}")));
+                }
+                other => positional.push(other.to_owned()),
+            }
+            i += 1;
+        }
+        let mut positional = positional.into_iter();
+        let command = positional
+            .next()
+            .ok_or_else(|| CliError(format!("missing command\n\n{USAGE}")))?;
+        opts.command = match command.as_str() {
+            "info" => Command::Info,
+            "transpile" => Command::Transpile,
+            "analyze" => Command::Analyze,
+            "run" => Command::Run,
+            other => return Err(CliError(format!("unknown command {other}\n\n{USAGE}"))),
+        };
+        opts.input = positional
+            .next()
+            .ok_or_else(|| CliError(format!("missing input file\n\n{USAGE}")))?;
+        if let Some(extra) = positional.next() {
+            return Err(CliError(format!("unexpected argument {extra}")));
+        }
+        Ok(opts)
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(value: &str, flag: &str) -> Result<T, CliError>
+where
+    T::Err: fmt::Display,
+{
+    value.parse().map_err(|e| CliError(format!("invalid value for {flag}: {e}")))
+}
+
+fn parse_device(value: &str) -> Result<DeviceSpec, CliError> {
+    if value == "none" {
+        return Ok(DeviceSpec::None);
+    }
+    if value == "yorktown" {
+        return Ok(DeviceSpec::Yorktown);
+    }
+    if let Some(n) = value.strip_prefix("linear:") {
+        return Ok(DeviceSpec::Linear(parse_num(n, "--device linear")?));
+    }
+    if let Some(shape) = value.strip_prefix("grid:") {
+        let (rows, cols) = shape
+            .split_once('x')
+            .ok_or_else(|| CliError("grid device needs RxC, e.g. grid:2x3".to_owned()))?;
+        return Ok(DeviceSpec::Grid(
+            parse_num(rows, "--device grid rows")?,
+            parse_num(cols, "--device grid cols")?,
+        ));
+    }
+    Err(CliError(format!("unknown device {value:?} (none, yorktown, linear:N, grid:RxC)")))
+}
+
+fn parse_noise(value: &str) -> Result<NoiseSpec, CliError> {
+    if value == "yorktown" {
+        return Ok(NoiseSpec::Yorktown);
+    }
+    if let Some(rates) = value.strip_prefix("uniform:") {
+        let parts: Vec<&str> = rates.split(',').collect();
+        if parts.len() != 3 {
+            return Err(CliError("uniform noise needs P1,P2,PM".to_owned()));
+        }
+        return Ok(NoiseSpec::Uniform(
+            parse_num(parts[0], "--noise uniform P1")?,
+            parse_num(parts[1], "--noise uniform P2")?,
+            parse_num(parts[2], "--noise uniform PM")?,
+        ));
+    }
+    if let Some(rate) = value.strip_prefix("artificial:") {
+        return Ok(NoiseSpec::Artificial(parse_num(rate, "--noise artificial")?));
+    }
+    if let Some(path) = value.strip_prefix("file:") {
+        return Ok(NoiseSpec::File(path.to_owned()));
+    }
+    Err(CliError(format!(
+        "unknown noise model {value:?} (yorktown, uniform:P1,P2,PM, artificial:P, file:PATH)"
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(parts: &[&str]) -> Result<Options, CliError> {
+        let args: Vec<String> = parts.iter().map(|s| s.to_string()).collect();
+        Options::parse(&args)
+    }
+
+    #[test]
+    fn parses_minimal_invocation() {
+        let opts = parse(&["info", "foo.qasm"]).unwrap();
+        assert_eq!(opts.command, Command::Info);
+        assert_eq!(opts.input, "foo.qasm");
+        assert_eq!(opts.trials, 4096);
+        assert_eq!(opts.budget, usize::MAX);
+    }
+
+    #[test]
+    fn parses_full_run() {
+        let opts = parse(&[
+            "run", "bell.qasm", "--trials", "1000", "--seed", "7", "--threads", "0",
+            "--budget", "3", "--baseline", "--device", "linear:6",
+            "--noise", "uniform:1e-3,1e-2,2e-2",
+        ])
+        .unwrap();
+        assert_eq!(opts.command, Command::Run);
+        assert_eq!(opts.trials, 1000);
+        assert_eq!(opts.seed, 7);
+        assert_eq!(opts.threads, 0);
+        assert_eq!(opts.budget, 3);
+        assert!(opts.baseline);
+        assert_eq!(opts.device, DeviceSpec::Linear(6));
+        assert_eq!(opts.noise, NoiseSpec::Uniform(1e-3, 1e-2, 2e-2));
+    }
+
+    #[test]
+    fn budget_zero_means_unbounded() {
+        let opts = parse(&["analyze", "f.qasm", "--budget", "0"]).unwrap();
+        assert_eq!(opts.budget, usize::MAX);
+    }
+
+    #[test]
+    fn device_and_noise_variants() {
+        assert_eq!(
+            parse(&["info", "f", "--device", "grid:2x3"]).unwrap().device,
+            DeviceSpec::Grid(2, 3)
+        );
+        assert_eq!(parse(&["info", "f", "--device", "none"]).unwrap().device, DeviceSpec::None);
+        assert_eq!(
+            parse(&["info", "f", "--noise", "artificial:1e-4"]).unwrap().noise,
+            NoiseSpec::Artificial(1e-4)
+        );
+    }
+
+    #[test]
+    fn rejects_bad_invocations() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["info"]).is_err());
+        assert!(parse(&["frobnicate", "f.qasm"]).is_err());
+        assert!(parse(&["info", "f.qasm", "--bogus"]).is_err());
+        assert!(parse(&["info", "f.qasm", "extra"]).is_err());
+        assert!(parse(&["info", "f", "--trials"]).is_err());
+        assert!(parse(&["info", "f", "--trials", "many"]).is_err());
+        assert!(parse(&["info", "f", "--device", "torus"]).is_err());
+        assert!(parse(&["info", "f", "--noise", "uniform:1e-3"]).is_err());
+        assert!(parse(&["info", "f", "--device", "grid:9"]).is_err());
+    }
+
+    #[test]
+    fn help_returns_usage() {
+        let err = parse(&["--help"]).unwrap_err();
+        assert!(err.to_string().contains("USAGE"));
+    }
+}

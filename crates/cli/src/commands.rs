@@ -1,0 +1,428 @@
+//! Command implementations for the `qsim` CLI. Each writes human-readable
+//! output to the given writer, so tests can capture it.
+
+use std::io::{Read, Write};
+
+use qsim_circuit::transpile::{transpile, TranspileOptions};
+use qsim_circuit::{to_qasm, Circuit, CouplingMap};
+use qsim_noise::NoiseModel;
+use redsim::Simulation;
+
+use crate::args::{CliError, Command, DeviceSpec, NoiseSpec, Options};
+
+/// Execute a parsed invocation, writing the report to `out`.
+///
+/// # Errors
+///
+/// Returns [`CliError`] with a printable message for I/O, parse, compile,
+/// model, or execution failures.
+pub fn execute(opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
+    let circuit = if opts.input == "-" {
+        let source = read_input(&opts.input)?;
+        qsim_qasm::parse(&source).map_err(|e| CliError(format!("<stdin>: {e}")))?
+    } else {
+        // File parsing resolves includes relative to the file.
+        qsim_qasm::parse_file(&opts.input)
+            .map_err(|e| CliError(format!("{}: {e}", opts.input)))?
+    };
+    let prepared = prepare(&circuit, opts)?;
+    match opts.command {
+        Command::Info => info(&circuit, &prepared, out),
+        Command::Transpile => {
+            writeln!(out, "{}", to_qasm(&prepared)).map_err(io_err)?;
+            Ok(())
+        }
+        Command::Analyze => analyze(&prepared, opts, out),
+        Command::Run => run(&prepared, opts, out),
+    }
+}
+
+fn io_err(e: std::io::Error) -> CliError {
+    CliError(format!("i/o failure: {e}"))
+}
+
+fn read_input(path: &str) -> Result<String, CliError> {
+    if path == "-" {
+        let mut buffer = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buffer)
+            .map_err(|e| CliError(format!("stdin: {e}")))?;
+        Ok(buffer)
+    } else {
+        std::fs::read_to_string(path).map_err(|e| CliError(format!("{path}: {e}")))
+    }
+}
+
+fn coupling(device: &DeviceSpec) -> Option<CouplingMap> {
+    match device {
+        DeviceSpec::None => None,
+        DeviceSpec::Yorktown => Some(CouplingMap::yorktown()),
+        DeviceSpec::Linear(n) => Some(CouplingMap::linear(*n)),
+        DeviceSpec::Grid(r, c) => Some(CouplingMap::grid(*r, *c)),
+    }
+}
+
+fn prepare(circuit: &Circuit, opts: &Options) -> Result<Circuit, CliError> {
+    if opts.no_transpile {
+        return Ok(circuit.clone());
+    }
+    let options = TranspileOptions {
+        coupling: coupling(&opts.device),
+        fuse_single_qubit: true,
+        cancel_cx: true,
+        commute_rotations: true,
+    };
+    let lowered =
+        transpile(circuit, &options).map_err(|e| CliError(format!("transpile: {e}")))?;
+    Ok(lowered.circuit)
+}
+
+fn model_for(circuit: &Circuit, noise: &NoiseSpec) -> Result<NoiseModel, CliError> {
+    let n = circuit.n_qubits();
+    match noise {
+        NoiseSpec::Yorktown => {
+            if n > 5 {
+                return Err(CliError(format!(
+                    "the Yorktown model covers 5 qubits but the circuit uses {n}; pick --noise uniform/artificial"
+                )));
+            }
+            Ok(NoiseModel::ibm_yorktown())
+        }
+        NoiseSpec::Uniform(p1, p2, pm) => {
+            NoiseModel::try_uniform(n, *p1, *p2, *pm).map_err(|e| CliError(e.to_string()))
+        }
+        NoiseSpec::Artificial(p1) => {
+            NoiseModel::try_uniform(n, *p1, p1 * 10.0, p1 * 10.0)
+                .map_err(|e| CliError(e.to_string()))
+        }
+        NoiseSpec::File(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError(format!("{path}: {e}")))?;
+            let model = qsim_noise::calibration::parse(&text)
+                .map_err(|e| CliError(format!("{path}: {e}")))?;
+            if model.n_qubits() < n {
+                return Err(CliError(format!(
+                    "calibration covers {} qubits but the circuit uses {n}",
+                    model.n_qubits()
+                )));
+            }
+            Ok(model)
+        }
+    }
+}
+
+fn info(original: &Circuit, prepared: &Circuit, out: &mut dyn Write) -> Result<(), CliError> {
+    let layered =
+        prepared.layered().map_err(|e| CliError(format!("layering: {e}")))?;
+    let before = original.counts();
+    let after = prepared.counts();
+    writeln!(out, "parsed:     {original}").map_err(io_err)?;
+    writeln!(out, "prepared:   {prepared}").map_err(io_err)?;
+    writeln!(
+        out,
+        "gates:      {} single, {} cnot, {} other (from {} / {} / {})",
+        after.single, after.cnot, after.other_multi, before.single, before.cnot, before.other_multi
+    )
+    .map_err(io_err)?;
+    writeln!(out, "layers:     {}", layered.n_layers()).map_err(io_err)?;
+    writeln!(out, "measure:    {} qubits", after.measure).map_err(io_err)?;
+    Ok(())
+}
+
+fn simulation(prepared: &Circuit, opts: &Options) -> Result<Simulation, CliError> {
+    let model = model_for(prepared, &opts.noise)?;
+    let strategy = if opts.alap {
+        qsim_circuit::LayeringStrategy::Alap
+    } else {
+        qsim_circuit::LayeringStrategy::Asap
+    };
+    let layered = prepared
+        .layered_with(strategy)
+        .map_err(|e| CliError(format!("layering: {e}")))?;
+    let mut sim = Simulation::new(layered, model)
+        .map_err(|e| CliError(format!("simulation setup: {e}")))?;
+    if let Some(path) = &opts.load_trials {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| CliError(format!("{path}: {e}")))?;
+        let set = qsim_noise::trial_io::parse(&text)
+            .map_err(|e| CliError(format!("{path}: {e}")))?;
+        sim.set_trials(set).map_err(|e| CliError(format!("{path}: {e}")))?;
+    } else {
+        sim.generate_trials(opts.trials, opts.seed)
+            .map_err(|e| CliError(format!("trial generation: {e}")))?;
+    }
+    if let Some(path) = &opts.save_trials {
+        let set = sim.trials().expect("trials just prepared");
+        std::fs::write(path, qsim_noise::trial_io::emit(set))
+            .map_err(|e| CliError(format!("{path}: {e}")))?;
+    }
+    Ok(sim)
+}
+
+fn analyze(prepared: &Circuit, opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
+    let sim = simulation(prepared, opts)?;
+    let report =
+        sim.analyze_with_budget(opts.budget).map_err(|e| CliError(format!("analysis: {e}")))?;
+    writeln!(out, "{report}").map_err(io_err)?;
+    writeln!(
+        out,
+        "normalized computation: {:.4} (saving {:.1}%)",
+        report.normalized_computation(),
+        100.0 * report.savings()
+    )
+    .map_err(io_err)?;
+    writeln!(out, "maintained state vectors: {} (path policy: {})", report.msv_peak, report.msv_path_peak)
+        .map_err(io_err)?;
+    Ok(())
+}
+
+fn run(prepared: &Circuit, opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
+    let sim = simulation(prepared, opts)?;
+    let started = std::time::Instant::now();
+    let result = if opts.baseline {
+        if opts.threads == 1 {
+            sim.run_baseline()
+        } else {
+            sim.run_baseline_parallel(opts.threads)
+        }
+    } else if opts.compressed {
+        sim.run_reordered_compressed().map(|(result, comp)| {
+            eprintln!(
+                "compressed frontiers: peak {} B vs {} B dense ({}/{} sparse)",
+                comp.peak_stored_bytes,
+                comp.peak_dense_bytes,
+                comp.sparse_frames,
+                comp.frames_stored
+            );
+            result
+        })
+    } else if opts.budget != usize::MAX {
+        sim.run_reordered_with_budget(opts.budget)
+    } else if opts.threads == 1 {
+        sim.run_reordered()
+    } else {
+        sim.run_reordered_parallel(opts.threads)
+    }
+    .map_err(|e| CliError(format!("execution: {e}")))?;
+    let elapsed = started.elapsed();
+    let histogram = sim.histogram(&result);
+    writeln!(
+        out,
+        "{} trials in {elapsed:?}: {} basic ops, {} stored states at peak",
+        result.stats.n_trials, result.stats.ops, result.stats.peak_msv
+    )
+    .map_err(io_err)?;
+    writeln!(out, "{histogram}").map_err(io_err)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Options;
+
+    fn bell_file() -> tempfile::TempQasm {
+        tempfile::TempQasm::new(
+            "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\ncreg c[2];\nh q[0];\ncx q[0],q[1];\nmeasure q -> c;\n",
+        )
+    }
+
+    /// Minimal self-cleaning temp file (no external crates).
+    mod tempfile {
+        use std::path::PathBuf;
+
+        pub struct TempQasm {
+            pub path: PathBuf,
+        }
+
+        impl TempQasm {
+            pub fn new(contents: &str) -> Self {
+                let path = std::env::temp_dir().join(format!(
+                    "qsim-test-{}-{}.qasm",
+                    std::process::id(),
+                    std::time::SystemTime::now()
+                        .duration_since(std::time::UNIX_EPOCH)
+                        .expect("clock after epoch")
+                        .as_nanos()
+                ));
+                std::fs::write(&path, contents).expect("temp file writable");
+                TempQasm { path }
+            }
+
+            pub fn path_str(&self) -> String {
+                self.path.to_string_lossy().into_owned()
+            }
+        }
+
+        impl Drop for TempQasm {
+            fn drop(&mut self) {
+                let _ = std::fs::remove_file(&self.path);
+            }
+        }
+    }
+
+    fn run_cli(parts: &[&str]) -> Result<String, CliError> {
+        let args: Vec<String> = parts.iter().map(|s| s.to_string()).collect();
+        let opts = Options::parse(&args)?;
+        let mut out = Vec::new();
+        execute(&opts, &mut out)?;
+        Ok(String::from_utf8(out).expect("utf8 output"))
+    }
+
+    #[test]
+    fn info_reports_counts_and_layers() {
+        let file = bell_file();
+        let text = run_cli(&["info", &file.path_str()]).unwrap();
+        assert!(text.contains("layers:"), "{text}");
+        assert!(text.contains("measure:    2 qubits"), "{text}");
+    }
+
+    #[test]
+    fn transpile_emits_qasm() {
+        let file = bell_file();
+        let text = run_cli(&["transpile", &file.path_str()]).unwrap();
+        assert!(text.starts_with("OPENQASM 2.0;"), "{text}");
+        assert!(text.contains("cx q["), "{text}");
+        // The emitted program must parse back.
+        assert!(qsim_qasm::parse(&text).is_ok());
+    }
+
+    #[test]
+    fn analyze_reports_savings() {
+        let file = bell_file();
+        let text =
+            run_cli(&["analyze", &file.path_str(), "--trials", "512", "--seed", "3"]).unwrap();
+        assert!(text.contains("normalized computation"), "{text}");
+        assert!(text.contains("maintained state vectors"), "{text}");
+    }
+
+    #[test]
+    fn run_prints_histogram_dominated_by_bell_outcomes() {
+        let file = bell_file();
+        let text = run_cli(&[
+            "run", &file.path_str(), "--trials", "2048", "--noise", "uniform:1e-3,1e-2,1e-2",
+        ])
+        .unwrap();
+        assert!(text.contains("2048 trials"), "{text}");
+        assert!(text.contains("00:"), "{text}");
+        assert!(text.contains("11:"), "{text}");
+    }
+
+    #[test]
+    fn baseline_budget_and_threads_paths_work() {
+        let file = bell_file();
+        for extra in [
+            vec!["--baseline"],
+            vec!["--budget", "1"],
+            vec!["--threads", "2"],
+            vec!["--baseline", "--threads", "0"],
+        ] {
+            let path = file.path_str();
+            let mut parts = vec!["run", path.as_str(), "--trials", "256"];
+            parts.extend(extra.iter().copied());
+            let text = run_cli(&parts).unwrap_or_else(|e| panic!("{extra:?}: {e}"));
+            assert!(text.contains("256 trials"), "{extra:?}: {text}");
+        }
+    }
+
+    #[test]
+    fn missing_file_is_a_clean_error() {
+        let err = run_cli(&["info", "/nonexistent/nowhere.qasm"]).unwrap_err();
+        assert!(err.to_string().contains("nowhere.qasm"));
+    }
+
+    #[test]
+    fn parse_errors_carry_position() {
+        let file = tempfile::TempQasm::new("qreg q[2];\nbogus_gate q[0];\n");
+        let err = run_cli(&["info", &file.path_str()]).unwrap_err();
+        assert!(err.to_string().contains("2:1"), "{err}");
+    }
+
+    #[test]
+    fn yorktown_noise_rejects_wide_circuits() {
+        let file = tempfile::TempQasm::new(
+            "qreg q[7];\ncreg c[7];\nh q;\nmeasure q -> c;\n",
+        );
+        let err = run_cli(&[
+            "analyze", &file.path_str(), "--device", "grid:2x4", "--trials", "16",
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("Yorktown model covers 5 qubits"), "{err}");
+    }
+
+    #[test]
+    fn save_and_replay_trials_reproduce_the_run() {
+        let circuit = bell_file();
+        let trials_path = std::env::temp_dir().join(format!(
+            "qsim-trials-{}-{}.txt",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .expect("clock after epoch")
+                .as_nanos()
+        ));
+        let trials_str = trials_path.to_string_lossy().into_owned();
+        let first = run_cli(&[
+            "run", &circuit.path_str(), "--trials", "400", "--seed", "9",
+            "--save-trials", &trials_str,
+        ])
+        .unwrap();
+        let replay = run_cli(&[
+            "run", &circuit.path_str(), "--load-trials", &trials_str,
+        ])
+        .unwrap();
+        // Identical histograms (same trials, same per-trial seeds).
+        let tail = |s: &str| s.lines().skip(1).collect::<Vec<_>>().join("\n");
+        assert_eq!(tail(&first), tail(&replay));
+        let _ = std::fs::remove_file(&trials_path);
+    }
+
+    #[test]
+    fn calibration_file_noise_model_runs() {
+        let circuit = bell_file();
+        let calib = tempfile::TempQasm::new(
+            "qubits 2\nsingle 0 1e-3\nsingle 1 2e-3\ndefault-pair 1e-2\nreadout 0 1e-2\nreadout 1 1e-2\n",
+        );
+        let noise = format!("file:{}", calib.path_str());
+        let text = run_cli(&[
+            "run", &circuit.path_str(), "--trials", "512", "--device", "none",
+            "--noise", &noise,
+        ])
+        .unwrap();
+        assert!(text.contains("512 trials"), "{text}");
+        // Bad calibration carries line info through.
+        let bad = tempfile::TempQasm::new("qubits 2\nwat 0\n");
+        let noise = format!("file:{}", bad.path_str());
+        let err = run_cli(&[
+            "analyze", &circuit.path_str(), "--device", "none", "--noise", &noise,
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn compressed_and_alap_flags_run() {
+        let file = bell_file();
+        for extra in [vec!["--compressed"], vec!["--alap"], vec!["--compressed", "--alap"]] {
+            let path = file.path_str();
+            let mut parts = vec!["run", path.as_str(), "--trials", "128"];
+            parts.extend(extra.iter().copied());
+            let text = run_cli(&parts).unwrap_or_else(|e| panic!("{extra:?}: {e}"));
+            assert!(text.contains("128 trials"), "{extra:?}: {text}");
+        }
+    }
+
+    #[test]
+    fn no_transpile_skips_lowering() {
+        let file = tempfile::TempQasm::new(
+            "qreg q[2];\ncreg c[2];\nswap q[0],q[1];\nmeasure q -> c;\n",
+        );
+        // With lowering, swap decomposes into CNOTs.
+        let lowered = run_cli(&["transpile", &file.path_str()]).unwrap();
+        assert!(!lowered.contains("swap"), "{lowered}");
+        // Without, the swap survives (and the noise model later rejects it,
+        // which is the documented contract).
+        let raw = run_cli(&["transpile", &file.path_str(), "--no-transpile"]).unwrap();
+        assert!(raw.contains("swap"), "{raw}");
+    }
+}

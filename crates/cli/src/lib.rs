@@ -1,0 +1,16 @@
+#![warn(missing_docs)]
+//! Library half of the `qsim` command-line tool: argument parsing and
+//! command implementations, kept binary-free so they are unit-testable.
+//!
+//! ```console
+//! $ qsim info circuit.qasm
+//! $ qsim transpile circuit.qasm --device yorktown
+//! $ qsim analyze circuit.qasm --trials 8192 --noise yorktown
+//! $ qsim run circuit.qasm --trials 4096 --noise uniform:1e-3,1e-2,1e-2 --threads 0
+//! ```
+
+mod args;
+mod commands;
+
+pub use args::{CliError, Command, DeviceSpec, NoiseSpec, Options};
+pub use commands::execute;

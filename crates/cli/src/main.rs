@@ -1,0 +1,25 @@
+//! `qsim` — noisy quantum-circuit simulation with Monte-Carlo trial
+//! reordering, on the command line.
+
+use std::process::ExitCode;
+
+use noisy_qsim_cli::{execute, Options};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match Options::parse(&args) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut stdout = std::io::stdout().lock();
+    match execute(&opts, &mut stdout) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("qsim: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

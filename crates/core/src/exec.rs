@@ -1,0 +1,489 @@
+//! Real state-vector executors: the paper's baseline (every trial from
+//! scratch) and the redundancy-eliminated executor (reordered trials with
+//! prefix-state caching and eager dropping).
+//!
+//! Both executors produce **bitwise identical** per-trial measurement
+//! outcomes: a trial's outcome is a function of its final state (the same
+//! floating-point operation sequence in both executors) and its private
+//! sampling seed. This realises the paper's claim that the optimization "is
+//! mathematically equivalent to the original simulation".
+
+use qsim_circuit::LayeredCircuit;
+use qsim_noise::Trial;
+use qsim_statevec::{MeasureOutcome, StateVector};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::order::{compare_trials, lcp};
+use crate::SimError;
+
+/// Operation counts and memory high-water marks of one execution.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Basic operations performed (gate applications + error-operator
+    /// applications), the paper's computation metric.
+    pub ops: u64,
+    /// Peak number of concurrently stored state vectors (the MSV metric).
+    /// Zero for the baseline, which stores no intermediate states.
+    pub peak_msv: usize,
+    /// Trials executed.
+    pub n_trials: usize,
+}
+
+/// The outcome of executing a trial set.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunResult {
+    /// Per-trial classical-register outcomes, aligned with the *input*
+    /// trial order (the reuse executor un-permutes its internal order).
+    pub outcomes: Vec<MeasureOutcome>,
+    /// Cost accounting.
+    pub stats: ExecStats,
+}
+
+/// The paper's baseline strategy (§V "Baseline"): run every error-injection
+/// trial independently from `|0…0⟩`, storing no intermediate state.
+#[derive(Clone, Copy, Debug)]
+pub struct BaselineExecutor<'a> {
+    layered: &'a LayeredCircuit,
+}
+
+impl<'a> BaselineExecutor<'a> {
+    /// Bind to a layered circuit.
+    pub fn new(layered: &'a LayeredCircuit) -> Self {
+        BaselineExecutor { layered }
+    }
+
+    /// Execute `trials` in the given order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] for trials whose injections do not fit the
+    /// circuit.
+    pub fn run(&self, trials: &[Trial]) -> Result<RunResult, SimError> {
+        let layered = self.layered;
+        let n_layers = layered.n_layers();
+        let mut ops: u64 = 0;
+        let mut outcomes = Vec::with_capacity(trials.len());
+        for trial in trials {
+            validate(trial, n_layers)?;
+            let mut state = StateVector::zero_state(layered.n_qubits());
+            let injections = trial.injections();
+            let mut next = 0usize;
+            for layer in 0..n_layers {
+                ops += layered.apply_layer(layer, &mut state)? as u64;
+                while next < injections.len() && injections[next].layer() == layer {
+                    injections[next].apply_to(&mut state)?;
+                    ops += 1;
+                    next += 1;
+                }
+            }
+            outcomes.push(measure(layered, &state, trial));
+        }
+        Ok(RunResult {
+            outcomes,
+            stats: ExecStats { ops, peak_msv: 0, n_trials: trials.len() },
+        })
+    }
+}
+
+/// The redundancy-eliminated executor: trials are processed in reorder
+/// order as a depth-first traversal of the injection prefix trie. Each trie
+/// node owns one lazily advancing frontier state; a frontier survives only
+/// while the *next* trial still branches from it (the paper's eager drop),
+/// so the stored-state stack is exactly the shared prefix between
+/// consecutive trials.
+#[derive(Clone, Copy, Debug)]
+pub struct ReuseExecutor<'a> {
+    layered: &'a LayeredCircuit,
+}
+
+struct Frame {
+    depth: usize,
+    /// Highest layer index already applied to `state` (−1 = none).
+    done: i64,
+    state: StateVector,
+}
+
+impl<'a> ReuseExecutor<'a> {
+    /// Bind to a layered circuit.
+    pub fn new(layered: &'a LayeredCircuit) -> Self {
+        ReuseExecutor { layered }
+    }
+
+    /// Execute `trials`, reordering internally; outcomes are returned in
+    /// the input order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] for trials whose injections do not fit the
+    /// circuit.
+    pub fn run(&self, trials: &[Trial]) -> Result<RunResult, SimError> {
+        self.run_with_budget(trials, usize::MAX)
+    }
+
+    /// Execute with a hard cap on concurrently stored state vectors — the
+    /// memory-constrained regime the paper's §IV motivates ("the maximal
+    /// number of state vectors we can store is limited since one state
+    /// vector has 2ⁿ amplitudes"). Sharing deeper than `budget − 1`
+    /// injections is recomputed instead of cached; outcomes remain bitwise
+    /// identical to the baseline for **every** budget, only the operation
+    /// count changes. `budget = 1` keeps just the error-free frontier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Circuit`] for `budget == 0` and [`SimError`] for
+    /// trials whose injections do not fit the circuit.
+    pub fn run_with_budget(&self, trials: &[Trial], budget: usize) -> Result<RunResult, SimError> {
+        let mut outcomes: Vec<Option<MeasureOutcome>> = vec![None; trials.len()];
+        let stats = self.run_streaming(trials, budget, |index, outcome| {
+            outcomes[index] = Some(outcome);
+        })?;
+        Ok(RunResult {
+            outcomes: outcomes
+                .into_iter()
+                .map(|o| o.expect("every trial produced an outcome"))
+                .collect(),
+            stats,
+        })
+    }
+
+    /// Streaming execution: like [`ReuseExecutor::run_with_budget`], but
+    /// outcomes are handed to `sink(original_trial_index, outcome)` as they
+    /// are produced (in reordered processing order) instead of being
+    /// collected — the right shape for 10⁶-trial runs where the outcome
+    /// vector itself is the memory bottleneck, or for online aggregation
+    /// into a [`crate::Histogram`].
+    ///
+    /// # Errors
+    ///
+    /// As [`ReuseExecutor::run_with_budget`].
+    pub fn run_streaming<F>(
+        &self,
+        trials: &[Trial],
+        budget: usize,
+        mut sink: F,
+    ) -> Result<ExecStats, SimError>
+    where
+        F: FnMut(usize, MeasureOutcome),
+    {
+        if budget == 0 {
+            return Err(SimError::Circuit(
+                "state-vector budget must be at least 1 (the working frontier)".to_owned(),
+            ));
+        }
+        let layered = self.layered;
+        let n_layers = layered.n_layers();
+        for trial in trials {
+            validate(trial, n_layers)?;
+        }
+        let last_layer = n_layers as i64 - 1;
+        let mut order: Vec<usize> = (0..trials.len()).collect();
+        order.sort_by(|&a, &b| compare_trials(&trials[a], &trials[b]));
+
+        let mut ops: u64 = 0;
+        let mut peak = usize::from(!trials.is_empty());
+        let mut stack: Vec<Frame> = vec![Frame {
+            depth: 0,
+            done: -1,
+            state: StateVector::zero_state(layered.n_qubits()),
+        }];
+
+        for (pos, &orig) in order.iter().enumerate() {
+            let cur = &trials[orig];
+            let injections = cur.injections();
+            let keep = match order.get(pos + 1) {
+                Some(&next) => lcp(cur, &trials[next]).min(budget - 1),
+                None => 0,
+            };
+            // Under an unbounded budget the top frame sits exactly at the
+            // shared prefix; under a cap it may be shallower, in which case
+            // the injections between the stored depth and the true LCP are
+            // recomputed below.
+            let mut d = stack.last().expect("stack holds the root").depth;
+            debug_assert!(
+                d <= if pos == 0 { 0 } else { lcp(&trials[order[pos - 1]], cur) },
+                "frontier stack lost sync with the trial order"
+            );
+            loop {
+                if d == injections.len() {
+                    // Terminal at this trie node: finish the circuit on the
+                    // node frontier in place and measure from it.
+                    let top = stack.last_mut().expect("nonempty stack");
+                    ops += advance(layered, &mut top.state, &mut top.done, last_layer)?;
+                    sink(orig, measure(layered, &top.state, cur));
+                    while stack.last().is_some_and(|f| f.depth > keep) {
+                        stack.pop();
+                    }
+                    break;
+                }
+                let target = injections[d].layer() as i64;
+                {
+                    let top = stack.last_mut().expect("nonempty stack");
+                    ops += advance(layered, &mut top.state, &mut top.done, target)?;
+                }
+                if d < keep {
+                    // The post-injection state is itself a shared prefix of
+                    // the next trial: persist it as a new frontier.
+                    let mut child = stack.last().expect("nonempty stack").state.clone();
+                    injections[d].apply_to(&mut child)?;
+                    ops += 1;
+                    stack.push(Frame { depth: d + 1, done: target, state: child });
+                    peak = peak.max(stack.len());
+                    d += 1;
+                } else {
+                    // Transient remainder: nothing below depth d is reused
+                    // later. Clone the frontier if the node itself is still
+                    // needed, otherwise consume it (the eager drop).
+                    let mut working = if d <= keep {
+                        stack.last().expect("nonempty stack").state.clone()
+                    } else {
+                        let frame = stack.pop().expect("nonempty stack");
+                        while stack.last().is_some_and(|f| f.depth > keep) {
+                            stack.pop();
+                        }
+                        frame.state
+                    };
+                    let mut done = target;
+                    injections[d].apply_to(&mut working)?;
+                    ops += 1;
+                    for inj in &injections[d + 1..] {
+                        ops += advance(layered, &mut working, &mut done, inj.layer() as i64)?;
+                        inj.apply_to(&mut working)?;
+                        ops += 1;
+                    }
+                    ops += advance(layered, &mut working, &mut done, last_layer)?;
+                    sink(orig, measure(layered, &working, cur));
+                    break;
+                }
+            }
+        }
+
+        Ok(ExecStats {
+            ops,
+            peak_msv: if trials.is_empty() { 0 } else { peak },
+            n_trials: trials.len(),
+        })
+    }
+}
+
+/// Apply layers `done+1 ..= through` to `state`, updating `done`; returns
+/// the number of gate applications.
+fn advance(
+    layered: &LayeredCircuit,
+    state: &mut StateVector,
+    done: &mut i64,
+    through: i64,
+) -> Result<u64, SimError> {
+    let mut ops = 0u64;
+    while *done < through {
+        *done += 1;
+        ops += layered.apply_layer(*done as usize, state)? as u64;
+    }
+    Ok(ops)
+}
+
+/// Sample the trial's measurement outcome: Born-rule sampling with the
+/// trial's private seed, classical readout flips, then mapping measured
+/// qubits onto the classical register.
+pub(crate) fn measure(layered: &LayeredCircuit, state: &StateVector, trial: &Trial) -> MeasureOutcome {
+    let mut rng = StdRng::seed_from_u64(trial.seed());
+    let mut qubit_outcome = state.sample(&mut rng);
+    trial.apply_meas_flips(&mut qubit_outcome);
+    let mut classical = MeasureOutcome::from_index(0, layered.n_cbits());
+    for &(qubit, cbit) in layered.measurements() {
+        if qubit_outcome.bit(qubit) {
+            classical.flip(cbit);
+        }
+    }
+    classical
+}
+
+fn validate(trial: &Trial, n_layers: usize) -> Result<(), SimError> {
+    if let Some(inj) = trial.injections().last() {
+        if inj.layer() >= n_layers {
+            return Err(SimError::LayerOutOfRange { layer: inj.layer(), n_layers });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze;
+    use qsim_circuit::catalog;
+    use qsim_noise::{NoiseModel, TrialGenerator, TrialSet};
+
+    fn generate(circuit: &qsim_circuit::Circuit, scale: f64, n: usize, seed: u64) -> (LayeredCircuit, TrialSet) {
+        let layered = circuit.layered().unwrap();
+        let model = NoiseModel::uniform(
+            circuit.n_qubits(),
+            (1e-2 * scale).min(1.0),
+            (5e-2 * scale).min(1.0),
+            (2e-2 * scale).min(1.0),
+        );
+        let set = TrialGenerator::new(&layered, &model).unwrap().generate(n, seed);
+        (layered, set)
+    }
+
+    #[test]
+    fn baseline_and_reuse_agree_bitwise() {
+        for (circuit, scale) in [
+            (catalog::bv(4, 0b111), 1.0),
+            (catalog::qft(4), 3.0),
+            (catalog::rb(), 10.0),
+            (catalog::wstate_3q(), 5.0),
+        ] {
+            let (layered, set) = generate(&circuit, scale, 300, 11);
+            let baseline = BaselineExecutor::new(&layered).run(set.trials()).unwrap();
+            let reuse = ReuseExecutor::new(&layered).run(set.trials()).unwrap();
+            assert_eq!(baseline.outcomes, reuse.outcomes, "{}", circuit.name());
+            assert!(reuse.stats.ops <= baseline.stats.ops);
+        }
+    }
+
+    #[test]
+    fn reuse_ops_and_msv_match_static_analyzer() {
+        for seed in [0u64, 1, 2, 3] {
+            let (layered, set) = generate(&catalog::qft(4), 2.0, 250, seed);
+            let report = analyze(&layered, &set).unwrap();
+            let reuse = ReuseExecutor::new(&layered).run(set.trials()).unwrap();
+            assert_eq!(reuse.stats.ops, report.optimized_ops, "seed {seed}");
+            assert_eq!(reuse.stats.peak_msv, report.msv_peak, "seed {seed}");
+            let baseline = BaselineExecutor::new(&layered).run(set.trials()).unwrap();
+            assert_eq!(baseline.stats.ops, report.baseline_ops, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn error_free_only_trials_share_everything() {
+        let layered = catalog::bv(4, 0b101).layered().unwrap();
+        let trials: Vec<Trial> = (0..50).map(Trial::error_free).collect();
+        let reuse = ReuseExecutor::new(&layered).run(&trials).unwrap();
+        // One full pass of the circuit, everything else is re-measurement.
+        assert_eq!(reuse.stats.ops, layered.total_gates() as u64);
+        assert_eq!(reuse.stats.peak_msv, 1);
+        // The noiseless BV outcome is the hidden string for every trial.
+        for outcome in &reuse.outcomes {
+            assert_eq!(outcome.to_index(), 0b101);
+        }
+    }
+
+    #[test]
+    fn outcomes_align_with_input_order() {
+        // Craft trials whose outcomes are distinguishable deterministically
+        // via measurement flips on a noiseless circuit.
+        let layered = catalog::bv(4, 0b000).layered().unwrap(); // outcome 000
+        let t_plain = Trial::error_free(1);
+        let t_flip0 = Trial::new(vec![], 0b001, 2);
+        let t_flip2 = Trial::new(vec![], 0b100, 3);
+        let trials = vec![t_flip2, t_plain, t_flip0];
+        let result = ReuseExecutor::new(&layered).run(&trials).unwrap();
+        assert_eq!(result.outcomes[0].to_index(), 0b100);
+        assert_eq!(result.outcomes[1].to_index(), 0b000);
+        assert_eq!(result.outcomes[2].to_index(), 0b001);
+    }
+
+    #[test]
+    fn empty_trial_set_is_fine() {
+        let layered = catalog::rb().layered().unwrap();
+        let result = ReuseExecutor::new(&layered).run(&[]).unwrap();
+        assert!(result.outcomes.is_empty());
+        assert_eq!(result.stats.peak_msv, 0);
+        assert_eq!(result.stats.ops, 0);
+        let result = BaselineExecutor::new(&layered).run(&[]).unwrap();
+        assert_eq!(result.stats.ops, 0);
+    }
+
+    #[test]
+    fn rejects_out_of_range_layers() {
+        let layered = catalog::rb().layered().unwrap();
+        let bad = Trial::new(
+            vec![qsim_noise::Injection::single(99, 0, qsim_noise::Pauli::X)],
+            0,
+            0,
+        );
+        assert!(matches!(
+            ReuseExecutor::new(&layered).run(&[bad.clone()]),
+            Err(SimError::LayerOutOfRange { .. })
+        ));
+        assert!(matches!(
+            BaselineExecutor::new(&layered).run(&[bad]),
+            Err(SimError::LayerOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn injected_errors_change_outcomes() {
+        // X error right before measurement on a deterministic circuit flips
+        // the measured bit, and both executors see it identically.
+        let layered = catalog::bv(4, 0b111).layered().unwrap();
+        let last = layered.n_layers() - 1;
+        let flip = Trial::new(
+            vec![qsim_noise::Injection::single(last, 0, qsim_noise::Pauli::X)],
+            0,
+            7,
+        );
+        let clean = Trial::error_free(8);
+        let result = BaselineExecutor::new(&layered).run(&[clean, flip]).unwrap();
+        assert_eq!(result.outcomes[0].to_index(), 0b111);
+        assert_eq!(result.outcomes[1].to_index(), 0b110);
+    }
+
+    #[test]
+    fn streaming_matches_collected_execution_and_aggregates_online() {
+        let (layered, set) = generate(&catalog::qft(4), 3.0, 400, 19);
+        let collected = ReuseExecutor::new(&layered).run(set.trials()).unwrap();
+        // Stream into a histogram without holding the outcome vector.
+        let mut histogram = crate::Histogram::new(layered.n_cbits());
+        let mut seen = vec![false; set.len()];
+        let stats = ReuseExecutor::new(&layered)
+            .run_streaming(set.trials(), usize::MAX, |index, outcome| {
+                assert!(!seen[index], "outcome delivered twice for trial {index}");
+                seen[index] = true;
+                assert_eq!(outcome, collected.outcomes[index]);
+                histogram.record(&outcome);
+            })
+            .unwrap();
+        assert!(seen.iter().all(|&s| s), "some trial never produced an outcome");
+        assert_eq!(stats, collected.stats);
+        assert_eq!(histogram.total(), set.len() as u64);
+    }
+
+    #[test]
+    fn budgeted_execution_stays_bitwise_exact_and_matches_dry_run() {
+        let (layered, set) = generate(&catalog::qft(4), 6.0, 300, 13);
+        let baseline = BaselineExecutor::new(&layered).run(set.trials()).unwrap();
+        let mut sorted = set.trials().to_vec();
+        crate::order::reorder(&mut sorted);
+        for budget in [1usize, 2, 3, 5, usize::MAX] {
+            let result =
+                ReuseExecutor::new(&layered).run_with_budget(set.trials(), budget).unwrap();
+            assert_eq!(result.outcomes, baseline.outcomes, "budget {budget}");
+            assert!(result.stats.peak_msv <= budget, "budget {budget}");
+            let dry =
+                crate::analysis::analyze_sorted_with_budget(&layered, &sorted, budget).unwrap();
+            assert_eq!(result.stats.ops, dry.optimized_ops, "budget {budget}");
+            assert_eq!(result.stats.peak_msv, dry.msv_peak, "budget {budget}");
+        }
+        assert!(matches!(
+            ReuseExecutor::new(&layered).run_with_budget(set.trials(), 0),
+            Err(SimError::Circuit(_))
+        ));
+    }
+
+    #[test]
+    fn deep_shared_prefixes_stress_the_stack() {
+        // High error rates force multi-error trials and deep trie sharing.
+        let (layered, set) = generate(&catalog::qft(5), 8.0, 400, 21);
+        let report = analyze(&layered, &set).unwrap();
+        assert!(report.msv_peak >= 3, "expected deep sharing, got {}", report.msv_peak);
+        let reuse = ReuseExecutor::new(&layered).run(set.trials()).unwrap();
+        assert_eq!(reuse.stats.peak_msv, report.msv_peak);
+        assert_eq!(reuse.stats.ops, report.optimized_ops);
+        let baseline = BaselineExecutor::new(&layered).run(set.trials()).unwrap();
+        assert_eq!(baseline.outcomes, reuse.outcomes);
+    }
+}

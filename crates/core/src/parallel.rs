@@ -1,0 +1,209 @@
+//! Multi-threaded execution — the "system level" axis the paper declares
+//! its algorithm-level optimization compatible with (§II: "Our acceleration
+//! is from algorithm-level and is compatible with these system-level
+//! approaches").
+//!
+//! * [`run_baseline_parallel`] — trials are independent, so the baseline
+//!   parallelizes embarrassingly.
+//! * [`run_reordered_parallel`] — the sorted trial order is split into
+//!   contiguous chunks, each executed with prefix-state caching by one
+//!   thread. Only the chunk's first trial loses its cross-chunk sharing, so
+//!   the total operation count exceeds the single-threaded optimum by at
+//!   most `threads − 1` full trial costs — while outcomes remain **bitwise
+//!   identical** to the baseline (every trial still executes its exact
+//!   operation sequence).
+
+use qsim_circuit::LayeredCircuit;
+use qsim_noise::Trial;
+use qsim_statevec::MeasureOutcome;
+
+use crate::exec::{BaselineExecutor, ExecStats, ReuseExecutor, RunResult};
+use crate::order::compare_trials;
+use crate::SimError;
+
+/// Resolve a thread-count request: 0 means "use available parallelism".
+fn resolve_threads(requested: usize, n_items: usize) -> usize {
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = if requested == 0 { hw } else { requested };
+    threads.clamp(1, n_items.max(1))
+}
+
+/// Execute trials with the baseline strategy across `n_threads` threads
+/// (`0` = all available cores). Outcomes are in input order and bitwise
+/// identical to the sequential baseline.
+///
+/// # Errors
+///
+/// Returns the first [`SimError`] any worker hits.
+pub fn run_baseline_parallel(
+    layered: &LayeredCircuit,
+    trials: &[Trial],
+    n_threads: usize,
+) -> Result<RunResult, SimError> {
+    let threads = resolve_threads(n_threads, trials.len());
+    if threads <= 1 || trials.is_empty() {
+        return BaselineExecutor::new(layered).run(trials);
+    }
+    let chunk_size = trials.len().div_ceil(threads);
+    let results: Vec<Result<RunResult, SimError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = trials
+            .chunks(chunk_size)
+            .map(|chunk| scope.spawn(move || BaselineExecutor::new(layered).run(chunk)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+    let mut outcomes = Vec::with_capacity(trials.len());
+    let mut stats = ExecStats { ops: 0, peak_msv: 0, n_trials: trials.len() };
+    for result in results {
+        let part = result?;
+        outcomes.extend(part.outcomes);
+        stats.ops += part.stats.ops;
+    }
+    Ok(RunResult { outcomes, stats })
+}
+
+/// Execute trials with reordering + prefix caching across `n_threads`
+/// threads (`0` = all available cores). The global sorted order is split
+/// into contiguous chunks; each worker caches prefixes within its chunk.
+/// Outcomes are in input order and bitwise identical to the baseline.
+///
+/// # Errors
+///
+/// Returns the first [`SimError`] any worker hits.
+pub fn run_reordered_parallel(
+    layered: &LayeredCircuit,
+    trials: &[Trial],
+    n_threads: usize,
+) -> Result<RunResult, SimError> {
+    let threads = resolve_threads(n_threads, trials.len());
+    if threads <= 1 || trials.is_empty() {
+        return ReuseExecutor::new(layered).run(trials);
+    }
+    // Global sort once, then hand contiguous sorted slices to workers. Each
+    // worker receives (original_index, trial) pairs so it can report
+    // outcomes against the caller's order.
+    let mut order: Vec<usize> = (0..trials.len()).collect();
+    order.sort_by(|&a, &b| compare_trials(&trials[a], &trials[b]));
+    let chunk_size = order.len().div_ceil(threads);
+
+    type ChunkResult = Result<(Vec<(usize, MeasureOutcome)>, ExecStats), SimError>;
+    let results: Vec<ChunkResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = order
+            .chunks(chunk_size)
+            .map(|idx_chunk| {
+                scope.spawn(move || -> ChunkResult {
+                    // The chunk is already sorted; ReuseExecutor re-sorts
+                    // internally (stable, already-ordered input = no-op
+                    // permutation) and returns outcomes in chunk order.
+                    let chunk_trials: Vec<Trial> =
+                        idx_chunk.iter().map(|&i| trials[i].clone()).collect();
+                    let part = ReuseExecutor::new(layered).run(&chunk_trials)?;
+                    Ok((
+                        idx_chunk.iter().copied().zip(part.outcomes).collect(),
+                        part.stats,
+                    ))
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+
+    let mut outcomes: Vec<Option<MeasureOutcome>> = vec![None; trials.len()];
+    let mut stats = ExecStats { ops: 0, peak_msv: 0, n_trials: trials.len() };
+    for result in results {
+        let (pairs, part_stats) = result?;
+        for (index, outcome) in pairs {
+            outcomes[index] = Some(outcome);
+        }
+        stats.ops += part_stats.ops;
+        // Workers hold their caches concurrently: peak memory is the sum.
+        stats.peak_msv += part_stats.peak_msv;
+    }
+    Ok(RunResult {
+        outcomes: outcomes
+            .into_iter()
+            .map(|o| o.expect("every trial executed"))
+            .collect(),
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::BaselineExecutor;
+    use qsim_circuit::catalog;
+    use qsim_noise::{NoiseModel, TrialGenerator, TrialSet};
+
+    fn workload(n: usize) -> (LayeredCircuit, TrialSet) {
+        let layered = catalog::qft(4).layered().unwrap();
+        let model = NoiseModel::uniform(4, 2e-2, 8e-2, 2e-2);
+        let set = TrialGenerator::new(&layered, &model).unwrap().generate(n, 5);
+        (layered, set)
+    }
+
+    #[test]
+    fn parallel_baseline_matches_sequential_bitwise() {
+        let (layered, set) = workload(500);
+        let sequential = BaselineExecutor::new(&layered).run(set.trials()).unwrap();
+        for threads in [1usize, 2, 4, 7] {
+            let parallel = run_baseline_parallel(&layered, set.trials(), threads).unwrap();
+            assert_eq!(parallel.outcomes, sequential.outcomes, "{threads} threads");
+            assert_eq!(parallel.stats.ops, sequential.stats.ops);
+        }
+    }
+
+    #[test]
+    fn parallel_reuse_matches_baseline_bitwise() {
+        let (layered, set) = workload(500);
+        let baseline = BaselineExecutor::new(&layered).run(set.trials()).unwrap();
+        let sequential = ReuseExecutor::new(&layered).run(set.trials()).unwrap();
+        for threads in [1usize, 2, 4, 7] {
+            let parallel = run_reordered_parallel(&layered, set.trials(), threads).unwrap();
+            assert_eq!(parallel.outcomes, baseline.outcomes, "{threads} threads");
+            // Chunking costs at most (threads−1) extra full-trial prefixes.
+            assert!(parallel.stats.ops >= sequential.stats.ops);
+            let bound = sequential.stats.ops
+                + (threads as u64) * (layered.total_gates() as u64 + 64);
+            assert!(
+                parallel.stats.ops <= bound,
+                "{threads} threads: {} > bound {bound}",
+                parallel.stats.ops
+            );
+        }
+    }
+
+    #[test]
+    fn one_thread_is_exactly_sequential() {
+        let (layered, set) = workload(120);
+        let sequential = ReuseExecutor::new(&layered).run(set.trials()).unwrap();
+        let parallel = run_reordered_parallel(&layered, set.trials(), 1).unwrap();
+        assert_eq!(parallel.stats, sequential.stats);
+        assert_eq!(parallel.outcomes, sequential.outcomes);
+    }
+
+    #[test]
+    fn zero_threads_means_auto_and_still_correct() {
+        let (layered, set) = workload(64);
+        let baseline = BaselineExecutor::new(&layered).run(set.trials()).unwrap();
+        let parallel = run_reordered_parallel(&layered, set.trials(), 0).unwrap();
+        assert_eq!(parallel.outcomes, baseline.outcomes);
+    }
+
+    #[test]
+    fn more_threads_than_trials_is_fine() {
+        let (layered, set) = workload(3);
+        let parallel = run_baseline_parallel(&layered, set.trials(), 64).unwrap();
+        assert_eq!(parallel.outcomes.len(), 3);
+        let parallel = run_reordered_parallel(&layered, set.trials(), 64).unwrap();
+        assert_eq!(parallel.outcomes.len(), 3);
+    }
+
+    #[test]
+    fn empty_trials_parallel() {
+        let (layered, _) = workload(1);
+        let result = run_reordered_parallel(&layered, &[], 4).unwrap();
+        assert!(result.outcomes.is_empty());
+        assert_eq!(result.stats.ops, 0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Exact binomial sampling by inversion.
+//!
+//! `rand_distr` targets an incompatible `rand` major version, and the
+//! workload here is friendly to inversion: every rate class in the paper's
+//! experiments has `n·p ≲ 200`, where walking the CDF costs `O(n·p)` per
+//! draw with no setup. The recurrence
+//! `pmf(k+1) = pmf(k) · (n−k)/(k+1) · p/(1−p)` is numerically stable for
+//! these parameters (`pmf(0) = (1−p)^n ≥ e^{−n·p·(1+p)} ≫ f64::MIN_POSITIVE`).
+
+use rand::{Rng, RngExt};
+
+/// A binomial distribution `B(n, p)` sampled by CDF inversion.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Binomial {
+    n: u64,
+    p: f64,
+    /// Precomputed `(1−p)^n`, the PMF at zero.
+    pmf0: f64,
+}
+
+impl Binomial {
+    /// Create a sampler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn new(n: u64, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "binomial probability {p} out of range");
+        Binomial { n, p, pmf0: (1.0 - p).powi(n as i32) }
+    }
+
+    /// Number of Bernoulli trials.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Success probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Expected value `n·p`.
+    pub fn mean(&self) -> f64 {
+        self.n as f64 * self.p
+    }
+
+    /// Draw one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.p == 0.0 || self.n == 0 {
+            return 0;
+        }
+        if self.p == 1.0 {
+            return self.n;
+        }
+        let mut u: f64 = rng.random::<f64>();
+        let ratio = self.p / (1.0 - self.p);
+        let mut pmf = self.pmf0;
+        let mut k = 0u64;
+        loop {
+            if u < pmf || k == self.n {
+                return k;
+            }
+            u -= pmf;
+            pmf *= (self.n - k) as f64 / (k + 1) as f64 * ratio;
+            k += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn degenerate_parameters() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(Binomial::new(10, 0.0).sample(&mut rng), 0);
+        assert_eq!(Binomial::new(10, 1.0).sample(&mut rng), 10);
+        assert_eq!(Binomial::new(0, 0.5).sample(&mut rng), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_invalid_probability() {
+        let _ = Binomial::new(10, 1.5);
+    }
+
+    #[test]
+    fn sample_mean_and_variance_match_theory() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for (n, p) in [(100u64, 0.03f64), (2000, 0.01), (50, 0.4), (5000, 0.001)] {
+            let dist = Binomial::new(n, p);
+            let draws = 30_000;
+            let samples: Vec<f64> = (0..draws).map(|_| dist.sample(&mut rng) as f64).collect();
+            let mean: f64 = samples.iter().sum::<f64>() / draws as f64;
+            let var: f64 =
+                samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / draws as f64;
+            let expect_mean = n as f64 * p;
+            let expect_var = n as f64 * p * (1.0 - p);
+            let mean_tol = 4.0 * (expect_var / draws as f64).sqrt() + 1e-9;
+            assert!(
+                (mean - expect_mean).abs() < mean_tol,
+                "B({n},{p}): mean {mean} vs {expect_mean}"
+            );
+            assert!(
+                (var - expect_var).abs() < 0.15 * expect_var.max(0.05),
+                "B({n},{p}): var {var} vs {expect_var}"
+            );
+        }
+    }
+
+    #[test]
+    fn samples_never_exceed_n() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let dist = Binomial::new(3, 0.9);
+        for _ in 0..5000 {
+            assert!(dist.sample(&mut rng) <= 3);
+        }
+    }
+
+    #[test]
+    fn accessors_report_parameters() {
+        let dist = Binomial::new(20, 0.25);
+        assert_eq!(dist.n(), 20);
+        assert_eq!(dist.p(), 0.25);
+        assert_eq!(dist.mean(), 5.0);
+    }
+}

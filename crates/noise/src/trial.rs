@@ -1,0 +1,323 @@
+use std::fmt;
+
+use qsim_statevec::MeasureOutcome;
+
+use crate::Injection;
+
+/// One Monte-Carlo error-injection trial: a canonically sorted list of
+/// injected errors, the trial's classical readout-flip decisions, and a
+/// private seed for measurement sampling.
+///
+/// The seed makes a trial's measurement outcome a pure function of the trial
+/// itself rather than of execution order — which is what lets the reordered
+/// executor produce **bitwise identical** results to the baseline (the
+/// paper's "mathematically equivalent to the original simulation").
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Trial {
+    injections: Vec<Injection>,
+    meas_flips: u64,
+    seed: u64,
+}
+
+impl Trial {
+    /// Build a trial; the injection list is sorted into canonical
+    /// (layer, site, operator) order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two injections share the same error position — the
+    /// depolarizing channel injects at most one operator per position.
+    pub fn new(mut injections: Vec<Injection>, meas_flips: u64, seed: u64) -> Self {
+        injections.sort_unstable();
+        for pair in injections.windows(2) {
+            assert!(
+                !(pair[0].layer() == pair[1].layer() && pair[0].site() == pair[1].site()),
+                "duplicate error position {} in one trial",
+                pair[0]
+            );
+        }
+        Trial { injections, meas_flips, seed }
+    }
+
+    /// A trial with no injected errors (the error-free execution of the
+    /// paper's Fig. 2a).
+    pub fn error_free(seed: u64) -> Self {
+        Trial { injections: Vec::new(), meas_flips: 0, seed }
+    }
+
+    /// The sorted injection list.
+    pub fn injections(&self) -> &[Injection] {
+        &self.injections
+    }
+
+    /// Number of injected errors.
+    pub fn n_injections(&self) -> usize {
+        self.injections.len()
+    }
+
+    /// Whether the readout of `qubit` flips classically.
+    pub fn flips_qubit(&self, qubit: usize) -> bool {
+        qubit < 64 && self.meas_flips >> qubit & 1 == 1
+    }
+
+    /// The raw flip mask (bit *q* = flip qubit *q*).
+    pub fn meas_flip_mask(&self) -> u64 {
+        self.meas_flips
+    }
+
+    /// The trial's measurement-sampling seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Apply this trial's readout errors to a sampled outcome in place
+    /// (paper §III.B.1 "we directly flip the measurement result bit").
+    pub fn apply_meas_flips(&self, outcome: &mut MeasureOutcome) {
+        for q in 0..outcome.n_qubits().min(64) {
+            if self.flips_qubit(q) {
+                outcome.flip(q);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Trial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Trial[")?;
+        for (i, inj) in self.injections.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{inj}")?;
+        }
+        write!(f, "]")?;
+        if self.meas_flips != 0 {
+            write!(f, " flips={:b}", self.meas_flips)?;
+        }
+        Ok(())
+    }
+}
+
+/// A complete set of statically generated trials for one circuit + model.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrialSet {
+    n_qubits: usize,
+    n_layers: usize,
+    trials: Vec<Trial>,
+}
+
+impl TrialSet {
+    /// Bundle trials with their circuit geometry.
+    pub fn new(n_qubits: usize, n_layers: usize, trials: Vec<Trial>) -> Self {
+        TrialSet { n_qubits, n_layers, trials }
+    }
+
+    /// Number of qubits of the underlying circuit.
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Number of layers of the underlying circuit.
+    pub fn n_layers(&self) -> usize {
+        self.n_layers
+    }
+
+    /// Number of trials.
+    pub fn len(&self) -> usize {
+        self.trials.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.trials.is_empty()
+    }
+
+    /// The trials in generation order.
+    pub fn trials(&self) -> &[Trial] {
+        &self.trials
+    }
+
+    /// Consume into the trial vector.
+    pub fn into_trials(self) -> Vec<Trial> {
+        self.trials
+    }
+
+    /// Total injections across all trials.
+    pub fn total_injections(&self) -> usize {
+        self.trials.iter().map(Trial::n_injections).sum()
+    }
+
+    /// Mean injections per trial.
+    pub fn mean_injections(&self) -> f64 {
+        if self.trials.is_empty() {
+            0.0
+        } else {
+            self.total_injections() as f64 / self.trials.len() as f64
+        }
+    }
+
+    /// Histogram of injection counts: `hist[k]` = trials with `k` errors.
+    pub fn injection_histogram(&self) -> Vec<usize> {
+        let max = self.trials.iter().map(Trial::n_injections).max().unwrap_or(0);
+        let mut hist = vec![0usize; max + 1];
+        for t in &self.trials {
+            hist[t.n_injections()] += 1;
+        }
+        hist
+    }
+
+    /// Injections per layer: `hist[ℓ]` = total errors injected after layer
+    /// `ℓ` across all trials. Useful for spotting where a circuit
+    /// concentrates its noise (e.g. CNOT-heavy layers).
+    pub fn layer_histogram(&self) -> Vec<usize> {
+        let mut hist = vec![0usize; self.n_layers];
+        for trial in &self.trials {
+            for inj in trial.injections() {
+                hist[inj.layer()] += 1;
+            }
+        }
+        hist
+    }
+
+    /// Injections per qubit: two-qubit errors count toward both operands.
+    pub fn qubit_histogram(&self) -> Vec<usize> {
+        let mut hist = vec![0usize; self.n_qubits];
+        for trial in &self.trials {
+            for inj in trial.injections() {
+                match inj.site() {
+                    crate::Site::One(q) => hist[q] += 1,
+                    crate::Site::Two(a, b) => {
+                        hist[a] += 1;
+                        hist[b] += 1;
+                    }
+                }
+            }
+        }
+        hist
+    }
+
+    /// Fraction of trials with no injected error at all — the paper's
+    /// "error-free execution" mass, which bounds the best possible sharing.
+    pub fn error_free_fraction(&self) -> f64 {
+        if self.trials.is_empty() {
+            return 0.0;
+        }
+        let clean = self.trials.iter().filter(|t| t.n_injections() == 0).count();
+        clean as f64 / self.trials.len() as f64
+    }
+}
+
+impl fmt::Display for TrialSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "TrialSet({} trials, {} qubits, {} layers, mean {:.2} injections)",
+            self.len(),
+            self.n_qubits,
+            self.n_layers,
+            self.mean_injections()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim_statevec::Pauli;
+
+    #[test]
+    fn trial_sorts_injections_canonically() {
+        let t = Trial::new(
+            vec![
+                Injection::single(3, 0, Pauli::X),
+                Injection::single(0, 2, Pauli::Z),
+                Injection::single(0, 1, Pauli::Y),
+            ],
+            0,
+            0,
+        );
+        let layers: Vec<usize> = t.injections().iter().map(Injection::layer).collect();
+        assert_eq!(layers, vec![0, 0, 3]);
+        assert!(t.injections()[0] < t.injections()[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate error position")]
+    fn trial_rejects_duplicate_positions() {
+        let _ = Trial::new(
+            vec![Injection::single(1, 0, Pauli::X), Injection::single(1, 0, Pauli::Z)],
+            0,
+            0,
+        );
+    }
+
+    #[test]
+    fn meas_flips_round_trip() {
+        let t = Trial::new(vec![], 0b101, 9);
+        assert!(t.flips_qubit(0));
+        assert!(!t.flips_qubit(1));
+        assert!(t.flips_qubit(2));
+        assert!(!t.flips_qubit(63));
+        let mut outcome = qsim_statevec::MeasureOutcome::from_index(0b000, 3);
+        t.apply_meas_flips(&mut outcome);
+        assert_eq!(outcome.to_index(), 0b101);
+    }
+
+    #[test]
+    fn error_free_trial_is_empty() {
+        let t = Trial::error_free(4);
+        assert_eq!(t.n_injections(), 0);
+        assert_eq!(t.seed(), 4);
+        assert_eq!(t.meas_flip_mask(), 0);
+    }
+
+    #[test]
+    fn set_statistics() {
+        let trials = vec![
+            Trial::error_free(0),
+            Trial::new(vec![Injection::single(0, 0, Pauli::X)], 0, 1),
+            Trial::new(
+                vec![Injection::single(0, 0, Pauli::X), Injection::single(1, 0, Pauli::Z)],
+                0,
+                2,
+            ),
+        ];
+        let set = TrialSet::new(2, 3, trials);
+        assert_eq!(set.len(), 3);
+        assert!(!set.is_empty());
+        assert_eq!(set.total_injections(), 3);
+        assert!((set.mean_injections() - 1.0).abs() < 1e-12);
+        assert_eq!(set.injection_histogram(), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn display_formats() {
+        let t = Trial::new(vec![Injection::single(2, 1, Pauli::Z)], 0b10, 0);
+        let text = t.to_string();
+        assert!(text.contains("L2:Z@q1"));
+        assert!(text.contains("flips=10"));
+    }
+
+    #[test]
+    fn layer_qubit_and_error_free_statistics() {
+        let trials = vec![
+            Trial::error_free(0),
+            Trial::new(vec![Injection::single(0, 1, Pauli::X)], 0, 1),
+            Trial::new(
+                vec![
+                    Injection::single(0, 0, Pauli::Z),
+                    Injection::pair(2, (0, 1), Some(Pauli::X), Some(Pauli::Y)),
+                ],
+                0,
+                2,
+            ),
+        ];
+        let set = TrialSet::new(2, 3, trials);
+        assert_eq!(set.layer_histogram(), vec![2, 0, 1]);
+        assert_eq!(set.qubit_histogram(), vec![2, 2]);
+        assert!((set.error_free_fraction() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(TrialSet::new(1, 1, vec![]).error_free_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,200 @@
+//! Abstract syntax tree for the supported OpenQASM 2.0 subset.
+
+use crate::error::Pos;
+
+/// An angle expression (evaluated at lowering time).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// Numeric literal.
+    Number(f64),
+    /// The constant `pi`.
+    Pi,
+    /// A gate-definition formal parameter.
+    Param(String),
+    /// Negation.
+    Neg(Box<Expr>),
+    /// Addition.
+    Add(Box<Expr>, Box<Expr>),
+    /// Subtraction.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Multiplication.
+    Mul(Box<Expr>, Box<Expr>),
+    /// Division.
+    Div(Box<Expr>, Box<Expr>),
+    /// Exponentiation.
+    Pow(Box<Expr>, Box<Expr>),
+    /// A unary function call (`sin`, `cos`, `tan`, `exp`, `ln`, `sqrt`).
+    Call(String, Box<Expr>),
+}
+
+impl Expr {
+    /// Evaluate with `params` giving values for formal parameters.
+    ///
+    /// Returns `None` for an unbound parameter or unknown function.
+    pub fn eval(&self, params: &dyn Fn(&str) -> Option<f64>) -> Option<f64> {
+        Some(match self {
+            Expr::Number(v) => *v,
+            Expr::Pi => std::f64::consts::PI,
+            Expr::Param(name) => params(name)?,
+            Expr::Neg(e) => -e.eval(params)?,
+            Expr::Add(a, b) => a.eval(params)? + b.eval(params)?,
+            Expr::Sub(a, b) => a.eval(params)? - b.eval(params)?,
+            Expr::Mul(a, b) => a.eval(params)? * b.eval(params)?,
+            Expr::Div(a, b) => a.eval(params)? / b.eval(params)?,
+            Expr::Pow(a, b) => a.eval(params)?.powf(b.eval(params)?),
+            Expr::Call(func, arg) => {
+                let v = arg.eval(params)?;
+                match func.as_str() {
+                    "sin" => v.sin(),
+                    "cos" => v.cos(),
+                    "tan" => v.tan(),
+                    "exp" => v.exp(),
+                    "ln" => v.ln(),
+                    "sqrt" => v.sqrt(),
+                    _ => return None,
+                }
+            }
+        })
+    }
+}
+
+/// A register reference: whole register (`q`) or one element (`q[3]`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Argument {
+    /// Register name.
+    pub register: String,
+    /// Element index, `None` for whole-register broadcast.
+    pub index: Option<usize>,
+    /// Source position (for semantic errors).
+    pub pos: Pos,
+}
+
+/// A user gate definition: `gate name(params) qubits { body }`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GateDef {
+    /// Gate name.
+    pub name: String,
+    /// Formal angle parameters.
+    pub params: Vec<String>,
+    /// Formal qubit parameters.
+    pub qubits: Vec<String>,
+    /// Body: gate applications over the formal names (no measure/barrier
+    /// per the QASM 2.0 grammar — `barrier` inside bodies is accepted and
+    /// ignored).
+    pub body: Vec<Statement>,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// One program statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Statement {
+    /// `OPENQASM 2.0;`
+    Version {
+        /// Declared version (must be 2.0).
+        version: f64,
+        /// Position.
+        pos: Pos,
+    },
+    /// `include "...";`
+    Include {
+        /// Included path.
+        path: String,
+        /// Position.
+        pos: Pos,
+    },
+    /// `qreg name[size];`
+    QReg {
+        /// Register name.
+        name: String,
+        /// Width.
+        size: usize,
+        /// Position.
+        pos: Pos,
+    },
+    /// `creg name[size];`
+    CReg {
+        /// Register name.
+        name: String,
+        /// Width.
+        size: usize,
+        /// Position.
+        pos: Pos,
+    },
+    /// A gate definition.
+    Gate(GateDef),
+    /// `opaque name(params) qubits;` — declared but uncallable.
+    Opaque {
+        /// Gate name.
+        name: String,
+        /// Position.
+        pos: Pos,
+    },
+    /// A gate application `name(args) operands;`.
+    Apply {
+        /// Gate name.
+        name: String,
+        /// Angle arguments.
+        args: Vec<Expr>,
+        /// Qubit operands.
+        operands: Vec<Argument>,
+        /// Position.
+        pos: Pos,
+    },
+    /// `measure src -> dst;`
+    Measure {
+        /// Measured qubit(s).
+        src: Argument,
+        /// Destination classical bit(s).
+        dst: Argument,
+        /// Position.
+        pos: Pos,
+    },
+    /// `barrier operands;`
+    Barrier {
+        /// Barrier operands (empty means none were parseable — whole
+        /// registers appear as unindexed arguments).
+        operands: Vec<Argument>,
+        /// Position.
+        pos: Pos,
+    },
+}
+
+/// A parsed program.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Program {
+    /// Statements in source order.
+    pub statements: Vec<Statement>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_eval_arithmetic() {
+        let e = Expr::Div(Box::new(Expr::Pi), Box::new(Expr::Number(2.0)));
+        assert!((e.eval(&|_| None).unwrap() - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+        let e = Expr::Pow(Box::new(Expr::Number(2.0)), Box::new(Expr::Number(10.0)));
+        assert_eq!(e.eval(&|_| None), Some(1024.0));
+    }
+
+    #[test]
+    fn expr_eval_params_and_functions() {
+        let e = Expr::Call("sin".into(), Box::new(Expr::Param("theta".into())));
+        let val = e.eval(&|name| (name == "theta").then_some(std::f64::consts::FRAC_PI_2));
+        assert!((val.unwrap() - 1.0).abs() < 1e-12);
+        assert_eq!(e.eval(&|_| None), None);
+        let bad = Expr::Call("frobnicate".into(), Box::new(Expr::Number(1.0)));
+        assert_eq!(bad.eval(&|_| None), None);
+    }
+
+    #[test]
+    fn expr_eval_negation() {
+        let e = Expr::Neg(Box::new(Expr::Sub(
+            Box::new(Expr::Number(1.0)),
+            Box::new(Expr::Number(3.0)),
+        )));
+        assert_eq!(e.eval(&|_| None), Some(2.0));
+    }
+}

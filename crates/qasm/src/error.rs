@@ -1,0 +1,98 @@
+use std::error::Error;
+use std::fmt;
+
+/// A source position, 1-based.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub struct Pos {
+    /// Line number (1-based).
+    pub line: usize,
+    /// Column number (1-based).
+    pub col: usize,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Errors from lexing, parsing, or lowering OpenQASM 2.0 source.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum QasmError {
+    /// An unexpected character in the input.
+    Lex {
+        /// Position of the character.
+        pos: Pos,
+        /// What was found.
+        found: char,
+    },
+    /// A syntactic failure.
+    Parse {
+        /// Position of the offending token.
+        pos: Pos,
+        /// Human-readable expectation.
+        message: String,
+    },
+    /// A semantic failure during lowering.
+    Semantic {
+        /// Position where the construct started.
+        pos: Pos,
+        /// Human-readable description.
+        message: String,
+    },
+    /// A syntactically valid construct outside the supported subset.
+    Unsupported {
+        /// Position of the construct.
+        pos: Pos,
+        /// What was encountered.
+        construct: String,
+    },
+}
+
+impl QasmError {
+    /// The source position the error points at.
+    pub fn pos(&self) -> Pos {
+        match self {
+            QasmError::Lex { pos, .. }
+            | QasmError::Parse { pos, .. }
+            | QasmError::Semantic { pos, .. }
+            | QasmError::Unsupported { pos, .. } => *pos,
+        }
+    }
+}
+
+impl fmt::Display for QasmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QasmError::Lex { pos, found } => {
+                write!(f, "{pos}: unexpected character {found:?}")
+            }
+            QasmError::Parse { pos, message } => write!(f, "{pos}: {message}"),
+            QasmError::Semantic { pos, message } => write!(f, "{pos}: {message}"),
+            QasmError::Unsupported { pos, construct } => {
+                write!(f, "{pos}: unsupported construct: {construct}")
+            }
+        }
+    }
+}
+
+impl Error for QasmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positions_render_line_colon_col() {
+        let e = QasmError::Parse { pos: Pos { line: 3, col: 7 }, message: "expected ';'".into() };
+        assert_eq!(e.to_string(), "3:7: expected ';'");
+        assert_eq!(e.pos(), Pos { line: 3, col: 7 });
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<QasmError>();
+    }
+}

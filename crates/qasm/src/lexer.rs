@@ -1,0 +1,292 @@
+//! Hand-written lexer for OpenQASM 2.0.
+
+use crate::error::{Pos, QasmError};
+
+/// Lexical token kinds.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`qreg`, `measure`, gate names, …).
+    Ident(String),
+    /// Real literal (also covers integers followed by `.`/exponent).
+    Real(f64),
+    /// Non-negative integer literal.
+    Int(usize),
+    /// String literal (include paths).
+    Str(String),
+    /// `;`
+    Semicolon,
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `->`
+    Arrow,
+    /// `==`
+    EqEq,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `^`
+    Caret,
+}
+
+/// A token with its source position.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// Kind and payload.
+    pub kind: TokenKind,
+    /// Start position.
+    pub pos: Pos,
+}
+
+/// Tokenize QASM source. Line comments (`// …`) are skipped.
+pub fn lex(source: &str) -> Result<Vec<Token>, QasmError> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let mut col = 1usize;
+
+    macro_rules! advance {
+        () => {{
+            if chars[i] == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let pos = Pos { line, col };
+        match c {
+            ' ' | '\t' | '\r' | '\n' => advance!(),
+            '/' if i + 1 < chars.len() && chars[i + 1] == '/' => {
+                while i < chars.len() && chars[i] != '\n' {
+                    advance!();
+                }
+            }
+            ';' => {
+                tokens.push(Token { kind: TokenKind::Semicolon, pos });
+                advance!();
+            }
+            ',' => {
+                tokens.push(Token { kind: TokenKind::Comma, pos });
+                advance!();
+            }
+            '(' => {
+                tokens.push(Token { kind: TokenKind::LParen, pos });
+                advance!();
+            }
+            ')' => {
+                tokens.push(Token { kind: TokenKind::RParen, pos });
+                advance!();
+            }
+            '[' => {
+                tokens.push(Token { kind: TokenKind::LBracket, pos });
+                advance!();
+            }
+            ']' => {
+                tokens.push(Token { kind: TokenKind::RBracket, pos });
+                advance!();
+            }
+            '{' => {
+                tokens.push(Token { kind: TokenKind::LBrace, pos });
+                advance!();
+            }
+            '}' => {
+                tokens.push(Token { kind: TokenKind::RBrace, pos });
+                advance!();
+            }
+            '+' => {
+                tokens.push(Token { kind: TokenKind::Plus, pos });
+                advance!();
+            }
+            '*' => {
+                tokens.push(Token { kind: TokenKind::Star, pos });
+                advance!();
+            }
+            '/' => {
+                tokens.push(Token { kind: TokenKind::Slash, pos });
+                advance!();
+            }
+            '^' => {
+                tokens.push(Token { kind: TokenKind::Caret, pos });
+                advance!();
+            }
+            '-' => {
+                if i + 1 < chars.len() && chars[i + 1] == '>' {
+                    tokens.push(Token { kind: TokenKind::Arrow, pos });
+                    advance!();
+                    advance!();
+                } else {
+                    tokens.push(Token { kind: TokenKind::Minus, pos });
+                    advance!();
+                }
+            }
+            '=' => {
+                if i + 1 < chars.len() && chars[i + 1] == '=' {
+                    tokens.push(Token { kind: TokenKind::EqEq, pos });
+                    advance!();
+                    advance!();
+                } else {
+                    return Err(QasmError::Lex { pos, found: '=' });
+                }
+            }
+            '"' => {
+                advance!();
+                let mut s = String::new();
+                while i < chars.len() && chars[i] != '"' {
+                    s.push(chars[i]);
+                    advance!();
+                }
+                if i >= chars.len() {
+                    return Err(QasmError::Parse { pos, message: "unterminated string".into() });
+                }
+                advance!(); // closing quote
+                tokens.push(Token { kind: TokenKind::Str(s), pos });
+            }
+            c if c.is_ascii_digit() || c == '.' => {
+                let mut text = String::new();
+                let mut is_real = c == '.';
+                while i < chars.len() {
+                    let d = chars[i];
+                    if d.is_ascii_digit() {
+                        text.push(d);
+                        advance!();
+                    } else if d == '.' {
+                        is_real = true;
+                        text.push(d);
+                        advance!();
+                    } else if d == 'e' || d == 'E' {
+                        is_real = true;
+                        text.push(d);
+                        advance!();
+                        if i < chars.len() && (chars[i] == '+' || chars[i] == '-') {
+                            text.push(chars[i]);
+                            advance!();
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                if is_real {
+                    let value: f64 = text.parse().map_err(|_| QasmError::Parse {
+                        pos,
+                        message: format!("invalid real literal {text:?}"),
+                    })?;
+                    tokens.push(Token { kind: TokenKind::Real(value), pos });
+                } else {
+                    let value: usize = text.parse().map_err(|_| QasmError::Parse {
+                        pos,
+                        message: format!("invalid integer literal {text:?}"),
+                    })?;
+                    tokens.push(Token { kind: TokenKind::Int(value), pos });
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut ident = String::new();
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    ident.push(chars[i]);
+                    advance!();
+                }
+                tokens.push(Token { kind: TokenKind::Ident(ident), pos });
+            }
+            other => return Err(QasmError::Lex { pos, found: other }),
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_basic_statement() {
+        assert_eq!(
+            kinds("qreg q[5];"),
+            vec![
+                TokenKind::Ident("qreg".into()),
+                TokenKind::Ident("q".into()),
+                TokenKind::LBracket,
+                TokenKind::Int(5),
+                TokenKind::RBracket,
+                TokenKind::Semicolon,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_arrow_and_minus() {
+        assert_eq!(
+            kinds("a -> b - c"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Arrow,
+                TokenKind::Ident("b".into()),
+                TokenKind::Minus,
+                TokenKind::Ident("c".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(
+            kinds("3 3.5 1e-3 .25"),
+            vec![
+                TokenKind::Int(3),
+                TokenKind::Real(3.5),
+                TokenKind::Real(1e-3),
+                TokenKind::Real(0.25),
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments_and_tracks_lines() {
+        let tokens = lex("// header\nh q;\n").unwrap();
+        assert_eq!(tokens[0].pos.line, 2);
+        assert_eq!(tokens[0].pos.col, 1);
+    }
+
+    #[test]
+    fn lexes_strings() {
+        assert_eq!(kinds("include \"qelib1.inc\";")[1], TokenKind::Str("qelib1.inc".into()));
+    }
+
+    #[test]
+    fn rejects_bad_characters() {
+        let err = lex("h q; @").unwrap_err();
+        assert!(matches!(err, QasmError::Lex { found: '@', .. }));
+        assert!(lex("a = b").is_err());
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        assert!(lex("include \"oops").is_err());
+    }
+}

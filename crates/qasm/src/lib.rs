@@ -1,0 +1,117 @@
+#![warn(missing_docs)]
+//! OpenQASM 2.0 front end: lexer, parser, gate-definition expansion, and
+//! lowering onto [`qsim_circuit::Circuit`].
+//!
+//! The paper's benchmarks come from IBM's OpenQASM suites, so a realistic
+//! reproduction must consume `.qasm` sources. The supported subset is the
+//! full static fragment of OpenQASM 2.0: register declarations, `qelib1`
+//! built-in gates, user `gate` definitions (recursively expanded), angle
+//! expressions over `pi` with the standard functions, `barrier`, and
+//! terminal `measure`. Dynamic constructs (`if`, `reset`) are rejected with
+//! a clear error, mirroring the paper's pipeline, which has no mid-circuit
+//! control flow.
+//!
+//! # Example
+//!
+//! ```
+//! let source = r#"
+//!     OPENQASM 2.0;
+//!     include "qelib1.inc";
+//!     qreg q[2];
+//!     creg c[2];
+//!     h q[0];
+//!     cx q[0], q[1];
+//!     measure q -> c;
+//! "#;
+//! let circuit = qsim_qasm::parse(source)?;
+//! assert_eq!(circuit.n_qubits(), 2);
+//! assert_eq!(circuit.counts().cnot, 1);
+//! # Ok::<(), qsim_qasm::QasmError>(())
+//! ```
+
+mod ast;
+mod error;
+mod lexer;
+mod lower;
+mod parser;
+
+pub use ast::{Argument, Expr, GateDef, Program, Statement};
+pub use error::QasmError;
+
+use qsim_circuit::Circuit;
+
+/// Parse an OpenQASM 2.0 program into a [`Circuit`].
+///
+/// # Errors
+///
+/// Returns [`QasmError`] with line/column positions for lexical, syntactic,
+/// and semantic failures (undeclared registers, arity mismatches,
+/// out-of-range indices, unsupported dynamic constructs).
+pub fn parse(source: &str) -> Result<Circuit, QasmError> {
+    let program = parse_ast(source)?;
+    lower::lower(&program)
+}
+
+/// Parse to the AST without lowering — useful for tooling and tests.
+///
+/// # Errors
+///
+/// Returns [`QasmError`] on lexical or syntactic failures.
+pub fn parse_ast(source: &str) -> Result<Program, QasmError> {
+    let tokens = lexer::lex(source)?;
+    parser::parse_tokens(&tokens)
+}
+
+/// Maximum include-nesting depth (guards include cycles).
+const MAX_INCLUDE_DEPTH: usize = 16;
+
+/// Parse an OpenQASM 2.0 **file**, resolving `include` statements other
+/// than the built-in `qelib1.inc` against the including file's directory
+/// and splicing their statements in place.
+///
+/// # Errors
+///
+/// Returns [`QasmError`] for unreadable files, include cycles (nesting
+/// deeper than 16), and all [`parse`] failures.
+pub fn parse_file(path: impl AsRef<std::path::Path>) -> Result<Circuit, QasmError> {
+    let program = parse_ast_file(path.as_ref(), 0)?;
+    lower::lower(&program)
+}
+
+fn parse_ast_file(path: &std::path::Path, depth: usize) -> Result<Program, QasmError> {
+    use crate::error::Pos;
+    if depth > MAX_INCLUDE_DEPTH {
+        return Err(QasmError::Unsupported {
+            pos: Pos::default(),
+            construct: format!("include nesting deeper than {MAX_INCLUDE_DEPTH} (cycle?) at {}", path.display()),
+        });
+    }
+    let source = std::fs::read_to_string(path).map_err(|e| QasmError::Semantic {
+        pos: Pos::default(),
+        message: format!("cannot read {}: {e}", path.display()),
+    })?;
+    let ast = parse_ast(&source)?;
+    let base = path.parent().unwrap_or_else(|| std::path::Path::new("."));
+    let mut statements = Vec::with_capacity(ast.statements.len());
+    for stmt in ast.statements {
+        match stmt {
+            Statement::Include { path: include_path, pos } if include_path != "qelib1.inc" => {
+                let sub = parse_ast_file(&base.join(&include_path), depth + 1).map_err(|e| {
+                    match e {
+                        QasmError::Semantic { message, .. } => {
+                            QasmError::Semantic { pos, message }
+                        }
+                        other => other,
+                    }
+                })?;
+                statements.extend(
+                    sub.statements
+                        .into_iter()
+                        .filter(|s| !matches!(s, Statement::Version { .. })),
+                );
+            }
+            other => statements.push(other),
+        }
+    }
+    Ok(Program { statements })
+}

@@ -1,0 +1,437 @@
+//! Recursive-descent parser for the supported OpenQASM 2.0 subset.
+
+use crate::ast::{Argument, Expr, GateDef, Program, Statement};
+use crate::error::{Pos, QasmError};
+use crate::lexer::{Token, TokenKind};
+
+/// Parse a token stream into a [`Program`].
+pub fn parse_tokens(tokens: &[Token]) -> Result<Program, QasmError> {
+    let mut parser = Parser { tokens, i: 0 };
+    let mut statements = Vec::new();
+    while !parser.at_end() {
+        statements.push(parser.statement()?);
+    }
+    Ok(Program { statements })
+}
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn at_end(&self) -> bool {
+        self.i >= self.tokens.len()
+    }
+
+    fn pos(&self) -> Pos {
+        self.tokens
+            .get(self.i)
+            .or_else(|| self.tokens.last())
+            .map(|t| t.pos)
+            .unwrap_or_default()
+    }
+
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.i).map(|t| &t.kind)
+    }
+
+    fn bump(&mut self) -> Option<&'a Token> {
+        let t = self.tokens.get(self.i);
+        self.i += 1;
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> QasmError {
+        QasmError::Parse { pos: self.pos(), message: message.into() }
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<(), QasmError> {
+        match self.peek() {
+            Some(k) if k == kind => {
+                self.i += 1;
+                Ok(())
+            }
+            _ => Err(self.err(format!("expected {what}"))),
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<(String, Pos), QasmError> {
+        let pos = self.pos();
+        match self.bump().map(|t| &t.kind) {
+            Some(TokenKind::Ident(name)) => Ok((name.clone(), pos)),
+            _ => Err(QasmError::Parse { pos, message: format!("expected {what}") }),
+        }
+    }
+
+    fn expect_int(&mut self, what: &str) -> Result<usize, QasmError> {
+        let pos = self.pos();
+        match self.bump().map(|t| &t.kind) {
+            Some(TokenKind::Int(v)) => Ok(*v),
+            _ => Err(QasmError::Parse { pos, message: format!("expected {what}") }),
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement, QasmError> {
+        let pos = self.pos();
+        let (keyword, _) = match self.peek() {
+            Some(TokenKind::Ident(name)) => (name.clone(), ()),
+            _ => return Err(self.err("expected a statement")),
+        };
+        match keyword.as_str() {
+            "OPENQASM" => {
+                self.i += 1;
+                let version = match self.bump().map(|t| &t.kind) {
+                    Some(TokenKind::Real(v)) => *v,
+                    Some(TokenKind::Int(v)) => *v as f64,
+                    _ => return Err(QasmError::Parse { pos, message: "expected version number".into() }),
+                };
+                self.expect(&TokenKind::Semicolon, "';'")?;
+                Ok(Statement::Version { version, pos })
+            }
+            "include" => {
+                self.i += 1;
+                let path = match self.bump().map(|t| &t.kind) {
+                    Some(TokenKind::Str(s)) => s.clone(),
+                    _ => return Err(QasmError::Parse { pos, message: "expected include path string".into() }),
+                };
+                self.expect(&TokenKind::Semicolon, "';'")?;
+                Ok(Statement::Include { path, pos })
+            }
+            "qreg" | "creg" => {
+                self.i += 1;
+                let (name, _) = self.expect_ident("register name")?;
+                self.expect(&TokenKind::LBracket, "'['")?;
+                let size = self.expect_int("register size")?;
+                self.expect(&TokenKind::RBracket, "']'")?;
+                self.expect(&TokenKind::Semicolon, "';'")?;
+                if keyword == "qreg" {
+                    Ok(Statement::QReg { name, size, pos })
+                } else {
+                    Ok(Statement::CReg { name, size, pos })
+                }
+            }
+            "gate" => {
+                self.i += 1;
+                self.gate_def(pos)
+            }
+            "opaque" => {
+                self.i += 1;
+                let (name, _) = self.expect_ident("opaque gate name")?;
+                // Skip to the semicolon: opaque declarations carry no body.
+                while let Some(kind) = self.peek() {
+                    if *kind == TokenKind::Semicolon {
+                        break;
+                    }
+                    self.i += 1;
+                }
+                self.expect(&TokenKind::Semicolon, "';'")?;
+                Ok(Statement::Opaque { name, pos })
+            }
+            "measure" => {
+                self.i += 1;
+                let src = self.argument()?;
+                self.expect(&TokenKind::Arrow, "'->'")?;
+                let dst = self.argument()?;
+                self.expect(&TokenKind::Semicolon, "';'")?;
+                Ok(Statement::Measure { src, dst, pos })
+            }
+            "barrier" => {
+                self.i += 1;
+                let operands = self.argument_list()?;
+                self.expect(&TokenKind::Semicolon, "';'")?;
+                Ok(Statement::Barrier { operands, pos })
+            }
+            "if" => Err(QasmError::Unsupported { pos, construct: "if statement".into() }),
+            "reset" => Err(QasmError::Unsupported { pos, construct: "reset statement".into() }),
+            _ => {
+                // Gate application.
+                self.i += 1;
+                let args = if self.peek() == Some(&TokenKind::LParen) {
+                    self.i += 1;
+                    let mut args = Vec::new();
+                    if self.peek() != Some(&TokenKind::RParen) {
+                        args.push(self.expr()?);
+                        while self.peek() == Some(&TokenKind::Comma) {
+                            self.i += 1;
+                            args.push(self.expr()?);
+                        }
+                    }
+                    self.expect(&TokenKind::RParen, "')'")?;
+                    args
+                } else {
+                    Vec::new()
+                };
+                let operands = self.argument_list()?;
+                if operands.is_empty() {
+                    return Err(QasmError::Parse { pos, message: format!("gate {keyword} has no operands") });
+                }
+                self.expect(&TokenKind::Semicolon, "';'")?;
+                Ok(Statement::Apply { name: keyword, args, operands, pos })
+            }
+        }
+    }
+
+    fn gate_def(&mut self, pos: Pos) -> Result<Statement, QasmError> {
+        let (name, _) = self.expect_ident("gate name")?;
+        let mut params = Vec::new();
+        if self.peek() == Some(&TokenKind::LParen) {
+            self.i += 1;
+            if self.peek() != Some(&TokenKind::RParen) {
+                loop {
+                    let (p, _) = self.expect_ident("parameter name")?;
+                    params.push(p);
+                    if self.peek() == Some(&TokenKind::Comma) {
+                        self.i += 1;
+                    } else {
+                        break;
+                    }
+                }
+            }
+            self.expect(&TokenKind::RParen, "')'")?;
+        }
+        let mut qubits = Vec::new();
+        loop {
+            let (q, _) = self.expect_ident("qubit parameter")?;
+            qubits.push(q);
+            if self.peek() == Some(&TokenKind::Comma) {
+                self.i += 1;
+            } else {
+                break;
+            }
+        }
+        self.expect(&TokenKind::LBrace, "'{'")?;
+        let mut body = Vec::new();
+        while self.peek() != Some(&TokenKind::RBrace) {
+            if self.at_end() {
+                return Err(self.err("unterminated gate body"));
+            }
+            let stmt = self.statement()?;
+            match &stmt {
+                Statement::Apply { .. } | Statement::Barrier { .. } => body.push(stmt),
+                other => {
+                    return Err(QasmError::Parse {
+                        pos,
+                        message: format!("gate bodies may only contain gate applications, found {other:?}"),
+                    });
+                }
+            }
+        }
+        self.expect(&TokenKind::RBrace, "'}'")?;
+        Ok(Statement::Gate(GateDef { name, params, qubits, body, pos }))
+    }
+
+    fn argument_list(&mut self) -> Result<Vec<Argument>, QasmError> {
+        let mut operands = vec![self.argument()?];
+        while self.peek() == Some(&TokenKind::Comma) {
+            self.i += 1;
+            operands.push(self.argument()?);
+        }
+        Ok(operands)
+    }
+
+    fn argument(&mut self) -> Result<Argument, QasmError> {
+        let (register, pos) = self.expect_ident("register reference")?;
+        let index = if self.peek() == Some(&TokenKind::LBracket) {
+            self.i += 1;
+            let idx = self.expect_int("register index")?;
+            self.expect(&TokenKind::RBracket, "']'")?;
+            Some(idx)
+        } else {
+            None
+        };
+        Ok(Argument { register, index, pos })
+    }
+
+    // Expression grammar: expr := term (('+'|'-') term)*
+    //                     term := factor (('*'|'/') factor)*
+    //                     factor := unary ('^' factor)?      (right assoc)
+    //                     unary := '-' unary | atom
+    //                     atom := number | pi | ident | ident '(' expr ')' | '(' expr ')'
+    fn expr(&mut self) -> Result<Expr, QasmError> {
+        let mut lhs = self.term()?;
+        loop {
+            match self.peek() {
+                Some(TokenKind::Plus) => {
+                    self.i += 1;
+                    lhs = Expr::Add(Box::new(lhs), Box::new(self.term()?));
+                }
+                Some(TokenKind::Minus) => {
+                    self.i += 1;
+                    lhs = Expr::Sub(Box::new(lhs), Box::new(self.term()?));
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn term(&mut self) -> Result<Expr, QasmError> {
+        let mut lhs = self.factor()?;
+        loop {
+            match self.peek() {
+                Some(TokenKind::Star) => {
+                    self.i += 1;
+                    lhs = Expr::Mul(Box::new(lhs), Box::new(self.factor()?));
+                }
+                Some(TokenKind::Slash) => {
+                    self.i += 1;
+                    lhs = Expr::Div(Box::new(lhs), Box::new(self.factor()?));
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn factor(&mut self) -> Result<Expr, QasmError> {
+        let base = self.unary()?;
+        if self.peek() == Some(&TokenKind::Caret) {
+            self.i += 1;
+            let exp = self.factor()?; // right-associative
+            Ok(Expr::Pow(Box::new(base), Box::new(exp)))
+        } else {
+            Ok(base)
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr, QasmError> {
+        if self.peek() == Some(&TokenKind::Minus) {
+            self.i += 1;
+            return Ok(Expr::Neg(Box::new(self.unary()?)));
+        }
+        self.atom()
+    }
+
+    fn atom(&mut self) -> Result<Expr, QasmError> {
+        let pos = self.pos();
+        match self.bump().map(|t| t.kind.clone()) {
+            Some(TokenKind::Real(v)) => Ok(Expr::Number(v)),
+            Some(TokenKind::Int(v)) => Ok(Expr::Number(v as f64)),
+            Some(TokenKind::LParen) => {
+                let inner = self.expr()?;
+                self.expect(&TokenKind::RParen, "')'")?;
+                Ok(inner)
+            }
+            Some(TokenKind::Ident(name)) => {
+                if name == "pi" {
+                    Ok(Expr::Pi)
+                } else if self.peek() == Some(&TokenKind::LParen) {
+                    self.i += 1;
+                    let arg = self.expr()?;
+                    self.expect(&TokenKind::RParen, "')'")?;
+                    Ok(Expr::Call(name, Box::new(arg)))
+                } else {
+                    Ok(Expr::Param(name))
+                }
+            }
+            _ => Err(QasmError::Parse { pos, message: "expected an expression".into() }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> Program {
+        parse_tokens(&lex(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn parses_header_and_registers() {
+        let p = parse("OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[3];\ncreg c[3];\n");
+        assert_eq!(p.statements.len(), 4);
+        assert!(matches!(p.statements[2], Statement::QReg { size: 3, .. }));
+    }
+
+    #[test]
+    fn parses_gate_application_with_args() {
+        let p = parse("rz(pi/2) q[0];");
+        match &p.statements[0] {
+            Statement::Apply { name, args, operands, .. } => {
+                assert_eq!(name, "rz");
+                assert_eq!(args.len(), 1);
+                assert!((args[0].eval(&|_| None).unwrap() - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+                assert_eq!(operands[0].index, Some(0));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_measure_arrow() {
+        let p = parse("measure q -> c;");
+        assert!(matches!(&p.statements[0], Statement::Measure { src, dst, .. }
+            if src.register == "q" && dst.register == "c" && src.index.is_none()));
+    }
+
+    #[test]
+    fn parses_gate_definition() {
+        let p = parse("gate majority a,b,c { cx c,b; cx c,a; ccx a,b,c; }");
+        match &p.statements[0] {
+            Statement::Gate(def) => {
+                assert_eq!(def.name, "majority");
+                assert_eq!(def.qubits, vec!["a", "b", "c"]);
+                assert_eq!(def.body.len(), 3);
+                assert!(def.params.is_empty());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_parameterized_gate_definition() {
+        let p = parse("gate my_rot(theta, phi) a { rz(theta) a; ry(phi + pi) a; }");
+        match &p.statements[0] {
+            Statement::Gate(def) => {
+                assert_eq!(def.params, vec!["theta", "phi"]);
+                assert_eq!(def.body.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let p = parse("rz(1 + 2 * 3 ^ 2) q[0];");
+        if let Statement::Apply { args, .. } = &p.statements[0] {
+            assert_eq!(args[0].eval(&|_| None), Some(19.0));
+        } else {
+            panic!();
+        }
+        let p = parse("rz(-(1 + 1) / 4) q[0];");
+        if let Statement::Apply { args, .. } = &p.statements[0] {
+            assert_eq!(args[0].eval(&|_| None), Some(-0.5));
+        } else {
+            panic!();
+        }
+    }
+
+    #[test]
+    fn rejects_dynamic_constructs() {
+        let toks = lex("if (c == 1) x q[0];").unwrap();
+        let err = parse_tokens(&toks).unwrap_err();
+        assert!(matches!(err, QasmError::Unsupported { .. }));
+        let toks = lex("reset q[0];").unwrap();
+        assert!(matches!(parse_tokens(&toks).unwrap_err(), QasmError::Unsupported { .. }));
+    }
+
+    #[test]
+    fn reports_missing_semicolons() {
+        let toks = lex("qreg q[2]").unwrap();
+        let err = parse_tokens(&toks).unwrap_err();
+        assert!(err.to_string().contains("expected ';'"));
+    }
+
+    #[test]
+    fn rejects_register_declaration_inside_gate_body() {
+        let toks = lex("gate bad a { qreg r[1]; }").unwrap();
+        assert!(parse_tokens(&toks).is_err());
+    }
+
+    #[test]
+    fn parses_opaque_declaration() {
+        let p = parse("opaque magic(alpha) a, b;");
+        assert!(matches!(&p.statements[0], Statement::Opaque { name, .. } if name == "magic"));
+    }
+}

@@ -1,0 +1,91 @@
+//! File-level parsing: cross-file `include` resolution.
+
+use std::fs;
+use std::path::PathBuf;
+
+struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let path = std::env::temp_dir().join(format!(
+            "qsim-qasm-{tag}-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .expect("clock after epoch")
+                .as_nanos()
+        ));
+        fs::create_dir_all(&path).expect("temp dir creatable");
+        TempDir { path }
+    }
+
+    fn write(&self, name: &str, contents: &str) -> PathBuf {
+        let file = self.path.join(name);
+        fs::write(&file, contents).expect("temp file writable");
+        file
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.path);
+    }
+}
+
+#[test]
+fn includes_splice_gate_libraries() {
+    let dir = TempDir::new("lib");
+    dir.write("mylib.inc", "gate entangle a, b { h a; cx a, b; }\n");
+    let main = dir.write(
+        "main.qasm",
+        "OPENQASM 2.0;\ninclude \"qelib1.inc\";\ninclude \"mylib.inc\";\nqreg q[2];\ncreg c[2];\nentangle q[0], q[1];\nmeasure q -> c;\n",
+    );
+    let circuit = qsim_qasm::parse_file(&main).expect("include resolves");
+    assert_eq!(circuit.counts().cnot, 1);
+    assert_eq!(circuit.counts().single, 1);
+    let state = circuit.simulate().expect("simulates");
+    assert!((state.probability(0) - 0.5).abs() < 1e-9);
+}
+
+#[test]
+fn nested_includes_resolve_relative_to_each_file() {
+    let dir = TempDir::new("nested");
+    fs::create_dir_all(dir.path.join("sub")).expect("subdir");
+    dir.write("sub/inner.inc", "gate flip a { x a; }\n");
+    dir.write("sub/outer.inc", "include \"inner.inc\";\ngate flip2 a { flip a; flip a; }\n");
+    let main = dir.write(
+        "main.qasm",
+        "include \"sub/outer.inc\";\nqreg q[1];\ncreg c[1];\nflip q[0];\nflip2 q[0];\nmeasure q -> c;\n",
+    );
+    let circuit = qsim_qasm::parse_file(&main).expect("nested includes resolve");
+    assert_eq!(circuit.counts().single, 3);
+    let state = circuit.simulate().expect("simulates");
+    assert!((state.probability(1) - 1.0).abs() < 1e-9); // three X = X
+}
+
+#[test]
+fn include_cycles_are_cut_off() {
+    let dir = TempDir::new("cycle");
+    dir.write("a.inc", "include \"b.inc\";\n");
+    dir.write("b.inc", "include \"a.inc\";\n");
+    let main = dir.write("main.qasm", "include \"a.inc\";\nqreg q[1];\n");
+    let err = qsim_qasm::parse_file(&main).unwrap_err();
+    assert!(err.to_string().contains("nesting deeper"), "{err}");
+}
+
+#[test]
+fn missing_include_reports_the_including_position() {
+    let dir = TempDir::new("missing");
+    let main = dir.write("main.qasm", "qreg q[1];\ninclude \"ghost.inc\";\n");
+    let err = qsim_qasm::parse_file(&main).unwrap_err();
+    assert!(err.to_string().contains("cannot read"), "{err}");
+    assert_eq!(err.pos().line, 2);
+}
+
+#[test]
+fn string_parse_still_rejects_foreign_includes() {
+    let err = qsim_qasm::parse("include \"other.inc\";\n").unwrap_err();
+    assert!(err.to_string().contains("only qelib1.inc"), "{err}");
+}

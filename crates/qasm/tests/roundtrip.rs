@@ -1,0 +1,59 @@
+//! Emit → parse round-trip tests across the whole benchmark catalog, plus
+//! fidelity checks that the parsed circuit reproduces the original states.
+
+use qsim_circuit::{catalog, to_qasm, Circuit};
+
+fn assert_state_equivalent(a: &Circuit, b: &Circuit) {
+    let sa = a.simulate().expect("simulate original");
+    let sb = b.simulate().expect("simulate roundtrip");
+    assert_eq!(sa.n_qubits(), sb.n_qubits(), "{}", a.name());
+    let f = sa.fidelity(&sb).expect("same width");
+    assert!(f > 1.0 - 1e-9, "{}: fidelity {f}", a.name());
+}
+
+#[test]
+fn catalog_roundtrips_through_qasm() {
+    for qc in catalog::realistic_suite() {
+        let qasm = to_qasm(&qc);
+        let parsed = qsim_qasm::parse(&qasm)
+            .unwrap_or_else(|e| panic!("{} failed to parse: {e}\n{qasm}", qc.name()));
+        assert_eq!(parsed.n_qubits(), qc.n_qubits(), "{}", qc.name());
+        assert_eq!(parsed.counts().measure, qc.counts().measure, "{}", qc.name());
+        assert_state_equivalent(&qc, &parsed);
+    }
+}
+
+#[test]
+fn roundtrip_preserves_angles_exactly() {
+    let mut qc = Circuit::new("angles", 2, 0);
+    qc.rz(0.123456789012345678, 0)
+        .u(1.0 / 3.0, 2.0 / 7.0, -5.0 / 11.0, 1)
+        .cphase(std::f64::consts::PI / 7.0, 0, 1);
+    let parsed = qsim_qasm::parse(&to_qasm(&qc)).expect("parse");
+    // Gate-for-gate identical parameters after the roundtrip.
+    let original: Vec<Vec<f64>> = qc.gate_ops().map(|op| op.gate.params()).collect();
+    let recovered: Vec<Vec<f64>> = parsed.gate_ops().map(|op| op.gate.params()).collect();
+    // cphase decomposes to cu1 which is preserved exactly too.
+    assert_eq!(original, recovered);
+}
+
+#[test]
+fn qft_roundtrip_after_transpilation() {
+    use qsim_circuit::transpile::{transpile, TranspileOptions};
+    use qsim_circuit::CouplingMap;
+    let out = transpile(
+        &catalog::qft(4),
+        &TranspileOptions::for_device(CouplingMap::yorktown()),
+    )
+    .expect("transpile");
+    let parsed = qsim_qasm::parse(&to_qasm(&out.circuit)).expect("parse transpiled");
+    assert_state_equivalent(&out.circuit, &parsed);
+}
+
+#[test]
+fn measurement_mapping_roundtrips() {
+    let mut qc = Circuit::new("meas", 3, 3);
+    qc.h(0).cx(0, 2).measure(2, 0).measure(0, 2).measure(1, 1);
+    let parsed = qsim_qasm::parse(&to_qasm(&qc)).expect("parse");
+    assert_eq!(parsed.measurements(), qc.measurements());
+}

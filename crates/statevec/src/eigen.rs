@@ -1,0 +1,240 @@
+//! Hermitian eigenvalues via the cyclic complex Jacobi method, powering von
+//! Neumann entropy on reduced density matrices.
+
+use crate::{C64, DensityMatrix, StateVecError, StateVector};
+
+/// Convergence threshold on the squared off-diagonal Frobenius norm.
+const OFF_DIAGONAL_TOL: f64 = 1e-24;
+/// Sweep cap (quadratic convergence makes this generous).
+const MAX_SWEEPS: usize = 64;
+
+/// Eigenvalues of a Hermitian matrix given row-major, ascending order.
+///
+/// Uses cyclic Jacobi with complex rotations: each step diagonalizes one
+/// 2×2 principal block with the unitary
+/// `U = [[c, −e^{iφ}·s], [e^{−iφ}·s, c]]` (φ the phase of the pivot), which
+/// converges quadratically for Hermitian input.
+///
+/// # Panics
+///
+/// Panics if `elems.len() != dim²` or the matrix is visibly non-Hermitian
+/// (relative asymmetry above 1e-8).
+pub fn hermitian_eigenvalues(elems: &[C64], dim: usize) -> Vec<f64> {
+    assert_eq!(elems.len(), dim * dim, "matrix shape mismatch");
+    let scale: f64 =
+        elems.iter().map(|e| e.norm()).fold(0.0f64, f64::max).max(f64::MIN_POSITIVE);
+    for i in 0..dim {
+        for j in 0..dim {
+            let asym = (elems[i * dim + j] - elems[j * dim + i].conj()).norm();
+            assert!(
+                asym <= 1e-8 * scale.max(1.0),
+                "matrix is not Hermitian at ({i},{j}): asymmetry {asym:e}"
+            );
+        }
+    }
+    let mut a = elems.to_vec();
+    for _ in 0..MAX_SWEEPS {
+        let off: f64 = (0..dim)
+            .flat_map(|i| (0..dim).filter(move |&j| j != i).map(move |j| (i, j)))
+            .map(|(i, j)| a[i * dim + j].norm_sqr())
+            .sum();
+        if off < OFF_DIAGONAL_TOL * scale * scale {
+            break;
+        }
+        for p in 0..dim {
+            for q in p + 1..dim {
+                jacobi_rotate(&mut a, dim, p, q);
+            }
+        }
+    }
+    let mut eigenvalues: Vec<f64> = (0..dim).map(|i| a[i * dim + i].re).collect();
+    eigenvalues.sort_by(|x, y| x.partial_cmp(y).expect("finite eigenvalues"));
+    eigenvalues
+}
+
+/// Zero out `a[p][q]` (and `a[q][p]`) with a complex Jacobi rotation.
+fn jacobi_rotate(a: &mut [C64], dim: usize, p: usize, q: usize) {
+    let apq = a[p * dim + q];
+    if apq.norm_sqr() == 0.0 {
+        return;
+    }
+    let app = a[p * dim + p].re;
+    let aqq = a[q * dim + q].re;
+    let phi = apq.arg();
+    let theta = 0.5 * (2.0 * apq.norm()).atan2(app - aqq);
+    let (sin_t, cos_t) = theta.sin_cos();
+    let s = C64::from_polar(sin_t, phi); // U[q][p] = conj(s), U[p][q] = −s
+    // Column update: A ← A·U.
+    for k in 0..dim {
+        let akp = a[k * dim + p];
+        let akq = a[k * dim + q];
+        a[k * dim + p] = akp * cos_t + akq * s.conj();
+        a[k * dim + q] = -akp * s + akq * cos_t;
+    }
+    // Row update: A ← U†·A.
+    for k in 0..dim {
+        let apk = a[p * dim + k];
+        let aqk = a[q * dim + k];
+        a[p * dim + k] = apk * cos_t + aqk * s;
+        a[q * dim + k] = -apk * s.conj() + aqk * cos_t;
+    }
+    // Clean the pivot against round-off.
+    a[p * dim + q] = C64::new(0.0, 0.0);
+    a[q * dim + p] = C64::new(0.0, 0.0);
+}
+
+impl DensityMatrix {
+    /// Eigenvalues (the spectrum), ascending. For a physical state they are
+    /// non-negative and sum to 1.
+    pub fn eigenvalues(&self) -> Vec<f64> {
+        let dim = 1usize << self.n_qubits();
+        hermitian_eigenvalues(self.elements(), dim)
+    }
+
+    /// Von Neumann entropy `−Σ λ log₂ λ` in bits.
+    pub fn von_neumann_entropy(&self) -> f64 {
+        self.eigenvalues()
+            .into_iter()
+            .filter(|&lambda| lambda > 1e-14)
+            .map(|lambda| -lambda * lambda.log2())
+            .sum()
+    }
+}
+
+impl StateVector {
+    /// Entanglement entropy (in bits) of the cut separating `keep` from the
+    /// rest: the von Neumann entropy of the reduced state on `keep`. Zero
+    /// for product states, 1 for a Bell pair's half.
+    ///
+    /// # Errors
+    ///
+    /// As [`StateVector::reduced_density_matrix`].
+    pub fn entanglement_entropy(&self, keep: &[usize]) -> Result<f64, StateVecError> {
+        Ok(self.reduced_density_matrix(keep)?.von_neumann_entropy())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Matrix2;
+
+    fn c(re: f64, im: f64) -> C64 {
+        C64::new(re, im)
+    }
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn diagonal_matrix_returns_its_diagonal() {
+        let m = vec![c(3.0, 0.0), c(0.0, 0.0), c(0.0, 0.0), c(-1.0, 0.0)];
+        assert_eq!(hermitian_eigenvalues(&m, 2), vec![-1.0, 3.0]);
+    }
+
+    #[test]
+    fn pauli_matrices_have_unit_spectrum() {
+        for m in [Matrix2::x(), Matrix2::y(), Matrix2::z()] {
+            let flat: Vec<C64> = m.0.iter().flatten().copied().collect();
+            let eig = hermitian_eigenvalues(&flat, 2);
+            assert!(close(eig[0], -1.0) && close(eig[1], 1.0), "{m}");
+        }
+    }
+
+    #[test]
+    fn known_two_by_two_with_complex_offdiagonal() {
+        // [[2, i], [-i, 2]] has eigenvalues 1 and 3.
+        let m = vec![c(2.0, 0.0), c(0.0, 1.0), c(0.0, -1.0), c(2.0, 0.0)];
+        let eig = hermitian_eigenvalues(&m, 2);
+        assert!(close(eig[0], 1.0) && close(eig[1], 3.0), "{eig:?}");
+    }
+
+    #[test]
+    fn random_hermitian_spectrum_matches_trace_invariants() {
+        // Build A = B† B (positive semidefinite Hermitian) from a fixed B.
+        let dim = 5usize;
+        let mut b = vec![c(0.0, 0.0); dim * dim];
+        let mut v = 0.37f64;
+        for e in &mut b {
+            v = (v * 97.0 + 13.0).rem_euclid(7.0) - 3.5;
+            let w = (v * 31.0 + 5.0).rem_euclid(5.0) - 2.5;
+            *e = c(v, w);
+        }
+        let mut a = vec![c(0.0, 0.0); dim * dim];
+        for i in 0..dim {
+            for j in 0..dim {
+                a[i * dim + j] =
+                    (0..dim).map(|k| b[k * dim + i].conj() * b[k * dim + j]).sum();
+            }
+        }
+        let eig = hermitian_eigenvalues(&a, dim);
+        // Non-negative, trace-preserving, Frobenius-norm-preserving.
+        let trace: f64 = (0..dim).map(|i| a[i * dim + i].re).sum();
+        let frob2: f64 = a.iter().map(|e| e.norm_sqr()).sum();
+        assert!(eig.iter().all(|&l| l > -1e-9), "{eig:?}");
+        assert!(close(eig.iter().sum::<f64>(), trace));
+        assert!((eig.iter().map(|l| l * l).sum::<f64>() - frob2).abs() < 1e-6 * frob2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not Hermitian")]
+    fn rejects_non_hermitian_input() {
+        let m = vec![c(1.0, 0.0), c(1.0, 0.0), c(0.0, 0.0), c(1.0, 0.0)];
+        let _ = hermitian_eigenvalues(&m, 2);
+    }
+
+    #[test]
+    fn bell_half_has_one_bit_of_entropy() {
+        let mut psi = StateVector::zero_state(2);
+        psi.apply_1q(&Matrix2::h(), 0).unwrap();
+        psi.apply_cx(0, 1).unwrap();
+        assert!(close(psi.entanglement_entropy(&[0]).unwrap(), 1.0));
+        assert!(close(psi.entanglement_entropy(&[1]).unwrap(), 1.0));
+        // The full state is pure: zero entropy.
+        assert!(psi.entanglement_entropy(&[0, 1]).unwrap().abs() < 1e-9);
+    }
+
+    #[test]
+    fn product_states_have_zero_entropy() {
+        let mut psi = StateVector::zero_state(3);
+        psi.apply_1q(&Matrix2::h(), 0).unwrap();
+        psi.apply_1q(&Matrix2::u(0.9, 0.1, 0.2), 2).unwrap();
+        for keep in [vec![0usize], vec![1], vec![2], vec![0, 1]] {
+            let s = psi.entanglement_entropy(&keep).unwrap();
+            assert!(s.abs() < 1e-9, "keep {keep:?}: {s}");
+        }
+    }
+
+    #[test]
+    fn w_state_single_qubit_entropy_is_binary_entropy_of_one_third() {
+        // Reduced single-qubit state of W₃ is diag(2/3, 1/3).
+        let w = {
+            let mut amps = vec![c(0.0, 0.0); 8];
+            let a = 1.0 / 3.0f64.sqrt();
+            amps[0b001] = c(a, 0.0);
+            amps[0b010] = c(a, 0.0);
+            amps[0b100] = c(a, 0.0);
+            StateVector::from_amplitudes(amps).unwrap()
+        };
+        let expected = -(1.0f64 / 3.0) * (1.0f64 / 3.0).log2()
+            - (2.0f64 / 3.0) * (2.0f64 / 3.0).log2();
+        for q in 0..3 {
+            let s = w.entanglement_entropy(&[q]).unwrap();
+            assert!((s - expected).abs() < 1e-9, "qubit {q}: {s} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn ghz_cut_entropy_is_one_bit_everywhere() {
+        let mut psi = StateVector::zero_state(4);
+        psi.apply_1q(&Matrix2::h(), 0).unwrap();
+        for q in 1..4 {
+            psi.apply_cx(q - 1, q).unwrap();
+        }
+        for keep in [vec![0usize], vec![0, 1], vec![0, 1, 2], vec![2, 3]] {
+            let s = psi.entanglement_entropy(&keep).unwrap();
+            assert!(close(s, 1.0), "keep {keep:?}: {s}");
+        }
+    }
+}

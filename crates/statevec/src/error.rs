@@ -1,0 +1,86 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by state-vector and density-matrix operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StateVecError {
+    /// A qubit index was at least the register width.
+    QubitOutOfRange {
+        /// Offending qubit index.
+        qubit: usize,
+        /// Number of qubits in the register.
+        n_qubits: usize,
+    },
+    /// The same qubit was passed twice to a two-qubit operation.
+    DuplicateQubit {
+        /// The duplicated qubit index.
+        qubit: usize,
+    },
+    /// An amplitude buffer had the wrong length for the register size.
+    DimensionMismatch {
+        /// Expected amplitude count (`2^n`).
+        expected: usize,
+        /// Actual amplitude count.
+        actual: usize,
+    },
+    /// Two registers that must match in width did not.
+    WidthMismatch {
+        /// Width of the left operand.
+        left: usize,
+        /// Width of the right operand.
+        right: usize,
+    },
+    /// A register of this many qubits cannot be represented.
+    TooManyQubits {
+        /// Requested qubit count.
+        n_qubits: usize,
+        /// Maximum supported by this type.
+        max: usize,
+    },
+}
+
+impl fmt::Display for StateVecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            StateVecError::QubitOutOfRange { qubit, n_qubits } => {
+                write!(f, "qubit index {qubit} out of range for {n_qubits}-qubit register")
+            }
+            StateVecError::DuplicateQubit { qubit } => {
+                write!(f, "two-qubit operation received duplicate qubit {qubit}")
+            }
+            StateVecError::DimensionMismatch { expected, actual } => {
+                write!(f, "amplitude buffer has {actual} entries, expected {expected}")
+            }
+            StateVecError::WidthMismatch { left, right } => {
+                write!(f, "register widths differ: {left} vs {right} qubits")
+            }
+            StateVecError::TooManyQubits { n_qubits, max } => {
+                write!(f, "{n_qubits} qubits exceeds the supported maximum of {max}")
+            }
+        }
+    }
+}
+
+impl Error for StateVecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = StateVecError::QubitOutOfRange { qubit: 5, n_qubits: 3 };
+        assert_eq!(e.to_string(), "qubit index 5 out of range for 3-qubit register");
+        let e = StateVecError::DimensionMismatch { expected: 8, actual: 4 };
+        assert!(e.to_string().contains("expected 8"));
+        let e = StateVecError::DuplicateQubit { qubit: 2 };
+        assert!(e.to_string().contains("duplicate"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StateVecError>();
+    }
+}

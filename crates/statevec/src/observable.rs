@@ -1,0 +1,406 @@
+use std::fmt;
+use std::str::FromStr;
+
+use crate::{C64, Pauli, StateVecError, StateVector};
+
+/// A multi-qubit Pauli-string observable, e.g. `Z⊗I⊗X`.
+///
+/// Strings render and parse most-significant qubit first, matching ket
+/// notation: `"ZIX"` puts Z on qubit 2, I on qubit 1, X on qubit 0.
+///
+/// ```
+/// use qsim_statevec::{PauliString, StateVector, Matrix2};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // ⟨ZZ⟩ = +1 on a Bell pair, even though each ⟨Z⟩ alone is 0.
+/// let mut bell = StateVector::zero_state(2);
+/// bell.apply_1q(&Matrix2::h(), 0)?;
+/// bell.apply_cx(0, 1)?;
+/// let zz: PauliString = "ZZ".parse()?;
+/// assert!((zz.expectation(&bell)? - 1.0).abs() < 1e-12);
+/// let zi: PauliString = "ZI".parse()?;
+/// assert!(zi.expectation(&bell)?.abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct PauliString {
+    /// `ops[q]` = operator on qubit `q` (`None` = identity).
+    ops: Vec<Option<Pauli>>,
+}
+
+impl PauliString {
+    /// The identity string on `n_qubits`.
+    pub fn identity(n_qubits: usize) -> Self {
+        PauliString { ops: vec![None; n_qubits] }
+    }
+
+    /// Set the operator on one qubit (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubit` is out of range.
+    pub fn with_op(mut self, qubit: usize, pauli: Pauli) -> Self {
+        self.ops[qubit] = Some(pauli);
+        self
+    }
+
+    /// Number of qubits the string spans.
+    pub fn n_qubits(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// The operator on `qubit` (`None` = identity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubit` is out of range.
+    pub fn op(&self, qubit: usize) -> Option<Pauli> {
+        self.ops[qubit]
+    }
+
+    /// Number of non-identity factors.
+    pub fn weight(&self) -> usize {
+        self.ops.iter().filter(|op| op.is_some()).count()
+    }
+
+    /// The expectation value `⟨ψ|P|ψ⟩` (real for Hermitian `P`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateVecError::WidthMismatch`] if the register widths
+    /// differ.
+    pub fn expectation(&self, state: &StateVector) -> Result<f64, StateVecError> {
+        if state.n_qubits() != self.n_qubits() {
+            return Err(StateVecError::WidthMismatch {
+                left: self.n_qubits(),
+                right: state.n_qubits(),
+            });
+        }
+        let mut transformed = state.clone();
+        for (qubit, op) in self.ops.iter().enumerate() {
+            if let Some(pauli) = op {
+                transformed.apply_pauli(*pauli, qubit)?;
+            }
+        }
+        let amp: C64 = state.inner(&transformed)?;
+        Ok(amp.re)
+    }
+
+    /// The variance `⟨P²⟩ − ⟨P⟩² = 1 − ⟨P⟩²` (Pauli strings square to the
+    /// identity).
+    ///
+    /// # Errors
+    ///
+    /// As [`PauliString::expectation`].
+    pub fn variance(&self, state: &StateVector) -> Result<f64, StateVecError> {
+        let e = self.expectation(state)?;
+        Ok(1.0 - e * e)
+    }
+}
+
+impl fmt::Display for PauliString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for op in self.ops.iter().rev() {
+            match op {
+                None => write!(f, "I")?,
+                Some(p) => write!(f, "{p}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A Hermitian observable as a real-weighted sum of Pauli strings — the
+/// form every qubit Hamiltonian takes (e.g. `H = 0.5·ZZ − 1.2·XI`).
+///
+/// ```
+/// use qsim_statevec::{Observable, StateVector, Matrix2};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Ising pair H = −ZZ − 0.5(XI + IX) on a Bell state.
+/// let h = Observable::new(2)
+///     .with_term(-1.0, "ZZ".parse()?)
+///     .with_term(-0.5, "XI".parse()?)
+///     .with_term(-0.5, "IX".parse()?);
+/// let mut bell = StateVector::zero_state(2);
+/// bell.apply_1q(&Matrix2::h(), 0)?;
+/// bell.apply_cx(0, 1)?;
+/// // ⟨ZZ⟩ = 1, ⟨XI⟩ = ⟨IX⟩ = 0 ⇒ ⟨H⟩ = −1.
+/// assert!((h.expectation(&bell)? + 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Observable {
+    n_qubits: usize,
+    terms: Vec<(f64, PauliString)>,
+}
+
+impl Observable {
+    /// An empty observable (the zero operator) on `n_qubits`.
+    pub fn new(n_qubits: usize) -> Self {
+        Observable { n_qubits, terms: Vec::new() }
+    }
+
+    /// Add a weighted Pauli-string term (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the term's width differs from the observable's.
+    pub fn with_term(mut self, coefficient: f64, term: PauliString) -> Self {
+        assert_eq!(
+            term.n_qubits(),
+            self.n_qubits,
+            "term width {} does not match observable width {}",
+            term.n_qubits(),
+            self.n_qubits
+        );
+        self.terms.push((coefficient, term));
+        self
+    }
+
+    /// Number of qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// The weighted terms.
+    pub fn terms(&self) -> &[(f64, PauliString)] {
+        &self.terms
+    }
+
+    /// `⟨ψ|H|ψ⟩ = Σ c_i ⟨ψ|P_i|ψ⟩`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateVecError::WidthMismatch`] on register mismatch.
+    pub fn expectation(&self, state: &StateVector) -> Result<f64, StateVecError> {
+        let mut total = 0.0;
+        for (coefficient, term) in &self.terms {
+            total += coefficient * term.expectation(state)?;
+        }
+        Ok(total)
+    }
+
+    /// The variance `⟨H²⟩ − ⟨H⟩²`, computed exactly via `H|ψ⟩`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateVecError::WidthMismatch`] on register mismatch.
+    pub fn variance(&self, state: &StateVector) -> Result<f64, StateVecError> {
+        if state.n_qubits() != self.n_qubits {
+            return Err(StateVecError::WidthMismatch {
+                left: self.n_qubits,
+                right: state.n_qubits(),
+            });
+        }
+        // |φ⟩ = H|ψ⟩ accumulated term by term; ⟨H²⟩ = ⟨φ|φ⟩.
+        let dim = 1usize << self.n_qubits;
+        let mut phi = vec![C64::new(0.0, 0.0); dim];
+        for (coefficient, term) in &self.terms {
+            let mut transformed = state.clone();
+            for q in 0..self.n_qubits {
+                if let Some(pauli) = term.op(q) {
+                    transformed.apply_pauli(pauli, q)?;
+                }
+            }
+            for (acc, amp) in phi.iter_mut().zip(transformed.amplitudes()) {
+                *acc += amp * *coefficient;
+            }
+        }
+        let h_squared: f64 = phi.iter().map(|a| a.norm_sqr()).sum();
+        let mean = self.expectation(state)?;
+        Ok(h_squared - mean * mean)
+    }
+}
+
+impl fmt::Display for Observable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return write!(f, "0");
+        }
+        for (i, (coefficient, term)) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            write!(f, "{coefficient}·{term}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Error from parsing a [`PauliString`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePauliStringError(String);
+
+impl fmt::Display for ParsePauliStringError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid Pauli string {:?}: only I, X, Y, Z allowed", self.0)
+    }
+}
+
+impl std::error::Error for ParsePauliStringError {}
+
+impl FromStr for PauliString {
+    type Err = ParsePauliStringError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut ops = Vec::with_capacity(s.len());
+        // Characters arrive MSB-first; qubit 0 is the last character.
+        for c in s.chars().rev() {
+            ops.push(match c {
+                'I' | 'i' => None,
+                'X' | 'x' => Some(Pauli::X),
+                'Y' | 'y' => Some(Pauli::Y),
+                'Z' | 'z' => Some(Pauli::Z),
+                _ => return Err(ParsePauliStringError(s.to_owned())),
+            });
+        }
+        if ops.is_empty() {
+            return Err(ParsePauliStringError(s.to_owned()));
+        }
+        Ok(PauliString { ops })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Matrix2;
+
+    fn bell() -> StateVector {
+        let mut s = StateVector::zero_state(2);
+        s.apply_1q(&Matrix2::h(), 0).unwrap();
+        s.apply_cx(0, 1).unwrap();
+        s
+    }
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for text in ["ZZ", "XIZ", "IYXI", "I"] {
+            let p: PauliString = text.parse().unwrap();
+            assert_eq!(p.to_string(), text.to_uppercase());
+        }
+        assert!("".parse::<PauliString>().is_err());
+        assert!("XQ".parse::<PauliString>().is_err());
+    }
+
+    #[test]
+    fn string_layout_is_msb_first() {
+        let p: PauliString = "ZIX".parse().unwrap();
+        assert_eq!(p.n_qubits(), 3);
+        assert_eq!(p.op(0), Some(Pauli::X));
+        assert_eq!(p.op(1), None);
+        assert_eq!(p.op(2), Some(Pauli::Z));
+        assert_eq!(p.weight(), 2);
+    }
+
+    #[test]
+    fn bell_stabilizers() {
+        let bell = bell();
+        for stabilizer in ["ZZ", "XX"] {
+            let p: PauliString = stabilizer.parse().unwrap();
+            assert!((p.expectation(&bell).unwrap() - 1.0).abs() < 1e-12, "{stabilizer}");
+            assert!(p.variance(&bell).unwrap().abs() < 1e-12);
+        }
+        // YY anti-stabilizes the |Φ+⟩ Bell state.
+        let yy: PauliString = "YY".parse().unwrap();
+        assert!((yy.expectation(&bell).unwrap() + 1.0).abs() < 1e-12);
+        // Single-qubit Zs are totally mixed.
+        for single in ["ZI", "IZ", "XI"] {
+            let p: PauliString = single.parse().unwrap();
+            assert!(p.expectation(&bell).unwrap().abs() < 1e-12, "{single}");
+            assert!((p.variance(&bell).unwrap() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn computational_basis_z_values() {
+        let s = StateVector::basis_state(3, 0b101).unwrap();
+        let check = |text: &str, expected: f64| {
+            let p: PauliString = text.parse().unwrap();
+            assert!((p.expectation(&s).unwrap() - expected).abs() < 1e-12, "{text}");
+        };
+        check("IIZ", -1.0); // qubit 0 is 1
+        check("IZI", 1.0); // qubit 1 is 0
+        check("ZII", -1.0); // qubit 2 is 1
+        check("ZIZ", 1.0); // product of the two −1s
+        check("III", 1.0);
+    }
+
+    #[test]
+    fn identity_builder_and_with_op() {
+        let p = PauliString::identity(4).with_op(1, Pauli::Y).with_op(3, Pauli::Z);
+        assert_eq!(p.to_string(), "ZIYI");
+        let s = StateVector::zero_state(4);
+        // Y on |0⟩ has zero Z-basis diagonal: ⟨Y⟩ = 0.
+        assert!(p.expectation(&s).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn width_mismatch_is_reported() {
+        let p: PauliString = "ZZ".parse().unwrap();
+        let s = StateVector::zero_state(3);
+        assert!(matches!(p.expectation(&s), Err(StateVecError::WidthMismatch { .. })));
+    }
+
+    #[test]
+    fn observable_expectation_and_eigenstate_variance() {
+        // H = Z on one qubit: |0⟩ is the +1 eigenstate → variance 0.
+        let h = Observable::new(1).with_term(1.0, "Z".parse().unwrap());
+        let zero = StateVector::zero_state(1);
+        assert!((h.expectation(&zero).unwrap() - 1.0).abs() < 1e-12);
+        assert!(h.variance(&zero).unwrap().abs() < 1e-12);
+        // |+⟩: ⟨Z⟩ = 0, variance 1.
+        let mut plus = StateVector::zero_state(1);
+        plus.apply_1q(&Matrix2::h(), 0).unwrap();
+        assert!(h.expectation(&plus).unwrap().abs() < 1e-12);
+        assert!((h.variance(&plus).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ising_pair_ground_state_energy() {
+        // H = −ZZ: the Bell state has energy −1 with zero variance (it is
+        // a ZZ eigenstate), and adding an X field shifts the expectation
+        // without breaking linearity.
+        let bell = bell();
+        let h = Observable::new(2).with_term(-1.0, "ZZ".parse().unwrap());
+        assert!((h.expectation(&bell).unwrap() + 1.0).abs() < 1e-12);
+        assert!(h.variance(&bell).unwrap().abs() < 1e-12);
+        let h2 = Observable::new(2)
+            .with_term(-1.0, "ZZ".parse().unwrap())
+            .with_term(0.7, "XX".parse().unwrap());
+        // ⟨XX⟩ = 1 on |Φ+⟩ too.
+        assert!((h2.expectation(&bell).unwrap() + 0.3).abs() < 1e-12);
+        // Variance of (−ZZ + 0.7·XX) on a common eigenstate is still 0.
+        assert!(h2.variance(&bell).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn observable_variance_of_non_commuting_sum() {
+        // H = Z + X on |0⟩: ⟨H⟩ = 1, ⟨H²⟩ = ⟨Z² + X² + {Z,X}⟩ = 2 → var 1.
+        let h = Observable::new(1)
+            .with_term(1.0, "Z".parse().unwrap())
+            .with_term(1.0, "X".parse().unwrap());
+        let zero = StateVector::zero_state(1);
+        assert!((h.expectation(&zero).unwrap() - 1.0).abs() < 1e-12);
+        assert!((h.variance(&zero).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match observable width")]
+    fn observable_rejects_mismatched_terms() {
+        let _ = Observable::new(2).with_term(1.0, "Z".parse().unwrap());
+    }
+
+    #[test]
+    fn observable_display_and_empty() {
+        let h = Observable::new(2).with_term(0.5, "ZI".parse().unwrap());
+        assert_eq!(h.to_string(), "0.5·ZI");
+        assert_eq!(Observable::new(2).to_string(), "0");
+        let zero = StateVector::zero_state(2);
+        assert_eq!(Observable::new(2).expectation(&zero).unwrap(), 0.0);
+    }
+}

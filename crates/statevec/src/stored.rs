@@ -1,0 +1,207 @@
+use crate::{C64, StateVector};
+
+/// Lossless, adaptive storage for a state vector at rest.
+///
+/// The paper's MSV metric exists because every cached frontier costs `2ⁿ`
+/// amplitudes; its related work points to compressed state representations
+/// as the complementary lever. `StoredState` implements the simplest exact
+/// variant: states whose amplitude vector is mostly **bitwise zero** (as in
+/// structured circuits — basis-state segments of BV, adders, modular
+/// arithmetic) are kept as `(index, amplitude)` pairs; dense states are
+/// kept verbatim. Reconstruction is exact up to the sign of zero (`-0.0`
+/// entries come back as `+0.0`, which is `==` and cannot change any
+/// probability, amplitude product, or sampled outcome), so executors built
+/// on it keep the outcome-equivalence guarantee.
+///
+/// ```
+/// use qsim_statevec::{StateVector, StoredState};
+///
+/// let psi = StateVector::basis_state(10, 37)?;
+/// let stored = StoredState::compress(&psi);
+/// assert!(stored.is_sparse());
+/// assert!(stored.stored_bytes() < StoredState::dense_bytes(10));
+/// assert_eq!(stored.to_state().amplitudes(), psi.amplitudes());
+/// # Ok::<(), qsim_statevec::StateVecError>(())
+/// ```
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Clone, Debug, PartialEq)]
+pub enum StoredState {
+    /// Kept as a full amplitude vector.
+    Dense(StateVector),
+    /// Kept as nonzero `(basis index, amplitude)` pairs, index-sorted.
+    Sparse {
+        /// Register width.
+        n_qubits: usize,
+        /// Nonzero entries in increasing index order.
+        entries: Vec<(usize, C64)>,
+    },
+}
+
+impl StoredState {
+    /// Sparse entries cost an index plus an amplitude; go sparse only when
+    /// that beats the dense layout.
+    const SPARSE_ENTRY_BYTES: usize = std::mem::size_of::<usize>() + std::mem::size_of::<C64>();
+
+    /// Compress by exact-zero elision when it saves memory, by value
+    /// otherwise.
+    pub fn compress(state: &StateVector) -> StoredState {
+        let dim = state.dim();
+        let nnz = state.amplitudes().iter().filter(|a| a.re != 0.0 || a.im != 0.0).count();
+        if nnz * Self::SPARSE_ENTRY_BYTES < dim * std::mem::size_of::<C64>() {
+            StoredState::Sparse {
+                n_qubits: state.n_qubits(),
+                entries: state
+                    .amplitudes()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, a)| a.re != 0.0 || a.im != 0.0)
+                    .map(|(i, &a)| (i, a))
+                    .collect(),
+            }
+        } else {
+            StoredState::Dense(state.clone())
+        }
+    }
+
+    /// Take ownership of a state, compressing if profitable (avoids one
+    /// clone relative to [`StoredState::compress`] in the dense case).
+    pub fn compress_owned(state: StateVector) -> StoredState {
+        match StoredState::compress(&state) {
+            StoredState::Dense(_) => StoredState::Dense(state),
+            sparse => sparse,
+        }
+    }
+
+    /// Reconstruct the dense state (exact up to the sign of zero).
+    pub fn to_state(&self) -> StateVector {
+        match self {
+            StoredState::Dense(state) => state.clone(),
+            StoredState::Sparse { n_qubits, entries } => {
+                let mut amps = vec![C64::new(0.0, 0.0); 1 << n_qubits];
+                for &(index, amp) in entries {
+                    amps[index] = amp;
+                }
+                StateVector::from_amplitudes(amps).expect("power-of-two length by construction")
+            }
+        }
+    }
+
+    /// Consume into a dense state (free for the dense variant).
+    pub fn into_state(self) -> StateVector {
+        match self {
+            StoredState::Dense(state) => state,
+            sparse => sparse.to_state(),
+        }
+    }
+
+    /// Register width.
+    pub fn n_qubits(&self) -> usize {
+        match self {
+            StoredState::Dense(state) => state.n_qubits(),
+            StoredState::Sparse { n_qubits, .. } => *n_qubits,
+        }
+    }
+
+    /// Whether the sparse representation was chosen.
+    pub fn is_sparse(&self) -> bool {
+        matches!(self, StoredState::Sparse { .. })
+    }
+
+    /// Approximate heap bytes held by this stored form.
+    pub fn stored_bytes(&self) -> usize {
+        match self {
+            StoredState::Dense(state) => state.dim() * std::mem::size_of::<C64>(),
+            StoredState::Sparse { entries, .. } => entries.len() * Self::SPARSE_ENTRY_BYTES,
+        }
+    }
+
+    /// Bytes a dense `n_qubits` state costs — the MSV unit price.
+    pub fn dense_bytes(n_qubits: usize) -> usize {
+        (1usize << n_qubits) * std::mem::size_of::<C64>()
+    }
+}
+
+impl From<StateVector> for StoredState {
+    fn from(state: StateVector) -> Self {
+        StoredState::compress_owned(state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Matrix2;
+
+    #[test]
+    fn basis_states_compress_sparse_and_roundtrip_exactly() {
+        for idx in [0usize, 1, 100, 511] {
+            let psi = StateVector::basis_state(9, idx).unwrap();
+            let stored = StoredState::compress(&psi);
+            assert!(stored.is_sparse());
+            assert_eq!(stored.n_qubits(), 9);
+            assert_eq!(stored.to_state().amplitudes(), psi.amplitudes());
+            assert!(stored.stored_bytes() < StoredState::dense_bytes(9) / 8);
+        }
+    }
+
+    #[test]
+    fn dense_states_stay_dense() {
+        let mut psi = StateVector::zero_state(6);
+        for q in 0..6 {
+            psi.apply_1q(&Matrix2::h(), q).unwrap();
+        }
+        let stored = StoredState::compress(&psi);
+        assert!(!stored.is_sparse());
+        assert_eq!(stored.stored_bytes(), StoredState::dense_bytes(6));
+        assert_eq!(stored.to_state().amplitudes(), psi.amplitudes());
+    }
+
+    #[test]
+    fn partial_superpositions_compress_when_profitable() {
+        // 2 nonzero amplitudes in a 2^8 space.
+        let mut psi = StateVector::zero_state(8);
+        psi.apply_1q(&Matrix2::h(), 3).unwrap();
+        let stored = StoredState::compress(&psi);
+        assert!(stored.is_sparse());
+        let rebuilt = stored.to_state();
+        assert_eq!(rebuilt.amplitudes(), psi.amplitudes());
+    }
+
+    #[test]
+    fn compress_owned_avoids_data_change() {
+        let psi = StateVector::basis_state(4, 9).unwrap();
+        let stored = StoredState::compress_owned(psi.clone());
+        assert_eq!(stored.to_state(), psi);
+        let stored: StoredState = psi.clone().into();
+        assert_eq!(stored.into_state(), psi);
+    }
+
+    #[test]
+    fn breakeven_prefers_dense_at_high_occupancy() {
+        // Fill ~3/4 of a 4-qubit register with nonzeros: sparse would cost
+        // 12 × 24 bytes > 16 × 16 bytes dense.
+        let mut amps = vec![C64::new(0.0, 0.0); 16];
+        for (i, amp) in amps.iter_mut().enumerate().take(12) {
+            *amp = C64::new(1.0 + i as f64, 0.0);
+        }
+        let psi = StateVector::from_amplitudes(amps).unwrap();
+        let stored = StoredState::compress(&psi);
+        assert!(!stored.is_sparse());
+    }
+
+    #[test]
+    fn negative_zero_is_preserved_bitwise() {
+        // -0.0 has re == 0.0 under IEEE comparison, so it is elided; the
+        // reconstruction gives +0.0, which is == and produces identical
+        // downstream arithmetic for our kernels (0.0 * x == -0.0 * x).
+        let mut amps = vec![C64::new(0.0, 0.0); 4];
+        amps[2] = C64::new(1.0, 0.0);
+        amps[1] = C64::new(-0.0, 0.0);
+        let psi = StateVector::from_amplitudes(amps).unwrap();
+        let stored = StoredState::compress(&psi);
+        assert!(stored.is_sparse());
+        let rebuilt = stored.to_state();
+        assert_eq!(rebuilt.probability(2), 1.0);
+        assert_eq!(rebuilt.probability(1), 0.0);
+    }
+}

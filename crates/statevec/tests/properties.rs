@@ -1,0 +1,141 @@
+//! Property-based tests for the state-vector substrate.
+
+use proptest::prelude::*;
+use qsim_statevec::{Matrix2, Matrix4, Pauli, StateVector};
+
+const TOL: f64 = 1e-9;
+
+fn arb_angle() -> impl Strategy<Value = f64> {
+    -6.3f64..6.3f64
+}
+
+fn arb_u() -> impl Strategy<Value = Matrix2> {
+    (arb_angle(), arb_angle(), arb_angle()).prop_map(|(t, p, l)| Matrix2::u(t, p, l))
+}
+
+fn arb_pauli() -> impl Strategy<Value = Pauli> {
+    prop_oneof![Just(Pauli::X), Just(Pauli::Y), Just(Pauli::Z)]
+}
+
+/// Prepare a pseudo-random 3-qubit product state from three U gates.
+fn prepared_state(us: &[Matrix2; 3]) -> StateVector {
+    let mut s = StateVector::zero_state(3);
+    for (q, u) in us.iter().enumerate() {
+        s.apply_1q(u, q).expect("valid qubit");
+    }
+    s
+}
+
+proptest! {
+    #[test]
+    fn u_gates_are_always_unitary(u in arb_u()) {
+        prop_assert!(u.is_unitary(TOL));
+    }
+
+    #[test]
+    fn unitary_application_preserves_norm(
+        us in [arb_u(), arb_u(), arb_u()],
+        extra in arb_u(),
+        q in 0usize..3,
+    ) {
+        let mut s = prepared_state(&us);
+        s.apply_1q(&extra, q).unwrap();
+        prop_assert!((s.norm_sqr() - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn gate_then_adjoint_is_identity(us in [arb_u(), arb_u(), arb_u()], g in arb_u(), q in 0usize..3) {
+        let s0 = prepared_state(&us);
+        let mut s = s0.clone();
+        s.apply_1q(&g, q).unwrap();
+        s.apply_1q(&g.adjoint(), q).unwrap();
+        prop_assert!(s.fidelity(&s0).unwrap() > 1.0 - TOL);
+    }
+
+    #[test]
+    fn pauli_twice_is_identity(us in [arb_u(), arb_u(), arb_u()], p in arb_pauli(), q in 0usize..3) {
+        let s0 = prepared_state(&us);
+        let mut s = s0.clone();
+        s.apply_pauli(p, q).unwrap();
+        s.apply_pauli(p, q).unwrap();
+        for (a, b) in s.amplitudes().iter().zip(s0.amplitudes()) {
+            prop_assert!((a - b).norm() < TOL);
+        }
+    }
+
+    #[test]
+    fn pauli_fast_path_equals_matrix(us in [arb_u(), arb_u(), arb_u()], p in arb_pauli(), q in 0usize..3) {
+        let mut a = prepared_state(&us);
+        let mut b = a.clone();
+        a.apply_pauli(p, q).unwrap();
+        b.apply_1q(&p.matrix(), q).unwrap();
+        for (x, y) in a.amplitudes().iter().zip(b.amplitudes()) {
+            prop_assert!((x - y).norm() < TOL);
+        }
+    }
+
+    #[test]
+    fn commuting_1q_gates_on_distinct_qubits(
+        us in [arb_u(), arb_u(), arb_u()],
+        g1 in arb_u(),
+        g2 in arb_u(),
+    ) {
+        let mut a = prepared_state(&us);
+        let mut b = a.clone();
+        a.apply_1q(&g1, 0).unwrap();
+        a.apply_1q(&g2, 2).unwrap();
+        b.apply_1q(&g2, 2).unwrap();
+        b.apply_1q(&g1, 0).unwrap();
+        for (x, y) in a.amplitudes().iter().zip(b.amplitudes()) {
+            prop_assert!((x - y).norm() < TOL);
+        }
+    }
+
+    #[test]
+    fn two_qubit_kernel_matches_kron(us in [arb_u(), arb_u(), arb_u()], g1 in arb_u(), g2 in arb_u()) {
+        let mut a = prepared_state(&us);
+        let mut b = a.clone();
+        a.apply_2q(&Matrix4::kron(&g2, &g1), 0, 1).unwrap();
+        b.apply_1q(&g1, 0).unwrap();
+        b.apply_1q(&g2, 1).unwrap();
+        for (x, y) in a.amplitudes().iter().zip(b.amplitudes()) {
+            prop_assert!((x - y).norm() < TOL);
+        }
+    }
+
+    #[test]
+    fn swapped_operands_identity(us in [arb_u(), arb_u(), arb_u()], g1 in arb_u(), g2 in arb_u()) {
+        let m = Matrix4::kron(&g2, &g1);
+        let mut a = prepared_state(&us);
+        let mut b = a.clone();
+        a.apply_2q(&m, 0, 2).unwrap();
+        b.apply_2q(&m.swapped_operands(), 2, 0).unwrap();
+        for (x, y) in a.amplitudes().iter().zip(b.amplitudes()) {
+            prop_assert!((x - y).norm() < TOL);
+        }
+    }
+
+    #[test]
+    fn zyz_angles_reconstruct_any_u(u in arb_u()) {
+        let (t, p, l) = u.zyz_angles();
+        let rebuilt = Matrix2::u(t, p, l);
+        prop_assert!(rebuilt.approx_eq_up_to_phase(&u, 1e-8));
+    }
+
+    #[test]
+    fn probabilities_sum_to_one(us in [arb_u(), arb_u(), arb_u()]) {
+        let s = prepared_state(&us);
+        let total: f64 = s.probabilities().iter().sum();
+        prop_assert!((total - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn fidelity_is_symmetric(us in [arb_u(), arb_u(), arb_u()], vs in [arb_u(), arb_u(), arb_u()]) {
+        let a = prepared_state(&us);
+        let b = prepared_state(&vs);
+        let f_ab = a.fidelity(&b).unwrap();
+        let f_ba = b.fidelity(&a).unwrap();
+        prop_assert!((f_ab - f_ba).abs() < TOL);
+        prop_assert!((-TOL..=1.0 + TOL).contains(&f_ab));
+    }
+}

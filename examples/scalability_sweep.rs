@@ -1,0 +1,38 @@
+//! A miniature of the paper's scalability study (Figs. 7–8): sweep quantum
+//! volume circuits and error rates, reporting computation saving and MSVs
+//! from the static analyzer — no amplitudes are ever allocated, which is
+//! why this works for 30+ qubit circuits on a laptop.
+//!
+//! Run with: `cargo run --release --example scalability_sweep [trials]`
+
+use noisy_qsim::circuit::catalog;
+use noisy_qsim::noise::{NoiseModel, TrialGenerator};
+use noisy_qsim::redsim::analysis::analyze_sorted;
+use noisy_qsim::redsim::order::reorder;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trials: usize =
+        std::env::args().nth(1).map(|s| s.parse()).transpose()?.unwrap_or(100_000);
+    println!("{trials} trials per configuration\n");
+    println!("{:<10} {:>12} {:>14} {:>8}", "circuit", "1q rate", "normalized", "MSVs");
+
+    for (n_qubits, depth) in [(10, 10), (20, 10), (30, 10)] {
+        let layered = catalog::quantum_volume(n_qubits, depth, 99).layered()?;
+        for rate in [1e-3, 1e-4] {
+            let model = NoiseModel::artificial(n_qubits, rate);
+            let generator = TrialGenerator::new(&layered, &model)?;
+            let mut set = generator.generate_fast(trials, 5).into_trials();
+            reorder(&mut set);
+            let report = analyze_sorted(&layered, &set)?;
+            println!(
+                "{:<10} {:>12.0e} {:>14.3} {:>8}",
+                format!("n{n_qubits},d{depth}"),
+                rate,
+                report.normalized_computation(),
+                report.msv_peak
+            );
+        }
+    }
+    println!("\nreading: savings grow as error rates shrink; MSVs stay small throughout.");
+    Ok(())
+}

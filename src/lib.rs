@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+//! # noisy-qsim
+//!
+//! Facade crate for the reproduction of *Eliminating Redundant Computation
+//! in Noisy Quantum Computing Simulation* (DAC 2020). It re-exports the
+//! workspace crates under stable module names and hosts the runnable
+//! examples and cross-crate integration tests.
+//!
+//! * [`statevec`] — dense state-vector substrate.
+//! * [`circuit`] — circuit IR, transpiler, benchmark catalog.
+//! * [`qasm`] — OpenQASM 2.0 front end.
+//! * [`noise`] — error models and Monte-Carlo trial generation.
+//! * [`redsim`] — the paper's contribution: trial reordering and
+//!   prefix-state-cached execution.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use noisy_qsim::circuit::catalog;
+//! let qc = catalog::bv(4, 0b101);
+//! assert_eq!(qc.n_qubits(), 4);
+//! ```
+
+pub use qsim_circuit as circuit;
+pub use qsim_noise as noise;
+pub use qsim_qasm as qasm;
+pub use qsim_statevec as statevec;
+pub use redsim;
+
+/// One-line import for the common workflow:
+/// `use noisy_qsim::prelude::*;`.
+pub mod prelude {
+    pub use qsim_circuit::{catalog, Circuit, CouplingMap, Gate, LayeredCircuit};
+    pub use qsim_circuit::transpile::{transpile, TranspileOptions};
+    pub use qsim_noise::{NoiseModel, PauliWeights, TrialGenerator, TrialSet};
+    pub use qsim_statevec::{MeasureOutcome, Pauli, PauliString, StateVector};
+    pub use redsim::{CostReport, Histogram, RunResult, Simulation};
+}

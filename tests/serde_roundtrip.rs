@@ -1,0 +1,84 @@
+//! JSON round-trips for the workspace's data structures (the root crate's
+//! dev-dependencies enable the `serde` features).
+
+use noisy_qsim::circuit::{catalog, Circuit, CouplingMap, LayeredCircuit};
+use noisy_qsim::noise::{NoiseModel, PauliWeights, TrialGenerator, TrialSet};
+use noisy_qsim::redsim::{CostReport, Simulation};
+use noisy_qsim::statevec::{MeasureOutcome, Pauli, PauliString, StateVector, StoredState};
+
+fn roundtrip<T>(value: &T) -> T
+where
+    T: serde::Serialize + serde::de::DeserializeOwned,
+{
+    let json = serde_json::to_string(value).expect("serializes");
+    serde_json::from_str(&json).expect("deserializes")
+}
+
+#[test]
+fn statevec_types_roundtrip() {
+    assert_eq!(roundtrip(&Pauli::Y), Pauli::Y);
+    let outcome = MeasureOutcome::from_index(0b101, 4);
+    assert_eq!(roundtrip(&outcome), outcome);
+    let mut psi = StateVector::zero_state(3);
+    psi.apply_1q(&noisy_qsim::statevec::Matrix2::u(0.7, 0.2, -0.4), 1).expect("valid");
+    assert_eq!(roundtrip(&psi), psi);
+    let stored = StoredState::compress(&StateVector::basis_state(6, 9).expect("valid"));
+    assert_eq!(roundtrip(&stored), stored);
+    let pauli_string: PauliString = "ZIX".parse().expect("parses");
+    assert_eq!(roundtrip(&pauli_string), pauli_string);
+}
+
+#[test]
+fn circuit_types_roundtrip() {
+    let circuit = catalog::qft(4);
+    let recovered: Circuit = roundtrip(&circuit);
+    assert_eq!(recovered, circuit);
+    // The recovered circuit still simulates to the same state.
+    let a = circuit.simulate().expect("simulates");
+    let b = recovered.simulate().expect("simulates");
+    assert!(a.fidelity(&b).expect("same width") > 1.0 - 1e-12);
+    let layered: LayeredCircuit = circuit.layered().expect("layers");
+    assert_eq!(roundtrip(&layered), layered);
+    let map = CouplingMap::yorktown();
+    assert_eq!(roundtrip(&map), map);
+}
+
+#[test]
+fn noise_types_roundtrip() {
+    let weights = PauliWeights::new(1e-3, 2e-3, 3e-3).expect("valid");
+    assert_eq!(roundtrip(&weights), weights);
+    let mut model = NoiseModel::ibm_yorktown();
+    model.set_idle_weights_all(PauliWeights::dephasing(1e-4));
+    assert_eq!(roundtrip(&model), model);
+    let layered = catalog::bv(4, 0b101).layered().expect("layers");
+    let trials: TrialSet = TrialGenerator::new(&layered, &NoiseModel::uniform(4, 0.05, 0.2, 0.1))
+        .expect("native")
+        .generate(100, 3);
+    assert_eq!(roundtrip(&trials), trials);
+}
+
+#[test]
+fn reports_roundtrip_and_replay_is_exact() {
+    let mut sim = Simulation::from_circuit(
+        &catalog::bv(4, 0b111),
+        NoiseModel::uniform(4, 1e-2, 5e-2, 1e-2),
+    )
+    .expect("valid model");
+    sim.generate_trials(200, 9).expect("generates");
+    let report: CostReport = sim.analyze().expect("analyzes");
+    assert_eq!(roundtrip(&report), report);
+    let result = sim.run_reordered().expect("runs");
+    assert_eq!(roundtrip(&result.stats), result.stats);
+    // Full replay through JSON: serialize trials, reload, re-run, identical
+    // outcomes.
+    let trials_json = serde_json::to_string(sim.trials().expect("generated")).expect("serializes");
+    let reloaded: TrialSet = serde_json::from_str(&trials_json).expect("deserializes");
+    let mut sim2 = Simulation::from_circuit(
+        &catalog::bv(4, 0b111),
+        NoiseModel::uniform(4, 1e-2, 5e-2, 1e-2),
+    )
+    .expect("valid model");
+    sim2.set_trials(reloaded).expect("geometry matches");
+    let replayed = sim2.run_reordered().expect("runs");
+    assert_eq!(replayed.outcomes, result.outcomes);
+}

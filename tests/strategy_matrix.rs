@@ -1,0 +1,67 @@
+//! The full strategy matrix: every execution strategy × every compiled
+//! Table-I benchmark × both trial generators must produce outcomes bitwise
+//! identical to the baseline. This is the repository's broadest single
+//! correctness statement.
+
+use noisy_qsim::circuit::transpile::{transpile, TranspileOptions};
+use noisy_qsim::circuit::{catalog, CouplingMap};
+use noisy_qsim::noise::{NoiseModel, TrialGenerator};
+use noisy_qsim::redsim::compressed::run_reordered_compressed;
+use noisy_qsim::redsim::exec::{BaselineExecutor, ReuseExecutor};
+use noisy_qsim::redsim::parallel::run_reordered_parallel;
+
+#[test]
+fn every_strategy_agrees_on_every_benchmark() {
+    let options = TranspileOptions::for_device(CouplingMap::yorktown());
+    let model = NoiseModel::ibm_yorktown();
+    let mut checked = 0usize;
+    for logical in catalog::realistic_suite() {
+        let compiled = transpile(&logical, &options).expect("compiles");
+        let layered = compiled.circuit.layered().expect("layers");
+        let generator = TrialGenerator::new(&layered, &model).expect("native");
+        for (label, set) in
+            [("direct", generator.generate(150, 3)), ("fast", generator.generate_fast(150, 3))]
+        {
+            let reference = BaselineExecutor::new(&layered).run(set.trials()).expect("baseline");
+            let strategies: Vec<(&str, Vec<_>)> = vec![
+                (
+                    "reuse",
+                    ReuseExecutor::new(&layered).run(set.trials()).expect("reuse").outcomes,
+                ),
+                (
+                    "budget-1",
+                    ReuseExecutor::new(&layered)
+                        .run_with_budget(set.trials(), 1)
+                        .expect("budget")
+                        .outcomes,
+                ),
+                (
+                    "budget-2",
+                    ReuseExecutor::new(&layered)
+                        .run_with_budget(set.trials(), 2)
+                        .expect("budget")
+                        .outcomes,
+                ),
+                (
+                    "compressed",
+                    run_reordered_compressed(&layered, set.trials()).expect("compressed").0.outcomes,
+                ),
+                (
+                    "parallel-3",
+                    run_reordered_parallel(&layered, set.trials(), 3).expect("parallel").outcomes,
+                ),
+            ];
+            for (strategy, outcomes) in strategies {
+                assert_eq!(
+                    outcomes,
+                    reference.outcomes,
+                    "{} / {label} generator / {strategy} diverged",
+                    logical.name()
+                );
+                checked += 1;
+            }
+        }
+    }
+    // 12 benchmarks × 2 generators × 5 strategies.
+    assert_eq!(checked, 120);
+}
