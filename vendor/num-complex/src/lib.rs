@@ -1,0 +1,352 @@
+//! Minimal offline stand-in for the `num-complex` crate.
+//!
+//! The build container has no network access to crates.io, so the workspace
+//! vendors the slice of the `num-complex` API it actually uses: `Complex<f64>`
+//! (via the [`Complex64`] alias) with the usual field access, constructors,
+//! arithmetic operators, and polar helpers. Semantics match the upstream
+//! crate for every method provided here.
+
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number `re + im·i`.
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct Complex<T> {
+    /// Real part.
+    pub re: T,
+    /// Imaginary part.
+    pub im: T,
+}
+
+/// Double-precision complex number.
+pub type Complex64 = Complex<f64>;
+/// Single-precision complex number.
+pub type Complex32 = Complex<f32>;
+
+impl<T> Complex<T> {
+    /// Build a complex number from rectangular parts.
+    pub const fn new(re: T, im: T) -> Self {
+        Complex { re, im }
+    }
+}
+
+impl Complex<f64> {
+    /// The imaginary unit `i`.
+    pub const fn i() -> Self {
+        Complex::new(0.0, 1.0)
+    }
+
+    /// Build from polar form `r·e^{iθ}`.
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Complex::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// Squared magnitude `re² + im²`.
+    pub fn norm_sqr(&self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude.
+    pub fn norm(&self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Phase angle in `(-π, π]`.
+    pub fn arg(&self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex conjugate.
+    pub fn conj(&self) -> Self {
+        Complex::new(self.re, -self.im)
+    }
+
+    /// Multiply by a real scalar.
+    pub fn scale(&self, t: f64) -> Self {
+        Complex::new(self.re * t, self.im * t)
+    }
+
+    /// Divide by a real scalar.
+    pub fn unscale(&self, t: f64) -> Self {
+        Complex::new(self.re / t, self.im / t)
+    }
+
+    /// Multiplicative inverse.
+    pub fn inv(&self) -> Self {
+        let d = self.norm_sqr();
+        Complex::new(self.re / d, -self.im / d)
+    }
+
+    /// Complex exponential.
+    pub fn exp(&self) -> Self {
+        Complex::from_polar(self.re.exp(), self.im)
+    }
+
+    /// Complex square root (principal branch).
+    pub fn sqrt(&self) -> Self {
+        Complex::from_polar(self.norm().sqrt(), self.arg() / 2.0)
+    }
+
+    /// Integer power by repeated squaring through polar form.
+    pub fn powi(&self, exp: i32) -> Self {
+        Complex::from_polar(self.norm().powi(exp), self.arg() * f64::from(exp))
+    }
+
+    /// True when both parts are finite.
+    pub fn is_finite(&self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl Add for Complex<f64> {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex<f64> {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex<f64> {
+    type Output = Self;
+    fn mul(self, rhs: Self) -> Self {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for Complex<f64> {
+    type Output = Self;
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    fn div(self, rhs: Self) -> Self {
+        let d = rhs.norm_sqr();
+        Complex::new(
+            (self.re * rhs.re + self.im * rhs.im) / d,
+            (self.im * rhs.re - self.re * rhs.im) / d,
+        )
+    }
+}
+
+impl Neg for Complex<f64> {
+    type Output = Self;
+    fn neg(self) -> Self {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl Add<f64> for Complex<f64> {
+    type Output = Self;
+    fn add(self, rhs: f64) -> Self {
+        Complex::new(self.re + rhs, self.im)
+    }
+}
+
+impl Sub<f64> for Complex<f64> {
+    type Output = Self;
+    fn sub(self, rhs: f64) -> Self {
+        Complex::new(self.re - rhs, self.im)
+    }
+}
+
+impl Mul<f64> for Complex<f64> {
+    type Output = Self;
+    fn mul(self, rhs: f64) -> Self {
+        Complex::new(self.re * rhs, self.im * rhs)
+    }
+}
+
+impl Div<f64> for Complex<f64> {
+    type Output = Self;
+    fn div(self, rhs: f64) -> Self {
+        Complex::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Add<Complex<f64>> for f64 {
+    type Output = Complex<f64>;
+    fn add(self, rhs: Complex<f64>) -> Complex<f64> {
+        Complex::new(self + rhs.re, rhs.im)
+    }
+}
+
+impl Sub<Complex<f64>> for f64 {
+    type Output = Complex<f64>;
+    fn sub(self, rhs: Complex<f64>) -> Complex<f64> {
+        Complex::new(self - rhs.re, -rhs.im)
+    }
+}
+
+impl Mul<Complex<f64>> for f64 {
+    type Output = Complex<f64>;
+    fn mul(self, rhs: Complex<f64>) -> Complex<f64> {
+        Complex::new(self * rhs.re, self * rhs.im)
+    }
+}
+
+/// Forward reference-operand combinations to the by-value impls, the way
+/// upstream num-complex does.
+macro_rules! forward_ref_binop {
+    ($($imp:ident :: $method:ident for $rhs:ty),*) => {$(
+        impl $imp<&$rhs> for Complex<f64> {
+            type Output = Complex<f64>;
+            fn $method(self, rhs: &$rhs) -> Complex<f64> {
+                $imp::$method(self, *rhs)
+            }
+        }
+        impl $imp<$rhs> for &Complex<f64> {
+            type Output = Complex<f64>;
+            fn $method(self, rhs: $rhs) -> Complex<f64> {
+                $imp::$method(*self, rhs)
+            }
+        }
+        impl $imp<&$rhs> for &Complex<f64> {
+            type Output = Complex<f64>;
+            fn $method(self, rhs: &$rhs) -> Complex<f64> {
+                $imp::$method(*self, *rhs)
+            }
+        }
+    )*};
+}
+
+forward_ref_binop!(
+    Add::add for Complex<f64>, Sub::sub for Complex<f64>,
+    Mul::mul for Complex<f64>, Div::div for Complex<f64>,
+    Add::add for f64, Sub::sub for f64, Mul::mul for f64, Div::div for f64
+);
+
+impl Neg for &Complex<f64> {
+    type Output = Complex<f64>;
+    fn neg(self) -> Complex<f64> {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl AddAssign for Complex<f64> {
+    fn add_assign(&mut self, rhs: Self) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl SubAssign for Complex<f64> {
+    fn sub_assign(&mut self, rhs: Self) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl MulAssign for Complex<f64> {
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Complex<f64> {
+    fn div_assign(&mut self, rhs: Self) {
+        *self = *self / rhs;
+    }
+}
+
+impl MulAssign<f64> for Complex<f64> {
+    fn mul_assign(&mut self, rhs: f64) {
+        self.re *= rhs;
+        self.im *= rhs;
+    }
+}
+
+impl DivAssign<f64> for Complex<f64> {
+    fn div_assign(&mut self, rhs: f64) {
+        self.re /= rhs;
+        self.im /= rhs;
+    }
+}
+
+impl AddAssign<&Complex<f64>> for Complex<f64> {
+    fn add_assign(&mut self, rhs: &Complex<f64>) {
+        *self += *rhs;
+    }
+}
+
+impl SubAssign<&Complex<f64>> for Complex<f64> {
+    fn sub_assign(&mut self, rhs: &Complex<f64>) {
+        *self -= *rhs;
+    }
+}
+
+impl Sum for Complex<f64> {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Complex::new(0.0, 0.0), |a, b| a + b)
+    }
+}
+
+impl<'a> Sum<&'a Complex<f64>> for Complex<f64> {
+    fn sum<I: Iterator<Item = &'a Complex<f64>>>(iter: I) -> Self {
+        iter.fold(Complex::new(0.0, 0.0), |a, b| a + *b)
+    }
+}
+
+impl From<f64> for Complex<f64> {
+    fn from(re: f64) -> Self {
+        Complex::new(re, 0.0)
+    }
+}
+
+impl std::fmt::Display for Complex<f64> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.im < 0.0 {
+            write!(f, "{}-{}i", self.re, -self.im)
+        } else {
+            write!(f, "{}+{}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(feature = "serde")]
+impl serde::Serialize for Complex<f64> {
+    fn to_value(&self) -> serde::value::Value {
+        serde::value::Value::Seq(vec![
+            serde::Serialize::to_value(&self.re),
+            serde::Serialize::to_value(&self.im),
+        ])
+    }
+}
+
+#[cfg(feature = "serde")]
+impl<'de> serde::Deserialize<'de> for Complex<f64> {
+    fn from_value(value: &serde::value::Value) -> Result<Self, serde::de::DeError> {
+        let parts: Vec<f64> = serde::Deserialize::from_value(value)?;
+        if parts.len() != 2 {
+            return Err(serde::de::DeError::new("expected [re, im] pair"));
+        }
+        Ok(Complex::new(parts[0], parts[1]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_matches_hand_results() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        assert_eq!(a * b, Complex::new(5.0, 5.0));
+        assert_eq!(a + b, Complex::new(4.0, 1.0));
+        let q = (a / b) * b;
+        assert!((q - a).norm() < 1e-12);
+    }
+
+    #[test]
+    fn polar_roundtrip() {
+        let c = Complex::from_polar(2.0, 0.5);
+        assert!((c.norm() - 2.0).abs() < 1e-12);
+        assert!((c.arg() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,545 @@
+//! Minimal offline stand-in for `proptest`.
+//!
+//! Implements the slice of the proptest API this workspace's property tests
+//! use: the [`Strategy`] trait with ranges / tuples / `prop_map` /
+//! [`collection::vec`] / [`prop_oneof!`] / [`Just`] / [`any`], and the
+//! [`proptest!`] macro with `#![proptest_config(...)]` support. Generation
+//! is deterministic (fixed seed per test function, varied per case); there
+//! is no shrinking — on failure the offending inputs are printed as-is.
+
+use std::fmt::Debug;
+use std::ops::Range;
+
+/// Deterministic generator driving all strategies (SplitMix64 core).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeded construction; each test case gets its own stream.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed ^ 0x5DEE_CE66_D1CE_4E5B }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % bound;
+            }
+        }
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value: Debug;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Always yields a clone of the wrapped value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice between boxed strategies (the [`prop_oneof!`] backend).
+pub struct Union<T: Debug> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T: Debug> Union<T> {
+    /// Build from the candidate strategies.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.options.len() as u64) as usize;
+        self.options[idx].generate(rng)
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as i128 - start as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (start as i128 + rng.below(span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl<S: Strategy, const N: usize> Strategy for [S; N] {
+    type Value = [S::Value; N];
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        std::array::from_fn(|i| self[i].generate(rng))
+    }
+}
+
+/// String strategies from regex-like patterns, as in upstream proptest.
+///
+/// Only the subset the workspace uses is supported: a single `.` atom with
+/// a `{m,n}` repetition (arbitrary strings of bounded length), plus plain
+/// literals containing no regex metacharacters.
+impl Strategy for str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        if let Some((min, max)) = parse_dot_repetition(self) {
+            let len = min + rng.below((max - min + 1) as u64) as usize;
+            return (0..len).map(|_| arbitrary_char(rng)).collect();
+        }
+        assert!(
+            !self.contains(['.', '*', '+', '?', '[', '(', '{', '\\', '|']),
+            "unsupported regex pattern {self:?}: the vendored proptest stub only \
+             supports `.{{m,n}}` and literal strings"
+        );
+        self.to_owned()
+    }
+}
+
+/// Match `.{m,n}` exactly; returns the inclusive length bounds.
+fn parse_dot_repetition(pattern: &str) -> Option<(usize, usize)> {
+    let body = pattern.strip_prefix(".{")?.strip_suffix('}')?;
+    let (min, max) = body.split_once(',')?;
+    Some((min.trim().parse().ok()?, max.trim().parse().ok()?))
+}
+
+/// A char distribution that stresses parsers: mostly printable ASCII, with
+/// control characters and arbitrary Unicode mixed in.
+fn arbitrary_char(rng: &mut TestRng) -> char {
+    match rng.below(10) {
+        0 => char::from_u32(rng.below(0x20) as u32).unwrap_or('\u{1}'),
+        1 => {
+            let raw = rng.below(0x11_0000) as u32;
+            char::from_u32(raw).unwrap_or('\u{fffd}')
+        }
+        _ => char::from_u32(0x20 + rng.below(0x5f) as u32).unwrap_or(' '),
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// Types with a canonical full-range strategy, for [`any`].
+pub trait Arbitrary: Debug + Sized {
+    /// The strategy type [`any`] returns.
+    type Strategy: Strategy<Value = Self>;
+
+    /// The canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Full-range strategy for primitives.
+#[derive(Clone, Debug, Default)]
+pub struct AnyPrimitive<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyPrimitive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyPrimitive<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyPrimitive { _marker: std::marker::PhantomData }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for AnyPrimitive<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyPrimitive<bool>;
+    fn arbitrary() -> Self::Strategy {
+        AnyPrimitive { _marker: std::marker::PhantomData }
+    }
+}
+
+/// The canonical strategy for `T` (`any::<u8>()` etc.).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::fmt::Debug;
+    use std::ops::Range;
+
+    /// Length specification for [`vec`]: a fixed size or a range.
+    pub trait SizeRange {
+        /// Draw a length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty size range");
+            self.start + rng.below((self.end - self.start) as u64) as usize
+        }
+    }
+
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            let (start, end) = (*self.start(), *self.end());
+            assert!(start <= end, "empty size range");
+            start + rng.below((end - start + 1) as u64) as usize
+        }
+    }
+
+    /// Strategy yielding vectors of `element` values.
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    /// `vec(element, len)` — a vector strategy (proptest-compatible shape).
+    pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R>
+    where
+        S::Value: Debug,
+    {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Per-test configuration (`#![proptest_config(...)]`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Everything the tests import.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, prop_oneof, proptest,
+        Arbitrary, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Hash a test-function name into a per-test base seed (deterministic).
+pub fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Assert inside a property; failure reports the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Equality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_eq!($left, $right, $($fmt)*);
+    };
+}
+
+/// Inequality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_ne!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_ne!($left, $right, $($fmt)*);
+    };
+}
+
+/// Compose existing strategies into a named strategy-returning function,
+/// upstream-style: `fn name(outer)(bindings) -> Out { body }`.
+#[macro_export]
+macro_rules! prop_compose {
+    (
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident($($arg:ident: $argty:ty),* $(,)?)(
+            $($pat:pat in $strategy:expr),+ $(,)?
+        ) -> $out:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($arg: $argty),*) -> impl $crate::Strategy<Value = $out> {
+            $crate::Strategy::prop_map(($($strategy,)+), move |($($pat,)+)| $body)
+        }
+    };
+}
+
+/// Uniform choice among strategies yielding the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(Box::new($strategy) as Box<dyn $crate::Strategy<Value = _>>),+
+        ])
+    };
+}
+
+/// Define property tests: each `fn` runs `cases` times over fresh inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $config;
+                $crate::__run_property!(__config, $name, ($($pat in $strategy),+) $body);
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $crate::ProptestConfig::default();
+                $crate::__run_property!(__config, $name, ($($pat in $strategy),+) $body);
+            }
+        )*
+    };
+}
+
+/// Internal: drive one property function. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __run_property {
+    ($config:expr, $name:ident, ($($pat:pat in $strategy:expr),+) $body:block) => {{
+        let __base = $crate::seed_for(stringify!($name));
+        for __case in 0..$config.cases {
+            let mut __rng = $crate::TestRng::new(
+                __base ^ (u64::from(__case)).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
+            let __values = ($($crate::Strategy::generate(&$strategy, &mut __rng),)+);
+            let __debug = format!("{:?}", __values);
+            let ($($pat,)+) = __values;
+            // The body runs in a Result-returning closure so upstream-style
+            // early exits (`return Ok(())`) compile unchanged.
+            let __outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                || -> ::std::result::Result<(), ::std::string::String> {
+                    $body
+                    ::std::result::Result::Ok(())
+                },
+            ));
+            match __outcome {
+                Ok(Ok(())) => {}
+                Ok(Err(__msg)) => {
+                    eprintln!(
+                        "proptest case {} of {} failed for inputs: {}",
+                        __case + 1,
+                        $config.cases,
+                        __debug
+                    );
+                    panic!("{}", __msg);
+                }
+                Err(__panic) => {
+                    eprintln!(
+                        "proptest case {} of {} failed for inputs: {}",
+                        __case + 1,
+                        $config.cases,
+                        __debug
+                    );
+                    ::std::panic::resume_unwind(__panic);
+                }
+            }
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..17, y in -2.5f64..2.5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.5..2.5).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths_respect_spec(v in crate::collection::vec(0u8..10, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&b| b < 10));
+        }
+
+        #[test]
+        fn oneof_and_map_compose(v in prop_oneof![Just(1u8), Just(2u8)].prop_map(|x| x * 3)) {
+            prop_assert!(v == 3 || v == 6);
+        }
+    }
+
+    #[test]
+    fn seeds_differ_between_names() {
+        assert_ne!(crate::seed_for("a"), crate::seed_for("b"));
+    }
+}

@@ -1,0 +1,248 @@
+//! Deserialization half of the reduced data model.
+
+use std::fmt;
+
+use crate::value::Value;
+
+/// Deserialization failure with a plain-text message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Build from any message.
+    pub fn new<T: fmt::Display>(msg: T) -> Self {
+        DeError(msg.to_string())
+    }
+
+    /// Standard "expected X, found Y" message.
+    pub fn expected(what: &str, found: &Value) -> Self {
+        DeError(format!("expected {what}, found {}", found.kind()))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Error constructor trait, so `with`-modules can write `D::Error::custom`.
+pub trait Error: Sized {
+    /// Build an error from any displayable message.
+    fn custom<T: fmt::Display>(msg: T) -> Self;
+}
+
+impl Error for DeError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        DeError::new(msg)
+    }
+}
+
+/// Source of a parsed [`Value`] tree.
+pub trait Deserializer<'de>: Sized {
+    /// Deserialization failure.
+    type Error: Error;
+
+    /// Yield the parsed tree.
+    fn take_value(self) -> Result<Value, Self::Error>;
+}
+
+/// A type reconstructible from the data model.
+pub trait Deserialize<'de>: Sized {
+    /// Rebuild `Self` from a [`Value`] tree.
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+
+    /// Pull a tree out of `deserializer` and rebuild (provided).
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let value = deserializer.take_value()?;
+        Self::from_value(&value).map_err(|e| D::Error::custom(e.0))
+    }
+}
+
+/// Marker for types deserializable without borrowing from the input.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// The identity deserializer over a borrowed [`Value`] (used by derived
+/// impls to drive `with = "module"` deserialize functions).
+pub struct ValueDeserializer<'de>(pub &'de Value);
+
+impl<'de> Deserializer<'de> for ValueDeserializer<'de> {
+    type Error = DeError;
+
+    fn take_value(self) -> Result<Value, DeError> {
+        Ok(self.0.clone())
+    }
+}
+
+/// Look up a required object entry (used by derived impls).
+pub fn field_value<'a>(
+    entries: &'a [(String, Value)],
+    name: &str,
+) -> Result<&'a Value, DeError> {
+    entries
+        .iter()
+        .find(|(key, _)| key == name)
+        .map(|(_, value)| value)
+        .ok_or_else(|| DeError(format!("missing field `{name}`")))
+}
+
+/// Look up and deserialize a required object entry (used by derived impls).
+pub fn field<T: DeserializeOwned>(
+    entries: &[(String, Value)],
+    name: &str,
+) -> Result<T, DeError> {
+    T::from_value(field_value(entries, name)?)
+}
+
+fn integer(value: &Value) -> Result<i128, DeError> {
+    match value {
+        Value::U64(u) => Ok(i128::from(*u)),
+        Value::I64(i) => Ok(i128::from(*i)),
+        other => Err(DeError::expected("integer", other)),
+    }
+}
+
+macro_rules! impl_de_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let wide = integer(value)?;
+                <$t>::try_from(wide)
+                    .map_err(|_| DeError(format!("integer {wide} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_de_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::F64(f) => Ok(*f),
+            Value::U64(u) => Ok(*u as f64),
+            Value::I64(i) => Ok(*i as f64),
+            other => Err(DeError::expected("number", other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        f64::from_value(value).map(|f| f as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let s = String::from_value(value)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::new("expected single-character string")),
+        }
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let items = value.as_seq().ok_or_else(|| DeError::expected("array", value))?;
+        items.iter().map(T::from_value).collect()
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+impl<'de, T: DeserializeOwned, const N: usize> Deserialize<'de> for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let items: Vec<T> = Vec::from_value(value)?;
+        let got = items.len();
+        items
+            .try_into()
+            .map_err(|_| DeError(format!("expected array of length {N}, found {got}")))
+    }
+}
+
+impl<'de, T: DeserializeOwned + Ord> Deserialize<'de> for std::collections::BTreeSet<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let items = value.as_seq().ok_or_else(|| DeError::expected("array", value))?;
+        items.iter().map(T::from_value).collect()
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for std::collections::BTreeMap<K, V>
+where
+    K: crate::ser::MapKey + Ord,
+    V: DeserializeOwned,
+{
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let entries = value.as_map().ok_or_else(|| DeError::expected("object", value))?;
+        entries
+            .iter()
+            .map(|(key, v)| {
+                let k = K::from_key(key)
+                    .ok_or_else(|| DeError(format!("invalid map key `{key}`")))?;
+                Ok((k, V::from_value(v)?))
+            })
+            .collect()
+    }
+}
+
+macro_rules! impl_de_tuple {
+    ($(($len:literal: $($name:ident . $idx:tt),+))*) => {$(
+        impl<'de, $($name: DeserializeOwned),+> Deserialize<'de> for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let items = value.as_seq().ok_or_else(|| DeError::expected("array", value))?;
+                if items.len() != $len {
+                    return Err(DeError(format!(
+                        "expected array of length {}, found {}", $len, items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_de_tuple! {
+    (2: A.0, B.1)
+    (3: A.0, B.1, C.2)
+    (4: A.0, B.1, C.2, D.3)
+    (5: A.0, B.1, C.2, D.3, E.4)
+    (6: A.0, B.1, C.2, D.3, E.4, F.5)
+}

@@ -1,0 +1,20 @@
+//! Minimal offline stand-in for `serde`.
+//!
+//! The build container has no network access to crates.io, so the workspace
+//! vendors a reduced serde: instead of upstream's visitor-based data model,
+//! serialization funnels through an owned [`value::Value`] tree which
+//! `serde_json` renders to / parses from JSON text. The public trait shapes
+//! (`Serialize`, `Deserialize`, `Serializer`, `Deserializer`,
+//! `de::DeserializeOwned`, derive macros re-exported under the same names)
+//! match what the workspace's `#[cfg_attr(feature = "serde", ...)]` derives
+//! and the one hand-written `with`-module expect.
+
+pub mod de;
+pub mod ser;
+pub mod value;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,217 @@
+//! Serialization half of the reduced data model.
+
+use crate::value::Value;
+
+/// Sink for a serialized [`Value`] tree.
+///
+/// Upstream serde threads a visitor through the serializer; here the whole
+/// tree is built first and handed over in one call, which is all the
+/// workspace's `with`-style helper modules need.
+pub trait Serializer: Sized {
+    /// Successful output.
+    type Ok;
+    /// Serialization failure.
+    type Error;
+
+    /// Consume the finished tree.
+    fn write_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A type that can render itself into the data model.
+pub trait Serialize {
+    /// Build the [`Value`] tree for `self`.
+    fn to_value(&self) -> Value;
+
+    /// Feed the tree into `serializer` (provided; rarely overridden).
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.write_value(self.to_value())
+    }
+}
+
+/// The identity serializer: yields the [`Value`] tree itself.
+pub struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = std::convert::Infallible;
+
+    fn write_value(self, value: Value) -> Result<Value, Self::Error> {
+        Ok(value)
+    }
+}
+
+/// Run a `with = "module"` style serialize function and unwrap its
+/// infallible result into a plain [`Value`] (used by derived impls).
+pub fn to_value_with<F>(f: F) -> Value
+where
+    F: FnOnce(ValueSerializer) -> Result<Value, std::convert::Infallible>,
+{
+    match f(ValueSerializer) {
+        Ok(value) => value,
+        Err(never) => match never {},
+    }
+}
+
+macro_rules! impl_ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 { Value::U64(v as u64) } else { Value::I64(v) }
+            }
+        }
+    )*};
+}
+
+impl_ser_unsigned!(u8, u16, u32, u64, usize);
+impl_ser_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+/// Types usable as map keys: rendered as JSON-object keys the way
+/// `serde_json` does (integers become their decimal strings).
+pub trait MapKey {
+    /// Render the key.
+    fn to_key(&self) -> String;
+    /// Parse the key back.
+    fn from_key(key: &str) -> Option<Self>
+    where
+        Self: Sized;
+}
+
+impl MapKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(key: &str) -> Option<Self> {
+        Some(key.to_owned())
+    }
+}
+
+macro_rules! impl_map_key_int {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+            fn from_key(key: &str) -> Option<Self> {
+                key.parse().ok()
+            }
+        }
+    )*};
+}
+
+impl_map_key_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K: MapKey, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(self.iter().map(|(k, v)| (k.to_key(), v.to_value())).collect())
+    }
+}
+
+macro_rules! impl_ser_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+    )*};
+}
+
+impl_ser_tuple! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}

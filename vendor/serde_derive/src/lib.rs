@@ -1,0 +1,475 @@
+//! Derive macros for the vendored, reduced `serde`.
+//!
+//! Hand-parses the item token stream (no `syn`/`quote` offline) and emits
+//! `to_value` / `from_value` impls against the reduced data model. Supports
+//! exactly the shapes this workspace derives on: non-generic structs (unit,
+//! tuple, named) and enums (unit, tuple, and struct variants), plus the
+//! `#[serde(with = "module")]` field attribute.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Clone)]
+struct Field {
+    name: String,
+    with: Option<String>,
+}
+
+#[derive(Clone)]
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Data {
+    Struct(Shape),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    data: Data,
+}
+
+/// Derive `serde::Serialize` (reduced model).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+/// Derive `serde::Deserialize` (reduced model).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&tokens, &mut i);
+    skip_vis(&tokens, &mut i);
+    let kw = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stub derive: generic type `{name}` is unsupported");
+    }
+    let data = match kw.as_str() {
+        "struct" => Data::Struct(match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+            other => panic!("serde stub derive: unexpected struct body {other:?}"),
+        }),
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde stub derive: unexpected enum body {other:?}"),
+        },
+        other => panic!("serde stub derive: unsupported item kind `{other}`"),
+    };
+    Item { name, data }
+}
+
+/// Skip leading attributes; return the token streams of any `#[serde(...)]`.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> Vec<TokenStream> {
+    let mut serde_attrs = Vec::new();
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1;
+        match tokens.get(*i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if let (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) =
+                    (inner.first(), inner.get(1))
+                {
+                    if id.to_string() == "serde" {
+                        serde_attrs.push(args.stream());
+                    }
+                }
+                *i += 1;
+            }
+            other => panic!("serde stub derive: malformed attribute {other:?}"),
+        }
+    }
+    serde_attrs
+}
+
+fn skip_vis(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde stub derive: expected identifier, found {other:?}"),
+    }
+}
+
+/// Extract `with = "path"` from collected `#[serde(...)]` attribute bodies.
+fn with_path(serde_attrs: &[TokenStream]) -> Option<String> {
+    for attr in serde_attrs {
+        let parts: Vec<TokenTree> = attr.clone().into_iter().collect();
+        match (parts.first(), parts.get(1), parts.get(2), parts.len()) {
+            (
+                Some(TokenTree::Ident(key)),
+                Some(TokenTree::Punct(eq)),
+                Some(TokenTree::Literal(lit)),
+                3,
+            ) if key.to_string() == "with" && eq.as_char() == '=' => {
+                let raw = lit.to_string();
+                let path = raw.trim_matches('"').to_owned();
+                return Some(path);
+            }
+            _ => panic!(
+                "serde stub derive: unsupported #[serde(...)] attribute `{attr}` \
+                 (only `with = \"module\"` is implemented)"
+            ),
+        }
+    }
+    None
+}
+
+/// Skip one type (or expression) up to a top-level comma, tracking `<...>`
+/// nesting so commas inside generics don't terminate early.
+fn skip_to_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(token) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let serde_attrs = skip_attrs(&tokens, &mut i);
+        skip_vis(&tokens, &mut i);
+        let name = expect_ident(&tokens, &mut i);
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde stub derive: expected `:` after field `{name}`, found {other:?}"),
+        }
+        skip_to_comma(&tokens, &mut i);
+        i += 1; // past the comma (or end)
+        fields.push(Field { name, with: with_path(&serde_attrs) });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        skip_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_to_comma(&tokens, &mut i);
+        i += 1;
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        let name = expect_ident(&tokens, &mut i);
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                // Explicit discriminant: skip the expression.
+                skip_to_comma(&tokens, &mut i);
+                Shape::Unit
+            }
+            _ => Shape::Unit,
+        };
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn ser_field_expr(access: &str, with: &Option<String>) -> String {
+    match with {
+        Some(path) => format!(
+            "::serde::ser::to_value_with(|__s| {path}::serialize({access}, __s))"
+        ),
+        None => format!("::serde::ser::Serialize::to_value({access})"),
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.data {
+        Data::Struct(Shape::Unit) => "::serde::value::Value::Null".to_owned(),
+        Data::Struct(Shape::Tuple(1)) => {
+            "::serde::ser::Serialize::to_value(&self.0)".to_owned()
+        }
+        Data::Struct(Shape::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|idx| format!("::serde::ser::Serialize::to_value(&self.{idx})"))
+                .collect();
+            format!("::serde::value::Value::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Data::Struct(Shape::Named(fields)) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{0}\"), {1})",
+                        f.name,
+                        ser_field_expr(&format!("&self.{}", f.name), &f.with)
+                    )
+                })
+                .collect();
+            format!("::serde::value::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Data::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        Shape::Unit => format!(
+                            "{name}::{vname} => ::serde::value::Value::Str(\
+                             ::std::string::String::from(\"{vname}\")),"
+                        ),
+                        Shape::Tuple(1) => format!(
+                            "{name}::{vname}(__f0) => ::serde::value::Value::Map(::std::vec![\
+                             (::std::string::String::from(\"{vname}\"), \
+                             ::serde::ser::Serialize::to_value(__f0))]),"
+                        ),
+                        Shape::Tuple(n) => {
+                            let binds: Vec<String> =
+                                (0..*n).map(|idx| format!("__f{idx}")).collect();
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::ser::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({0}) => ::serde::value::Value::Map(::std::vec![\
+                                 (::std::string::String::from(\"{vname}\"), \
+                                 ::serde::value::Value::Seq(::std::vec![{1}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        Shape::Named(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{0}\"), {1})",
+                                        f.name,
+                                        ser_field_expr(&f.name, &f.with)
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {0} }} => ::serde::value::Value::Map(\
+                                 ::std::vec![(::std::string::String::from(\"{vname}\"), \
+                                 ::serde::value::Value::Map(::std::vec![{1}]))]),",
+                                binds.join(", "),
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::ser::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::value::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn de_field_expr(source: &str, with: &Option<String>) -> String {
+    match with {
+        Some(path) => format!(
+            "{path}::deserialize(::serde::de::ValueDeserializer({source}))?"
+        ),
+        None => format!("::serde::de::Deserialize::from_value({source})?"),
+    }
+}
+
+fn gen_named_ctor(prefix: &str, fields: &[Field], map_var: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| match &f.with {
+            Some(_) => format!(
+                "{0}: {1}",
+                f.name,
+                de_field_expr(
+                    &format!("::serde::de::field_value({map_var}, \"{}\")?", f.name),
+                    &f.with
+                )
+            ),
+            None => format!("{0}: ::serde::de::field({map_var}, \"{0}\")?", f.name),
+        })
+        .collect();
+    format!("{prefix} {{ {} }}", inits.join(", "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.data {
+        Data::Struct(Shape::Unit) => format!("::std::result::Result::Ok({name})"),
+        Data::Struct(Shape::Tuple(1)) => format!(
+            "::std::result::Result::Ok({name}(::serde::de::Deserialize::from_value(__value)?))"
+        ),
+        Data::Struct(Shape::Tuple(n)) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|idx| de_field_expr(&format!("&__items[{idx}]"), &None))
+                .collect();
+            format!(
+                "let __items = __value.as_seq().ok_or_else(|| \
+                 ::serde::de::DeError::expected(\"array\", __value))?;\n\
+                 if __items.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::serde::de::DeError::new(::std::format!(\
+                 \"expected array of length {n}, found {{}}\", __items.len()))); }}\n\
+                 ::std::result::Result::Ok({name}({elems}))",
+                elems = elems.join(", ")
+            )
+        }
+        Data::Struct(Shape::Named(fields)) => {
+            format!(
+                "let __map = __value.as_map().ok_or_else(|| \
+                 ::serde::de::DeError::expected(\"object\", __value))?;\n\
+                 ::std::result::Result::Ok({})",
+                gen_named_ctor(name, fields, "__map")
+            )
+        }
+        Data::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, Shape::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{0}\" => ::std::result::Result::Ok({name}::{0}),",
+                        v.name
+                    )
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| !matches!(v.shape, Shape::Unit))
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        Shape::Tuple(1) => format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                             ::serde::de::Deserialize::from_value(__inner)?)),"
+                        ),
+                        Shape::Tuple(n) => {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|idx| de_field_expr(&format!("&__items[{idx}]"), &None))
+                                .collect();
+                            format!(
+                                "\"{vname}\" => {{\n\
+                                 let __items = __inner.as_seq().ok_or_else(|| \
+                                 ::serde::de::DeError::expected(\"array\", __inner))?;\n\
+                                 if __items.len() != {n} {{ return ::std::result::Result::Err(\
+                                 ::serde::de::DeError::new(::std::format!(\
+                                 \"expected array of length {n}, found {{}}\", __items.len()))); }}\n\
+                                 ::std::result::Result::Ok({name}::{vname}({elems}))\n\
+                                 }}",
+                                elems = elems.join(", ")
+                            )
+                        }
+                        Shape::Named(fields) => format!(
+                            "\"{vname}\" => {{\n\
+                             let __vmap = __inner.as_map().ok_or_else(|| \
+                             ::serde::de::DeError::expected(\"object\", __inner))?;\n\
+                             ::std::result::Result::Ok({})\n\
+                             }}",
+                            gen_named_ctor(&format!("{name}::{vname}"), fields, "__vmap")
+                        ),
+                        Shape::Unit => unreachable!(),
+                    }
+                })
+                .collect();
+            format!(
+                "match __value {{\n\
+                 ::serde::value::Value::Str(__s) => match __s.as_str() {{\n\
+                 {units}\n\
+                 __other => ::std::result::Result::Err(::serde::de::DeError::new(\
+                 ::std::format!(\"unknown variant `{{__other}}`\"))),\n\
+                 }},\n\
+                 ::serde::value::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+                 let (__key, __inner) = &__entries[0];\n\
+                 match __key.as_str() {{\n\
+                 {datas}\n\
+                 __other => ::std::result::Result::Err(::serde::de::DeError::new(\
+                 ::std::format!(\"unknown variant `{{__other}}`\"))),\n\
+                 }}\n\
+                 }},\n\
+                 __other => ::std::result::Result::Err(\
+                 ::serde::de::DeError::expected(\"variant\", __other)),\n\
+                 }}",
+                units = unit_arms.join("\n"),
+                datas = data_arms.join("\n"),
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::de::Deserialize<'de> for {name} {{\n\
+             fn from_value(__value: &::serde::value::Value) \
+             -> ::std::result::Result<Self, ::serde::de::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+}

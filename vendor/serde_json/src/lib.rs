@@ -1,0 +1,328 @@
+//! Minimal offline stand-in for `serde_json` over the reduced serde model.
+//!
+//! Provides [`to_string`] and [`from_str`] with exact `f64` round-tripping:
+//! floats render through Rust's shortest-roundtrip formatting, so
+//! `from_str(to_string(x))` reproduces every finite `f64` bit-exactly
+//! (upstream's `float_roundtrip` behavior, which this workspace's replay
+//! tests rely on).
+
+use std::fmt;
+
+use serde::de::DeserializeOwned;
+use serde::value::Value;
+use serde::Serialize;
+
+/// JSON serialization / parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize a value to compact JSON text.
+///
+/// # Errors
+///
+/// Returns [`Error`] when the value contains a non-finite float.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_value(), &mut out)?;
+    Ok(out)
+}
+
+/// Parse JSON text into a value.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed JSON or a shape mismatch for `T`.
+pub fn from_str<T: DeserializeOwned>(text: &str) -> Result<T, Error> {
+    let mut parser = Parser { bytes: text.as_bytes(), pos: 0 };
+    parser.skip_ws();
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error(format!("trailing characters at byte {}", parser.pos)));
+    }
+    T::from_value(&value).map_err(|e| Error(e.0))
+}
+
+fn render(value: &Value, out: &mut String) -> Result<(), Error> {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::I64(i) => out.push_str(&i.to_string()),
+        Value::U64(u) => out.push_str(&u.to_string()),
+        Value::F64(f) => {
+            if !f.is_finite() {
+                return Err(Error("cannot serialize non-finite float".to_owned()));
+            }
+            // `{:?}` is Rust's shortest exact-roundtrip form and always
+            // keeps a `.0` or exponent, so the value re-parses as a float.
+            out.push_str(&format!("{f:?}"));
+        }
+        Value::Str(s) => render_string(s, out),
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                render(item, out)?;
+            }
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            out.push('{');
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                render_string(key, out);
+                out.push(':');
+                render(item, out)?;
+            }
+            out.push('}');
+        }
+    }
+    Ok(())
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected `{}` at byte {}",
+                char::from(b),
+                self.pos
+            )))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                loop {
+                    self.skip_ws();
+                    items.push(self.parse_value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Seq(items));
+                        }
+                        _ => return Err(Error(format!("expected `,` or `]` at byte {}", self.pos))),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut entries = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    self.skip_ws();
+                    let value = self.parse_value()?;
+                    entries.push((key, value));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Map(entries));
+                        }
+                        _ => return Err(Error(format!("expected `,` or `}}` at byte {}", self.pos))),
+                    }
+                }
+            }
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            _ => Err(Error(format!("unexpected character at byte {}", self.pos))),
+        }
+    }
+
+    fn parse_keyword(&mut self, kw: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(value)
+        } else {
+            Err(Error(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| Error("truncated \\u escape".to_owned()))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| Error("invalid \\u escape".to_owned()))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error("invalid \\u escape".to_owned()))?;
+                            // Surrogate pairs are not produced by this
+                            // writer; reject them rather than mis-decode.
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| Error("unpaired surrogate".to_owned()))?;
+                            out.push(c);
+                            self.pos += 4;
+                        }
+                        _ => return Err(Error(format!("invalid escape at byte {}", self.pos))),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error("invalid UTF-8".to_owned()))?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+                None => return Err(Error("unterminated string".to_owned())),
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error("invalid number".to_owned()))?;
+        if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::U64(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::I64(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error(format!("invalid number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floats_roundtrip_bit_exactly() {
+        for &x in &[0.1, 1.0, -2.5e-17, 1e300, 3.141592653589793, 1.37e-3] {
+            let json = to_string(&x).unwrap();
+            let back: f64 = from_str(&json).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{json}");
+        }
+    }
+
+    #[test]
+    fn nested_structures_roundtrip() {
+        let v: Vec<(u64, Vec<f64>)> = vec![(1, vec![0.5, -0.25]), (9, vec![])];
+        let json = to_string(&v).unwrap();
+        let back: Vec<(u64, Vec<f64>)> = from_str(&json).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn strings_with_escapes_roundtrip() {
+        let s = "a\"b\\c\nd\tπ".to_owned();
+        let json = to_string(&s).unwrap();
+        let back: String = from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(from_str::<bool>("true false").is_err());
+    }
+}
