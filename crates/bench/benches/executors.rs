@@ -51,16 +51,12 @@ fn executors(c: &mut Criterion) {
         .expect("valid model")
         .generate(4096, 9);
     for threads in [1usize, 2, 4] {
-        group.bench_with_input(
-            BenchmarkId::new("baseline", threads),
-            &trials,
-            |b, trials| {
-                b.iter(|| {
-                    run_baseline_parallel(&bench.layered, trials.trials(), threads)
-                        .expect("execution succeeds")
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("baseline", threads), &trials, |b, trials| {
+            b.iter(|| {
+                run_baseline_parallel(&bench.layered, trials.trials(), threads)
+                    .expect("execution succeeds")
+            });
+        });
         group.bench_with_input(BenchmarkId::new("reuse", threads), &trials, |b, trials| {
             b.iter(|| {
                 run_reordered_parallel(&bench.layered, trials.trials(), threads)

@@ -30,7 +30,9 @@ fn main() {
             row.generation_order.msv_peak.to_string(),
         ]);
     }
-    println!("Ablation: reordered prefix caching vs generation-order prefix caching ({trials} trials)");
+    println!(
+        "Ablation: reordered prefix caching vs generation-order prefix caching ({trials} trials)"
+    );
     println!("{table}");
     println!(
         "reading: without reordering, consecutive trials rarely share a prefix, so caching saves almost nothing while holding more snapshots"

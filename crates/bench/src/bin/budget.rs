@@ -23,7 +23,11 @@ fn main() {
 
     let mut header = vec!["Benchmark".to_owned()];
     header.extend(BUDGETS.iter().map(|b| {
-        if *b == usize::MAX { "budget ∞".to_owned() } else { format!("budget {b}") }
+        if *b == usize::MAX {
+            "budget ∞".to_owned()
+        } else {
+            format!("budget {b}")
+        }
     }));
     let mut table = Table::new(header);
     for bench in yorktown_suite() {

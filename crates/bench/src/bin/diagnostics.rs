@@ -18,13 +18,10 @@ fn main() {
     let seed = arg_value(&args, "--seed", 2020u64);
 
     let suite = yorktown_suite();
-    let bench = suite
-        .iter()
-        .find(|b| b.name == name)
-        .unwrap_or_else(|| {
-            let names: Vec<&str> = suite.iter().map(|b| b.name.as_str()).collect();
-            panic!("unknown benchmark {name:?}; pick one of {names:?}")
-        });
+    let bench = suite.iter().find(|b| b.name == name).unwrap_or_else(|| {
+        let names: Vec<&str> = suite.iter().map(|b| b.name.as_str()).collect();
+        panic!("unknown benchmark {name:?}; pick one of {names:?}")
+    });
     let model = yorktown_model();
     let generator =
         TrialGenerator::new(&bench.layered, &model).expect("suite validated against model");
@@ -46,8 +43,7 @@ fn main() {
     }
 
     println!("\nnoise mass by layer (top 5):");
-    let mut by_layer: Vec<(usize, usize)> =
-        set.layer_histogram().into_iter().enumerate().collect();
+    let mut by_layer: Vec<(usize, usize)> = set.layer_histogram().into_iter().enumerate().collect();
     by_layer.sort_by_key(|&(_, count)| std::cmp::Reverse(count));
     for &(layer, count) in by_layer.iter().take(5) {
         println!("  layer {layer:>3}: {count}");

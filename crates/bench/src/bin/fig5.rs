@@ -49,13 +49,8 @@ fn main() {
         return;
     }
 
-    let mut table = Table::new([
-        "Benchmark",
-        "1024 trials",
-        "2048 trials",
-        "4096 trials",
-        "8192 trials",
-    ]);
+    let mut table =
+        Table::new(["Benchmark", "1024 trials", "2048 trials", "4096 trials", "8192 trials"]);
     let mut averages = [0.0f64; 4];
     for row in &rows {
         let norms = row.normalized();

@@ -20,7 +20,10 @@ const WIDTH: usize = 40;
 
 impl BarChart {
     /// Start a chart with a title and per-group series names.
-    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(title: impl Into<String>, series: I) -> Self {
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(
+        title: impl Into<String>,
+        series: I,
+    ) -> Self {
         BarChart {
             title: title.into(),
             series: series.into_iter().map(Into::into).collect(),
@@ -67,20 +70,15 @@ impl BarChart {
             .max(self.series.iter().map(|s| s.chars().count()).max().unwrap_or(0));
         // Legend.
         for (i, name) in self.series.iter().enumerate() {
-            out.push_str(&format!(
-                "  {} {name}\n",
-                GLYPHS[i % GLYPHS.len()]
-            ));
+            out.push_str(&format!("  {} {name}\n", GLYPHS[i % GLYPHS.len()]));
         }
         for (label, values) in &self.groups {
             for (i, &value) in values.iter().enumerate() {
-                let bar_len =
-                    ((value / max).clamp(0.0, 1.0) * WIDTH as f64).round() as usize;
+                let bar_len = ((value / max).clamp(0.0, 1.0) * WIDTH as f64).round() as usize;
                 let header = if i == 0 { label.as_str() } else { "" };
                 out.push_str(&format!(
                     "{header:>label_width$} |{}{} {value:.3}\n",
-                    std::iter::repeat_n(GLYPHS[i % GLYPHS.len()], bar_len)
-                        .collect::<String>(),
+                    std::iter::repeat_n(GLYPHS[i % GLYPHS.len()], bar_len).collect::<String>(),
                     std::iter::repeat_n(' ', WIDTH - bar_len).collect::<String>(),
                 ));
             }

@@ -86,8 +86,8 @@ pub fn scalability_sweep_shapes(
                 .iter()
                 .map(|&rate| {
                     let model = NoiseModel::artificial(n, rate);
-                    let generator = TrialGenerator::new(&layered, &model)
-                        .expect("QV circuits are native");
+                    let generator =
+                        TrialGenerator::new(&layered, &model).expect("QV circuits are native");
                     let report = analyze_trials_fast(&layered, &generator, n_trials, seed);
                     (rate, report)
                 })
@@ -117,9 +117,8 @@ pub fn noise_scale_sweep(factors: &[f64], n_trials: usize, seed: u64) -> Vec<Sca
             let points = factors
                 .iter()
                 .map(|&factor| {
-                    let model = yorktown_model()
-                        .scaled(factor)
-                        .expect("factors keep rates in range");
+                    let model =
+                        yorktown_model().scaled(factor).expect("factors keep rates in range");
                     let generator = TrialGenerator::new(&bench.layered, &model)
                         .expect("suite validated against the model");
                     (factor, analyze_trials(&bench.layered, &generator, n_trials, seed))
@@ -233,7 +232,12 @@ mod tests {
         // MSVs decreases" (more positions → fewer shared prefixes).
         let rows = scalability_sweep_shapes(&[(10, 20), (20, 20)], 20_000, 9);
         let msv_at = |row: &ScalabilityRow| row.points[0].1.msv_peak;
-        assert!(msv_at(&rows[1]) <= msv_at(&rows[0]) + 1, "{} vs {}", msv_at(&rows[0]), msv_at(&rows[1]));
+        assert!(
+            msv_at(&rows[1]) <= msv_at(&rows[0]) + 1,
+            "{} vs {}",
+            msv_at(&rows[0]),
+            msv_at(&rows[1])
+        );
     }
 
     #[test]

@@ -31,8 +31,7 @@ pub fn number(value: f64) -> String {
 
 /// `{"k": v, ...}` from already-rendered values.
 pub fn object(fields: &[(&str, String)]) -> String {
-    let body: Vec<String> =
-        fields.iter().map(|(k, v)| format!("{}: {v}", string(k))).collect();
+    let body: Vec<String> = fields.iter().map(|(k, v)| format!("{}: {v}", string(k))).collect();
     format!("{{{}}}", body.join(", "))
 }
 
@@ -71,9 +70,10 @@ mod tests {
     #[test]
     fn output_parses_as_json_shaped_text() {
         // Sanity: balanced braces/quotes on a nested structure.
-        let rendered = object(&[
-            ("rows", array([object(&[("x", number(1.0))]), object(&[("x", number(2.0))])])),
-        ]);
+        let rendered = object(&[(
+            "rows",
+            array([object(&[("x", number(1.0))]), object(&[("x", number(2.0))])]),
+        )]);
         assert_eq!(rendered.matches('{').count(), rendered.matches('}').count());
         assert_eq!(rendered.matches('[').count(), rendered.matches(']').count());
     }

@@ -37,9 +37,7 @@ where
 {
     for window in args.windows(2) {
         if window[0] == flag {
-            return window[1]
-                .parse()
-                .unwrap_or_else(|e| panic!("invalid value for {flag}: {e}"));
+            return window[1].parse().unwrap_or_else(|e| panic!("invalid value for {flag}: {e}"));
         }
     }
     default

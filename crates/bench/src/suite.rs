@@ -87,9 +87,7 @@ pub const SCALABILITY_RATES: [f64; 4] = [1e-3, 5e-4, 2e-4, 1e-4];
 /// Panics on layering failure (covered by tests).
 pub fn scalability_circuit(n_qubits: usize, depth: usize) -> LayeredCircuit {
     let seed = (n_qubits * 1000 + depth) as u64;
-    catalog::quantum_volume(n_qubits, depth, seed)
-        .layered()
-        .expect("QV circuits always layer")
+    catalog::quantum_volume(n_qubits, depth, seed).layered().expect("QV circuits always layer")
 }
 
 #[cfg(test)]
@@ -134,7 +132,11 @@ mod tests {
     fn yorktown_model_covers_the_suite() {
         let model = yorktown_model();
         for bench in yorktown_suite() {
-            assert!(qsim_noise::TrialGenerator::new(&bench.layered, &model).is_ok(), "{}", bench.name);
+            assert!(
+                qsim_noise::TrialGenerator::new(&bench.layered, &model).is_ok(),
+                "{}",
+                bench.name
+            );
         }
     }
 

@@ -447,11 +447,8 @@ mod tests {
     fn deterministic_outcome(qc: &Circuit) -> usize {
         let s = qc.simulate().unwrap();
         let probs = s.probabilities();
-        let (idx, p) = probs
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap();
+        let (idx, p) =
+            probs.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap();
         assert!((p - 1.0).abs() < 1e-9, "outcome not deterministic: max p = {p}");
         idx
     }
@@ -603,8 +600,7 @@ mod tests {
             let s = qc.simulate().unwrap();
             let norm = 1.0 / (dim as f64).sqrt();
             for y in 0..dim {
-                let expected =
-                    C64::from_polar(norm, 2.0 * PI * (x * y) as f64 / dim as f64);
+                let expected = C64::from_polar(norm, 2.0 * PI * (x * y) as f64 / dim as f64);
                 let got = s.amplitude(y);
                 assert!(
                     (got - expected).norm() < 1e-9,

@@ -110,7 +110,10 @@ impl Circuit {
             Instruction::Measure { qubit, cbit } => {
                 self.check_qubit(*qubit)?;
                 if *cbit >= self.n_cbits {
-                    return Err(CircuitError::CbitOutOfRange { cbit: *cbit, n_cbits: self.n_cbits });
+                    return Err(CircuitError::CbitOutOfRange {
+                        cbit: *cbit,
+                        n_cbits: self.n_cbits,
+                    });
                 }
             }
             Instruction::Barrier(qs) => {

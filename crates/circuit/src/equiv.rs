@@ -2,7 +2,7 @@
 //! transpiler pass, exposed for downstream users verifying their own
 //! rewrites.
 
-use qsim_statevec::{C64, StateVecError, StateVector};
+use qsim_statevec::{StateVecError, StateVector, C64};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 

@@ -104,11 +104,7 @@ mod tests {
     fn messages_name_the_operands() {
         let e = CircuitError::ArityMismatch { gate: "cx", expected: 2, actual: 3 };
         assert_eq!(e.to_string(), "gate cx takes 2 qubits, got 3");
-        assert!(
-            CircuitError::Disconnected { a: 1, b: 4 }
-                .to_string()
-                .contains("1 and 4")
-        );
+        assert!(CircuitError::Disconnected { a: 1, b: 4 }.to_string().contains("1 and 4"));
     }
 
     #[test]

@@ -28,9 +28,10 @@
 
 pub mod catalog;
 mod circuit;
-pub mod equiv;
 mod coupling;
+pub mod equiv;
 mod error;
+pub mod fuse;
 mod gate;
 mod layer;
 mod qasm_out;
@@ -39,6 +40,7 @@ pub mod transpile;
 pub use circuit::{Circuit, GateCounts, Instruction};
 pub use coupling::CouplingMap;
 pub use error::CircuitError;
+pub use fuse::{FusedProgram, Segment};
 pub use gate::{Gate, GateOp};
 pub use layer::{LayeredCircuit, LayeringStrategy};
 pub use qasm_out::to_qasm;

@@ -36,8 +36,7 @@ pub fn to_qasm(circuit: &Circuit) -> String {
                         params.iter().map(|p| format!("{p:.17e}")).collect();
                     let _ = write!(out, "{}({})", op.gate.name(), rendered.join(","));
                 }
-                let operands: Vec<String> =
-                    op.qubits.iter().map(|q| format!("q[{q}]")).collect();
+                let operands: Vec<String> = op.qubits.iter().map(|q| format!("q[{q}]")).collect();
                 let _ = writeln!(out, " {};", operands.join(","));
             }
             Instruction::Measure { qubit, cbit } => {

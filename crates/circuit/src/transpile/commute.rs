@@ -12,7 +12,10 @@ use crate::{Circuit, CircuitError, Gate, Instruction};
 
 /// `true` for gates diagonal in the Z basis (commute with a CX control).
 fn is_z_type(gate: Gate) -> bool {
-    matches!(gate, Gate::Z | Gate::S | Gate::Sdg | Gate::T | Gate::Tdg | Gate::Rz(_) | Gate::Phase(_))
+    matches!(
+        gate,
+        Gate::Z | Gate::S | Gate::Sdg | Gate::T | Gate::Tdg | Gate::Rz(_) | Gate::Phase(_)
+    )
 }
 
 /// `true` for gates in the span of {I, X} rotations (commute with a CX
@@ -170,12 +173,9 @@ mod tests {
         qc.rz(0.3, 0).barrier().cx(0, 1).measure_all();
         let out = commute_rotations(&qc).unwrap();
         // The barrier is not a CX, so nothing moves across it.
-        let kinds: Vec<bool> = out
-            .instructions()
-            .iter()
-            .map(|i| matches!(i, Instruction::Barrier(_)))
-            .collect();
-        assert_eq!(kinds[1], true);
+        let kinds: Vec<bool> =
+            out.instructions().iter().map(|i| matches!(i, Instruction::Barrier(_))).collect();
+        assert!(kinds[1]);
         assert_eq!(out.measurements().len(), 2);
     }
 }

@@ -149,10 +149,7 @@ mod tests {
         qc.swap(0, 1).barrier().measure(0, 1).measure(1, 0);
         let lowered = decompose(&qc).unwrap();
         assert_eq!(lowered.measurements(), vec![(0, 1), (1, 0)]);
-        assert!(lowered
-            .instructions()
-            .iter()
-            .any(|i| matches!(i, Instruction::Barrier(_))));
+        assert!(lowered.instructions().iter().any(|i| matches!(i, Instruction::Barrier(_))));
     }
 
     #[test]

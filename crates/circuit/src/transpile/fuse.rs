@@ -154,16 +154,7 @@ mod tests {
     #[test]
     fn fusion_preserves_heavily_entangling_circuits() {
         let mut qc = Circuit::new("mix", 3, 0);
-        qc.h(0)
-            .t(0)
-            .cx(0, 1)
-            .s(1)
-            .tdg(1)
-            .cx(1, 2)
-            .h(2)
-            .rz(0.9, 2)
-            .cx(2, 0)
-            .rx(0.2, 0);
+        qc.h(0).t(0).cx(0, 1).s(1).tdg(1).cx(1, 2).h(2).rz(0.9, 2).cx(2, 0).rx(0.2, 0);
         let fused = fuse_single_qubit(&qc).unwrap();
         assert_equivalent_states(&qc, &fused);
         assert!(fused.counts().single <= qc.counts().single);

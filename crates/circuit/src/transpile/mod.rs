@@ -84,7 +84,10 @@ pub struct Transpiled {
 /// the device, or [`CircuitError::Disconnected`] for unroutable operand
 /// pairs; decomposition failures propagate as
 /// [`CircuitError::Unsupported`].
-pub fn transpile(circuit: &Circuit, options: &TranspileOptions) -> Result<Transpiled, CircuitError> {
+pub fn transpile(
+    circuit: &Circuit,
+    options: &TranspileOptions,
+) -> Result<Transpiled, CircuitError> {
     let decomposed = decompose(circuit)?;
     let (mut lowered, final_layout) = match &options.coupling {
         Some(map) => {
@@ -190,8 +193,8 @@ mod tests {
     fn device_too_small_is_reported() {
         let mut qc = Circuit::new("big", 6, 6);
         qc.h(5).measure_all();
-        let err = transpile(&qc, &TranspileOptions::for_device(CouplingMap::yorktown()))
-            .unwrap_err();
+        let err =
+            transpile(&qc, &TranspileOptions::for_device(CouplingMap::yorktown())).unwrap_err();
         assert!(matches!(err, CircuitError::DeviceTooSmall { required: 6, available: 5 }));
     }
 

@@ -116,10 +116,10 @@ pub fn route_with_layout(
     let mut out = Circuit::new(circuit.name(), n_physical, circuit.n_cbits());
 
     let emit_swap = |out: &mut Circuit,
-                         phys: &mut Vec<usize>,
-                         occupant: &mut Vec<usize>,
-                         a: usize,
-                         b: usize| {
+                     phys: &mut Vec<usize>,
+                     occupant: &mut Vec<usize>,
+                     a: usize,
+                     b: usize| {
         out.cx(a, b).cx(b, a).cx(a, b);
         let la = occupant[a];
         let lb = occupant[b];
@@ -183,8 +183,7 @@ mod tests {
     fn adjacent_cx_passes_through() {
         let mut qc = Circuit::new("adj", 2, 2);
         qc.h(0).cx(0, 1).measure_all();
-        let routed =
-            route_with_layout(&qc, &CouplingMap::yorktown(), &identity_layout(2)).unwrap();
+        let routed = route_with_layout(&qc, &CouplingMap::yorktown(), &identity_layout(2)).unwrap();
         assert_eq!(routed.circuit.counts().cnot, 1);
         assert_eq!(routed.final_layout, vec![0, 1]);
     }
@@ -194,8 +193,7 @@ mod tests {
         // Yorktown: 0 and 3 are distance 2 via 2 (forced via identity layout).
         let mut qc = Circuit::new("far", 4, 4);
         qc.x(0).cx(0, 3).measure_all();
-        let routed =
-            route_with_layout(&qc, &CouplingMap::yorktown(), &identity_layout(4)).unwrap();
+        let routed = route_with_layout(&qc, &CouplingMap::yorktown(), &identity_layout(4)).unwrap();
         // 3 CX (swap) + 1 CX (the gate).
         assert_eq!(routed.circuit.counts().cnot, 4);
         // Logical 0 migrated to physical 2.
@@ -280,8 +278,7 @@ mod tests {
     fn routing_on_a_line_walks_the_chain() {
         let mut qc = Circuit::new("line", 4, 4);
         qc.x(0).cx(0, 3).measure_all();
-        let routed =
-            route_with_layout(&qc, &CouplingMap::linear(4), &identity_layout(4)).unwrap();
+        let routed = route_with_layout(&qc, &CouplingMap::linear(4), &identity_layout(4)).unwrap();
         // Two SWAPs (0→1→2) then CX: 7 CNOTs.
         assert_eq!(routed.circuit.counts().cnot, 7);
         let dist = cbit_distribution(&routed.circuit);
@@ -317,8 +314,7 @@ mod tests {
     fn measurements_follow_the_moved_qubit() {
         let mut qc = Circuit::new("meas", 4, 1);
         qc.x(0).cx(0, 3).measure(0, 0);
-        let routed =
-            route_with_layout(&qc, &CouplingMap::linear(4), &identity_layout(4)).unwrap();
+        let routed = route_with_layout(&qc, &CouplingMap::linear(4), &identity_layout(4)).unwrap();
         // Logical 0 moved; its measurement must read physical phys[0].
         let (measured_phys, cbit) = routed.circuit.measurements()[0];
         assert_eq!(cbit, 0);

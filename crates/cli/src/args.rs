@@ -152,9 +152,8 @@ impl Options {
                 "--alap" => opts.alap = true,
                 "--device" | "--noise" | "--trials" | "--seed" | "--threads" | "--budget"
                 | "--save-trials" | "--load-trials" => {
-                    let value = args
-                        .get(i + 1)
-                        .ok_or_else(|| CliError(format!("{arg} needs a value")))?;
+                    let value =
+                        args.get(i + 1).ok_or_else(|| CliError(format!("{arg} needs a value")))?;
                     match arg.as_str() {
                         "--device" => opts.device = parse_device(value)?,
                         "--noise" => opts.noise = parse_noise(value)?,
@@ -179,9 +178,8 @@ impl Options {
             i += 1;
         }
         let mut positional = positional.into_iter();
-        let command = positional
-            .next()
-            .ok_or_else(|| CliError(format!("missing command\n\n{USAGE}")))?;
+        let command =
+            positional.next().ok_or_else(|| CliError(format!("missing command\n\n{USAGE}")))?;
         opts.command = match command.as_str() {
             "info" => Command::Info,
             "transpile" => Command::Transpile,
@@ -189,9 +187,8 @@ impl Options {
             "run" => Command::Run,
             other => return Err(CliError(format!("unknown command {other}\n\n{USAGE}"))),
         };
-        opts.input = positional
-            .next()
-            .ok_or_else(|| CliError(format!("missing input file\n\n{USAGE}")))?;
+        opts.input =
+            positional.next().ok_or_else(|| CliError(format!("missing input file\n\n{USAGE}")))?;
         if let Some(extra) = positional.next() {
             return Err(CliError(format!("unexpected argument {extra}")));
         }
@@ -275,9 +272,21 @@ mod tests {
     #[test]
     fn parses_full_run() {
         let opts = parse(&[
-            "run", "bell.qasm", "--trials", "1000", "--seed", "7", "--threads", "0",
-            "--budget", "3", "--baseline", "--device", "linear:6",
-            "--noise", "uniform:1e-3,1e-2,2e-2",
+            "run",
+            "bell.qasm",
+            "--trials",
+            "1000",
+            "--seed",
+            "7",
+            "--threads",
+            "0",
+            "--budget",
+            "3",
+            "--baseline",
+            "--device",
+            "linear:6",
+            "--noise",
+            "uniform:1e-3,1e-2,2e-2",
         ])
         .unwrap();
         assert_eq!(opts.command, Command::Run);

@@ -22,8 +22,7 @@ pub fn execute(opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
         qsim_qasm::parse(&source).map_err(|e| CliError(format!("<stdin>: {e}")))?
     } else {
         // File parsing resolves includes relative to the file.
-        qsim_qasm::parse_file(&opts.input)
-            .map_err(|e| CliError(format!("{}: {e}", opts.input)))?
+        qsim_qasm::parse_file(&opts.input).map_err(|e| CliError(format!("{}: {e}", opts.input)))?
     };
     let prepared = prepare(&circuit, opts)?;
     match opts.command {
@@ -72,8 +71,7 @@ fn prepare(circuit: &Circuit, opts: &Options) -> Result<Circuit, CliError> {
         cancel_cx: true,
         commute_rotations: true,
     };
-    let lowered =
-        transpile(circuit, &options).map_err(|e| CliError(format!("transpile: {e}")))?;
+    let lowered = transpile(circuit, &options).map_err(|e| CliError(format!("transpile: {e}")))?;
     Ok(lowered.circuit)
 }
 
@@ -91,13 +89,11 @@ fn model_for(circuit: &Circuit, noise: &NoiseSpec) -> Result<NoiseModel, CliErro
         NoiseSpec::Uniform(p1, p2, pm) => {
             NoiseModel::try_uniform(n, *p1, *p2, *pm).map_err(|e| CliError(e.to_string()))
         }
-        NoiseSpec::Artificial(p1) => {
-            NoiseModel::try_uniform(n, *p1, p1 * 10.0, p1 * 10.0)
-                .map_err(|e| CliError(e.to_string()))
-        }
+        NoiseSpec::Artificial(p1) => NoiseModel::try_uniform(n, *p1, p1 * 10.0, p1 * 10.0)
+            .map_err(|e| CliError(e.to_string())),
         NoiseSpec::File(path) => {
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| CliError(format!("{path}: {e}")))?;
+            let text =
+                std::fs::read_to_string(path).map_err(|e| CliError(format!("{path}: {e}")))?;
             let model = qsim_noise::calibration::parse(&text)
                 .map_err(|e| CliError(format!("{path}: {e}")))?;
             if model.n_qubits() < n {
@@ -112,8 +108,7 @@ fn model_for(circuit: &Circuit, noise: &NoiseSpec) -> Result<NoiseModel, CliErro
 }
 
 fn info(original: &Circuit, prepared: &Circuit, out: &mut dyn Write) -> Result<(), CliError> {
-    let layered =
-        prepared.layered().map_err(|e| CliError(format!("layering: {e}")))?;
+    let layered = prepared.layered().map_err(|e| CliError(format!("layering: {e}")))?;
     let before = original.counts();
     let after = prepared.counts();
     writeln!(out, "parsed:     {original}").map_err(io_err)?;
@@ -136,16 +131,14 @@ fn simulation(prepared: &Circuit, opts: &Options) -> Result<Simulation, CliError
     } else {
         qsim_circuit::LayeringStrategy::Asap
     };
-    let layered = prepared
-        .layered_with(strategy)
-        .map_err(|e| CliError(format!("layering: {e}")))?;
-    let mut sim = Simulation::new(layered, model)
-        .map_err(|e| CliError(format!("simulation setup: {e}")))?;
+    let layered =
+        prepared.layered_with(strategy).map_err(|e| CliError(format!("layering: {e}")))?;
+    let mut sim =
+        Simulation::new(layered, model).map_err(|e| CliError(format!("simulation setup: {e}")))?;
     if let Some(path) = &opts.load_trials {
-        let text =
-            std::fs::read_to_string(path).map_err(|e| CliError(format!("{path}: {e}")))?;
-        let set = qsim_noise::trial_io::parse(&text)
-            .map_err(|e| CliError(format!("{path}: {e}")))?;
+        let text = std::fs::read_to_string(path).map_err(|e| CliError(format!("{path}: {e}")))?;
+        let set =
+            qsim_noise::trial_io::parse(&text).map_err(|e| CliError(format!("{path}: {e}")))?;
         sim.set_trials(set).map_err(|e| CliError(format!("{path}: {e}")))?;
     } else {
         sim.generate_trials(opts.trials, opts.seed)
@@ -171,8 +164,12 @@ fn analyze(prepared: &Circuit, opts: &Options, out: &mut dyn Write) -> Result<()
         100.0 * report.savings()
     )
     .map_err(io_err)?;
-    writeln!(out, "maintained state vectors: {} (path policy: {})", report.msv_peak, report.msv_path_peak)
-        .map_err(io_err)?;
+    writeln!(
+        out,
+        "maintained state vectors: {} (path policy: {})",
+        report.msv_peak, report.msv_path_peak
+    )
+    .map_err(io_err)?;
     Ok(())
 }
 
@@ -300,7 +297,12 @@ mod tests {
     fn run_prints_histogram_dominated_by_bell_outcomes() {
         let file = bell_file();
         let text = run_cli(&[
-            "run", &file.path_str(), "--trials", "2048", "--noise", "uniform:1e-3,1e-2,1e-2",
+            "run",
+            &file.path_str(),
+            "--trials",
+            "2048",
+            "--noise",
+            "uniform:1e-3,1e-2,1e-2",
         ])
         .unwrap();
         assert!(text.contains("2048 trials"), "{text}");
@@ -340,13 +342,9 @@ mod tests {
 
     #[test]
     fn yorktown_noise_rejects_wide_circuits() {
-        let file = tempfile::TempQasm::new(
-            "qreg q[7];\ncreg c[7];\nh q;\nmeasure q -> c;\n",
-        );
-        let err = run_cli(&[
-            "analyze", &file.path_str(), "--device", "grid:2x4", "--trials", "16",
-        ])
-        .unwrap_err();
+        let file = tempfile::TempQasm::new("qreg q[7];\ncreg c[7];\nh q;\nmeasure q -> c;\n");
+        let err = run_cli(&["analyze", &file.path_str(), "--device", "grid:2x4", "--trials", "16"])
+            .unwrap_err();
         assert!(err.to_string().contains("Yorktown model covers 5 qubits"), "{err}");
     }
 
@@ -363,14 +361,17 @@ mod tests {
         ));
         let trials_str = trials_path.to_string_lossy().into_owned();
         let first = run_cli(&[
-            "run", &circuit.path_str(), "--trials", "400", "--seed", "9",
-            "--save-trials", &trials_str,
+            "run",
+            &circuit.path_str(),
+            "--trials",
+            "400",
+            "--seed",
+            "9",
+            "--save-trials",
+            &trials_str,
         ])
         .unwrap();
-        let replay = run_cli(&[
-            "run", &circuit.path_str(), "--load-trials", &trials_str,
-        ])
-        .unwrap();
+        let replay = run_cli(&["run", &circuit.path_str(), "--load-trials", &trials_str]).unwrap();
         // Identical histograms (same trials, same per-trial seeds).
         let tail = |s: &str| s.lines().skip(1).collect::<Vec<_>>().join("\n");
         assert_eq!(tail(&first), tail(&replay));
@@ -385,18 +386,22 @@ mod tests {
         );
         let noise = format!("file:{}", calib.path_str());
         let text = run_cli(&[
-            "run", &circuit.path_str(), "--trials", "512", "--device", "none",
-            "--noise", &noise,
+            "run",
+            &circuit.path_str(),
+            "--trials",
+            "512",
+            "--device",
+            "none",
+            "--noise",
+            &noise,
         ])
         .unwrap();
         assert!(text.contains("512 trials"), "{text}");
         // Bad calibration carries line info through.
         let bad = tempfile::TempQasm::new("qubits 2\nwat 0\n");
         let noise = format!("file:{}", bad.path_str());
-        let err = run_cli(&[
-            "analyze", &circuit.path_str(), "--device", "none", "--noise", &noise,
-        ])
-        .unwrap_err();
+        let err = run_cli(&["analyze", &circuit.path_str(), "--device", "none", "--noise", &noise])
+            .unwrap_err();
         assert!(err.to_string().contains("line 2"), "{err}");
     }
 
@@ -414,9 +419,8 @@ mod tests {
 
     #[test]
     fn no_transpile_skips_lowering() {
-        let file = tempfile::TempQasm::new(
-            "qreg q[2];\ncreg c[2];\nswap q[0],q[1];\nmeasure q -> c;\n",
-        );
+        let file =
+            tempfile::TempQasm::new("qreg q[2];\ncreg c[2];\nswap q[0],q[1];\nmeasure q -> c;\n");
         // With lowering, swap decomposes into CNOTs.
         let lowered = run_cli(&["transpile", &file.path_str()]).unwrap();
         assert!(!lowered.contains("swap"), "{lowered}");

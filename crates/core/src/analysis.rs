@@ -337,11 +337,7 @@ pub fn analyze_generation_order(
         baseline_ops: baseline,
         optimized_ops: optimized,
         msv_peak: msv,
-        msv_path_peak: trials
-            .iter()
-            .map(|t| t.n_injections() + 1)
-            .max()
-            .unwrap_or(0),
+        msv_path_peak: trials.iter().map(|t| t.n_injections() + 1).max().unwrap_or(0),
     })
 }
 
@@ -401,7 +397,7 @@ mod tests {
         assert_eq!(report.baseline_ops, 15);
         // Optimized: ③ pays 3+1, ② reuses L0 → 2+1, ① reuses L0..L1 → 1+1,
         // (a) reuses L0..L2 → 0. Total 9.
-        assert_eq!(report.optimized_ops, 4 + 3 + 2 + 0);
+        assert_eq!(report.optimized_ops, 4 + 3 + 2);
         // Only the error-free frontier is ever stored (paper: "only one
         // state vector needs to be stored").
         assert_eq!(report.msv_peak, 1);
@@ -429,8 +425,7 @@ mod tests {
     #[test]
     fn shared_two_error_prefix_increases_msv() {
         let layered = chain(5);
-        let shared =
-            vec![Injection::single(0, 0, Pauli::X), Injection::single(2, 0, Pauli::Y)];
+        let shared = vec![Injection::single(0, 0, Pauli::X), Injection::single(2, 0, Pauli::Y)];
         let mut a = shared.clone();
         a.push(Injection::single(3, 0, Pauli::Z));
         let mut b = shared.clone();
@@ -446,7 +441,7 @@ mod tests {
         // Trial 2 reuses gates through L3 (divergence = prev's 3rd
         // injection at layer 3) and 2 injections: extra = (5−4) + 1 = 2.
         // Trial 3 reuses through L4: extra = (5−5) + 0 = 0.
-        assert_eq!(report.optimized_ops, (5 + 3) + 2 + 0);
+        assert_eq!(report.optimized_ops, (5 + 3) + 2);
     }
 
     #[test]
@@ -538,7 +533,8 @@ mod tests {
         let layered = qsim_circuit::catalog::qft(4).layered().unwrap();
         let model = qsim_noise::NoiseModel::uniform(4, 0.04, 0.15, 0.0);
         for seed in 0..3u64 {
-            let set = qsim_noise::TrialGenerator::new(&layered, &model).unwrap().generate(300, seed);
+            let set =
+                qsim_noise::TrialGenerator::new(&layered, &model).unwrap().generate(300, seed);
             let mut trials = set.into_trials();
             crate::order::reorder(&mut trials);
             let unbounded = analyze_sorted(&layered, &trials).unwrap();
@@ -581,10 +577,7 @@ mod tests {
     #[test]
     fn budget_zero_is_rejected() {
         let layered = chain(2);
-        assert!(matches!(
-            analyze_sorted_with_budget(&layered, &[], 0),
-            Err(SimError::Circuit(_))
-        ));
+        assert!(matches!(analyze_sorted_with_budget(&layered, &[], 0), Err(SimError::Circuit(_))));
     }
 
     #[test]

@@ -12,6 +12,9 @@
 //!
 //! Operation counts and measurement outcomes are identical to
 //! [`crate::exec::ReuseExecutor`]; only the at-rest representation differs.
+//! Like the dense executors, the traversal runs the trial set's shared
+//! [`qsim_circuit::FusedProgram`], so outcomes stay bitwise comparable
+//! across every execution strategy.
 
 use qsim_circuit::LayeredCircuit;
 use qsim_noise::Trial;
@@ -89,12 +92,15 @@ pub fn run_reordered_compressed(
         }
     }
     let last_layer = n_layers as i64 - 1;
+    let program = crate::exec::fuse_for_trials(layered, trials);
     let dense_bytes = StoredState::dense_bytes(layered.n_qubits());
     let mut order: Vec<usize> = (0..trials.len()).collect();
     order.sort_by(|&a, &b| compare_trials(&trials[a], &trials[b]));
 
     let mut outcomes: Vec<Option<MeasureOutcome>> = vec![None; trials.len()];
     let mut ops: u64 = 0;
+    let mut fused_ops: u64 = 0;
+    let mut passes: u64 = 0;
     let mut peak_msv = usize::from(!trials.is_empty());
     let mut comp = CompressionStats::default();
     let store = |comp: &mut CompressionStats, state: StateVector| -> StoredState {
@@ -133,10 +139,10 @@ pub fn run_reordered_compressed(
                 // Terminal: finish the circuit on the node frontier.
                 let top = stack.last_mut().expect("nonempty stack");
                 let mut state = top.stored.to_state();
-                while top.done < last_layer {
-                    top.done += 1;
-                    ops += layered.apply_layer(top.done as usize, &mut state)? as u64;
-                }
+                let (src, f) = program.apply_through(&mut state, &mut top.done, last_layer)?;
+                ops += src;
+                fused_ops += f;
+                passes += f;
                 outcomes[orig] = Some(crate::exec::measure(layered, &state, cur));
                 top.stored = store(&mut comp, state);
                 while stack.last().is_some_and(|f| f.depth > keep) {
@@ -150,10 +156,10 @@ pub fn run_reordered_compressed(
                 let top = stack.last_mut().expect("nonempty stack");
                 if top.done < target {
                     let mut state = top.stored.to_state();
-                    while top.done < target {
-                        top.done += 1;
-                        ops += layered.apply_layer(top.done as usize, &mut state)? as u64;
-                    }
+                    let (src, f) = program.apply_through(&mut state, &mut top.done, target)?;
+                    ops += src;
+                    fused_ops += f;
+                    passes += f;
                     top.stored = store(&mut comp, state);
                 }
             }
@@ -161,6 +167,7 @@ pub fn run_reordered_compressed(
                 let mut child = stack.last().expect("nonempty stack").stored.to_state();
                 injections[d].apply_to(&mut child)?;
                 ops += 1;
+                passes += 1;
                 stack.push(Frame { depth: d + 1, done: target, stored: store(&mut comp, child) });
                 peak_msv = peak_msv.max(stack.len());
                 track_bytes(&mut comp, &stack, peak_msv);
@@ -178,19 +185,21 @@ pub fn run_reordered_compressed(
                 let mut done = target;
                 injections[d].apply_to(&mut working)?;
                 ops += 1;
+                passes += 1;
                 for inj in &injections[d + 1..] {
-                    let layer = inj.layer() as i64;
-                    while done < layer {
-                        done += 1;
-                        ops += layered.apply_layer(done as usize, &mut working)? as u64;
-                    }
+                    let (src, f) =
+                        program.apply_through(&mut working, &mut done, inj.layer() as i64)?;
+                    ops += src;
+                    fused_ops += f;
+                    passes += f;
                     inj.apply_to(&mut working)?;
                     ops += 1;
+                    passes += 1;
                 }
-                while done < last_layer {
-                    done += 1;
-                    ops += layered.apply_layer(done as usize, &mut working)? as u64;
-                }
+                let (src, f) = program.apply_through(&mut working, &mut done, last_layer)?;
+                ops += src;
+                fused_ops += f;
+                passes += f;
                 outcomes[orig] = Some(crate::exec::measure(layered, &working, cur));
                 track_bytes(&mut comp, &stack, peak_msv);
                 break;
@@ -206,6 +215,8 @@ pub fn run_reordered_compressed(
                 .collect(),
             stats: ExecStats {
                 ops,
+                fused_ops,
+                amplitude_passes: passes,
                 peak_msv: if trials.is_empty() { 0 } else { peak_msv },
                 n_trials: trials.len(),
             },
@@ -260,11 +271,7 @@ mod tests {
         // *instant* cannot compress; the at-rest stores (terminal near-basis
         // states) are where the memory win lives.
         assert!(comp.peak_ratio() <= 1.0);
-        assert!(
-            comp.mean_ratio() < 1.0,
-            "mean ratio {} shows no memory win",
-            comp.mean_ratio()
-        );
+        assert!(comp.mean_ratio() < 1.0, "mean ratio {} shows no memory win", comp.mean_ratio());
     }
 
     #[test]

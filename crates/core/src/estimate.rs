@@ -87,11 +87,8 @@ pub fn estimate_first_order(
             let pi = q * survive;
             // Probability this key fires with no other key at all: the
             // exactly-one-error trial, of which all copies are identical.
-            let survive_rest = if survive * (1.0 - q) > 0.0 {
-                no_injection / (survive * (1.0 - q))
-            } else {
-                0.0
-            };
+            let survive_rest =
+                if survive * (1.0 - q) > 0.0 { no_injection / (survive * (1.0 - q)) } else { 0.0 };
             let pi_alone = pi * survive_rest;
             edge_ops += 1.0 - (1.0 - pi).powf(n);
             remainder_ops += (1.0 - (1.0 - pi_alone).powf(n)) * (gates - reuse);
@@ -172,8 +169,7 @@ mod tests {
         let generator = TrialGenerator::new(&layered, &model).unwrap();
         let mut last = f64::INFINITY;
         for n in [256usize, 1024, 4096, 16384] {
-            let norm =
-                estimate_first_order(&layered, &generator, n).normalized_computation();
+            let norm = estimate_first_order(&layered, &generator, n).normalized_computation();
             assert!(norm < last, "n={n}: {norm} !< {last}");
             last = norm;
         }

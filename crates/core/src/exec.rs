@@ -7,10 +7,29 @@
 //! floating-point operation sequence in both executors) and its private
 //! sampling seed. This realises the paper's claim that the optimization "is
 //! mathematically equivalent to the original simulation".
+//!
+//! Since the fusion layer landed, both executors run the *same*
+//! [`FusedProgram`], compiled once per trial set with cut-points at the
+//! union of the set's injection layers (see `qsim_circuit::fuse`). Fusion
+//! changes which floating-point operations produce a final state — so fused
+//! results match the unfused path only up to numerical tolerance — but
+//! every strategy sharing one program still replays identical float
+//! sequences per trial, preserving the bitwise-identity guarantee between
+//! baseline and reuse (and budgeted, parallel, compressed) runs.
+//!
+//! Cost accounting is two-metric:
+//!
+//! * [`ExecStats::ops`] — the paper's platform-independent metric: source
+//!   gates + error-operator applications. Fusion does **not** change it;
+//!   the static analyzer still predicts it exactly.
+//! * [`ExecStats::amplitude_passes`] — full sweeps over the amplitude
+//!   array actually performed: fused kernels + error operators. Each
+//!   unfused op is one sweep, so `ops − amplitude_passes` is the work
+//!   fusion eliminated.
 
-use qsim_circuit::LayeredCircuit;
-use qsim_noise::Trial;
-use qsim_statevec::{MeasureOutcome, StateVector};
+use qsim_circuit::{FusedProgram, LayeredCircuit};
+use qsim_noise::{injection_cut_layers, Trial};
+use qsim_statevec::{MeasureOutcome, StatePool, StateVector};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -22,8 +41,16 @@ use crate::SimError;
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct ExecStats {
     /// Basic operations performed (gate applications + error-operator
-    /// applications), the paper's computation metric.
+    /// applications), the paper's computation metric. Independent of
+    /// fusion: fused segments report the source gates they stand for.
     pub ops: u64,
+    /// Fused kernel applications (gate work after fusion, excluding error
+    /// operators). Equals the gate share of `ops` when running unfused.
+    pub fused_ops: u64,
+    /// Full passes over the amplitude array: `fused_ops` plus one per
+    /// error-operator application — the hardware-cost counterpart of
+    /// `ops`.
+    pub amplitude_passes: u64,
     /// Peak number of concurrently stored state vectors (the MSV metric).
     /// Zero for the baseline, which stores no intermediate states.
     pub peak_msv: usize,
@@ -42,6 +69,74 @@ pub struct RunResult {
     pub stats: ExecStats,
 }
 
+/// How an executor advances a state through the circuit: fused segments
+/// (the default) or the pre-fusion layer-by-layer path (kept as reference
+/// and benchmark comparator).
+#[derive(Clone, Copy, Debug)]
+enum Engine<'p> {
+    Fused(&'p FusedProgram),
+    Layers,
+}
+
+impl Engine<'_> {
+    /// Apply layers `done+1 ..= through`, returning `(source_gates,
+    /// amplitude_passes)` performed.
+    fn advance(
+        &self,
+        layered: &LayeredCircuit,
+        state: &mut StateVector,
+        done: &mut i64,
+        through: i64,
+    ) -> Result<(u64, u64), SimError> {
+        match self {
+            Engine::Fused(program) => Ok(program.apply_through(state, done, through)?),
+            Engine::Layers => {
+                let mut ops = 0u64;
+                while *done < through {
+                    *done += 1;
+                    ops += layered.apply_layer(*done as usize, state)? as u64;
+                }
+                Ok((ops, ops))
+            }
+        }
+    }
+}
+
+/// Compile the fused program an executor shares across a whole trial set:
+/// cut at the union of the set's injection layers.
+pub fn fuse_for_trials(layered: &LayeredCircuit, trials: &[Trial]) -> FusedProgram {
+    FusedProgram::new(layered, &injection_cut_layers(trials))
+}
+
+/// Check that `program` fits `layered` and that every injection of every
+/// trial lands on a segment boundary.
+fn validate_program(
+    program: &FusedProgram,
+    layered: &LayeredCircuit,
+    trials: &[Trial],
+) -> Result<(), SimError> {
+    if program.n_layers() != layered.n_layers() || program.n_qubits() != layered.n_qubits() {
+        return Err(SimError::Circuit(format!(
+            "fused program geometry ({} qubits, {} layers) does not match the circuit ({}, {})",
+            program.n_qubits(),
+            program.n_layers(),
+            layered.n_qubits(),
+            layered.n_layers()
+        )));
+    }
+    for trial in trials {
+        for inj in trial.injections() {
+            if !program.is_cut_aligned(inj.layer()) {
+                return Err(SimError::Circuit(format!(
+                    "injection after layer {} does not land on a fusion cut-point",
+                    inj.layer()
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// The paper's baseline strategy (§V "Baseline"): run every error-injection
 /// trial independently from `|0…0⟩`, storing no intermediate state.
 #[derive(Clone, Copy, Debug)]
@@ -55,36 +150,83 @@ impl<'a> BaselineExecutor<'a> {
         BaselineExecutor { layered }
     }
 
-    /// Execute `trials` in the given order.
+    /// Execute `trials` in the given order, through a [`FusedProgram`]
+    /// compiled for this trial set.
     ///
     /// # Errors
     ///
     /// Returns [`SimError`] for trials whose injections do not fit the
     /// circuit.
     pub fn run(&self, trials: &[Trial]) -> Result<RunResult, SimError> {
+        let program = fuse_for_trials(self.layered, trials);
+        self.run_with_program(&program, trials)
+    }
+
+    /// Execute through an externally compiled program (so several runs —
+    /// or several worker threads — share one fusion, which keeps their
+    /// outcomes bitwise comparable).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] for out-of-range injections and for injections
+    /// that do not land on one of `program`'s cut-points.
+    pub fn run_with_program(
+        &self,
+        program: &FusedProgram,
+        trials: &[Trial],
+    ) -> Result<RunResult, SimError> {
+        self.run_engine(Engine::Fused(program), trials)
+    }
+
+    /// Execute layer-by-layer without fusion — the pre-fusion reference
+    /// path (unfused results differ from fused ones by float rounding
+    /// only).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] for trials whose injections do not fit the
+    /// circuit.
+    pub fn run_unfused(&self, trials: &[Trial]) -> Result<RunResult, SimError> {
+        self.run_engine(Engine::Layers, trials)
+    }
+
+    fn run_engine(&self, engine: Engine<'_>, trials: &[Trial]) -> Result<RunResult, SimError> {
         let layered = self.layered;
         let n_layers = layered.n_layers();
-        let mut ops: u64 = 0;
-        let mut outcomes = Vec::with_capacity(trials.len());
         for trial in trials {
             validate(trial, n_layers)?;
+        }
+        if let Engine::Fused(program) = engine {
+            validate_program(program, layered, trials)?;
+        }
+        let last_layer = n_layers as i64 - 1;
+        let mut stats = ExecStats { n_trials: trials.len(), ..ExecStats::default() };
+        let mut outcomes = Vec::with_capacity(trials.len());
+        for trial in trials {
             let mut state = StateVector::zero_state(layered.n_qubits());
+            let mut done = -1i64;
             let injections = trial.injections();
             let mut next = 0usize;
-            for layer in 0..n_layers {
-                ops += layered.apply_layer(layer, &mut state)? as u64;
-                while next < injections.len() && injections[next].layer() == layer {
+            while done < last_layer || next < injections.len() {
+                let target = if next < injections.len() {
+                    injections[next].layer() as i64
+                } else {
+                    last_layer
+                };
+                let (src, passes) = engine.advance(layered, &mut state, &mut done, target)?;
+                stats.ops += src;
+                stats.fused_ops += passes;
+                stats.amplitude_passes += passes;
+                while next < injections.len() && injections[next].layer() as i64 == done {
                     injections[next].apply_to(&mut state)?;
-                    ops += 1;
+                    stats.ops += 1;
+                    stats.amplitude_passes += 1;
                     next += 1;
                 }
             }
             outcomes.push(measure(layered, &state, trial));
         }
-        Ok(RunResult {
-            outcomes,
-            stats: ExecStats { ops, peak_msv: 0, n_trials: trials.len() },
-        })
+        Ok(RunResult { outcomes, stats })
     }
 }
 
@@ -149,6 +291,51 @@ impl<'a> ReuseExecutor<'a> {
         })
     }
 
+    /// Like [`ReuseExecutor::run`], but through an externally compiled
+    /// program (shared fusion across runs or worker threads).
+    ///
+    /// # Errors
+    ///
+    /// As [`BaselineExecutor::run_with_program`].
+    pub fn run_with_program(
+        &self,
+        program: &FusedProgram,
+        trials: &[Trial],
+    ) -> Result<RunResult, SimError> {
+        let mut outcomes: Vec<Option<MeasureOutcome>> = vec![None; trials.len()];
+        let stats = self.run_streaming_with(program, trials, usize::MAX, |index, outcome| {
+            outcomes[index] = Some(outcome);
+        })?;
+        Ok(RunResult {
+            outcomes: outcomes
+                .into_iter()
+                .map(|o| o.expect("every trial produced an outcome"))
+                .collect(),
+            stats,
+        })
+    }
+
+    /// Execute layer-by-layer without fusion — the pre-fusion reference
+    /// path (kept for benchmarks and numerical cross-checks).
+    ///
+    /// # Errors
+    ///
+    /// As [`ReuseExecutor::run`].
+    pub fn run_unfused(&self, trials: &[Trial]) -> Result<RunResult, SimError> {
+        let mut outcomes: Vec<Option<MeasureOutcome>> = vec![None; trials.len()];
+        let stats =
+            self.run_streaming_engine(Engine::Layers, trials, usize::MAX, |index, outcome| {
+                outcomes[index] = Some(outcome);
+            })?;
+        Ok(RunResult {
+            outcomes: outcomes
+                .into_iter()
+                .map(|o| o.expect("every trial produced an outcome"))
+                .collect(),
+            stats,
+        })
+    }
+
     /// Streaming execution: like [`ReuseExecutor::run_with_budget`], but
     /// outcomes are handed to `sink(original_trial_index, outcome)` as they
     /// are produced (in reordered processing order) instead of being
@@ -161,6 +348,39 @@ impl<'a> ReuseExecutor<'a> {
     /// As [`ReuseExecutor::run_with_budget`].
     pub fn run_streaming<F>(
         &self,
+        trials: &[Trial],
+        budget: usize,
+        sink: F,
+    ) -> Result<ExecStats, SimError>
+    where
+        F: FnMut(usize, MeasureOutcome),
+    {
+        let program = fuse_for_trials(self.layered, trials);
+        self.run_streaming_with(&program, trials, budget, sink)
+    }
+
+    /// Streaming execution through an externally compiled program.
+    ///
+    /// # Errors
+    ///
+    /// As [`ReuseExecutor::run_with_budget`], plus alignment failures (see
+    /// [`BaselineExecutor::run_with_program`]).
+    pub fn run_streaming_with<F>(
+        &self,
+        program: &FusedProgram,
+        trials: &[Trial],
+        budget: usize,
+        sink: F,
+    ) -> Result<ExecStats, SimError>
+    where
+        F: FnMut(usize, MeasureOutcome),
+    {
+        self.run_streaming_engine(Engine::Fused(program), trials, budget, sink)
+    }
+
+    fn run_streaming_engine<F>(
+        &self,
+        engine: Engine<'_>,
         trials: &[Trial],
         budget: usize,
         mut sink: F,
@@ -178,17 +398,18 @@ impl<'a> ReuseExecutor<'a> {
         for trial in trials {
             validate(trial, n_layers)?;
         }
+        if let Engine::Fused(program) = engine {
+            validate_program(program, layered, trials)?;
+        }
         let last_layer = n_layers as i64 - 1;
         let mut order: Vec<usize> = (0..trials.len()).collect();
         order.sort_by(|&a, &b| compare_trials(&trials[a], &trials[b]));
 
-        let mut ops: u64 = 0;
+        let mut stats = ExecStats { n_trials: trials.len(), ..ExecStats::default() };
         let mut peak = usize::from(!trials.is_empty());
-        let mut stack: Vec<Frame> = vec![Frame {
-            depth: 0,
-            done: -1,
-            state: StateVector::zero_state(layered.n_qubits()),
-        }];
+        let mut pool = StatePool::new();
+        let mut stack: Vec<Frame> =
+            vec![Frame { depth: 0, done: -1, state: StateVector::zero_state(layered.n_qubits()) }];
 
         for (pos, &orig) in order.iter().enumerate() {
             let cur = &trials[orig];
@@ -211,24 +432,33 @@ impl<'a> ReuseExecutor<'a> {
                     // Terminal at this trie node: finish the circuit on the
                     // node frontier in place and measure from it.
                     let top = stack.last_mut().expect("nonempty stack");
-                    ops += advance(layered, &mut top.state, &mut top.done, last_layer)?;
+                    let (src, passes) =
+                        engine.advance(layered, &mut top.state, &mut top.done, last_layer)?;
+                    stats.ops += src;
+                    stats.fused_ops += passes;
+                    stats.amplitude_passes += passes;
                     sink(orig, measure(layered, &top.state, cur));
                     while stack.last().is_some_and(|f| f.depth > keep) {
-                        stack.pop();
+                        pool.recycle(stack.pop().expect("checked nonempty").state);
                     }
                     break;
                 }
                 let target = injections[d].layer() as i64;
                 {
                     let top = stack.last_mut().expect("nonempty stack");
-                    ops += advance(layered, &mut top.state, &mut top.done, target)?;
+                    let (src, passes) =
+                        engine.advance(layered, &mut top.state, &mut top.done, target)?;
+                    stats.ops += src;
+                    stats.fused_ops += passes;
+                    stats.amplitude_passes += passes;
                 }
                 if d < keep {
                     // The post-injection state is itself a shared prefix of
                     // the next trial: persist it as a new frontier.
-                    let mut child = stack.last().expect("nonempty stack").state.clone();
+                    let mut child = pool.clone_state(&stack.last().expect("nonempty stack").state);
                     injections[d].apply_to(&mut child)?;
-                    ops += 1;
+                    stats.ops += 1;
+                    stats.amplitude_passes += 1;
                     stack.push(Frame { depth: d + 1, done: target, state: child });
                     peak = peak.max(stack.len());
                     d += 1;
@@ -237,57 +467,53 @@ impl<'a> ReuseExecutor<'a> {
                     // later. Clone the frontier if the node itself is still
                     // needed, otherwise consume it (the eager drop).
                     let mut working = if d <= keep {
-                        stack.last().expect("nonempty stack").state.clone()
+                        pool.clone_state(&stack.last().expect("nonempty stack").state)
                     } else {
                         let frame = stack.pop().expect("nonempty stack");
                         while stack.last().is_some_and(|f| f.depth > keep) {
-                            stack.pop();
+                            pool.recycle(stack.pop().expect("checked nonempty").state);
                         }
                         frame.state
                     };
                     let mut done = target;
                     injections[d].apply_to(&mut working)?;
-                    ops += 1;
+                    stats.ops += 1;
+                    stats.amplitude_passes += 1;
                     for inj in &injections[d + 1..] {
-                        ops += advance(layered, &mut working, &mut done, inj.layer() as i64)?;
+                        let (src, passes) =
+                            engine.advance(layered, &mut working, &mut done, inj.layer() as i64)?;
+                        stats.ops += src;
+                        stats.fused_ops += passes;
+                        stats.amplitude_passes += passes;
                         inj.apply_to(&mut working)?;
-                        ops += 1;
+                        stats.ops += 1;
+                        stats.amplitude_passes += 1;
                     }
-                    ops += advance(layered, &mut working, &mut done, last_layer)?;
+                    let (src, passes) =
+                        engine.advance(layered, &mut working, &mut done, last_layer)?;
+                    stats.ops += src;
+                    stats.fused_ops += passes;
+                    stats.amplitude_passes += passes;
                     sink(orig, measure(layered, &working, cur));
+                    pool.recycle(working);
                     break;
                 }
             }
         }
 
-        Ok(ExecStats {
-            ops,
-            peak_msv: if trials.is_empty() { 0 } else { peak },
-            n_trials: trials.len(),
-        })
+        stats.peak_msv = if trials.is_empty() { 0 } else { peak };
+        Ok(stats)
     }
-}
-
-/// Apply layers `done+1 ..= through` to `state`, updating `done`; returns
-/// the number of gate applications.
-fn advance(
-    layered: &LayeredCircuit,
-    state: &mut StateVector,
-    done: &mut i64,
-    through: i64,
-) -> Result<u64, SimError> {
-    let mut ops = 0u64;
-    while *done < through {
-        *done += 1;
-        ops += layered.apply_layer(*done as usize, state)? as u64;
-    }
-    Ok(ops)
 }
 
 /// Sample the trial's measurement outcome: Born-rule sampling with the
 /// trial's private seed, classical readout flips, then mapping measured
 /// qubits onto the classical register.
-pub(crate) fn measure(layered: &LayeredCircuit, state: &StateVector, trial: &Trial) -> MeasureOutcome {
+pub(crate) fn measure(
+    layered: &LayeredCircuit,
+    state: &StateVector,
+    trial: &Trial,
+) -> MeasureOutcome {
     let mut rng = StdRng::seed_from_u64(trial.seed());
     let mut qubit_outcome = state.sample(&mut rng);
     trial.apply_meas_flips(&mut qubit_outcome);
@@ -316,7 +542,12 @@ mod tests {
     use qsim_circuit::catalog;
     use qsim_noise::{NoiseModel, TrialGenerator, TrialSet};
 
-    fn generate(circuit: &qsim_circuit::Circuit, scale: f64, n: usize, seed: u64) -> (LayeredCircuit, TrialSet) {
+    fn generate(
+        circuit: &qsim_circuit::Circuit,
+        scale: f64,
+        n: usize,
+        seed: u64,
+    ) -> (LayeredCircuit, TrialSet) {
         let layered = circuit.layered().unwrap();
         let model = NoiseModel::uniform(
             circuit.n_qubits(),
@@ -341,6 +572,7 @@ mod tests {
             let reuse = ReuseExecutor::new(&layered).run(set.trials()).unwrap();
             assert_eq!(baseline.outcomes, reuse.outcomes, "{}", circuit.name());
             assert!(reuse.stats.ops <= baseline.stats.ops);
+            assert!(reuse.stats.amplitude_passes <= reuse.stats.ops);
         }
     }
 
@@ -365,6 +597,8 @@ mod tests {
         // One full pass of the circuit, everything else is re-measurement.
         assert_eq!(reuse.stats.ops, layered.total_gates() as u64);
         assert_eq!(reuse.stats.peak_msv, 1);
+        // With no cut-points the whole circuit fuses into one segment.
+        assert!(reuse.stats.amplitude_passes < reuse.stats.ops);
         // The noiseless BV outcome is the hidden string for every trial.
         for outcome in &reuse.outcomes {
             assert_eq!(outcome.to_index(), 0b101);
@@ -400,13 +634,10 @@ mod tests {
     #[test]
     fn rejects_out_of_range_layers() {
         let layered = catalog::rb().layered().unwrap();
-        let bad = Trial::new(
-            vec![qsim_noise::Injection::single(99, 0, qsim_noise::Pauli::X)],
-            0,
-            0,
-        );
+        let bad =
+            Trial::new(vec![qsim_noise::Injection::single(99, 0, qsim_noise::Pauli::X)], 0, 0);
         assert!(matches!(
-            ReuseExecutor::new(&layered).run(&[bad.clone()]),
+            ReuseExecutor::new(&layered).run(std::slice::from_ref(&bad)),
             Err(SimError::LayerOutOfRange { .. })
         ));
         assert!(matches!(
@@ -416,16 +647,27 @@ mod tests {
     }
 
     #[test]
+    fn rejects_misaligned_shared_program() {
+        // A program fused for an *empty* cut set cannot host a trial that
+        // injects mid-circuit.
+        let (layered, set) = generate(&catalog::qft(4), 2.0, 50, 5);
+        let program = FusedProgram::new(&layered, &[]);
+        let has_injection = set.trials().iter().any(|t| t.n_injections() > 0);
+        assert!(has_injection, "workload too clean to exercise the check");
+        let result = BaselineExecutor::new(&layered).run_with_program(&program, set.trials());
+        assert!(matches!(result, Err(SimError::Circuit(_))));
+        let result = ReuseExecutor::new(&layered).run_with_program(&program, set.trials());
+        assert!(matches!(result, Err(SimError::Circuit(_))));
+    }
+
+    #[test]
     fn injected_errors_change_outcomes() {
         // X error right before measurement on a deterministic circuit flips
         // the measured bit, and both executors see it identically.
         let layered = catalog::bv(4, 0b111).layered().unwrap();
         let last = layered.n_layers() - 1;
-        let flip = Trial::new(
-            vec![qsim_noise::Injection::single(last, 0, qsim_noise::Pauli::X)],
-            0,
-            7,
-        );
+        let flip =
+            Trial::new(vec![qsim_noise::Injection::single(last, 0, qsim_noise::Pauli::X)], 0, 7);
         let clean = Trial::error_free(8);
         let result = BaselineExecutor::new(&layered).run(&[clean, flip]).unwrap();
         assert_eq!(result.outcomes[0].to_index(), 0b111);
@@ -485,5 +727,54 @@ mod tests {
         assert_eq!(reuse.stats.ops, report.optimized_ops);
         let baseline = BaselineExecutor::new(&layered).run(set.trials()).unwrap();
         assert_eq!(baseline.outcomes, reuse.outcomes);
+    }
+
+    #[test]
+    fn unfused_reference_agrees_up_to_tolerance_and_counts_every_pass() {
+        let (layered, set) = generate(&catalog::qft(4), 3.0, 200, 23);
+        let fused = BaselineExecutor::new(&layered).run(set.trials()).unwrap();
+        let unfused = BaselineExecutor::new(&layered).run_unfused(set.trials()).unwrap();
+        // Identical paper metric; fused never performs *more* passes (a
+        // dense cut union can leave nothing to merge, so not strictly
+        // fewer here — see below for a sparse-cut workload).
+        assert_eq!(fused.stats.ops, unfused.stats.ops);
+        assert_eq!(unfused.stats.amplitude_passes, unfused.stats.ops);
+        assert!(fused.stats.amplitude_passes <= unfused.stats.amplitude_passes);
+        // Outcome agreement is statistical, not bitwise (fusion reorders
+        // float ops): compare histograms coarsely.
+        let fused_hist = crate::Histogram::from_outcomes(layered.n_cbits(), &fused.outcomes);
+        let unfused_hist = crate::Histogram::from_outcomes(layered.n_cbits(), &unfused.outcomes);
+        let mut diff = 0.0f64;
+        for index in 0..(1u64 << layered.n_cbits()) {
+            diff += (fused_hist.probability(index) - unfused_hist.probability(index)).abs();
+        }
+        assert!(diff / 2.0 < 0.15, "fused/unfused histograms diverged: tv {diff}");
+        let reuse_unfused = ReuseExecutor::new(&layered).run_unfused(set.trials()).unwrap();
+        assert_eq!(reuse_unfused.outcomes, unfused.outcomes, "unfused paths stay bitwise equal");
+    }
+
+    #[test]
+    fn sparse_cut_unions_leave_room_for_fusion() {
+        // All trials inject at one layer: two long segments, plenty to
+        // merge — fused passes must be strictly below the op count.
+        let layered = catalog::qft(4).layered().unwrap();
+        let cut = layered.n_layers() / 2;
+        let mut trials = vec![Trial::error_free(1)];
+        for s in 0..40u64 {
+            trials.push(Trial::new(
+                vec![qsim_noise::Injection::single(
+                    cut,
+                    (s % 4) as usize,
+                    [qsim_noise::Pauli::X, qsim_noise::Pauli::Z][(s % 2) as usize],
+                )],
+                0,
+                100 + s,
+            ));
+        }
+        let fused = BaselineExecutor::new(&layered).run(&trials).unwrap();
+        let reuse = ReuseExecutor::new(&layered).run(&trials).unwrap();
+        assert_eq!(fused.outcomes, reuse.outcomes);
+        assert!(fused.stats.amplitude_passes < fused.stats.ops);
+        assert!(reuse.stats.amplitude_passes < reuse.stats.ops);
     }
 }

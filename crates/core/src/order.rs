@@ -56,11 +56,7 @@ pub fn compare_injections(a: &[Injection], b: &[Injection]) -> Ordering {
 /// of shared error operators, which determines how much computation the
 /// second trial reuses from the first.
 pub fn lcp(a: &Trial, b: &Trial) -> usize {
-    a.injections()
-        .iter()
-        .zip(b.injections())
-        .take_while(|(x, y)| x == y)
-        .count()
+    a.injections().iter().zip(b.injections()).take_while(|(x, y)| x == y).count()
 }
 
 /// Reorder trials in place to maximise overlapped computation between

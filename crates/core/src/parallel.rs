@@ -12,13 +12,26 @@
 //!   most `threads − 1` full trial costs — while outcomes remain **bitwise
 //!   identical** to the baseline (every trial still executes its exact
 //!   operation sequence).
+//!
+//! Chunk boundaries are *cost-balanced*, not count-balanced: with prefix
+//! caching, a trial's marginal cost is the work past its shared prefix, so
+//! equal trial counts can give one worker a chunk of near-free deep-sharing
+//! trials and another a chunk of full-length loners. Boundaries are placed
+//! on the cumulative estimated marginal cost instead (see
+//! [`estimate_marginal_cost`]).
+//!
+//! All workers execute one [`qsim_circuit::FusedProgram`] compiled from the
+//! **full** trial set. Fusion geometry depends on the cut-point union, so a
+//! per-chunk program would change the floating-point sequence and break
+//! bitwise agreement with the sequential executors; a shared program keeps
+//! every strategy exactly comparable.
 
 use qsim_circuit::LayeredCircuit;
 use qsim_noise::Trial;
 use qsim_statevec::MeasureOutcome;
 
-use crate::exec::{BaselineExecutor, ExecStats, ReuseExecutor, RunResult};
-use crate::order::compare_trials;
+use crate::exec::{fuse_for_trials, BaselineExecutor, ExecStats, ReuseExecutor, RunResult};
+use crate::order::{compare_trials, lcp};
 use crate::SimError;
 
 /// Resolve a thread-count request: 0 means "use available parallelism".
@@ -28,9 +41,43 @@ fn resolve_threads(requested: usize, n_items: usize) -> usize {
     threads.clamp(1, n_items.max(1))
 }
 
+/// Estimated marginal cost (in basic operations) of executing `cur` right
+/// after `prev` with prefix caching: the gates past the deepest shared
+/// frontier plus `cur`'s own error injections, plus one for measurement.
+/// `prev = None` prices a cold start (a chunk's first trial).
+pub fn estimate_marginal_cost(layered: &LayeredCircuit, prev: Option<&Trial>, cur: &Trial) -> u64 {
+    let d = prev.map_or(0, |p| lcp(p, cur));
+    let shared_gates =
+        if d > 0 { layered.gates_through(cur.injections()[d - 1].layer()) as u64 } else { 0 };
+    let total = layered.total_gates() as u64;
+    total - shared_gates + (cur.n_injections() - d) as u64 + 1
+}
+
+/// Split `0..costs.len()` into at most `threads` contiguous chunks whose
+/// cumulative costs are as even as a greedy left-to-right walk can make
+/// them. Returns chunk start indices (first is always 0); every chunk is
+/// nonempty.
+fn balanced_boundaries(costs: &[u64], threads: usize) -> Vec<usize> {
+    let total: u64 = costs.iter().sum::<u64>().max(1);
+    let mut bounds = vec![0usize];
+    let mut acc: u64 = 0;
+    for (i, &c) in costs.iter().enumerate() {
+        acc += c;
+        let chunk = bounds.len() as u64;
+        if bounds.len() < threads
+            && i + 1 < costs.len()
+            && acc.saturating_mul(threads as u64) >= total.saturating_mul(chunk)
+        {
+            bounds.push(i + 1);
+        }
+    }
+    bounds
+}
+
 /// Execute trials with the baseline strategy across `n_threads` threads
 /// (`0` = all available cores). Outcomes are in input order and bitwise
-/// identical to the sequential baseline.
+/// identical to the sequential baseline (all workers share the full set's
+/// fused program).
 ///
 /// # Errors
 ///
@@ -44,28 +91,35 @@ pub fn run_baseline_parallel(
     if threads <= 1 || trials.is_empty() {
         return BaselineExecutor::new(layered).run(trials);
     }
+    let program = fuse_for_trials(layered, trials);
     let chunk_size = trials.len().div_ceil(threads);
     let results: Vec<Result<RunResult, SimError>> = std::thread::scope(|scope| {
         let handles: Vec<_> = trials
             .chunks(chunk_size)
-            .map(|chunk| scope.spawn(move || BaselineExecutor::new(layered).run(chunk)))
+            .map(|chunk| {
+                let program = &program;
+                scope.spawn(move || BaselineExecutor::new(layered).run_with_program(program, chunk))
+            })
             .collect();
         handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
     });
     let mut outcomes = Vec::with_capacity(trials.len());
-    let mut stats = ExecStats { ops: 0, peak_msv: 0, n_trials: trials.len() };
+    let mut stats = ExecStats { n_trials: trials.len(), ..ExecStats::default() };
     for result in results {
         let part = result?;
         outcomes.extend(part.outcomes);
         stats.ops += part.stats.ops;
+        stats.fused_ops += part.stats.fused_ops;
+        stats.amplitude_passes += part.stats.amplitude_passes;
     }
     Ok(RunResult { outcomes, stats })
 }
 
 /// Execute trials with reordering + prefix caching across `n_threads`
 /// threads (`0` = all available cores). The global sorted order is split
-/// into contiguous chunks; each worker caches prefixes within its chunk.
-/// Outcomes are in input order and bitwise identical to the baseline.
+/// into cost-balanced contiguous chunks; each worker caches prefixes within
+/// its chunk, running the shared full-set fused program. Outcomes are in
+/// input order and bitwise identical to the baseline.
 ///
 /// # Errors
 ///
@@ -84,24 +138,35 @@ pub fn run_reordered_parallel(
     // outcomes against the caller's order.
     let mut order: Vec<usize> = (0..trials.len()).collect();
     order.sort_by(|&a, &b| compare_trials(&trials[a], &trials[b]));
-    let chunk_size = order.len().div_ceil(threads);
+    let program = fuse_for_trials(layered, trials);
+    let costs: Vec<u64> = order
+        .iter()
+        .enumerate()
+        .map(|(pos, &orig)| {
+            let prev = pos.checked_sub(1).map(|p| &trials[order[p]]);
+            estimate_marginal_cost(layered, prev, &trials[orig])
+        })
+        .collect();
+    let bounds = balanced_boundaries(&costs, threads);
 
     type ChunkResult = Result<(Vec<(usize, MeasureOutcome)>, ExecStats), SimError>;
     let results: Vec<ChunkResult> = std::thread::scope(|scope| {
-        let handles: Vec<_> = order
-            .chunks(chunk_size)
-            .map(|idx_chunk| {
+        let handles: Vec<_> = bounds
+            .iter()
+            .enumerate()
+            .map(|(k, &start)| {
+                let end = bounds.get(k + 1).copied().unwrap_or(order.len());
+                let idx_chunk = &order[start..end];
+                let program = &program;
                 scope.spawn(move || -> ChunkResult {
                     // The chunk is already sorted; ReuseExecutor re-sorts
                     // internally (stable, already-ordered input = no-op
                     // permutation) and returns outcomes in chunk order.
                     let chunk_trials: Vec<Trial> =
                         idx_chunk.iter().map(|&i| trials[i].clone()).collect();
-                    let part = ReuseExecutor::new(layered).run(&chunk_trials)?;
-                    Ok((
-                        idx_chunk.iter().copied().zip(part.outcomes).collect(),
-                        part.stats,
-                    ))
+                    let part =
+                        ReuseExecutor::new(layered).run_with_program(program, &chunk_trials)?;
+                    Ok((idx_chunk.iter().copied().zip(part.outcomes).collect(), part.stats))
                 })
             })
             .collect();
@@ -109,21 +174,20 @@ pub fn run_reordered_parallel(
     });
 
     let mut outcomes: Vec<Option<MeasureOutcome>> = vec![None; trials.len()];
-    let mut stats = ExecStats { ops: 0, peak_msv: 0, n_trials: trials.len() };
+    let mut stats = ExecStats { n_trials: trials.len(), ..ExecStats::default() };
     for result in results {
         let (pairs, part_stats) = result?;
         for (index, outcome) in pairs {
             outcomes[index] = Some(outcome);
         }
         stats.ops += part_stats.ops;
+        stats.fused_ops += part_stats.fused_ops;
+        stats.amplitude_passes += part_stats.amplitude_passes;
         // Workers hold their caches concurrently: peak memory is the sum.
         stats.peak_msv += part_stats.peak_msv;
     }
     Ok(RunResult {
-        outcomes: outcomes
-            .into_iter()
-            .map(|o| o.expect("every trial executed"))
-            .collect(),
+        outcomes: outcomes.into_iter().map(|o| o.expect("every trial executed")).collect(),
         stats,
     })
 }
@@ -150,6 +214,7 @@ mod tests {
             let parallel = run_baseline_parallel(&layered, set.trials(), threads).unwrap();
             assert_eq!(parallel.outcomes, sequential.outcomes, "{threads} threads");
             assert_eq!(parallel.stats.ops, sequential.stats.ops);
+            assert_eq!(parallel.stats.amplitude_passes, sequential.stats.amplitude_passes);
         }
     }
 
@@ -163,8 +228,8 @@ mod tests {
             assert_eq!(parallel.outcomes, baseline.outcomes, "{threads} threads");
             // Chunking costs at most (threads−1) extra full-trial prefixes.
             assert!(parallel.stats.ops >= sequential.stats.ops);
-            let bound = sequential.stats.ops
-                + (threads as u64) * (layered.total_gates() as u64 + 64);
+            let bound =
+                sequential.stats.ops + (threads as u64) * (layered.total_gates() as u64 + 64);
             assert!(
                 parallel.stats.ops <= bound,
                 "{threads} threads: {} > bound {bound}",
@@ -205,5 +270,53 @@ mod tests {
         let result = run_reordered_parallel(&layered, &[], 4).unwrap();
         assert!(result.outcomes.is_empty());
         assert_eq!(result.stats.ops, 0);
+    }
+
+    #[test]
+    fn cost_balancing_beats_count_balancing_on_skewed_orders() {
+        // A sorted trial order front-loads deep-sharing (cheap) trials and
+        // back-loads loners; cost balancing should give the cheap half more
+        // trials than the expensive half.
+        let (layered, set) = workload(600);
+        let trials = set.trials();
+        let mut order: Vec<usize> = (0..trials.len()).collect();
+        order.sort_by(|&a, &b| compare_trials(&trials[a], &trials[b]));
+        let costs: Vec<u64> = order
+            .iter()
+            .enumerate()
+            .map(|(pos, &orig)| {
+                let prev = pos.checked_sub(1).map(|p| &trials[order[p]]);
+                estimate_marginal_cost(&layered, prev, &trials[orig])
+            })
+            .collect();
+        let bounds = balanced_boundaries(&costs, 4);
+        assert!(!bounds.is_empty() && bounds[0] == 0);
+        assert!(bounds.len() <= 4);
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "chunks must be nonempty: {bounds:?}");
+        // Per-chunk cost spread stays within 2× of the ideal split.
+        let total: u64 = costs.iter().sum();
+        let ideal = total as f64 / bounds.len() as f64;
+        for (k, &start) in bounds.iter().enumerate() {
+            let end = bounds.get(k + 1).copied().unwrap_or(costs.len());
+            let chunk_cost: u64 = costs[start..end].iter().sum();
+            assert!(
+                (chunk_cost as f64) < 2.0 * ideal + costs[start] as f64,
+                "chunk {k} cost {chunk_cost} vs ideal {ideal}"
+            );
+        }
+    }
+
+    #[test]
+    fn marginal_cost_estimates_are_sane() {
+        let (layered, _) = workload(1);
+        let total = layered.total_gates() as u64;
+        let clean = Trial::error_free(0);
+        // Cold start pays the full circuit.
+        assert_eq!(estimate_marginal_cost(&layered, None, &clean), total + 1);
+        // A repeat of the same injection-free trial still re-runs nothing
+        // but measurement... which the estimate prices as a full pass since
+        // lcp of empty trials is 0 injections deep.
+        let cost = estimate_marginal_cost(&layered, Some(&clean), &clean);
+        assert!(cost <= total + 1);
     }
 }

@@ -45,10 +45,9 @@ pub fn exact_distribution(
             match op.qubits.len() {
                 1 => {
                     let q = op.qubits[0];
-                    let matrix = op
-                        .gate
-                        .matrix1()
-                        .ok_or_else(|| SimError::Circuit(format!("gate {} has no matrix", op.gate)))?;
+                    let matrix = op.gate.matrix1().ok_or_else(|| {
+                        SimError::Circuit(format!("gate {} has no matrix", op.gate))
+                    })?;
                     rho.apply_1q(&matrix, q)?;
                     let w = model.single_weights(q);
                     if w.total() > 0.0 {

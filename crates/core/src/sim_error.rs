@@ -83,7 +83,10 @@ mod tests {
         assert!(e.to_string().contains("4q/7-layer"));
         let e = SimError::from(StateVecError::QubitOutOfRange { qubit: 9, n_qubits: 2 });
         assert!(e.source().is_some());
-        assert_eq!(SimError::NoTrials.to_string(), "no trials generated; call generate_trials first");
+        assert_eq!(
+            SimError::NoTrials.to_string(),
+            "no trials generated; call generate_trials first"
+        );
     }
 
     #[test]

@@ -249,11 +249,8 @@ mod tests {
     use qsim_circuit::catalog;
 
     fn sim() -> Simulation {
-        Simulation::from_circuit(
-            &catalog::bv(4, 0b111),
-            NoiseModel::uniform(4, 5e-3, 5e-2, 2e-2),
-        )
-        .unwrap()
+        Simulation::from_circuit(&catalog::bv(4, 0b111), NoiseModel::uniform(4, 5e-3, 5e-2, 2e-2))
+            .unwrap()
     }
 
     #[test]
@@ -320,10 +317,7 @@ mod tests {
         let budgeted = s.run_reordered_with_budget(2).unwrap();
         assert_eq!(budgeted.outcomes, baseline.outcomes);
         assert!(budgeted.stats.peak_msv <= 2);
-        assert_eq!(
-            s.analyze_with_budget(2).unwrap().optimized_ops,
-            budgeted.stats.ops
-        );
+        assert_eq!(s.analyze_with_budget(2).unwrap().optimized_ops, budgeted.stats.ops);
         let par = s.run_reordered_parallel(3).unwrap();
         assert_eq!(par.outcomes, baseline.outcomes);
         let par_base = s.run_baseline_parallel(3).unwrap();

@@ -95,8 +95,7 @@ mod tests {
             let draws = 30_000;
             let samples: Vec<f64> = (0..draws).map(|_| dist.sample(&mut rng) as f64).collect();
             let mean: f64 = samples.iter().sum::<f64>() / draws as f64;
-            let var: f64 =
-                samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / draws as f64;
+            let var: f64 = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / draws as f64;
             let expect_mean = n as f64 * p;
             let expect_var = n as f64 * p * (1.0 - p);
             let mean_tol = 4.0 * (expect_var / draws as f64).sqrt() + 1e-9;

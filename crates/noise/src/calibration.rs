@@ -43,9 +43,8 @@ pub fn parse(source: &str) -> Result<NoiseModel, NoiseError> {
             model = Some(NoiseModel::uniform(n, 0.0, 0.0, 0.0));
             continue;
         }
-        let model = model
-            .as_mut()
-            .ok_or_else(|| err("the file must start with `qubits N`".to_owned()))?;
+        let model =
+            model.as_mut().ok_or_else(|| err("the file must start with `qubits N`".to_owned()))?;
         match keyword {
             "single" => {
                 let qubit: usize = parse_one(&rest, 0, line_no, "qubit index")?;
@@ -68,14 +67,14 @@ pub fn parse(source: &str) -> Result<NoiseModel, NoiseError> {
                 model.set_readout_rate(qubit, rate).map_err(|e| err(e.to_string()))?;
             }
             "idle" => {
-                let target = rest.first().ok_or_else(|| err("idle needs a qubit or *".to_owned()))?;
+                let target =
+                    rest.first().ok_or_else(|| err("idle needs a qubit or *".to_owned()))?;
                 let weights = parse_weights(&rest[1..], line_no)?;
                 if *target == "*" {
                     model.set_idle_weights_all(weights);
                 } else {
-                    let qubit: usize = target
-                        .parse()
-                        .map_err(|e| err(format!("invalid qubit index: {e}")))?;
+                    let qubit: usize =
+                        target.parse().map_err(|e| err(format!("invalid qubit index: {e}")))?;
                     model.set_idle_weights(qubit, weights).map_err(|e| err(e.to_string()))?;
                 }
             }
@@ -135,8 +134,7 @@ fn parse_weights(rest: &[&str], line: usize) -> Result<PauliWeights, NoiseError>
         return Err(err("missing rate or x=/y=/z= weights".to_owned()));
     }
     if !rest[0].contains('=') {
-        let total: f64 =
-            rest[0].parse().map_err(|e| err(format!("invalid rate: {e}")))?;
+        let total: f64 = rest[0].parse().map_err(|e| err(format!("invalid rate: {e}")))?;
         if !(0.0..=1.0).contains(&total) {
             return Err(err(format!("rate {total} out of [0, 1]")));
         }
@@ -176,10 +174,9 @@ mod tests {
 
     #[test]
     fn parses_asymmetric_and_idle_channels() {
-        let model = parse(
-            "qubits 2\nsingle 0 x=1e-3 z=3e-3\nidle * z=1e-4\nidle 1 x=2e-4 y=0 z=0\n",
-        )
-        .unwrap();
+        let model =
+            parse("qubits 2\nsingle 0 x=1e-3 z=3e-3\nidle * z=1e-4\nidle 1 x=2e-4 y=0 z=0\n")
+                .unwrap();
         let w = model.single_weights(0);
         assert_eq!((w.x, w.y, w.z), (1e-3, 0.0, 3e-3));
         assert_eq!(model.idle_weights(0), Some(PauliWeights::dephasing(1e-4)));

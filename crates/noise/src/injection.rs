@@ -179,7 +179,9 @@ mod tests {
 
     #[test]
     fn packing_roundtrips_single() {
-        for (layer, qubit, p) in [(0usize, 0usize, Pauli::X), (7, 39, Pauli::Z), (1000, 2, Pauli::Y)] {
+        for (layer, qubit, p) in
+            [(0usize, 0usize, Pauli::X), (7, 39, Pauli::Z), (1000, 2, Pauli::Y)]
+        {
             let inj = Injection::single(layer, qubit, p);
             assert_eq!(inj.layer(), layer);
             assert_eq!(inj.site(), Site::One(qubit));
@@ -269,10 +271,7 @@ mod tests {
             Injection::pair(5, (1, 4), Some(Pauli::X), Some(Pauli::Z)).to_string(),
             "L5:XZ@(q1,q4)"
         );
-        assert_eq!(
-            Injection::pair(5, (1, 4), None, Some(Pauli::Y)).to_string(),
-            "L5:IY@(q1,q4)"
-        );
+        assert_eq!(Injection::pair(5, (1, 4), None, Some(Pauli::Y)).to_string(), "L5:IY@(q1,q4)");
     }
 
     #[test]

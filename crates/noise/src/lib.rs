@@ -47,10 +47,10 @@ mod weights;
 
 pub use binomial::Binomial;
 pub use error::NoiseError;
-pub use weights::PauliWeights;
 pub use injection::{Injection, Site};
 pub use model::NoiseModel;
-pub use trial::{Trial, TrialSet};
+pub use trial::{injection_cut_layers, Trial, TrialSet};
 pub use trialgen::{PositionInfo, TrialGenerator};
+pub use weights::PauliWeights;
 
 pub use qsim_statevec::Pauli;

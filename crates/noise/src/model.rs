@@ -158,8 +158,7 @@ impl NoiseModel {
         if qubit >= self.n_qubits {
             return Err(NoiseError::WidthMismatch { model: self.n_qubits, circuit: qubit + 1 });
         }
-        self.idle
-            .get_or_insert_with(|| vec![PauliWeights::zero(); self.n_qubits])[qubit] = weights;
+        self.idle.get_or_insert_with(|| vec![PauliWeights::zero(); self.n_qubits])[qubit] = weights;
         Ok(())
     }
 
@@ -278,18 +277,12 @@ impl NoiseModel {
     /// `[0, 1]`.
     pub fn scaled(&self, factor: f64) -> Result<NoiseModel, NoiseError> {
         if factor < 0.0 {
-            return Err(NoiseError::InvalidProbability {
-                what: "scale factor",
-                value: factor,
-            });
+            return Err(NoiseError::InvalidProbability { what: "scale factor", value: factor });
         }
         let mut out = self.clone();
         for weights in &mut out.single {
-            *weights = PauliWeights::new(
-                weights.x * factor,
-                weights.y * factor,
-                weights.z * factor,
-            )?;
+            *weights =
+                PauliWeights::new(weights.x * factor, weights.y * factor, weights.z * factor)?;
         }
         check_prob("scaled two-qubit gate error", self.default_pair * factor)?;
         out.default_pair = self.default_pair * factor;
@@ -303,11 +296,8 @@ impl NoiseModel {
         }
         if let Some(idle) = &mut out.idle {
             for weights in idle.iter_mut() {
-                *weights = PauliWeights::new(
-                    weights.x * factor,
-                    weights.y * factor,
-                    weights.z * factor,
-                )?;
+                *weights =
+                    PauliWeights::new(weights.x * factor, weights.y * factor, weights.z * factor)?;
             }
         }
         Ok(out)
@@ -335,8 +325,8 @@ impl NoiseModel {
 
 impl fmt::Display for NoiseModel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let avg_single: f64 =
-            self.single.iter().map(PauliWeights::total).sum::<f64>() / self.single.len().max(1) as f64;
+        let avg_single: f64 = self.single.iter().map(PauliWeights::total).sum::<f64>()
+            / self.single.len().max(1) as f64;
         let avg_readout: f64 = self.readout.iter().sum::<f64>() / self.readout.len().max(1) as f64;
         write!(
             f,
@@ -354,7 +344,6 @@ fn check_prob(what: &'static str, p: f64) -> Result<(), NoiseError> {
     }
 }
 
-
 /// Serde helpers for the tuple-keyed pair map (JSON requires string keys,
 /// so the map travels as a list of `((a, b), rate)` entries).
 #[cfg(feature = "serde")]
@@ -367,8 +356,7 @@ mod pair_map_serde {
         map: &HashMap<(usize, usize), f64>,
         serializer: S,
     ) -> Result<S::Ok, S::Error> {
-        let mut entries: Vec<((usize, usize), f64)> =
-            map.iter().map(|(&k, &v)| (k, v)).collect();
+        let mut entries: Vec<((usize, usize), f64)> = map.iter().map(|(&k, &v)| (k, v)).collect();
         entries.sort_by_key(|&(k, _)| k);
         entries.serialize(serializer)
     }

@@ -198,6 +198,15 @@ impl TrialSet {
         hist
     }
 
+    /// Sorted, deduplicated union of injection layers across every trial —
+    /// the cut-points a fused execution must honour: a state may need to
+    /// pause after each of these layers for *some* trial, and nowhere else.
+    /// Gate fusion (see `qsim-circuit`'s `fuse` module) is free to merge
+    /// across every other layer boundary.
+    pub fn injection_layers(&self) -> Vec<usize> {
+        injection_cut_layers(&self.trials)
+    }
+
     /// Fraction of trials with no injected error at all — the paper's
     /// "error-free execution" mass, which bounds the best possible sharing.
     pub fn error_free_fraction(&self) -> f64 {
@@ -207,6 +216,17 @@ impl TrialSet {
         let clean = self.trials.iter().filter(|t| t.n_injections() == 0).count();
         clean as f64 / self.trials.len() as f64
     }
+}
+
+/// Sorted, deduplicated union of injection layers across `trials` (see
+/// [`TrialSet::injection_layers`]; this form serves executors that work on
+/// bare trial slices).
+pub fn injection_cut_layers(trials: &[Trial]) -> Vec<usize> {
+    let mut layers: Vec<usize> =
+        trials.iter().flat_map(|t| t.injections().iter().map(|inj| inj.layer())).collect();
+    layers.sort_unstable();
+    layers.dedup();
+    layers
 }
 
 impl fmt::Display for TrialSet {

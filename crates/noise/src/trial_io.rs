@@ -61,15 +61,12 @@ pub fn parse(source: &str) -> Result<TrialSet, NoiseError> {
     let mut lines = source.lines().enumerate();
     let err = |line: usize, message: String| NoiseError::Calibration { line, message };
 
-    let (_, header) = lines
-        .next()
-        .ok_or_else(|| err(0, "empty trial file".to_owned()))?;
+    let (_, header) = lines.next().ok_or_else(|| err(0, "empty trial file".to_owned()))?;
     if header.trim() != "trialset v1" {
         return Err(err(1, format!("expected `trialset v1`, found {header:?}")));
     }
-    let (_, geometry) = lines
-        .next()
-        .ok_or_else(|| err(1, "missing `qubits N layers M` line".to_owned()))?;
+    let (_, geometry) =
+        lines.next().ok_or_else(|| err(1, "missing `qubits N layers M` line".to_owned()))?;
     let geo: Vec<&str> = geometry.split_whitespace().collect();
     let (n_qubits, n_layers) = match geo.as_slice() {
         ["qubits", n, "layers", m] => (
@@ -111,7 +108,10 @@ pub fn parse(source: &str) -> Result<TrialSet, NoiseError> {
             if inj.layer() >= n_layers {
                 return Err(err(
                     line_no,
-                    format!("injection layer {} beyond the declared {n_layers} layers", inj.layer()),
+                    format!(
+                        "injection layer {} beyond the declared {n_layers} layers",
+                        inj.layer()
+                    ),
                 ));
             }
         }
@@ -126,25 +126,19 @@ fn parse_injection(word: &str, line: usize) -> Result<Injection, NoiseError> {
     let parse_pauli = |text: &str| -> Result<Option<Pauli>, NoiseError> {
         match text {
             "I" | "i" => Ok(None),
-            other => other
-                .parse::<Pauli>()
-                .map(Some)
-                .map_err(|e| err(e.to_string())),
+            other => other.parse::<Pauli>().map(Some).map_err(|e| err(e.to_string())),
         }
     };
     match parts.as_slice() {
         ["s", layer, qubit, op] => {
-            let layer: usize =
-                layer.parse().map_err(|e| err(format!("invalid layer: {e}")))?;
-            let qubit: usize =
-                qubit.parse().map_err(|e| err(format!("invalid qubit: {e}")))?;
+            let layer: usize = layer.parse().map_err(|e| err(format!("invalid layer: {e}")))?;
+            let qubit: usize = qubit.parse().map_err(|e| err(format!("invalid qubit: {e}")))?;
             let pauli = parse_pauli(op)?
                 .ok_or_else(|| err("single injection cannot be identity".to_owned()))?;
             Ok(Injection::single(layer, qubit, pauli))
         }
         ["p", layer, low, high, low_op, high_op] => {
-            let layer: usize =
-                layer.parse().map_err(|e| err(format!("invalid layer: {e}")))?;
+            let layer: usize = layer.parse().map_err(|e| err(format!("invalid layer: {e}")))?;
             let low: usize = low.parse().map_err(|e| err(format!("invalid qubit: {e}")))?;
             let high: usize = high.parse().map_err(|e| err(format!("invalid qubit: {e}")))?;
             if low >= high {

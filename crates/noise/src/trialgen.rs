@@ -77,11 +77,7 @@ impl TrialGenerator {
                     busy[q] = true;
                 }
                 let (qubits, is_pair, weights) = match op.qubits.len() {
-                    1 => (
-                        (op.qubits[0], usize::MAX),
-                        false,
-                        model.single_weights(op.qubits[0]),
-                    ),
+                    1 => ((op.qubits[0], usize::MAX), false, model.single_weights(op.qubits[0])),
                     2 => {
                         let (a, b) = (op.qubits[0], op.qubits[1]);
                         ((a.min(b), a.max(b)), true, PauliWeights::zero())
@@ -110,11 +106,8 @@ impl TrialGenerator {
                 }
             }
         }
-        let readouts = layered
-            .measurements()
-            .iter()
-            .map(|&(q, _)| (q, model.readout_rate(q)))
-            .collect();
+        let readouts =
+            layered.measurements().iter().map(|&(q, _)| (q, model.readout_rate(q))).collect();
         Ok(TrialGenerator {
             n_qubits: layered.n_qubits(),
             n_layers: layered.n_layers(),
@@ -182,16 +175,12 @@ impl TrialGenerator {
                 classes.entry(pos.rate.to_bits()).or_default().push(i);
             }
         }
-        let mut classes: Vec<(f64, Vec<usize>)> = classes
-            .into_iter()
-            .map(|(bits, idxs)| (f64::from_bits(bits), idxs))
-            .collect();
+        let mut classes: Vec<(f64, Vec<usize>)> =
+            classes.into_iter().map(|(bits, idxs)| (f64::from_bits(bits), idxs)).collect();
         classes.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("rates are finite"));
         let binomials: Vec<(Binomial, &[usize])> = classes
             .iter()
-            .map(|(rate, idxs)| {
-                (Binomial::new(idxs.len() as u64, *rate), idxs.as_slice())
-            })
+            .map(|(rate, idxs)| (Binomial::new(idxs.len() as u64, *rate), idxs.as_slice()))
             .collect();
 
         // Readout classes.
@@ -201,16 +190,12 @@ impl TrialGenerator {
                 readout_classes.entry(rate.to_bits()).or_default().push(*q);
             }
         }
-        let mut readout_classes: Vec<(f64, Vec<usize>)> = readout_classes
-            .into_iter()
-            .map(|(bits, qs)| (f64::from_bits(bits), qs))
-            .collect();
+        let mut readout_classes: Vec<(f64, Vec<usize>)> =
+            readout_classes.into_iter().map(|(bits, qs)| (f64::from_bits(bits), qs)).collect();
         readout_classes.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("rates are finite"));
         let readout_binomials: Vec<(Binomial, &[usize])> = readout_classes
             .iter()
-            .map(|(rate, qs)| {
-                (Binomial::new(qs.len() as u64, *rate), qs.as_slice())
-            })
+            .map(|(rate, qs)| (Binomial::new(qs.len() as u64, *rate), qs.as_slice()))
             .collect();
 
         let mut trials = Vec::with_capacity(n_trials);
@@ -377,8 +362,7 @@ mod tests {
 
     fn bv_generator(rate_scale: f64) -> (TrialGenerator, usize) {
         let layered = catalog::bv(4, 0b111).layered().unwrap();
-        let model =
-            NoiseModel::uniform(4, 1e-2 * rate_scale, 1e-1 * rate_scale, 5e-2 * rate_scale);
+        let model = NoiseModel::uniform(4, 1e-2 * rate_scale, 1e-1 * rate_scale, 5e-2 * rate_scale);
         let gates = layered.total_gates();
         (TrialGenerator::new(&layered, &model).unwrap(), gates)
     }
@@ -485,12 +469,9 @@ mod tests {
         let n = 20_000;
         let set = generator.generate(n, 5);
         // 3 measured qubits, each flipping with p = 0.25.
-        let mean_flips: f64 = set
-            .trials()
-            .iter()
-            .map(|t| t.meas_flip_mask().count_ones() as f64)
-            .sum::<f64>()
-            / n as f64;
+        let mean_flips: f64 =
+            set.trials().iter().map(|t| t.meas_flip_mask().count_ones() as f64).sum::<f64>()
+                / n as f64;
         assert!((mean_flips - 0.75).abs() < 0.03, "mean flips {mean_flips}");
     }
 
@@ -602,8 +583,8 @@ mod tests {
         let (_, p_event) = generator.generate_conditional(1, 2, 0);
         let n = 40_000;
         let direct = generator.generate(n, 7);
-        let freq = direct.trials().iter().filter(|t| t.n_injections() >= 2).count() as f64
-            / n as f64;
+        let freq =
+            direct.trials().iter().filter(|t| t.n_injections() >= 2).count() as f64 / n as f64;
         assert!(
             (p_event - freq).abs() < 4.0 * (freq * (1.0 - freq) / n as f64).sqrt() + 1e-3,
             "DP P(>=2) = {p_event} vs direct frequency {freq}"
@@ -623,11 +604,8 @@ mod tests {
             counts.into_iter().map(|c| c as f64 / total.max(1) as f64).collect()
         };
         let cond_hist = hist(conditional.injection_histogram()[min_errors..].to_vec());
-        let rejected: Vec<usize> = direct
-            .injection_histogram()
-            .get(min_errors..)
-            .unwrap_or(&[])
-            .to_vec();
+        let rejected: Vec<usize> =
+            direct.injection_histogram().get(min_errors..).unwrap_or(&[]).to_vec();
         let reject_hist = hist(rejected);
         for (k, (a, b)) in cond_hist.iter().zip(&reject_hist).enumerate() {
             assert!((a - b).abs() < 0.03, "k = {}: {a} vs {b}", k + min_errors);
@@ -643,8 +621,7 @@ mod tests {
             set.trials()
                 .iter()
                 .filter(|t| {
-                    t.n_injections() >= 2
-                        && t.injections().first().map(|i| i.layer()) == Some(0)
+                    t.n_injections() >= 2 && t.injections().first().map(|i| i.layer()) == Some(0)
                 })
                 .count() as f64
                 / set.len() as f64
@@ -685,11 +662,8 @@ mod tests {
         let mut model = NoiseModel::uniform(2, 0.0, 0.0, 0.0);
         model.set_idle_weights_all(PauliWeights::dephasing(1e-2));
         let asap = TrialGenerator::new(&qc.layered().unwrap(), &model).unwrap();
-        let alap = TrialGenerator::new(
-            &qc.layered_with(LayeringStrategy::Alap).unwrap(),
-            &model,
-        )
-        .unwrap();
+        let alap =
+            TrialGenerator::new(&qc.layered_with(LayeringStrategy::Alap).unwrap(), &model).unwrap();
         assert_eq!(asap.n_positions(), alap.n_positions());
         assert!((asap.expected_injections() - alap.expected_injections()).abs() < 1e-12);
         // Under ASAP, qubit 1 idles in layers 1..3; under ALAP in 0..2.

@@ -49,7 +49,10 @@ impl PauliWeights {
         }
         let total = x + y + z;
         if total > 1.0 + 1e-12 {
-            return Err(NoiseError::InvalidProbability { what: "total Pauli weight", value: total });
+            return Err(NoiseError::InvalidProbability {
+                what: "total Pauli weight",
+                value: total,
+            });
         }
         Ok(PauliWeights { x, y, z })
     }

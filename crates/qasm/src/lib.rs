@@ -83,7 +83,10 @@ fn parse_ast_file(path: &std::path::Path, depth: usize) -> Result<Program, QasmE
     if depth > MAX_INCLUDE_DEPTH {
         return Err(QasmError::Unsupported {
             pos: Pos::default(),
-            construct: format!("include nesting deeper than {MAX_INCLUDE_DEPTH} (cycle?) at {}", path.display()),
+            construct: format!(
+                "include nesting deeper than {MAX_INCLUDE_DEPTH} (cycle?) at {}",
+                path.display()
+            ),
         });
     }
     let source = std::fs::read_to_string(path).map_err(|e| QasmError::Semantic {
@@ -96,18 +99,13 @@ fn parse_ast_file(path: &std::path::Path, depth: usize) -> Result<Program, QasmE
     for stmt in ast.statements {
         match stmt {
             Statement::Include { path: include_path, pos } if include_path != "qelib1.inc" => {
-                let sub = parse_ast_file(&base.join(&include_path), depth + 1).map_err(|e| {
-                    match e {
-                        QasmError::Semantic { message, .. } => {
-                            QasmError::Semantic { pos, message }
-                        }
+                let sub =
+                    parse_ast_file(&base.join(&include_path), depth + 1).map_err(|e| match e {
+                        QasmError::Semantic { message, .. } => QasmError::Semantic { pos, message },
                         other => other,
-                    }
-                })?;
+                    })?;
                 statements.extend(
-                    sub.statements
-                        .into_iter()
-                        .filter(|s| !matches!(s, Statement::Version { .. })),
+                    sub.statements.into_iter().filter(|s| !matches!(s, Statement::Version { .. })),
                 );
             }
             other => statements.push(other),

@@ -31,20 +31,18 @@ pub fn lower(program: &Program) -> Result<Circuit, QasmError> {
     // First pass: declarations.
     for stmt in &program.statements {
         match stmt {
-            Statement::Version { version, pos }
-                if (*version - 2.0).abs() > 1e-9 => {
-                    return Err(QasmError::Unsupported {
-                        pos: *pos,
-                        construct: format!("OPENQASM version {version}"),
-                    });
-                }
-            Statement::Include { path, pos }
-                if path != "qelib1.inc" => {
-                    return Err(QasmError::Unsupported {
-                        pos: *pos,
-                        construct: format!("include {path:?} (only qelib1.inc is built in)"),
-                    });
-                }
+            Statement::Version { version, pos } if (*version - 2.0).abs() > 1e-9 => {
+                return Err(QasmError::Unsupported {
+                    pos: *pos,
+                    construct: format!("OPENQASM version {version}"),
+                });
+            }
+            Statement::Include { path, pos } if path != "qelib1.inc" => {
+                return Err(QasmError::Unsupported {
+                    pos: *pos,
+                    construct: format!("include {path:?} (only qelib1.inc is built in)"),
+                });
+            }
             Statement::QReg { name, size, pos } => {
                 if regs.qregs.contains_key(name) {
                     return Err(semantic(*pos, format!("duplicate qreg {name}")));
@@ -149,10 +147,13 @@ fn semantic(pos: Pos, message: String) -> QasmError {
     QasmError::Semantic { pos, message }
 }
 
-fn push_measure(circuit: &mut Circuit, qubit: usize, cbit: usize, pos: Pos) -> Result<(), QasmError> {
-    circuit
-        .push(Instruction::Measure { qubit, cbit })
-        .map_err(|e| semantic(pos, e.to_string()))
+fn push_measure(
+    circuit: &mut Circuit,
+    qubit: usize,
+    cbit: usize,
+    pos: Pos,
+) -> Result<(), QasmError> {
+    circuit.push(Instruction::Measure { qubit, cbit }).map_err(|e| semantic(pos, e.to_string()))
 }
 
 fn check_index(index: usize, size: usize, arg: &Argument) -> Result<(), QasmError> {
@@ -210,10 +211,7 @@ fn broadcast(
                 None => width = Some(size),
                 Some(w) if w == size => {}
                 Some(w) => {
-                    return Err(semantic(
-                        pos,
-                        format!("broadcast width mismatch: {w} vs {size}"),
-                    ));
+                    return Err(semantic(pos, format!("broadcast width mismatch: {w} vs {size}")));
                 }
             }
         }
@@ -337,9 +335,7 @@ fn apply_gate(
     }
 
     // User-defined gate: bind formals and expand the body.
-    let def = defs
-        .get(name)
-        .ok_or_else(|| semantic(pos, format!("undefined gate {name}")))?;
+    let def = defs.get(name).ok_or_else(|| semantic(pos, format!("undefined gate {name}")))?;
     if args.len() != def.params.len() {
         return Err(semantic(
             pos,
@@ -377,7 +373,10 @@ fn apply_gate(
             }
             Statement::Barrier { .. } => {} // barriers inside bodies are scheduling hints only
             other => {
-                return Err(semantic(pos, format!("unsupported statement in gate body: {other:?}")));
+                return Err(semantic(
+                    pos,
+                    format!("unsupported statement in gate body: {other:?}"),
+                ));
             }
         }
     }
@@ -430,10 +429,8 @@ mod tests {
 
     #[test]
     fn expands_user_gate_definitions() {
-        let qc = parse(
-            "qreg q[2];\ngate entangle a, b { h a; cx a, b; }\nentangle q[0], q[1];\n",
-        )
-        .unwrap();
+        let qc = parse("qreg q[2];\ngate entangle a, b { h a; cx a, b; }\nentangle q[0], q[1];\n")
+            .unwrap();
         assert_eq!(qc.counts().single, 1);
         assert_eq!(qc.counts().cnot, 1);
     }

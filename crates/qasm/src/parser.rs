@@ -25,11 +25,7 @@ impl<'a> Parser<'a> {
     }
 
     fn pos(&self) -> Pos {
-        self.tokens
-            .get(self.i)
-            .or_else(|| self.tokens.last())
-            .map(|t| t.pos)
-            .unwrap_or_default()
+        self.tokens.get(self.i).or_else(|| self.tokens.last()).map(|t| t.pos).unwrap_or_default()
     }
 
     fn peek(&self) -> Option<&TokenKind> {
@@ -84,7 +80,12 @@ impl<'a> Parser<'a> {
                 let version = match self.bump().map(|t| &t.kind) {
                     Some(TokenKind::Real(v)) => *v,
                     Some(TokenKind::Int(v)) => *v as f64,
-                    _ => return Err(QasmError::Parse { pos, message: "expected version number".into() }),
+                    _ => {
+                        return Err(QasmError::Parse {
+                            pos,
+                            message: "expected version number".into(),
+                        })
+                    }
                 };
                 self.expect(&TokenKind::Semicolon, "';'")?;
                 Ok(Statement::Version { version, pos })
@@ -93,7 +94,12 @@ impl<'a> Parser<'a> {
                 self.i += 1;
                 let path = match self.bump().map(|t| &t.kind) {
                     Some(TokenKind::Str(s)) => s.clone(),
-                    _ => return Err(QasmError::Parse { pos, message: "expected include path string".into() }),
+                    _ => {
+                        return Err(QasmError::Parse {
+                            pos,
+                            message: "expected include path string".into(),
+                        })
+                    }
                 };
                 self.expect(&TokenKind::Semicolon, "';'")?;
                 Ok(Statement::Include { path, pos })
@@ -164,7 +170,10 @@ impl<'a> Parser<'a> {
                 };
                 let operands = self.argument_list()?;
                 if operands.is_empty() {
-                    return Err(QasmError::Parse { pos, message: format!("gate {keyword} has no operands") });
+                    return Err(QasmError::Parse {
+                        pos,
+                        message: format!("gate {keyword} has no operands"),
+                    });
                 }
                 self.expect(&TokenKind::Semicolon, "';'")?;
                 Ok(Statement::Apply { name: keyword, args, operands, pos })
@@ -212,7 +221,9 @@ impl<'a> Parser<'a> {
                 other => {
                     return Err(QasmError::Parse {
                         pos,
-                        message: format!("gate bodies may only contain gate applications, found {other:?}"),
+                        message: format!(
+                            "gate bodies may only contain gate applications, found {other:?}"
+                        ),
                     });
                 }
             }
@@ -351,7 +362,9 @@ mod tests {
             Statement::Apply { name, args, operands, .. } => {
                 assert_eq!(name, "rz");
                 assert_eq!(args.len(), 1);
-                assert!((args[0].eval(&|_| None).unwrap() - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+                assert!(
+                    (args[0].eval(&|_| None).unwrap() - std::f64::consts::FRAC_PI_2).abs() < 1e-12
+                );
                 assert_eq!(operands[0].index, Some(0));
             }
             other => panic!("unexpected {other:?}"),

@@ -116,15 +116,15 @@ fn adversarial_corpus_is_handled() {
     let cases = [
         "",
         ";;;",
-        "OPENQASM 2.0",             // missing semicolon
+        "OPENQASM 2.0",                  // missing semicolon
         "qreg q[99999999999999999999];", // overflow literal
-        "gate g a { g a; }",        // self-recursive definition
+        "gate g a { g a; }",             // self-recursive definition
         "qreg q[1]; g q[0];",
         "rz() q[0];",
-        "rz(1/0) q[0];",            // division by zero → inf angle
-        "qreg q[0]; h q;",          // empty register broadcast
+        "rz(1/0) q[0];",   // division by zero → inf angle
+        "qreg q[0]; h q;", // empty register broadcast
         "measure -> ;",
-        "gate x a { }",             // shadowing a builtin
+        "gate x a { }", // shadowing a builtin
         "include \"qelib1.inc\"; include \"qelib1.inc\";",
         "qreg q[2]; cx q[0], q[0];",
         "OPENQASM 2.0; qreg q[1]; u3(pi, pi, q[0];",

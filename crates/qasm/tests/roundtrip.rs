@@ -24,11 +24,14 @@ fn catalog_roundtrips_through_qasm() {
 }
 
 #[test]
+#[allow(clippy::excessive_precision)] // extra digits deliberately stress emission
 fn roundtrip_preserves_angles_exactly() {
     let mut qc = Circuit::new("angles", 2, 0);
-    qc.rz(0.123456789012345678, 0)
-        .u(1.0 / 3.0, 2.0 / 7.0, -5.0 / 11.0, 1)
-        .cphase(std::f64::consts::PI / 7.0, 0, 1);
+    qc.rz(0.123456789012345678, 0).u(1.0 / 3.0, 2.0 / 7.0, -5.0 / 11.0, 1).cphase(
+        std::f64::consts::PI / 7.0,
+        0,
+        1,
+    );
     let parsed = qsim_qasm::parse(&to_qasm(&qc)).expect("parse");
     // Gate-for-gate identical parameters after the roundtrip.
     let original: Vec<Vec<f64>> = qc.gate_ops().map(|op| op.gate.params()).collect();
@@ -41,11 +44,8 @@ fn roundtrip_preserves_angles_exactly() {
 fn qft_roundtrip_after_transpilation() {
     use qsim_circuit::transpile::{transpile, TranspileOptions};
     use qsim_circuit::CouplingMap;
-    let out = transpile(
-        &catalog::qft(4),
-        &TranspileOptions::for_device(CouplingMap::yorktown()),
-    )
-    .expect("transpile");
+    let out = transpile(&catalog::qft(4), &TranspileOptions::for_device(CouplingMap::yorktown()))
+        .expect("transpile");
     let parsed = qsim_qasm::parse(&to_qasm(&out.circuit)).expect("parse transpiled");
     assert_state_equivalent(&out.circuit, &parsed);
 }

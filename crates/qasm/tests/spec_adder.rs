@@ -78,11 +78,8 @@ fn spec_adder_transpiles_to_a_ten_qubit_line() {
     use qsim_circuit::transpile::{transpile, TranspileOptions};
     use qsim_circuit::CouplingMap;
     let circuit = qsim_qasm::parse(ADDER_QASM).expect("parses");
-    let out = transpile(
-        &circuit,
-        &TranspileOptions::for_device(CouplingMap::linear(10)),
-    )
-    .expect("routes onto a 10-qubit chain");
+    let out = transpile(&circuit, &TranspileOptions::for_device(CouplingMap::linear(10)))
+        .expect("routes onto a 10-qubit chain");
     assert_eq!(out.circuit.counts().other_multi, 0);
     // The routed adder still adds: equivalence via measured distribution.
     assert!(qsim_circuit::equiv::distributions_equivalent(&circuit, &out.circuit, 1e-9)

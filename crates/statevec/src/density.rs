@@ -1,4 +1,4 @@
-use crate::{C64, Matrix2, Pauli, StateVecError, StateVector};
+use crate::{Matrix2, Pauli, StateVecError, StateVector, C64};
 
 /// Maximum register width for the dense density-matrix simulator
 /// (`4^n` entries grow twice as fast as a state vector — the very point the

@@ -1,7 +1,7 @@
 //! Hermitian eigenvalues via the cyclic complex Jacobi method, powering von
 //! Neumann entropy on reduced density matrices.
 
-use crate::{C64, DensityMatrix, StateVecError, StateVector};
+use crate::{DensityMatrix, StateVecError, StateVector, C64};
 
 /// Convergence threshold on the squared off-diagonal Frobenius norm.
 const OFF_DIAGONAL_TOL: f64 = 1e-24;
@@ -21,8 +21,7 @@ const MAX_SWEEPS: usize = 64;
 /// (relative asymmetry above 1e-8).
 pub fn hermitian_eigenvalues(elems: &[C64], dim: usize) -> Vec<f64> {
     assert_eq!(elems.len(), dim * dim, "matrix shape mismatch");
-    let scale: f64 =
-        elems.iter().map(|e| e.norm()).fold(0.0f64, f64::max).max(f64::MIN_POSITIVE);
+    let scale: f64 = elems.iter().map(|e| e.norm()).fold(0.0f64, f64::max).max(f64::MIN_POSITIVE);
     for i in 0..dim {
         for j in 0..dim {
             let asym = (elems[i * dim + j] - elems[j * dim + i].conj()).norm();
@@ -64,7 +63,7 @@ fn jacobi_rotate(a: &mut [C64], dim: usize, p: usize, q: usize) {
     let theta = 0.5 * (2.0 * apq.norm()).atan2(app - aqq);
     let (sin_t, cos_t) = theta.sin_cos();
     let s = C64::from_polar(sin_t, phi); // U[q][p] = conj(s), U[p][q] = −s
-    // Column update: A ← A·U.
+                                         // Column update: A ← A·U.
     for k in 0..dim {
         let akp = a[k * dim + p];
         let akq = a[k * dim + q];
@@ -164,8 +163,7 @@ mod tests {
         let mut a = vec![c(0.0, 0.0); dim * dim];
         for i in 0..dim {
             for j in 0..dim {
-                a[i * dim + j] =
-                    (0..dim).map(|k| b[k * dim + i].conj() * b[k * dim + j]).sum();
+                a[i * dim + j] = (0..dim).map(|k| b[k * dim + i].conj() * b[k * dim + j]).sum();
             }
         }
         let eig = hermitian_eigenvalues(&a, dim);
@@ -217,8 +215,8 @@ mod tests {
             amps[0b100] = c(a, 0.0);
             StateVector::from_amplitudes(amps).unwrap()
         };
-        let expected = -(1.0f64 / 3.0) * (1.0f64 / 3.0).log2()
-            - (2.0f64 / 3.0) * (2.0f64 / 3.0).log2();
+        let expected =
+            -(1.0f64 / 3.0) * (1.0f64 / 3.0).log2() - (2.0f64 / 3.0) * (2.0f64 / 3.0).log2();
         for q in 0..3 {
             let s = w.entanglement_entropy(&[q]).unwrap();
             assert!((s - expected).abs() < 1e-9, "qubit {q}: {s} vs {expected}");

@@ -1,0 +1,289 @@
+//! Kernel classes for fused operators.
+//!
+//! Gate fusion (performed upstream, in `qsim-circuit`) collapses runs of
+//! gates into single operators; this module is the execution side: each
+//! [`FusedOp`] names the cheapest kernel that applies the operator in **one
+//! pass** over the amplitude array. Classification inspects exact zero
+//! entries (`re == 0.0 && im == 0.0`) — fused products of exactly-entered
+//! matrices (CX, CZ, S, Z, …) keep their structural zeros exact, while
+//! anything touched by rounding safely falls back to the dense kernel.
+//!
+//! Kernel classes, cheapest first:
+//!
+//! * **Diagonal** ([`StateVector::apply_diag1`] / `apply_diag2`) — one
+//!   linear multiply sweep, no gather.
+//! * **Permutation** ([`StateVector::apply_cx`] / `apply_perm2`) — moves
+//!   amplitudes without arithmetic beyond a phase factor.
+//! * **Dense** ([`StateVector::apply_1q`] / `apply_2q`) — full
+//!   matrix-vector update.
+
+use crate::{Matrix2, Matrix4, StateVecError, StateVector, C64};
+
+/// A fused operator bound to its qubits, tagged with its kernel class.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FusedOp {
+    /// Diagonal one-qubit operator `diag(d[0], d[1])`.
+    Diag1 {
+        /// Diagonal entries.
+        d: [C64; 2],
+        /// Operand qubit.
+        qubit: usize,
+    },
+    /// Dense one-qubit operator.
+    Dense1 {
+        /// The 2×2 matrix.
+        m: Matrix2,
+        /// Operand qubit.
+        qubit: usize,
+    },
+    /// Diagonal two-qubit operator over local index `2·bit(high)+bit(low)`.
+    Diag2 {
+        /// Diagonal entries.
+        d: [C64; 4],
+        /// Low local bit.
+        low: usize,
+        /// High local bit.
+        high: usize,
+    },
+    /// An exact CNOT (the permutation special case with unit phases and the
+    /// cheapest two-qubit kernel: a strided swap).
+    Cx {
+        /// Control qubit.
+        control: usize,
+        /// Target qubit.
+        target: usize,
+    },
+    /// Phased two-qubit permutation: `new[r] = phase[r] · old[src[r]]`.
+    Perm2 {
+        /// Source local index per destination row.
+        src: [u8; 4],
+        /// Phase per destination row.
+        phase: [C64; 4],
+        /// Low local bit.
+        low: usize,
+        /// High local bit.
+        high: usize,
+    },
+    /// Dense two-qubit operator.
+    Dense2 {
+        /// The 4×4 matrix.
+        m: Matrix4,
+        /// Low local bit.
+        low: usize,
+        /// High local bit.
+        high: usize,
+    },
+    /// Toffoli fallback (no 8×8 dense form is kept; it stays a strided
+    /// permutation and absorbs nothing).
+    Ccx {
+        /// First control.
+        control_a: usize,
+        /// Second control.
+        control_b: usize,
+        /// Target qubit.
+        target: usize,
+    },
+}
+
+fn is_zero(c: C64) -> bool {
+    c.re == 0.0 && c.im == 0.0
+}
+
+const ONE: C64 = C64 { re: 1.0, im: 0.0 };
+
+impl FusedOp {
+    /// Classify a one-qubit operator into its cheapest kernel class.
+    pub fn classify_1q(m: &Matrix2, qubit: usize) -> FusedOp {
+        if is_zero(m.0[0][1]) && is_zero(m.0[1][0]) {
+            FusedOp::Diag1 { d: [m.0[0][0], m.0[1][1]], qubit }
+        } else {
+            FusedOp::Dense1 { m: *m, qubit }
+        }
+    }
+
+    /// Classify a two-qubit operator (in the `(low, high)` convention of
+    /// [`Matrix4`]) into its cheapest kernel class.
+    pub fn classify_2q(m: &Matrix4, low: usize, high: usize) -> FusedOp {
+        // Permutation structure: exactly one nonzero per row and column.
+        let mut src = [0u8; 4];
+        let mut phase = [ONE; 4];
+        let mut col_used = [false; 4];
+        let mut is_perm = true;
+        'rows: for r in 0..4 {
+            let mut found = None;
+            for (c, used) in col_used.iter_mut().enumerate() {
+                if !is_zero(m.0[r][c]) {
+                    if found.is_some() || *used {
+                        is_perm = false;
+                        break 'rows;
+                    }
+                    found = Some(c);
+                    *used = true;
+                }
+            }
+            match found {
+                Some(c) => {
+                    src[r] = c as u8;
+                    phase[r] = m.0[r][c];
+                }
+                None => {
+                    is_perm = false;
+                    break 'rows;
+                }
+            }
+        }
+        if !is_perm {
+            return FusedOp::Dense2 { m: *m, low, high };
+        }
+        if src == [0, 1, 2, 3] {
+            return FusedOp::Diag2 { d: phase, low, high };
+        }
+        if src == [0, 1, 3, 2] && phase.iter().all(|&p| p == ONE) {
+            // CX with control on the high local bit.
+            return FusedOp::Cx { control: high, target: low };
+        }
+        FusedOp::Perm2 { src, phase, low, high }
+    }
+
+    /// The qubits this operator touches.
+    pub fn qubits(&self) -> Vec<usize> {
+        match *self {
+            FusedOp::Diag1 { qubit, .. } | FusedOp::Dense1 { qubit, .. } => vec![qubit],
+            FusedOp::Diag2 { low, high, .. }
+            | FusedOp::Perm2 { low, high, .. }
+            | FusedOp::Dense2 { low, high, .. } => vec![low, high],
+            FusedOp::Cx { control, target } => vec![control, target],
+            FusedOp::Ccx { control_a, control_b, target } => vec![control_a, control_b, target],
+        }
+    }
+
+    /// Short kernel-class name (for diagnostics and reports).
+    pub fn kernel_name(&self) -> &'static str {
+        match self {
+            FusedOp::Diag1 { .. } => "diag1",
+            FusedOp::Dense1 { .. } => "dense1",
+            FusedOp::Diag2 { .. } => "diag2",
+            FusedOp::Cx { .. } => "cx",
+            FusedOp::Perm2 { .. } => "perm2",
+            FusedOp::Dense2 { .. } => "dense2",
+            FusedOp::Ccx { .. } => "ccx",
+        }
+    }
+}
+
+impl StateVector {
+    /// Apply one fused operator — exactly one pass over the amplitudes,
+    /// dispatched to the kernel its class names.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StateVecError`] for invalid operands.
+    pub fn apply_fused(&mut self, op: &FusedOp) -> Result<(), StateVecError> {
+        match op {
+            FusedOp::Diag1 { d, qubit } => self.apply_diag1(d, *qubit),
+            FusedOp::Dense1 { m, qubit } => self.apply_1q(m, *qubit),
+            FusedOp::Diag2 { d, low, high } => self.apply_diag2(d, *low, *high),
+            FusedOp::Cx { control, target } => self.apply_cx(*control, *target),
+            FusedOp::Perm2 { src, phase, low, high } => self.apply_perm2(src, phase, *low, *high),
+            FusedOp::Dense2 { m, low, high } => self.apply_2q(m, *low, *high),
+            FusedOp::Ccx { control_a, control_b, target } => {
+                self.apply_ccx(*control_a, *control_b, *target)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TOL;
+
+    fn random_state(n: usize, seed: u64) -> StateVector {
+        // Deterministic non-trivial state: rotate every qubit by
+        // seed-dependent angles.
+        let mut s = StateVector::zero_state(n);
+        for q in 0..n {
+            let t = 0.37 * (seed as f64 + 1.0) + 0.91 * q as f64;
+            s.apply_1q(&Matrix2::u(t, t / 2.0, t / 3.0), q).unwrap();
+        }
+        for q in 0..n - 1 {
+            s.apply_cx(q, q + 1).unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn classification_picks_the_expected_class() {
+        assert!(matches!(FusedOp::classify_1q(&Matrix2::z(), 0), FusedOp::Diag1 { .. }));
+        assert!(matches!(FusedOp::classify_1q(&Matrix2::t(), 0), FusedOp::Diag1 { .. }));
+        assert!(matches!(FusedOp::classify_1q(&Matrix2::h(), 0), FusedOp::Dense1 { .. }));
+        assert!(matches!(FusedOp::classify_2q(&Matrix4::cz(), 0, 1), FusedOp::Diag2 { .. }));
+        assert!(matches!(FusedOp::classify_2q(&Matrix4::cphase(0.3), 0, 1), FusedOp::Diag2 { .. }));
+        assert!(matches!(
+            FusedOp::classify_2q(&Matrix4::cx(), 2, 1),
+            FusedOp::Cx { control: 1, target: 2 }
+        ));
+        assert!(matches!(FusedOp::classify_2q(&Matrix4::swap(), 0, 1), FusedOp::Perm2 { .. }));
+        let dense = Matrix4::kron(&Matrix2::h(), &Matrix2::identity());
+        assert!(matches!(FusedOp::classify_2q(&dense, 0, 1), FusedOp::Dense2 { .. }));
+    }
+
+    #[test]
+    fn every_kernel_class_matches_the_dense_kernel() {
+        let cases: Vec<(Matrix4, &str)> = vec![
+            (Matrix4::cz(), "cz"),
+            (Matrix4::cx(), "cx"),
+            (Matrix4::swap(), "swap"),
+            (Matrix4::cphase(1.1), "cphase"),
+            (Matrix4::kron(&Matrix2::x(), &Matrix2::s()), "x⊗s"),
+            (Matrix4::kron(&Matrix2::h(), &Matrix2::t()), "h⊗t"),
+        ];
+        for (low, high) in [(0usize, 2usize), (2, 0), (1, 2)] {
+            for (m, name) in &cases {
+                let mut fused = random_state(3, 5);
+                let mut dense = fused.clone();
+                fused.apply_fused(&FusedOp::classify_2q(m, low, high)).unwrap();
+                dense.apply_2q(m, low, high).unwrap();
+                assert!(fused.approx_eq(&dense, TOL), "{name} on ({low},{high})");
+            }
+        }
+        for q in 0..3 {
+            for m in [Matrix2::s(), Matrix2::rz(0.4), Matrix2::h(), Matrix2::x()] {
+                let mut fused = random_state(3, 7);
+                let mut dense = fused.clone();
+                fused.apply_fused(&FusedOp::classify_1q(&m, q)).unwrap();
+                dense.apply_1q(&m, q).unwrap();
+                assert!(fused.approx_eq(&dense, TOL));
+            }
+        }
+    }
+
+    #[test]
+    fn diag_kernels_are_bitwise_equal_to_dense_on_exact_matrices() {
+        // Diagonal sweeps perform the same single multiply per amplitude as
+        // the dense kernel only up to reassociation; for *exact* diagonal
+        // matrices the dense kernel computes d·a + 0·b, which need not be
+        // bitwise identical. The contract is approximate equality (covered
+        // above) plus determinism: same op, same result.
+        let op = FusedOp::classify_2q(&Matrix4::cphase(0.77), 1, 3);
+        let mut a = random_state(4, 1);
+        let mut b = a.clone();
+        a.apply_fused(&op).unwrap();
+        b.apply_fused(&op).unwrap();
+        assert!(a.approx_eq(&b, 0.0), "same kernel must be deterministic");
+    }
+
+    #[test]
+    fn fused_ccx_matches_pairwise_construction() {
+        let mut s = StateVector::basis_state(3, 0b011).unwrap();
+        s.apply_fused(&FusedOp::Ccx { control_a: 0, control_b: 1, target: 2 }).unwrap();
+        assert!((s.probability(0b111) - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn fused_ops_propagate_operand_errors() {
+        let mut s = StateVector::zero_state(2);
+        assert!(s.apply_fused(&FusedOp::Cx { control: 5, target: 0 }).is_err());
+        assert!(s.apply_fused(&FusedOp::Diag2 { d: [ONE; 4], low: 1, high: 1 }).is_err());
+    }
+}

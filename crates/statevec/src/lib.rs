@@ -35,20 +35,24 @@
 mod density;
 mod eigen;
 mod error;
+mod fused;
 mod matrix;
 mod measure;
 mod observable;
 mod pauli;
+mod pool;
 mod state;
 mod stored;
 
 pub use density::DensityMatrix;
 pub use eigen::hermitian_eigenvalues;
 pub use error::StateVecError;
+pub use fused::FusedOp;
 pub use matrix::{Matrix2, Matrix4};
-pub use measure::{MeasureOutcome, sample_index};
+pub use measure::{sample_index, MeasureOutcome};
 pub use observable::{Observable, ParsePauliStringError, PauliString};
 pub use pauli::Pauli;
+pub use pool::StatePool;
 pub use state::StateVector;
 pub use stored::StoredState;
 

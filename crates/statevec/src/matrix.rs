@@ -68,10 +68,7 @@ impl Matrix2 {
 
     /// Phase gate diag(1, e^{iλ}).
     pub fn phase(lambda: f64) -> Self {
-        Matrix2([
-            [c(1.0, 0.0), c(0.0, 0.0)],
-            [c(0.0, 0.0), C64::from_polar(1.0, lambda)],
-        ])
+        Matrix2([[c(1.0, 0.0), c(0.0, 0.0)], [c(0.0, 0.0), C64::from_polar(1.0, lambda)]])
     }
 
     /// Rotation about X: e^{−iθX/2}.
@@ -121,11 +118,7 @@ impl Matrix2 {
 
     /// Element-wise approximate equality within `tol`.
     pub fn approx_eq(&self, other: &Matrix2, tol: f64) -> bool {
-        self.0
-            .iter()
-            .flatten()
-            .zip(other.0.iter().flatten())
-            .all(|(a, b)| (a - b).norm() <= tol)
+        self.0.iter().flatten().zip(other.0.iter().flatten()).all(|(a, b)| (a - b).norm() <= tol)
     }
 
     /// Approximate equality up to a global phase factor.
@@ -219,7 +212,11 @@ impl Mul for Matrix2 {
 impl fmt::Display for Matrix2 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for row in &self.0 {
-            writeln!(f, "[{:.4}{:+.4}i, {:.4}{:+.4}i]", row[0].re, row[0].im, row[1].re, row[1].im)?;
+            writeln!(
+                f,
+                "[{:.4}{:+.4}i, {:.4}{:+.4}i]",
+                row[0].re, row[0].im, row[1].re, row[1].im
+            )?;
         }
         Ok(())
     }
@@ -311,11 +308,7 @@ impl Matrix4 {
 
     /// Element-wise approximate equality within `tol`.
     pub fn approx_eq(&self, other: &Matrix4, tol: f64) -> bool {
-        self.0
-            .iter()
-            .flatten()
-            .zip(other.0.iter().flatten())
-            .all(|(a, b)| (a - b).norm() <= tol)
+        self.0.iter().flatten().zip(other.0.iter().flatten()).all(|(a, b)| (a - b).norm() <= tol)
     }
 
     /// Exchange the roles of the low and high local bits (conjugation by
@@ -417,7 +410,10 @@ mod tests {
         assert!((z * z).approx_eq(&Matrix2::identity(), TOL));
         // XY = iZ
         let xy = x * y;
-        let iz = Matrix2([[z.0[0][0] * C64::i(), z.0[0][1] * C64::i()], [z.0[1][0] * C64::i(), z.0[1][1] * C64::i()]]);
+        let iz = Matrix2([
+            [z.0[0][0] * C64::i(), z.0[0][1] * C64::i()],
+            [z.0[1][0] * C64::i(), z.0[1][1] * C64::i()],
+        ]);
         assert!(xy.approx_eq(&iz, TOL));
     }
 

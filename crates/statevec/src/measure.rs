@@ -40,10 +40,7 @@ impl MeasureOutcome {
 
     /// Re-pack into a basis index.
     pub fn to_index(&self) -> usize {
-        self.bits
-            .iter()
-            .enumerate()
-            .fold(0usize, |acc, (q, &b)| acc | (usize::from(b) << q))
+        self.bits.iter().enumerate().fold(0usize, |acc, (q, &b)| acc | (usize::from(b) << q))
     }
 
     /// Bits as a vector, index = qubit.
@@ -79,9 +76,7 @@ pub fn sample_index<R: Rng + ?Sized>(state: &StateVector, rng: &mut R) -> usize 
         u -= p;
     }
     // Floating-point tail: return the last basis state with nonzero weight.
-    amps.iter()
-        .rposition(|a| a.norm_sqr() > 0.0)
-        .unwrap_or(amps.len() - 1)
+    amps.iter().rposition(|a| a.norm_sqr() > 0.0).unwrap_or(amps.len() - 1)
 }
 
 impl StateVector {
@@ -105,8 +100,8 @@ impl StateVector {
 mod tests {
     use super::*;
     use crate::Matrix2;
-    use rand::SeedableRng;
     use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     #[test]
     fn outcome_index_roundtrip() {

@@ -1,7 +1,7 @@
 use std::fmt;
 use std::str::FromStr;
 
-use crate::{C64, Pauli, StateVecError, StateVector};
+use crate::{Pauli, StateVecError, StateVector, C64};
 
 /// A multi-qubit Pauli-string observable, e.g. `Z⊗I⊗X`.
 ///

@@ -1,6 +1,6 @@
 use std::fmt;
 
-use crate::{C64, Matrix2, Matrix4, Pauli, StateVecError};
+use crate::{Matrix2, Matrix4, Pauli, StateVecError, C64};
 
 /// Maximum register width supported by the dense simulator (2^30 amplitudes
 /// is 16 GiB of `Complex64`; anything larger is rejected up front).
@@ -147,12 +147,7 @@ impl StateVector {
                 right: other.n_qubits,
             });
         }
-        Ok(self
-            .amps
-            .iter()
-            .zip(&other.amps)
-            .map(|(a, b)| a.conj() * b)
-            .sum())
+        Ok(self.amps.iter().zip(&other.amps).map(|(a, b)| a.conj() * b).sum())
     }
 
     /// Fidelity `|⟨self|other⟩|²`.
@@ -185,11 +180,7 @@ impl StateVector {
     /// bitwise-style reproducibility).
     pub fn approx_eq(&self, other: &StateVector, tol: f64) -> bool {
         self.n_qubits == other.n_qubits
-            && self
-                .amps
-                .iter()
-                .zip(&other.amps)
-                .all(|(a, b)| (a - b).norm() <= tol)
+            && self.amps.iter().zip(&other.amps).all(|(a, b)| (a - b).norm() <= tol)
     }
 
     /// Apply a one-qubit unitary to `qubit`. One "basic operation"
@@ -229,32 +220,136 @@ impl StateVector {
         if low == high {
             return Err(StateVecError::DuplicateQubit { qubit: low });
         }
+        let (small, large) = if low < high { (low, high) } else { (high, low) };
+        let small_stride = 1usize << small;
+        let large_stride = 1usize << large;
+        // Which of the four contiguous streams carries the low local bit:
+        // when `low < high` the small stride is the low bit, so stream
+        // order (00, 01, 10, 11) matches (base, +small, +large, +both);
+        // otherwise streams 01 and 10 swap places.
+        let low_is_small = low < high;
+        let n = self.amps.len();
+        let r = &m.0;
+
+        // Enumerate every index with both operand bits clear, processing
+        // each run of `small_stride` groups as four parallel contiguous
+        // streams (cache-blocked: all four legs advance linearly, and the
+        // disjoint slices let the compiler drop bounds checks).
+        let mut outer = 0;
+        while outer < n {
+            let mut mid = outer;
+            while mid < outer + large_stride {
+                let quad = &mut self.amps[mid..mid + large_stride + 2 * small_stride];
+                let (head, tail) = quad.split_at_mut(large_stride);
+                let (s_base, head_rest) = head.split_at_mut(small_stride);
+                let s_small = &mut head_rest[..small_stride];
+                let (s_large, s_both) = tail.split_at_mut(small_stride);
+                let (s01, s10) = if low_is_small { (s_small, s_large) } else { (s_large, s_small) };
+                for (((p00, p01), p10), p11) in
+                    s_base.iter_mut().zip(s01).zip(s10).zip(s_both.iter_mut())
+                {
+                    let (a0, a1, a2, a3) = (*p00, *p01, *p10, *p11);
+                    *p00 = r[0][0] * a0 + r[0][1] * a1 + r[0][2] * a2 + r[0][3] * a3;
+                    *p01 = r[1][0] * a0 + r[1][1] * a1 + r[1][2] * a2 + r[1][3] * a3;
+                    *p10 = r[2][0] * a0 + r[2][1] * a1 + r[2][2] * a2 + r[2][3] * a3;
+                    *p11 = r[3][0] * a0 + r[3][1] * a1 + r[3][2] * a2 + r[3][3] * a3;
+                }
+                mid += small_stride << 1;
+            }
+            outer += large_stride << 1;
+        }
+        Ok(())
+    }
+
+    /// Multiply each amplitude by the matching entry of a diagonal one-qubit
+    /// operator `diag(d[0], d[1])` on `qubit` — a single linear sweep with
+    /// no gather/scatter, the cheapest kernel class.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateVecError::QubitOutOfRange`] for an invalid qubit.
+    pub fn apply_diag1(&mut self, d: &[C64; 2], qubit: usize) -> Result<(), StateVecError> {
+        self.check_qubit(qubit)?;
+        let stride = 1usize << qubit;
+        let (d0, d1) = (d[0], d[1]);
+        for (block, chunk) in self.amps.chunks_exact_mut(stride).enumerate() {
+            let f = if block & 1 == 0 { d0 } else { d1 };
+            for a in chunk {
+                *a = f * *a;
+            }
+        }
+        Ok(())
+    }
+
+    /// Multiply each amplitude by the matching entry of a diagonal two-qubit
+    /// operator on `(low, high)` (local index `2·bit(high) + bit(low)`, as
+    /// in [`Matrix4`]). A single linear sweep.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateVecError::QubitOutOfRange`] or
+    /// [`StateVecError::DuplicateQubit`].
+    pub fn apply_diag2(
+        &mut self,
+        d: &[C64; 4],
+        low: usize,
+        high: usize,
+    ) -> Result<(), StateVecError> {
+        self.check_qubit(low)?;
+        self.check_qubit(high)?;
+        if low == high {
+            return Err(StateVecError::DuplicateQubit { qubit: low });
+        }
+        for (i, a) in self.amps.iter_mut().enumerate() {
+            let local = (((i >> high) & 1) << 1) | ((i >> low) & 1);
+            *a = d[local] * *a;
+        }
+        Ok(())
+    }
+
+    /// Apply a two-qubit phased permutation on `(low, high)`: for each group
+    /// of four amplitudes, `new[r] = phase[r] · old[src[r]]` over local
+    /// indices `2·bit(high) + bit(low)`. Covers CX/CZ/SWAP-like operators
+    /// and their products with Paulis without a dense 4×4 multiply.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateVecError::QubitOutOfRange`] or
+    /// [`StateVecError::DuplicateQubit`].
+    pub fn apply_perm2(
+        &mut self,
+        src: &[u8; 4],
+        phase: &[C64; 4],
+        low: usize,
+        high: usize,
+    ) -> Result<(), StateVecError> {
+        self.check_qubit(low)?;
+        self.check_qubit(high)?;
+        if low == high {
+            return Err(StateVecError::DuplicateQubit { qubit: low });
+        }
+        debug_assert!(src.iter().all(|&s| s < 4));
         let mask_low = 1usize << low;
         let mask_high = 1usize << high;
         let (small, large) = if low < high { (low, high) } else { (high, low) };
         let small_stride = 1usize << small;
         let large_stride = 1usize << large;
         let n = self.amps.len();
-
-        // Enumerate every index with both operand bits clear.
         let mut outer = 0;
         while outer < n {
             let mut mid = outer;
             while mid < outer + large_stride {
                 for i in mid..mid + small_stride {
-                    let i00 = i;
-                    let i01 = i | mask_low;
-                    let i10 = i | mask_high;
-                    let i11 = i | mask_low | mask_high;
-                    let a0 = self.amps[i00];
-                    let a1 = self.amps[i01];
-                    let a2 = self.amps[i10];
-                    let a3 = self.amps[i11];
-                    let r = &m.0;
-                    self.amps[i00] = r[0][0] * a0 + r[0][1] * a1 + r[0][2] * a2 + r[0][3] * a3;
-                    self.amps[i01] = r[1][0] * a0 + r[1][1] * a1 + r[1][2] * a2 + r[1][3] * a3;
-                    self.amps[i10] = r[2][0] * a0 + r[2][1] * a1 + r[2][2] * a2 + r[2][3] * a3;
-                    self.amps[i11] = r[3][0] * a0 + r[3][1] * a1 + r[3][2] * a2 + r[3][3] * a3;
+                    let idx = [i, i | mask_low, i | mask_high, i | mask_low | mask_high];
+                    let old = [
+                        self.amps[idx[0]],
+                        self.amps[idx[1]],
+                        self.amps[idx[2]],
+                        self.amps[idx[3]],
+                    ];
+                    for r in 0..4 {
+                        self.amps[idx[r]] = phase[r] * old[src[r] as usize];
+                    }
                 }
                 mid += small_stride << 1;
             }
@@ -325,10 +420,23 @@ impl StateVector {
         }
         let cmask = 1usize << control;
         let tmask = 1usize << target;
-        for i in 0..self.amps.len() {
-            if i & cmask != 0 && i & tmask == 0 {
-                self.amps.swap(i, i | tmask);
+        let (small, large) = if control < target { (control, target) } else { (target, control) };
+        let small_stride = 1usize << small;
+        let large_stride = 1usize << large;
+        let n = self.amps.len();
+        // Strided enumeration of the 2^(n−2) indices with both operand bits
+        // clear; offsetting by the control mask yields exactly the swapped
+        // pairs, with no per-index branch.
+        let mut outer = 0;
+        while outer < n {
+            let mut mid = outer;
+            while mid < outer + large_stride {
+                for i in mid..mid + small_stride {
+                    self.amps.swap(i | cmask, i | cmask | tmask);
+                }
+                mid += small_stride << 1;
             }
+            outer += large_stride << 1;
         }
         Ok(())
     }
@@ -356,12 +464,41 @@ impl StateVector {
         }
         let cmask = (1usize << control_a) | (1usize << control_b);
         let tmask = 1usize << target;
-        for i in 0..self.amps.len() {
-            if i & cmask == cmask && i & tmask == 0 {
-                self.amps.swap(i, i | tmask);
+        let mut qs = [control_a, control_b, target];
+        qs.sort_unstable();
+        let [s0, s1, s2] = qs.map(|q| 1usize << q);
+        let n = self.amps.len();
+        // Strided enumeration of the 2^(n−3) indices with all three operand
+        // bits clear; offsetting by the control masks yields the swapped
+        // pairs, with no per-index branch.
+        let mut outer = 0;
+        while outer < n {
+            let mut mid = outer;
+            while mid < outer + s2 {
+                let mut inner = mid;
+                while inner < mid + s1 {
+                    for i in inner..inner + s0 {
+                        self.amps.swap(i | cmask, i | cmask | tmask);
+                    }
+                    inner += s0 << 1;
+                }
+                mid += s1 << 1;
             }
+            outer += s2 << 1;
         }
         Ok(())
+    }
+
+    /// Tear down into the raw amplitude buffer (for [`crate::StatePool`]).
+    pub(crate) fn into_amps(self) -> Vec<C64> {
+        self.amps
+    }
+
+    /// Rebuild from a buffer already known to have length `2^n_qubits`
+    /// (for [`crate::StatePool`]).
+    pub(crate) fn from_amps_unchecked(n_qubits: usize, amps: Vec<C64>) -> Self {
+        debug_assert_eq!(amps.len(), 1usize << n_qubits);
+        StateVector { n_qubits, amps }
     }
 
     fn check_qubit(&self, qubit: usize) -> Result<(), StateVecError> {
@@ -483,12 +620,7 @@ mod tests {
             a.apply_cx(c, t).unwrap();
             b.apply_2q(&Matrix4::cx(), t, c).unwrap();
             assert!(a.fidelity(&b).unwrap() > 1.0 - 1e-12);
-            assert!(
-                a.amplitudes()
-                    .iter()
-                    .zip(b.amplitudes())
-                    .all(|(x, y)| (x - y).norm() < TOL)
-            );
+            assert!(a.amplitudes().iter().zip(b.amplitudes()).all(|(x, y)| (x - y).norm() < TOL));
         }
     }
 
@@ -506,10 +638,7 @@ mod tests {
                 a.apply_pauli(p, q).unwrap();
                 b.apply_1q(&p.matrix(), q).unwrap();
                 assert!(
-                    a.amplitudes()
-                        .iter()
-                        .zip(b.amplitudes())
-                        .all(|(x, y)| (x - y).norm() < TOL),
+                    a.amplitudes().iter().zip(b.amplitudes()).all(|(x, y)| (x - y).norm() < TOL),
                     "fast path mismatch for {p} on qubit {q}"
                 );
             }
@@ -531,12 +660,7 @@ mod tests {
         a.apply_2q(&Matrix4::kron(&v, &u), 0, 2).unwrap();
         b.apply_1q(&u, 0).unwrap();
         b.apply_1q(&v, 2).unwrap();
-        assert!(
-            a.amplitudes()
-                .iter()
-                .zip(b.amplitudes())
-                .all(|(x, y)| (x - y).norm() < TOL)
-        );
+        assert!(a.amplitudes().iter().zip(b.amplitudes()).all(|(x, y)| (x - y).norm() < TOL));
     }
 
     #[test]

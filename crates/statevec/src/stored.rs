@@ -1,4 +1,4 @@
-use crate::{C64, StateVector};
+use crate::{StateVector, C64};
 
 /// Lossless, adaptive storage for a state vector at rest.
 ///

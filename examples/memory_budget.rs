@@ -14,10 +14,8 @@ use noisy_qsim::redsim::Simulation;
 use noisy_qsim::statevec::StoredState;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let compiled = transpile(
-        &catalog::qft(5),
-        &TranspileOptions::for_device(CouplingMap::yorktown()),
-    )?;
+    let compiled =
+        transpile(&catalog::qft(5), &TranspileOptions::for_device(CouplingMap::yorktown()))?;
     let mut sim = Simulation::from_circuit(&compiled.circuit, NoiseModel::ibm_yorktown())?;
     sim.generate_trials(8192, 1)?;
 
@@ -27,8 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for budget in [1usize, 2, 3, usize::MAX] {
         let result = sim.run_reordered_with_budget(budget)?;
         assert_eq!(result.outcomes, baseline.outcomes, "budget run diverged");
-        let label =
-            if budget == usize::MAX { "∞".to_owned() } else { budget.to_string() };
+        let label = if budget == usize::MAX { "∞".to_owned() } else { budget.to_string() };
         println!(
             "budget {label:>2}:           {:>9} ops, {} cached states at peak",
             result.stats.ops, result.stats.peak_msv

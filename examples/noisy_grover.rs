@@ -23,10 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // the paper's evaluation does via the Enfield compiler.
     let compiled = transpile(&logical, &TranspileOptions::for_device(CouplingMap::yorktown()))?;
     let counts = compiled.circuit.counts();
-    println!(
-        "compiled to Yorktown: {} single-qubit gates, {} CNOTs",
-        counts.single, counts.cnot
-    );
+    println!("compiled to Yorktown: {} single-qubit gates, {} CNOTs", counts.single, counts.cnot);
 
     // Simulate under the real calibration data (paper Fig. 4).
     let mut sim = Simulation::from_circuit(&compiled.circuit, NoiseModel::ibm_yorktown())?;

@@ -35,8 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // problem. Our executor reorders internally, so to show the contrast we
     // use the generation-order analysis:
     let inefficient = [one.clone(), two.clone(), three.clone(), error_free.clone()];
-    let naive =
-        noisy_qsim::redsim::analysis::analyze_generation_order(&layered, &inefficient)?;
+    let naive = noisy_qsim::redsim::analysis::analyze_generation_order(&layered, &inefficient)?;
     println!(
         "\ninefficient order ①②③(a): {} ops, {} snapshot states",
         naive.optimized_ops, naive.msv_peak

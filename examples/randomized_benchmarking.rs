@@ -52,10 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nfitted decay p = {decay:.5} → estimated per-gate error {estimated:.2e} (model {gate_error:.1e})"
     );
     let ratio = estimated / gate_error;
-    assert!(
-        (0.3..3.0).contains(&ratio),
-        "estimate off by more than 3x: ratio {ratio}"
-    );
+    assert!((0.3..3.0).contains(&ratio), "estimate off by more than 3x: ratio {ratio}");
     println!("estimate within statistical range of the model rate");
     Ok(())
 }

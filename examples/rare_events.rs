@@ -28,18 +28,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let histogram = Histogram::from_outcomes(layered.n_cbits(), &run.outcomes);
     let fail_given_tail = 1.0 - histogram.probability(0b1011);
     println!("P(wrong answer | ≥{min_errors} errors) = {fail_given_tail:.4}");
-    println!(
-        "tail contribution to total failure: {:.3e}",
-        p_event * fail_given_tail
-    );
+    println!("tail contribution to total failure: {:.3e}", p_event * fail_given_tail);
 
     // Contrast with direct sampling at the same budget.
     let direct = generator.generate(40_000, 8);
-    let tail_hits =
-        direct.trials().iter().filter(|t| t.n_injections() >= min_errors).count();
-    println!(
-        "\ndirect sampling at the same budget produced only {tail_hits} tail trials of 40000"
-    );
+    let tail_hits = direct.trials().iter().filter(|t| t.n_injections() >= min_errors).count();
+    println!("\ndirect sampling at the same budget produced only {tail_hits} tail trials of 40000");
     assert!(tail_hits < conditional.len() / 20, "the event is supposed to be rare");
 
     // Bonus: even though every conditional trial carries ≥ 3 distinct

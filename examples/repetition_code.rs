@@ -45,7 +45,10 @@ fn bare_memory() -> Circuit {
     qc
 }
 
-fn logical_error_rates(p_flip: f64, trials: usize) -> Result<(f64, f64), Box<dyn std::error::Error>> {
+fn logical_error_rates(
+    p_flip: f64,
+    trials: usize,
+) -> Result<(f64, f64), Box<dyn std::error::Error>> {
     // Gate errors off; only the per-layer bit-flip channel acts on every
     // qubit every layer (identity gates count as "busy", so attach the
     // flip channel to the gates themselves via single-qubit weights).

@@ -11,8 +11,7 @@ use noisy_qsim::redsim::analysis::analyze_sorted;
 use noisy_qsim::redsim::order::reorder;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let trials: usize =
-        std::env::args().nth(1).map(|s| s.parse()).transpose()?.unwrap_or(100_000);
+    let trials: usize = std::env::args().nth(1).map(|s| s.parse()).transpose()?.unwrap_or(100_000);
     println!("{trials} trials per configuration\n");
     println!("{:<10} {:>12} {:>14} {:>8}", "circuit", "1q rate", "normalized", "MSVs");
 

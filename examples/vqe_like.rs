@@ -93,7 +93,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let run = sim.run_reordered()?;
         let histogram = sim.histogram(&run);
         if weight_zz {
-            noisy_energy += -1.0 * histogram.expectation_parity(&[0, 1]);
+            noisy_energy -= histogram.expectation_parity(&[0, 1]);
         } else {
             noisy_energy += -0.6 * (histogram.expectation_z(0) + histogram.expectation_z(1));
         }

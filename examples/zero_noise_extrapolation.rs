@@ -42,10 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("extrapolated to scale 0:  {intercept:.4}  (ideal: 1.0000)");
     let raw_error = (1.0 - raw).abs();
     let mitigated_error = (1.0 - intercept).abs();
-    println!(
-        "mitigation removed {:.0}% of the bias",
-        100.0 * (1.0 - mitigated_error / raw_error)
-    );
+    println!("mitigation removed {:.0}% of the bias", 100.0 * (1.0 - mitigated_error / raw_error));
     assert!(
         mitigated_error < raw_error,
         "extrapolation must improve on the raw estimate ({mitigated_error} vs {raw_error})"

@@ -30,8 +30,8 @@ pub use redsim;
 /// One-line import for the common workflow:
 /// `use noisy_qsim::prelude::*;`.
 pub mod prelude {
-    pub use qsim_circuit::{catalog, Circuit, CouplingMap, Gate, LayeredCircuit};
     pub use qsim_circuit::transpile::{transpile, TranspileOptions};
+    pub use qsim_circuit::{catalog, Circuit, CouplingMap, Gate, LayeredCircuit};
     pub use qsim_noise::{NoiseModel, PauliWeights, TrialGenerator, TrialSet};
     pub use qsim_statevec::{MeasureOutcome, Pauli, PauliString, StateVector};
     pub use redsim::{CostReport, Histogram, RunResult, Simulation};

@@ -29,8 +29,7 @@ fn dephasing_channel_monte_carlo_matches_exact_channel() {
     // change populations, so P(1) = pz.
     assert!((exact[1] - pz).abs() < 1e-12);
 
-    let trials =
-        TrialGenerator::new(&layered, &model).expect("native").generate(60_000, 3);
+    let trials = TrialGenerator::new(&layered, &model).expect("native").generate(60_000, 3);
     let result = ReuseExecutor::new(&layered).run(trials.trials()).expect("runs");
     let hist = Histogram::from_outcomes(1, &result.outcomes);
     assert!((hist.probability(1) - pz).abs() < 0.01, "P(1) = {}", hist.probability(1));

@@ -74,11 +74,9 @@ fn modular_multiplication_modal_outcome_is_seven() {
 /// more redundancy, on a compiled benchmark under the realistic model.
 #[test]
 fn savings_scale_with_trial_count_on_compiled_circuits() {
-    let compiled = transpile(
-        &catalog::qft(4),
-        &TranspileOptions::for_device(CouplingMap::yorktown()),
-    )
-    .expect("compiles");
+    let compiled =
+        transpile(&catalog::qft(4), &TranspileOptions::for_device(CouplingMap::yorktown()))
+            .expect("compiles");
     let mut sim = Simulation::from_circuit(&compiled.circuit, NoiseModel::ibm_yorktown())
         .expect("model covers device");
     let mut previous = f64::INFINITY;
@@ -104,8 +102,7 @@ fn analytic_estimate_predicts_compiled_suite_savings() {
         let layered = compiled.circuit.layered().expect("layers");
         let model = NoiseModel::ibm_yorktown();
         let generator = TrialGenerator::new(&layered, &model).expect("native");
-        let predicted =
-            estimate_first_order(&layered, &generator, 4096).normalized_computation();
+        let predicted = estimate_first_order(&layered, &generator, 4096).normalized_computation();
         let measured = analyze(&layered, &generator.generate(4096, 7))
             .expect("analyzes")
             .normalized_computation();

@@ -28,9 +28,8 @@ fn ghz_monte_carlo_matches_exact_channel() {
     rho.depolarize_2q(1, 2, p2).expect("valid");
     let exact = rho.readout_distribution(&[pm; 3]).expect("width matches");
 
-    let trials = TrialGenerator::new(&layered, &model)
-        .expect("native circuit")
-        .generate(80_000, 99);
+    let trials =
+        TrialGenerator::new(&layered, &model).expect("native circuit").generate(80_000, 99);
     let result = ReuseExecutor::new(&layered).run(trials.trials()).expect("runs");
     let histogram = Histogram::from_outcomes(3, &result.outcomes);
     let tv = histogram.tv_distance(&exact);

@@ -6,10 +6,10 @@ use std::path::Path;
 use noisy_qsim::circuit::{catalog, Circuit};
 
 fn load(path: &Path) -> Circuit {
-    let source = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| panic!("{}: {e} (run `cargo run -p redsim-bench --bin export_qasm`)", path.display()));
-    noisy_qsim::qasm::parse(&source)
-        .unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+    let source = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        panic!("{}: {e} (run `cargo run -p redsim-bench --bin export_qasm`)", path.display())
+    });
+    noisy_qsim::qasm::parse(&source).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
 }
 
 fn assert_equivalent(file: &Circuit, built: &Circuit) {

@@ -59,11 +59,9 @@ fn noise_types_roundtrip() {
 
 #[test]
 fn reports_roundtrip_and_replay_is_exact() {
-    let mut sim = Simulation::from_circuit(
-        &catalog::bv(4, 0b111),
-        NoiseModel::uniform(4, 1e-2, 5e-2, 1e-2),
-    )
-    .expect("valid model");
+    let mut sim =
+        Simulation::from_circuit(&catalog::bv(4, 0b111), NoiseModel::uniform(4, 1e-2, 5e-2, 1e-2))
+            .expect("valid model");
     sim.generate_trials(200, 9).expect("generates");
     let report: CostReport = sim.analyze().expect("analyzes");
     assert_eq!(roundtrip(&report), report);
@@ -73,11 +71,9 @@ fn reports_roundtrip_and_replay_is_exact() {
     // outcomes.
     let trials_json = serde_json::to_string(sim.trials().expect("generated")).expect("serializes");
     let reloaded: TrialSet = serde_json::from_str(&trials_json).expect("deserializes");
-    let mut sim2 = Simulation::from_circuit(
-        &catalog::bv(4, 0b111),
-        NoiseModel::uniform(4, 1e-2, 5e-2, 1e-2),
-    )
-    .expect("valid model");
+    let mut sim2 =
+        Simulation::from_circuit(&catalog::bv(4, 0b111), NoiseModel::uniform(4, 1e-2, 5e-2, 1e-2))
+            .expect("valid model");
     sim2.set_trials(reloaded).expect("geometry matches");
     let replayed = sim2.run_reordered().expect("runs");
     assert_eq!(replayed.outcomes, result.outcomes);

@@ -24,10 +24,7 @@ fn every_strategy_agrees_on_every_benchmark() {
         {
             let reference = BaselineExecutor::new(&layered).run(set.trials()).expect("baseline");
             let strategies: Vec<(&str, Vec<_>)> = vec![
-                (
-                    "reuse",
-                    ReuseExecutor::new(&layered).run(set.trials()).expect("reuse").outcomes,
-                ),
+                ("reuse", ReuseExecutor::new(&layered).run(set.trials()).expect("reuse").outcomes),
                 (
                     "budget-1",
                     ReuseExecutor::new(&layered)
@@ -44,7 +41,10 @@ fn every_strategy_agrees_on_every_benchmark() {
                 ),
                 (
                     "compressed",
-                    run_reordered_compressed(&layered, set.trials()).expect("compressed").0.outcomes,
+                    run_reordered_compressed(&layered, set.trials())
+                        .expect("compressed")
+                        .0
+                        .outcomes,
                 ),
                 (
                     "parallel-3",

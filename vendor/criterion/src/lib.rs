@@ -109,10 +109,25 @@ pub struct BenchmarkGroup<'a> {
     sample_size: usize,
 }
 
+/// Throughput annotation for a benchmark (accepted and ignored by this
+/// stub's reporting).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
 impl BenchmarkGroup<'_> {
     /// Set the warm-up duration.
     pub fn warm_up_time(&mut self, duration: Duration) -> &mut Self {
         self.warm_up = duration;
+        self
+    }
+
+    /// Record the per-iteration throughput (ignored by this stub).
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
         self
     }
 

@@ -115,10 +115,7 @@ impl Sub for Complex<f64> {
 impl Mul for Complex<f64> {
     type Output = Self;
     fn mul(self, rhs: Self) -> Self {
-        Complex::new(
-            self.re * rhs.re - self.im * rhs.im,
-            self.re * rhs.im + self.im * rhs.re,
-        )
+        Complex::new(self.re * rhs.re - self.im * rhs.im, self.re * rhs.im + self.im * rhs.re)
     }
 }
 

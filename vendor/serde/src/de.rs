@@ -79,10 +79,7 @@ impl<'de> Deserializer<'de> for ValueDeserializer<'de> {
 }
 
 /// Look up a required object entry (used by derived impls).
-pub fn field_value<'a>(
-    entries: &'a [(String, Value)],
-    name: &str,
-) -> Result<&'a Value, DeError> {
+pub fn field_value<'a>(entries: &'a [(String, Value)], name: &str) -> Result<&'a Value, DeError> {
     entries
         .iter()
         .find(|(key, _)| key == name)
@@ -91,10 +88,7 @@ pub fn field_value<'a>(
 }
 
 /// Look up and deserialize a required object entry (used by derived impls).
-pub fn field<T: DeserializeOwned>(
-    entries: &[(String, Value)],
-    name: &str,
-) -> Result<T, DeError> {
+pub fn field<T: DeserializeOwned>(entries: &[(String, Value)], name: &str) -> Result<T, DeError> {
     T::from_value(field_value(entries, name)?)
 }
 
@@ -192,9 +186,7 @@ impl<'de, T: DeserializeOwned, const N: usize> Deserialize<'de> for [T; N] {
     fn from_value(value: &Value) -> Result<Self, DeError> {
         let items: Vec<T> = Vec::from_value(value)?;
         let got = items.len();
-        items
-            .try_into()
-            .map_err(|_| DeError(format!("expected array of length {N}, found {got}")))
+        items.try_into().map_err(|_| DeError(format!("expected array of length {N}, found {got}")))
     }
 }
 
@@ -215,8 +207,8 @@ where
         entries
             .iter()
             .map(|(key, v)| {
-                let k = K::from_key(key)
-                    .ok_or_else(|| DeError(format!("invalid map key `{key}`")))?;
+                let k =
+                    K::from_key(key).ok_or_else(|| DeError(format!("invalid map key `{key}`")))?;
                 Ok((k, V::from_value(v)?))
             })
             .collect()

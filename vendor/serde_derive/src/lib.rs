@@ -178,7 +178,9 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
         let name = expect_ident(&tokens, &mut i);
         match tokens.get(i) {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
-            other => panic!("serde stub derive: expected `:` after field `{name}`, found {other:?}"),
+            other => {
+                panic!("serde stub derive: expected `:` after field `{name}`, found {other:?}")
+            }
         }
         skip_to_comma(&tokens, &mut i);
         i += 1; // past the comma (or end)
@@ -239,9 +241,9 @@ fn parse_variants(stream: TokenStream) -> Vec<Variant> {
 
 fn ser_field_expr(access: &str, with: &Option<String>) -> String {
     match with {
-        Some(path) => format!(
-            "::serde::ser::to_value_with(|__s| {path}::serialize({access}, __s))"
-        ),
+        Some(path) => {
+            format!("::serde::ser::to_value_with(|__s| {path}::serialize({access}, __s))")
+        }
         None => format!("::serde::ser::Serialize::to_value({access})"),
     }
 }
@@ -250,9 +252,7 @@ fn gen_serialize(item: &Item) -> String {
     let name = &item.name;
     let body = match &item.data {
         Data::Struct(Shape::Unit) => "::serde::value::Value::Null".to_owned(),
-        Data::Struct(Shape::Tuple(1)) => {
-            "::serde::ser::Serialize::to_value(&self.0)".to_owned()
-        }
+        Data::Struct(Shape::Tuple(1)) => "::serde::ser::Serialize::to_value(&self.0)".to_owned(),
         Data::Struct(Shape::Tuple(n)) => {
             let items: Vec<String> = (0..*n)
                 .map(|idx| format!("::serde::ser::Serialize::to_value(&self.{idx})"))
@@ -339,9 +339,7 @@ fn gen_serialize(item: &Item) -> String {
 
 fn de_field_expr(source: &str, with: &Option<String>) -> String {
     match with {
-        Some(path) => format!(
-            "{path}::deserialize(::serde::de::ValueDeserializer({source}))?"
-        ),
+        Some(path) => format!("{path}::deserialize(::serde::de::ValueDeserializer({source}))?"),
         None => format!("::serde::de::Deserialize::from_value({source})?"),
     }
 }
@@ -372,9 +370,8 @@ fn gen_deserialize(item: &Item) -> String {
             "::std::result::Result::Ok({name}(::serde::de::Deserialize::from_value(__value)?))"
         ),
         Data::Struct(Shape::Tuple(n)) => {
-            let elems: Vec<String> = (0..*n)
-                .map(|idx| de_field_expr(&format!("&__items[{idx}]"), &None))
-                .collect();
+            let elems: Vec<String> =
+                (0..*n).map(|idx| de_field_expr(&format!("&__items[{idx}]"), &None)).collect();
             format!(
                 "let __items = __value.as_seq().ok_or_else(|| \
                  ::serde::de::DeError::expected(\"array\", __value))?;\n\
@@ -397,12 +394,7 @@ fn gen_deserialize(item: &Item) -> String {
             let unit_arms: Vec<String> = variants
                 .iter()
                 .filter(|v| matches!(v.shape, Shape::Unit))
-                .map(|v| {
-                    format!(
-                        "\"{0}\" => ::std::result::Result::Ok({name}::{0}),",
-                        v.name
-                    )
-                })
+                .map(|v| format!("\"{0}\" => ::std::result::Result::Ok({name}::{0}),", v.name))
                 .collect();
             let data_arms: Vec<String> = variants
                 .iter()

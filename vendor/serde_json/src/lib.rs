@@ -130,11 +130,7 @@ impl Parser<'_> {
             self.pos += 1;
             Ok(())
         } else {
-            Err(Error(format!(
-                "expected `{}` at byte {}",
-                char::from(b),
-                self.pos
-            )))
+            Err(Error(format!("expected `{}` at byte {}", char::from(b), self.pos)))
         }
     }
 
@@ -162,7 +158,9 @@ impl Parser<'_> {
                             self.pos += 1;
                             return Ok(Value::Seq(items));
                         }
-                        _ => return Err(Error(format!("expected `,` or `]` at byte {}", self.pos))),
+                        _ => {
+                            return Err(Error(format!("expected `,` or `]` at byte {}", self.pos)))
+                        }
                     }
                 }
             }
@@ -189,7 +187,9 @@ impl Parser<'_> {
                             self.pos += 1;
                             return Ok(Value::Map(entries));
                         }
-                        _ => return Err(Error(format!("expected `,` or `}}` at byte {}", self.pos))),
+                        _ => {
+                            return Err(Error(format!("expected `,` or `}}` at byte {}", self.pos)))
+                        }
                     }
                 }
             }
@@ -286,9 +286,7 @@ impl Parser<'_> {
                 return Ok(Value::I64(i));
             }
         }
-        text.parse::<f64>()
-            .map(Value::F64)
-            .map_err(|_| Error(format!("invalid number `{text}`")))
+        text.parse::<f64>().map(Value::F64).map_err(|_| Error(format!("invalid number `{text}`")))
     }
 }
 
