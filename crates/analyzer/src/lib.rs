@@ -1,0 +1,64 @@
+#![warn(missing_docs)]
+//! Static plan verifier for noisy quantum-circuit simulation.
+//!
+//! The paper's optimization — reorder Monte-Carlo trials, cache shared
+//! prefix states, fuse gates between injection cuts — is "mathematically
+//! equivalent to the original simulation" only while a stack of invariants
+//! holds: the reorder is a permutation sorted under the shared key, every
+//! cached state vector is dropped exactly at its last use, every injection
+//! layer is a fusion cut, every operator is unitary. All of them are pure
+//! functions of the *plan*, checkable before touching a single amplitude.
+//!
+//! This crate checks them like a compiler checks a program:
+//!
+//! * [`ExecutionPlan`] captures one compiled run — circuit, trials,
+//!   order, fused program, and an explicit prefix-cache [`ScheduleOp`]
+//!   stream produced by symbolically replaying `redsim`'s streaming loop.
+//! * [`verify`] runs four passes — the MSV borrow checker, fusion-cut
+//!   soundness, trial-set lints, circuit lints — and returns structured
+//!   [`Diagnostic`]s with stable [`DiagCode`]s (`MSV*`, `FUS*`, `TRL*`,
+//!   `NSE*`, `CIR*`; the full table lives in `docs/THEORY.md`).
+//! * [`render_tty`] prints them human-readably; with the `serde` feature
+//!   they serialize to JSON for tooling.
+//! * [`Mutation`] seeds deliberate corruptions so the test suite can prove
+//!   each pass actually fires.
+//!
+//! # Example
+//!
+//! ```
+//! use qsim_analyzer::{verify, ExecutionPlan};
+//! use qsim_circuit::catalog;
+//! use qsim_noise::{NoiseModel, TrialGenerator};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let layered = catalog::bv(4, 0b101).layered()?;
+//! let model = NoiseModel::uniform(4, 1e-3, 1e-2, 1e-2);
+//! let trials = TrialGenerator::new(&layered, &model)?.generate(64, 7);
+//! let plan = ExecutionPlan::compile(&layered, &trials, usize::MAX).with_model(model);
+//! assert!(verify(&plan).is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+mod diag;
+pub mod mutate;
+pub mod passes;
+mod plan;
+
+pub use diag::{has_errors, render_tty, DiagCode, Diagnostic, Location, Severity};
+pub use mutate::Mutation;
+pub use plan::{
+    compile_schedule, ExecutionPlan, FrameId, PlanExpectations, ScheduleOp, ROOT_FRAME,
+};
+
+/// Run every verifier pass over `plan` and collect the findings, in pass
+/// order (borrow checker, fusion, trial set, circuit). An empty result
+/// means the plan upholds every checked invariant; any
+/// [`Severity::Error`] means executing it could produce wrong results.
+pub fn verify(plan: &ExecutionPlan<'_>) -> Vec<Diagnostic> {
+    let mut diags = passes::borrow::check(plan);
+    diags.extend(passes::fusion::check(plan));
+    diags.extend(passes::trials::check(plan));
+    diags.extend(passes::circuit::check(plan));
+    diags
+}

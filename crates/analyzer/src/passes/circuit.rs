@@ -1,0 +1,99 @@
+//! Pass 4 — circuit lints.
+//!
+//! Checks the layered circuit the plan executes: gate operands inside the
+//! register (`CIR001`), multi-qubit gates on coupled qubit pairs when a
+//! device map is attached (`CIR002`), unitary gate matrices — a NaN or
+//! infinite rotation angle produces a non-unitary matrix that silently
+//! poisons every amplitude (`CIR003`) — and a well-formed measurement map
+//! (`CIR004`).
+
+use crate::diag::{DiagCode, Diagnostic, Location};
+use crate::plan::ExecutionPlan;
+
+/// Run the circuit lints.
+pub fn check(plan: &ExecutionPlan<'_>) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let layered = plan.layered;
+    let n_qubits = layered.n_qubits();
+
+    for l in 0..layered.n_layers() {
+        for op in layered.layer(l) {
+            for &q in &op.qubits {
+                if q >= n_qubits {
+                    diags.push(Diagnostic::new(
+                        DiagCode::GateQubitOutOfRange,
+                        Location::layer(l).at_qubit(q),
+                        format!(
+                            "`{}` in layer {l} operates on qubit {q} but the register has {n_qubits} qubit(s)",
+                            op.gate.name()
+                        ),
+                    ));
+                }
+            }
+            let unitary = if let Some(m) = op.gate.matrix1() {
+                m.is_unitary(crate::passes::fusion::UNITARY_TOL)
+            } else if let Some(m) = op.gate.matrix2() {
+                m.is_unitary(crate::passes::fusion::UNITARY_TOL)
+            } else {
+                // CX/CCX fast paths are basis permutations — always unitary.
+                true
+            };
+            if !unitary {
+                diags.push(Diagnostic::new(
+                    DiagCode::NonUnitaryGate,
+                    Location::layer(l),
+                    format!(
+                        "`{}` in layer {l} has a non-unitary matrix (NaN or infinite parameter?)",
+                        op.gate.name()
+                    ),
+                ));
+            }
+            if let Some(coupling) = &plan.coupling {
+                // Post-transpile, every multi-qubit gate must sit on
+                // device-adjacent qubits (pairwise, so CCX is covered too).
+                for (i, &a) in op.qubits.iter().enumerate() {
+                    for &b in &op.qubits[i + 1..] {
+                        if a.max(b) < coupling.n_qubits() && !coupling.are_adjacent(a, b) {
+                            diags.push(Diagnostic::new(
+                                DiagCode::CouplingViolation,
+                                Location::layer(l).at_qubit(a),
+                                format!(
+                                    "`{}` in layer {l} spans qubits {a} and {b}, which the coupling map does not connect",
+                                    op.gate.name()
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let mut used_cbits = vec![false; layered.n_cbits()];
+    for &(qubit, cbit) in layered.measurements() {
+        if qubit >= n_qubits {
+            diags.push(Diagnostic::new(
+                DiagCode::InvalidMeasurement,
+                Location::none().at_qubit(qubit),
+                format!("measurement reads qubit {qubit} but the register has {n_qubits} qubit(s)"),
+            ));
+        }
+        match used_cbits.get_mut(cbit) {
+            Some(slot) if !*slot => *slot = true,
+            Some(_) => diags.push(Diagnostic::new(
+                DiagCode::InvalidMeasurement,
+                Location::none().at_qubit(qubit),
+                format!("classical bit {cbit} receives more than one measurement"),
+            )),
+            None => diags.push(Diagnostic::new(
+                DiagCode::InvalidMeasurement,
+                Location::none().at_qubit(qubit),
+                format!(
+                    "measurement writes classical bit {cbit} but the circuit has {} classical bit(s)",
+                    layered.n_cbits()
+                ),
+            )),
+        }
+    }
+    diags
+}

@@ -62,6 +62,11 @@ impl Segment {
     pub fn source_gates(&self) -> usize {
         self.source_gates
     }
+
+    #[doc(hidden)]
+    pub fn ops_mut(&mut self) -> &mut Vec<FusedOp> {
+        &mut self.ops
+    }
 }
 
 /// A layered circuit compiled into fused segments between injection
@@ -129,6 +134,11 @@ impl FusedProgram {
     /// The segments, in layer order.
     pub fn segments(&self) -> &[Segment] {
         &self.segments
+    }
+
+    #[doc(hidden)]
+    pub fn segments_mut(&mut self) -> &mut Vec<Segment> {
+        &mut self.segments
     }
 
     /// `true` when an error operator can be applied after `layer` without

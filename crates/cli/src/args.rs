@@ -14,6 +14,8 @@ pub enum Command {
     Analyze,
     /// Run the noisy Monte-Carlo simulation and print the histogram.
     Run,
+    /// Statically verify the compiled execution plan; no amplitudes.
+    Verify,
 }
 
 /// Target device connectivity.
@@ -73,6 +75,8 @@ pub struct Options {
     pub compressed: bool,
     /// Layer scheduling: ALAP instead of the default ASAP.
     pub alap: bool,
+    /// Emit machine-readable JSON instead of the human report (`verify`).
+    pub json: bool,
 }
 
 /// CLI parsing/validation failure; carries a user-facing message.
@@ -99,6 +103,7 @@ COMMANDS:
     transpile   lower to a device and print OpenQASM
     analyze     static cost analysis (ops saved, MSVs) — no amplitudes
     run         noisy Monte-Carlo simulation; prints the outcome histogram
+    verify      prove the compiled plan sound (schedule, fusion, trials)
 
 OPTIONS:
     --device <none|yorktown|linear:N|grid:RxC>   connectivity  [default: yorktown]
@@ -113,6 +118,7 @@ OPTIONS:
     --load-trials <P>   replay a saved trial set (ignores --trials/--seed)
     --compressed        store cached frontiers in zero-elided sparse form
     --alap              schedule layers as-late-as-possible (moves idle errors)
+    --json              machine-readable diagnostics (verify)
 ";
 
 impl Options {
@@ -141,6 +147,7 @@ impl Options {
             load_trials: None,
             compressed: false,
             alap: false,
+            json: false,
         };
         let mut i = 0;
         while i < args.len() {
@@ -150,6 +157,7 @@ impl Options {
                 "--no-transpile" => opts.no_transpile = true,
                 "--compressed" => opts.compressed = true,
                 "--alap" => opts.alap = true,
+                "--json" => opts.json = true,
                 "--device" | "--noise" | "--trials" | "--seed" | "--threads" | "--budget"
                 | "--save-trials" | "--load-trials" => {
                     let value =
@@ -185,6 +193,7 @@ impl Options {
             "transpile" => Command::Transpile,
             "analyze" => Command::Analyze,
             "run" => Command::Run,
+            "verify" => Command::Verify,
             other => return Err(CliError(format!("unknown command {other}\n\n{USAGE}"))),
         };
         opts.input =
@@ -297,6 +306,15 @@ mod tests {
         assert!(opts.baseline);
         assert_eq!(opts.device, DeviceSpec::Linear(6));
         assert_eq!(opts.noise, NoiseSpec::Uniform(1e-3, 1e-2, 2e-2));
+    }
+
+    #[test]
+    fn parses_verify() {
+        let opts = parse(&["verify", "f.qasm", "--json", "--trials", "64"]).unwrap();
+        assert_eq!(opts.command, Command::Verify);
+        assert!(opts.json);
+        assert_eq!(opts.trials, 64);
+        assert!(!parse(&["run", "f.qasm"]).unwrap().json);
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub fn execute(opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
         }
         Command::Analyze => analyze(&prepared, opts, out),
         Command::Run => run(&prepared, opts, out),
+        Command::Verify => verify(&prepared, opts, out),
     }
 }
 
@@ -170,6 +171,46 @@ fn analyze(prepared: &Circuit, opts: &Options, out: &mut dyn Write) -> Result<()
         report.msv_peak, report.msv_path_peak
     )
     .map_err(io_err)?;
+    Ok(())
+}
+
+fn verify(prepared: &Circuit, opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
+    let sim = simulation(prepared, opts)?;
+    let set = sim.trials().expect("trials just prepared");
+    let report =
+        sim.analyze_with_budget(opts.budget).map_err(|e| CliError(format!("analysis: {e}")))?;
+    let mut plan = qsim_analyzer::ExecutionPlan::compile(sim.layered(), set, opts.budget)
+        .with_expectations(qsim_analyzer::PlanExpectations {
+            baseline_ops: report.baseline_ops,
+            optimized_ops: report.optimized_ops,
+            msv_peak: report.msv_peak,
+        })
+        .with_model(sim.model().clone());
+    if let Some(map) = coupling(&opts.device) {
+        plan = plan.with_coupling(map);
+    }
+    let diagnostics = qsim_analyzer::verify(&plan);
+    if opts.json {
+        let json = serde_json::to_string(&diagnostics)
+            .map_err(|e| CliError(format!("serializing diagnostics: {e}")))?;
+        writeln!(out, "{json}").map_err(io_err)?;
+    } else if diagnostics.is_empty() {
+        writeln!(
+            out,
+            "plan verified: {} trials over {} layers, {} schedule ops, no diagnostics",
+            set.trials().len(),
+            sim.layered().n_layers(),
+            plan.schedule.len()
+        )
+        .map_err(io_err)?;
+    } else {
+        writeln!(out, "{}", qsim_analyzer::render_tty(&diagnostics)).map_err(io_err)?;
+    }
+    if qsim_analyzer::has_errors(&diagnostics) {
+        let errors =
+            diagnostics.iter().filter(|d| d.severity == qsim_analyzer::Severity::Error).count();
+        return Err(CliError(format!("plan verification failed with {errors} error(s)")));
+    }
     Ok(())
 }
 
@@ -415,6 +456,60 @@ mod tests {
             let text = run_cli(&parts).unwrap_or_else(|e| panic!("{extra:?}: {e}"));
             assert!(text.contains("128 trials"), "{extra:?}: {text}");
         }
+    }
+
+    #[test]
+    fn verify_reports_clean_plan() {
+        let file = bell_file();
+        let text =
+            run_cli(&["verify", &file.path_str(), "--trials", "128", "--seed", "4"]).unwrap();
+        assert!(text.contains("plan verified"), "{text}");
+        assert!(text.contains("no diagnostics"), "{text}");
+    }
+
+    #[test]
+    fn verify_json_emits_empty_diagnostics_array() {
+        let file = bell_file();
+        let text = run_cli(&["verify", &file.path_str(), "--trials", "64", "--json"]).unwrap();
+        assert_eq!(text.trim(), "[]");
+    }
+
+    #[test]
+    fn verify_covers_budgets_and_alap() {
+        let file = bell_file();
+        for extra in [vec!["--budget", "1"], vec!["--budget", "2"], vec!["--alap"]] {
+            let path = file.path_str();
+            let mut parts = vec!["verify", path.as_str(), "--trials", "128"];
+            parts.extend(extra.iter().copied());
+            let text = run_cli(&parts).unwrap_or_else(|e| panic!("{extra:?}: {e}"));
+            assert!(text.contains("plan verified"), "{extra:?}: {text}");
+        }
+    }
+
+    /// The headline guarantee: every shipped benchmark compiles to a plan
+    /// the verifier proves clean, at 64 trials.
+    #[test]
+    fn verify_all_shipped_benchmarks_clean() {
+        let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../../benchmarks");
+        let sweep = |dir: &str, extra: &[&str]| {
+            let mut entries: Vec<_> = std::fs::read_dir(format!("{root}/{dir}"))
+                .unwrap_or_else(|e| panic!("{root}/{dir}: {e}"))
+                .map(|e| e.expect("dir entry").path())
+                .collect();
+            entries.sort();
+            assert!(!entries.is_empty(), "no benchmarks under {dir}");
+            for path in entries {
+                let path_str = path.to_string_lossy().into_owned();
+                let mut parts = vec!["verify", path_str.as_str(), "--trials", "64"];
+                parts.extend(extra.iter().copied());
+                let text = run_cli(&parts).unwrap_or_else(|e| panic!("{dir}/{path_str}: {e}"));
+                assert!(text.contains("no diagnostics"), "{path_str}: {text}");
+            }
+        };
+        // Yorktown suite: already device-native, default Yorktown noise.
+        sweep("yorktown", &["--no-transpile"]);
+        // Logical suite: all-to-all, uniform noise (some exceed 5 qubits).
+        sweep("logical", &["--device", "none", "--noise", "uniform:1e-3,1e-2,1e-2"]);
     }
 
     #[test]

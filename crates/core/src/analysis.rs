@@ -48,7 +48,9 @@ pub struct CostReport {
     /// trial might branch there): `max(injections per trial) + 1`. This is
     /// the accounting that reproduces the absolute values of the paper's
     /// Fig. 6 (e.g. 3 for `rb`, 6 for `qft5`); `msv_peak` is a strict
-    /// improvement enabled by the lookahead.
+    /// improvement enabled by the lookahead. Defaults to zero when absent
+    /// so reports serialized before this field load.
+    #[cfg_attr(feature = "serde", serde(default))]
     pub msv_path_peak: usize,
 }
 

@@ -91,6 +91,8 @@ pub fn run_reordered_compressed(
             }
         }
     }
+    #[cfg(feature = "paranoid")]
+    crate::exec::paranoid_verify(layered, trials, usize::MAX)?;
     let last_layer = n_layers as i64 - 1;
     let program = crate::exec::fuse_for_trials(layered, trials);
     let dense_bytes = StoredState::dense_bytes(layered.n_qubits());

@@ -46,10 +46,13 @@ pub struct ExecStats {
     pub ops: u64,
     /// Fused kernel applications (gate work after fusion, excluding error
     /// operators). Equals the gate share of `ops` when running unfused.
+    /// Defaults to zero when absent so pre-fusion serialized stats load.
+    #[cfg_attr(feature = "serde", serde(default))]
     pub fused_ops: u64,
     /// Full passes over the amplitude array: `fused_ops` plus one per
     /// error-operator application — the hardware-cost counterpart of
     /// `ops`.
+    #[cfg_attr(feature = "serde", serde(default))]
     pub amplitude_passes: u64,
     /// Peak number of concurrently stored state vectors (the MSV metric).
     /// Zero for the baseline, which stores no intermediate states.
@@ -106,6 +109,44 @@ impl Engine<'_> {
 /// cut at the union of the set's injection layers.
 pub fn fuse_for_trials(layered: &LayeredCircuit, trials: &[Trial]) -> FusedProgram {
     FusedProgram::new(layered, &injection_cut_layers(trials))
+}
+
+/// Paranoid mode: statically verify the complete execution plan — reorder,
+/// fused program, and symbolic cache schedule, cross-checked against the
+/// dry-run cost report — before touching a single amplitude. Runs *after*
+/// the executors' own cheap validation so their typed errors are
+/// unchanged; anything the verifier alone catches surfaces as
+/// [`SimError::Circuit`] carrying the first diagnostic.
+///
+/// # Errors
+///
+/// Returns [`SimError::Circuit`] when the verifier reports any
+/// error-severity diagnostic.
+#[cfg(feature = "paranoid")]
+pub(crate) fn paranoid_verify(
+    layered: &LayeredCircuit,
+    trials: &[Trial],
+    budget: usize,
+) -> Result<(), SimError> {
+    let set = qsim_noise::TrialSet::new(layered.n_qubits(), layered.n_layers(), trials.to_vec());
+    let mut sorted = trials.to_vec();
+    crate::order::reorder(&mut sorted);
+    let report = crate::analysis::analyze_sorted_with_budget(layered, &sorted, budget.max(1))?;
+    let plan = qsim_analyzer::ExecutionPlan::compile(layered, &set, budget).with_expectations(
+        qsim_analyzer::PlanExpectations {
+            baseline_ops: report.baseline_ops,
+            optimized_ops: report.optimized_ops,
+            msv_peak: report.msv_peak,
+        },
+    );
+    let diagnostics = qsim_analyzer::verify(&plan);
+    match diagnostics.iter().find(|d| d.severity == qsim_analyzer::Severity::Error) {
+        Some(first) => Err(SimError::Circuit(format!(
+            "paranoid plan verification failed ({} diagnostic(s)); first: {first}",
+            diagnostics.len()
+        ))),
+        None => Ok(()),
+    }
 }
 
 /// Check that `program` fits `layered` and that every injection of every
@@ -199,6 +240,8 @@ impl<'a> BaselineExecutor<'a> {
         if let Engine::Fused(program) = engine {
             validate_program(program, layered, trials)?;
         }
+        #[cfg(feature = "paranoid")]
+        paranoid_verify(layered, trials, usize::MAX)?;
         let last_layer = n_layers as i64 - 1;
         let mut stats = ExecStats { n_trials: trials.len(), ..ExecStats::default() };
         let mut outcomes = Vec::with_capacity(trials.len());
@@ -401,6 +444,8 @@ impl<'a> ReuseExecutor<'a> {
         if let Engine::Fused(program) = engine {
             validate_program(program, layered, trials)?;
         }
+        #[cfg(feature = "paranoid")]
+        paranoid_verify(layered, trials, budget)?;
         let last_layer = n_layers as i64 - 1;
         let mut order: Vec<usize> = (0..trials.len()).collect();
         order.sort_by(|&a, &b| compare_trials(&trials[a], &trials[b]));
@@ -441,6 +486,10 @@ impl<'a> ReuseExecutor<'a> {
                     while stack.last().is_some_and(|f| f.depth > keep) {
                         pool.recycle(stack.pop().expect("checked nonempty").state);
                     }
+                    debug_assert!(
+                        !stack.is_empty(),
+                        "eager drop must never pop the root (error-free) frame"
+                    );
                     break;
                 }
                 let target = injections[d].layer() as i64;
@@ -455,11 +504,20 @@ impl<'a> ReuseExecutor<'a> {
                 if d < keep {
                     // The post-injection state is itself a shared prefix of
                     // the next trial: persist it as a new frontier.
+                    debug_assert_eq!(
+                        stack.last().expect("nonempty stack").depth,
+                        d,
+                        "cached clone must branch from the frontier at the shared depth"
+                    );
                     let mut child = pool.clone_state(&stack.last().expect("nonempty stack").state);
                     injections[d].apply_to(&mut child)?;
                     stats.ops += 1;
                     stats.amplitude_passes += 1;
                     stack.push(Frame { depth: d + 1, done: target, state: child });
+                    debug_assert!(
+                        stack.len() <= budget,
+                        "cache stack exceeded the state-vector budget"
+                    );
                     peak = peak.max(stack.len());
                     d += 1;
                 } else {
@@ -470,9 +528,20 @@ impl<'a> ReuseExecutor<'a> {
                         pool.clone_state(&stack.last().expect("nonempty stack").state)
                     } else {
                         let frame = stack.pop().expect("nonempty stack");
+                        // Consuming (not copying) is only sound because no
+                        // later trial branches from this node or anything
+                        // below it down to the shared depth.
+                        debug_assert!(
+                            frame.depth > keep,
+                            "consumed a frontier the next trial still reuses"
+                        );
                         while stack.last().is_some_and(|f| f.depth > keep) {
                             pool.recycle(stack.pop().expect("checked nonempty").state);
                         }
+                        debug_assert!(
+                            stack.last().is_some_and(|f| f.depth <= keep),
+                            "eager drop emptied the stack past the root frame"
+                        );
                         frame.state
                     };
                     let mut done = target;

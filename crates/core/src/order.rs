@@ -13,51 +13,11 @@
 
 use std::cmp::Ordering;
 
-use qsim_noise::{Injection, Trial};
-
-/// Compare two injection sequences under the reorder key: lexicographic by
-/// `(layer, site, operator)`, with a missing injection sorting last.
-///
-/// ```
-/// use std::cmp::Ordering;
-/// use qsim_noise::{Injection, Pauli, Trial};
-/// use redsim::compare_trials;
-///
-/// let early = Trial::new(vec![Injection::single(0, 0, Pauli::X)], 0, 0);
-/// let late = Trial::new(vec![Injection::single(3, 0, Pauli::X)], 0, 0);
-/// let error_free = Trial::error_free(0);
-/// assert_eq!(compare_trials(&early, &late), Ordering::Less);
-/// // The error-free trial (no injections at all) runs last.
-/// assert_eq!(compare_trials(&late, &error_free), Ordering::Less);
-/// ```
-pub fn compare_trials(a: &Trial, b: &Trial) -> Ordering {
-    compare_injections(a.injections(), b.injections())
-}
-
-/// [`compare_trials`] on raw injection slices.
-pub fn compare_injections(a: &[Injection], b: &[Injection]) -> Ordering {
-    let mut i = 0;
-    loop {
-        match (a.get(i), b.get(i)) {
-            (Some(x), Some(y)) => match x.cmp(y) {
-                Ordering::Equal => i += 1,
-                other => return other,
-            },
-            // Running out of injections sorts last (+∞ key): an extension
-            // precedes its prefix, and the error-free trial runs last.
-            (Some(_), None) => return Ordering::Less,
-            (None, Some(_)) => return Ordering::Greater,
-            (None, None) => return Ordering::Equal,
-        }
-    }
-}
-
-/// Length of the longest common injection prefix of two trials — the number
-/// of shared error operators, which determines how much computation the
-/// second trial reuses from the first.
-pub fn lcp(a: &Trial, b: &Trial) -> usize {
-    a.injections().iter().zip(b.injections()).take_while(|(x, y)| x == y).count()
-}
+use qsim_noise::Trial;
+// The comparison primitives live beside `Trial` in `qsim-noise` so the
+// static plan verifier (`qsim-analyzer`) shares the executors' definition
+// of the reorder key; re-exported here unchanged for compatibility.
+pub use qsim_noise::{compare_injections, compare_trials, lcp};
 
 /// Reorder trials in place to maximise overlapped computation between
 /// consecutive trials (one stable lexicographic sort — the scalable
@@ -123,7 +83,7 @@ fn nth_key_cmp(a: &Trial, b: &Trial, n: usize) -> Ordering {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qsim_noise::{NoiseModel, Pauli, TrialGenerator};
+    use qsim_noise::{Injection, NoiseModel, Pauli, TrialGenerator};
 
     fn single(layer: usize, qubit: usize, p: Pauli) -> Injection {
         Injection::single(layer, qubit, p)

@@ -91,6 +91,10 @@ pub fn run_baseline_parallel(
     if threads <= 1 || trials.is_empty() {
         return BaselineExecutor::new(layered).run(trials);
     }
+    // Verify the whole-set plan up front; workers re-verify their chunks as
+    // sub-plans through the executors they call into.
+    #[cfg(feature = "paranoid")]
+    crate::exec::paranoid_verify(layered, trials, usize::MAX)?;
     let program = fuse_for_trials(layered, trials);
     let chunk_size = trials.len().div_ceil(threads);
     let results: Vec<Result<RunResult, SimError>> = std::thread::scope(|scope| {
@@ -133,6 +137,10 @@ pub fn run_reordered_parallel(
     if threads <= 1 || trials.is_empty() {
         return ReuseExecutor::new(layered).run(trials);
     }
+    // Verify the whole-set plan up front; workers re-verify their chunks as
+    // sub-plans through the executors they call into.
+    #[cfg(feature = "paranoid")]
+    crate::exec::paranoid_verify(layered, trials, usize::MAX)?;
     // Global sort once, then hand contiguous sorted slices to workers. Each
     // worker receives (original_index, trial) pairs so it can report
     // outcomes against the caller's order.

@@ -40,6 +40,7 @@ pub mod calibration;
 mod error;
 mod injection;
 mod model;
+mod order;
 mod trial;
 pub mod trial_io;
 mod trialgen;
@@ -49,6 +50,7 @@ pub use binomial::Binomial;
 pub use error::NoiseError;
 pub use injection::{Injection, Site};
 pub use model::NoiseModel;
+pub use order::{compare_injections, compare_trials, lcp};
 pub use trial::{injection_cut_layers, Trial, TrialSet};
 pub use trialgen::{PositionInfo, TrialGenerator};
 pub use weights::PauliWeights;

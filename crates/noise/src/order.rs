@@ -1,0 +1,103 @@
+//! The trial-reorder key — the comparison primitives behind the paper's
+//! Algorithm 1.
+//!
+//! Trials are ordered lexicographically by their injection sequences under
+//! a missing-injection-sorts-last (+∞) key. These primitives live beside
+//! [`Trial`] itself so that every layer of the stack — the executors and
+//! static analyzer in `redsim`, and the plan verifier in `qsim-analyzer` —
+//! agrees on one definition of the order and of shared-prefix length.
+//! (`redsim` re-exports them unchanged; the full reorder algorithms stay
+//! there.)
+
+use std::cmp::Ordering;
+
+use crate::{Injection, Trial};
+
+/// Compare two trials under the reorder key: lexicographic by
+/// `(layer, site, operator)`, with a missing injection sorting last.
+///
+/// ```
+/// use std::cmp::Ordering;
+/// use qsim_noise::{compare_trials, Injection, Pauli, Trial};
+///
+/// let early = Trial::new(vec![Injection::single(0, 0, Pauli::X)], 0, 0);
+/// let late = Trial::new(vec![Injection::single(3, 0, Pauli::X)], 0, 0);
+/// let error_free = Trial::error_free(0);
+/// assert_eq!(compare_trials(&early, &late), Ordering::Less);
+/// // The error-free trial (no injections at all) runs last.
+/// assert_eq!(compare_trials(&late, &error_free), Ordering::Less);
+/// ```
+pub fn compare_trials(a: &Trial, b: &Trial) -> Ordering {
+    compare_injections(a.injections(), b.injections())
+}
+
+/// [`compare_trials`] on raw injection slices.
+pub fn compare_injections(a: &[Injection], b: &[Injection]) -> Ordering {
+    let mut i = 0;
+    loop {
+        match (a.get(i), b.get(i)) {
+            (Some(x), Some(y)) => match x.cmp(y) {
+                Ordering::Equal => i += 1,
+                other => return other,
+            },
+            // Running out of injections sorts last (+∞ key): an extension
+            // precedes its prefix, and the error-free trial runs last.
+            (Some(_), None) => return Ordering::Less,
+            (None, Some(_)) => return Ordering::Greater,
+            (None, None) => return Ordering::Equal,
+        }
+    }
+}
+
+/// Length of the longest common injection prefix of two trials — the number
+/// of shared error operators, which determines how much computation the
+/// second trial reuses from the first.
+pub fn lcp(a: &Trial, b: &Trial) -> usize {
+    a.injections().iter().zip(b.injections()).take_while(|(x, y)| x == y).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim_statevec::Pauli;
+
+    fn single(layer: usize, qubit: usize) -> Trial {
+        Trial::new(vec![Injection::single(layer, qubit, Pauli::X)], 0, 0)
+    }
+
+    #[test]
+    fn extension_precedes_prefix() {
+        let prefix = single(1, 0);
+        let extension = Trial::new(
+            vec![Injection::single(1, 0, Pauli::X), Injection::single(4, 1, Pauli::Z)],
+            0,
+            0,
+        );
+        assert_eq!(compare_trials(&extension, &prefix), Ordering::Less);
+        assert_eq!(compare_trials(&prefix, &extension), Ordering::Greater);
+        assert_eq!(lcp(&prefix, &extension), 1);
+    }
+
+    #[test]
+    fn equal_trials_compare_equal() {
+        let a = single(2, 3);
+        assert_eq!(compare_trials(&a, &a.clone()), Ordering::Equal);
+        assert_eq!(lcp(&a, &a.clone()), 1);
+    }
+
+    #[test]
+    fn lcp_stops_at_first_difference() {
+        let a = Trial::new(
+            vec![Injection::single(0, 0, Pauli::X), Injection::single(2, 1, Pauli::Y)],
+            0,
+            0,
+        );
+        let b = Trial::new(
+            vec![Injection::single(0, 0, Pauli::X), Injection::single(3, 1, Pauli::Y)],
+            0,
+            0,
+        );
+        assert_eq!(lcp(&a, &b), 1);
+        assert_eq!(lcp(&a, &Trial::error_free(0)), 0);
+    }
+}

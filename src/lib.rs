@@ -12,6 +12,8 @@
 //! * [`noise`] — error models and Monte-Carlo trial generation.
 //! * [`redsim`] — the paper's contribution: trial reordering and
 //!   prefix-state-cached execution.
+//! * [`analyzer`] — static plan verifier: proves trial plans, cache
+//!   schedules, and fused programs sound before execution.
 //!
 //! # Quickstart
 //!
@@ -21,6 +23,7 @@
 //! assert_eq!(qc.n_qubits(), 4);
 //! ```
 
+pub use qsim_analyzer as analyzer;
 pub use qsim_circuit as circuit;
 pub use qsim_noise as noise;
 pub use qsim_qasm as qasm;
@@ -30,6 +33,7 @@ pub use redsim;
 /// One-line import for the common workflow:
 /// `use noisy_qsim::prelude::*;`.
 pub mod prelude {
+    pub use qsim_analyzer::{verify, Diagnostic, ExecutionPlan};
     pub use qsim_circuit::transpile::{transpile, TranspileOptions};
     pub use qsim_circuit::{catalog, Circuit, CouplingMap, Gate, LayeredCircuit};
     pub use qsim_noise::{NoiseModel, PauliWeights, TrialGenerator, TrialSet};

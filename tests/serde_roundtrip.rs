@@ -1,6 +1,7 @@
 //! JSON round-trips for the workspace's data structures (the root crate's
 //! dev-dependencies enable the `serde` features).
 
+use noisy_qsim::analyzer::{DiagCode, Diagnostic, Location, Severity};
 use noisy_qsim::circuit::{catalog, Circuit, CouplingMap, LayeredCircuit};
 use noisy_qsim::noise::{NoiseModel, PauliWeights, TrialGenerator, TrialSet};
 use noisy_qsim::redsim::{CostReport, Simulation};
@@ -77,4 +78,43 @@ fn reports_roundtrip_and_replay_is_exact() {
     sim2.set_trials(reloaded).expect("geometry matches");
     let replayed = sim2.run_reordered().expect("runs");
     assert_eq!(replayed.outcomes, result.outcomes);
+}
+
+#[test]
+fn diagnostics_roundtrip() {
+    let diag = Diagnostic::new(
+        DiagCode::UseAfterDrop,
+        Location::trial(5).at_layer(2),
+        "frame 3 read after drop".to_owned(),
+    );
+    let recovered = roundtrip(&diag);
+    assert_eq!(recovered, diag);
+    assert_eq!(recovered.severity, Severity::Error);
+    // The code serializes as its string form, so external tooling can match
+    // on "MSV001" without knowing the enum.
+    let json = serde_json::to_string(&diag).expect("serializes");
+    assert!(json.contains("\"MSV001\""), "code missing from {json}");
+    let warn = Diagnostic::new(DiagCode::EmptyTrialSet, Location::none(), "no trials".to_owned());
+    assert_eq!(roundtrip(&warn), warn);
+}
+
+#[test]
+fn legacy_reports_without_new_fields_still_load() {
+    // JSON captured before `fused_ops`/`amplitude_passes` (ExecStats) and
+    // `msv_path_peak` (CostReport) existed must still deserialize, with the
+    // missing fields defaulting to zero.
+    let stats: noisy_qsim::redsim::ExecStats =
+        serde_json::from_str(r#"{"ops":120,"peak_msv":3,"n_trials":40}"#).expect("legacy stats");
+    assert_eq!(stats.ops, 120);
+    assert_eq!(stats.fused_ops, 0);
+    assert_eq!(stats.amplitude_passes, 0);
+    assert_eq!(stats.peak_msv, 3);
+    let report: CostReport = serde_json::from_str(
+        r#"{"n_trials":40,"gates_per_trial":12,"baseline_ops":520,"optimized_ops":260,"msv_peak":3}"#,
+    )
+    .expect("legacy report");
+    assert_eq!(report.optimized_ops, 260);
+    assert_eq!(report.msv_path_peak, 0);
+    // A field that was never optional still errors when missing.
+    assert!(serde_json::from_str::<CostReport>(r#"{"n_trials":40}"#).is_err());
 }

@@ -92,6 +92,18 @@ pub fn field<T: DeserializeOwned>(entries: &[(String, Value)], name: &str) -> Re
     T::from_value(field_value(entries, name)?)
 }
 
+/// Look up and deserialize an object entry, falling back to `T::default()`
+/// when the key is absent (used by derived impls for `#[serde(default)]`).
+pub fn field_or_default<T: DeserializeOwned + Default>(
+    entries: &[(String, Value)],
+    name: &str,
+) -> Result<T, DeError> {
+    match entries.iter().find(|(key, _)| key == name) {
+        Some((_, value)) => T::from_value(value),
+        None => Ok(T::default()),
+    }
+}
+
 fn integer(value: &Value) -> Result<i128, DeError> {
     match value {
         Value::U64(u) => Ok(i128::from(*u)),

@@ -4,7 +4,7 @@
 //! `to_value` / `from_value` impls against the reduced data model. Supports
 //! exactly the shapes this workspace derives on: non-generic structs (unit,
 //! tuple, named) and enums (unit, tuple, and struct variants), plus the
-//! `#[serde(with = "module")]` field attribute.
+//! `#[serde(with = "module")]` and `#[serde(default)]` field attributes.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -12,6 +12,7 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 struct Field {
     name: String,
     with: Option<String>,
+    default: bool,
 }
 
 #[derive(Clone)]
@@ -127,28 +128,45 @@ fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
     }
 }
 
-/// Extract `with = "path"` from collected `#[serde(...)]` attribute bodies.
-fn with_path(serde_attrs: &[TokenStream]) -> Option<String> {
+/// Field-level options collected from `#[serde(...)]` attribute bodies.
+#[derive(Default)]
+struct FieldOpts {
+    with: Option<String>,
+    default: bool,
+}
+
+/// Parse `with = "path"` / `default` (comma-separable) from collected
+/// `#[serde(...)]` attribute bodies.
+fn field_opts(serde_attrs: &[TokenStream]) -> FieldOpts {
+    let mut opts = FieldOpts::default();
     for attr in serde_attrs {
         let parts: Vec<TokenTree> = attr.clone().into_iter().collect();
-        match (parts.first(), parts.get(1), parts.get(2), parts.len()) {
-            (
-                Some(TokenTree::Ident(key)),
-                Some(TokenTree::Punct(eq)),
-                Some(TokenTree::Literal(lit)),
-                3,
-            ) if key.to_string() == "with" && eq.as_char() == '=' => {
-                let raw = lit.to_string();
-                let path = raw.trim_matches('"').to_owned();
-                return Some(path);
+        let mut i = 0;
+        while i < parts.len() {
+            match (parts.get(i), parts.get(i + 1), parts.get(i + 2)) {
+                (
+                    Some(TokenTree::Ident(key)),
+                    Some(TokenTree::Punct(eq)),
+                    Some(TokenTree::Literal(lit)),
+                ) if key.to_string() == "with" && eq.as_char() == '=' => {
+                    opts.with = Some(lit.to_string().trim_matches('"').to_owned());
+                    i += 3;
+                }
+                (Some(TokenTree::Ident(key)), _, _) if key.to_string() == "default" => {
+                    opts.default = true;
+                    i += 1;
+                }
+                _ => panic!(
+                    "serde stub derive: unsupported #[serde(...)] attribute `{attr}` \
+                     (only `with = \"module\"` and `default` are implemented)"
+                ),
             }
-            _ => panic!(
-                "serde stub derive: unsupported #[serde(...)] attribute `{attr}` \
-                 (only `with = \"module\"` is implemented)"
-            ),
+            if matches!(parts.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+                i += 1;
+            }
         }
     }
-    None
+    opts
 }
 
 /// Skip one type (or expression) up to a top-level comma, tracking `<...>`
@@ -184,7 +202,8 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
         }
         skip_to_comma(&tokens, &mut i);
         i += 1; // past the comma (or end)
-        fields.push(Field { name, with: with_path(&serde_attrs) });
+        let opts = field_opts(&serde_attrs);
+        fields.push(Field { name, with: opts.with, default: opts.default });
     }
     fields
 }
@@ -347,8 +366,8 @@ fn de_field_expr(source: &str, with: &Option<String>) -> String {
 fn gen_named_ctor(prefix: &str, fields: &[Field], map_var: &str) -> String {
     let inits: Vec<String> = fields
         .iter()
-        .map(|f| match &f.with {
-            Some(_) => format!(
+        .map(|f| match (&f.with, f.default) {
+            (Some(_), _) => format!(
                 "{0}: {1}",
                 f.name,
                 de_field_expr(
@@ -356,7 +375,10 @@ fn gen_named_ctor(prefix: &str, fields: &[Field], map_var: &str) -> String {
                     &f.with
                 )
             ),
-            None => format!("{0}: ::serde::de::field({map_var}, \"{0}\")?", f.name),
+            (None, true) => {
+                format!("{0}: ::serde::de::field_or_default({map_var}, \"{0}\")?", f.name)
+            }
+            (None, false) => format!("{0}: ::serde::de::field({map_var}, \"{0}\")?", f.name),
         })
         .collect();
     format!("{prefix} {{ {} }}", inits.join(", "))
