@@ -1,0 +1,145 @@
+//! Telemetry overhead: the reordered executor with no recorder, the
+//! `NullRecorder` (instrumentation compiled out), the in-memory
+//! aggregating recorder, and a JSONL sink, across three catalog circuits
+//! at 64 trials. Results are written to `BENCH_telemetry.json`.
+//!
+//! The `NullRecorder` path is the one every un-instrumented caller pays
+//! for, so its overhead over the plain run is budget-gated: pass
+//! `--check PCT` (e.g. `--check 2`) to exit non-zero when the null
+//! overhead exceeds `PCT` percent — CI runs this as the "telemetry is
+//! free unless you ask for it" regression gate.
+//!
+//! Usage: `telemetry [--seed N] [--reps N] [--trials N] [--out PATH] [--check PCT] [--quiet]`
+
+use std::time::Instant;
+
+use qsim_telemetry::{AggregatingRecorder, JsonlRecorder, NullRecorder, Recorder};
+use redsim::exec::ReuseExecutor;
+use redsim_bench::suite::{yorktown_model, yorktown_suite};
+use redsim_bench::table::Table;
+use redsim_bench::{arg_value, json};
+
+/// Best-of-`reps` wall clock in milliseconds, with one warmup execution.
+fn time_best<F: FnMut()>(reps: usize, mut run: F) -> f64 {
+    run();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        run();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+struct Row {
+    name: String,
+    trials: usize,
+    plain_ms: f64,
+    null_ms: f64,
+    aggregate_ms: f64,
+    jsonl_ms: f64,
+}
+
+impl Row {
+    fn overhead_pct(&self, instrumented_ms: f64) -> f64 {
+        100.0 * (instrumented_ms - self.plain_ms) / self.plain_ms.max(1e-9)
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seed = arg_value(&args, "--seed", 2020u64);
+    let reps = arg_value(&args, "--reps", 7usize);
+    let n_trials = arg_value(&args, "--trials", 64usize);
+    let out = arg_value(&args, "--out", "BENCH_telemetry.json".to_owned());
+    let check = arg_value(&args, "--check", f64::INFINITY);
+    let quiet = redsim_bench::arg_flag(&args, "--quiet");
+
+    let model = yorktown_model();
+    let mut rows = Vec::new();
+    for bench in yorktown_suite().iter().take(3) {
+        let set = qsim_noise::TrialGenerator::new(&bench.layered, &model)
+            .expect("valid model")
+            .generate(n_trials, seed);
+        let trials = set.trials();
+        let reuse = ReuseExecutor::new(&bench.layered);
+
+        let plain_ms = time_best(reps, || {
+            reuse.run(trials).expect("execution succeeds");
+        });
+        let null_ms = time_best(reps, || {
+            reuse.run_traced(trials, &NullRecorder).expect("execution succeeds");
+        });
+        let aggregate_ms = time_best(reps, || {
+            let recorder = AggregatingRecorder::new();
+            reuse.run_traced(trials, &recorder).expect("execution succeeds");
+        });
+        let jsonl_ms = time_best(reps, || {
+            let recorder = JsonlRecorder::new(Box::new(std::io::sink()));
+            reuse.run_traced(trials, &recorder).expect("execution succeeds");
+            recorder.flush().expect("sink never fails");
+        });
+        rows.push(Row {
+            name: bench.name.clone(),
+            trials: n_trials,
+            plain_ms,
+            null_ms,
+            aggregate_ms,
+            jsonl_ms,
+        });
+    }
+
+    let rendered = json::object(&[
+        ("benchmark", json::string("telemetry")),
+        ("seed", format!("{seed}")),
+        ("reps", format!("{reps}")),
+        (
+            "rows",
+            json::array(rows.iter().map(|row| {
+                json::object(&[
+                    ("name", json::string(&row.name)),
+                    ("trials", format!("{}", row.trials)),
+                    ("plain_ms", json::number(row.plain_ms)),
+                    ("null_ms", json::number(row.null_ms)),
+                    ("null_overhead_pct", json::number(row.overhead_pct(row.null_ms))),
+                    ("aggregate_ms", json::number(row.aggregate_ms)),
+                    ("aggregate_overhead_pct", json::number(row.overhead_pct(row.aggregate_ms))),
+                    ("jsonl_ms", json::number(row.jsonl_ms)),
+                    ("jsonl_overhead_pct", json::number(row.overhead_pct(row.jsonl_ms))),
+                ])
+            })),
+        ),
+    ]);
+    std::fs::write(&out, format!("{rendered}\n")).expect("write BENCH_telemetry.json");
+
+    if !quiet {
+        let mut table =
+            Table::new(["Benchmark", "Plain", "Null", "Null ovh", "Aggregate", "JSONL"]);
+        for row in &rows {
+            table.row([
+                row.name.clone(),
+                format!("{:.3} ms", row.plain_ms),
+                format!("{:.3} ms", row.null_ms),
+                format!("{:+.1}%", row.overhead_pct(row.null_ms)),
+                format!("{:.3} ms", row.aggregate_ms),
+                format!("{:.3} ms", row.jsonl_ms),
+            ]);
+        }
+        println!("Telemetry overhead: reordered execution, {n_trials} trials, best of {reps}");
+        println!("{table}");
+        println!("results written to {out}");
+    }
+
+    if check.is_finite() {
+        // Budget gate on the compiled-out path. Best-of-reps timing still
+        // jitters on tiny circuits, so the gate applies to the mean
+        // overhead across the suite rather than any single row.
+        let mean_pct =
+            rows.iter().map(|r| r.overhead_pct(r.null_ms)).sum::<f64>() / rows.len() as f64;
+        if mean_pct > check {
+            eprintln!("FAIL: mean NullRecorder overhead {mean_pct:.2}% exceeds budget {check}%");
+            std::process::exit(1);
+        }
+        println!("null-recorder overhead {mean_pct:.2}% within the {check}% budget");
+    }
+}

@@ -201,6 +201,50 @@ impl FusedProgram {
         Ok((source, fused))
     }
 
+    /// Like [`FusedProgram::apply_through`], but times every kernel op and
+    /// hands `(op, elapsed_ns)` to `observe`. Profiling path — the unobserved
+    /// variant stays free of per-op clock reads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StateVecError`] from the kernels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `done` or `through` does not lie on a segment boundary,
+    /// exactly as [`FusedProgram::apply_through`].
+    pub fn apply_through_observed(
+        &self,
+        state: &mut StateVector,
+        done: &mut i64,
+        through: i64,
+        observe: &mut dyn FnMut(&FusedOp, u64),
+    ) -> Result<(u64, u64), StateVecError> {
+        let mut source = 0u64;
+        let mut fused = 0u64;
+        while *done < through {
+            let next = (*done + 1) as usize;
+            let seg = &self.segments[self.seg_at[next]];
+            assert_eq!(seg.start, next, "advance does not start on a segment boundary");
+            assert!(
+                (seg.end as i64) <= through,
+                "advance target {through} splits segment {}..={}",
+                seg.start,
+                seg.end
+            );
+            for op in &seg.ops {
+                let t0 = std::time::Instant::now();
+                state.apply_fused(op)?;
+                let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                observe(op, ns);
+            }
+            source += seg.source_gates as u64;
+            fused += seg.ops.len() as u64;
+            *done = seg.end as i64;
+        }
+        Ok((source, fused))
+    }
+
     /// Run all segments on `|0…0⟩` (noiseless fused reference).
     ///
     /// # Errors
@@ -512,6 +556,25 @@ mod tests {
             let _ = program.apply_through(&mut s, &mut d, 1);
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn observed_apply_matches_unobserved_and_sees_every_op() {
+        let layered = catalog::qft(4).layered().unwrap();
+        let program = FusedProgram::new(&layered, &[3]);
+        let mut plain = StateVector::zero_state(4);
+        let mut done_plain = -1i64;
+        let last = layered.n_layers() as i64 - 1;
+        let counts = program.apply_through(&mut plain, &mut done_plain, last).unwrap();
+        let mut observed = StateVector::zero_state(4);
+        let mut done_obs = -1i64;
+        let mut seen = 0u64;
+        let counts_obs = program
+            .apply_through_observed(&mut observed, &mut done_obs, last, &mut |_, _| seen += 1)
+            .unwrap();
+        assert_eq!(counts, counts_obs);
+        assert_eq!(seen, counts.1, "observer must fire once per fused op");
+        assert_eq!(plain.amplitudes(), observed.amplitudes());
     }
 
     #[test]

@@ -16,6 +16,8 @@ pub enum Command {
     Run,
     /// Statically verify the compiled execution plan; no amplitudes.
     Verify,
+    /// Run with full telemetry and print the metrics report.
+    Profile,
 }
 
 /// Target device connectivity.
@@ -77,6 +79,10 @@ pub struct Options {
     pub alap: bool,
     /// Emit machine-readable JSON instead of the human report (`verify`).
     pub json: bool,
+    /// Stream a JSONL telemetry trace to this path (`run`/`profile`).
+    pub trace: Option<String>,
+    /// Write folded stacks for flamegraph tooling to this path (`profile`).
+    pub folded: Option<String>,
 }
 
 /// CLI parsing/validation failure; carries a user-facing message.
@@ -104,6 +110,7 @@ COMMANDS:
     analyze     static cost analysis (ops saved, MSVs) — no amplitudes
     run         noisy Monte-Carlo simulation; prints the outcome histogram
     verify      prove the compiled plan sound (schedule, fusion, trials)
+    profile     run with full telemetry; prints Prometheus/JSON metrics
 
 OPTIONS:
     --device <none|yorktown|linear:N|grid:RxC>   connectivity  [default: yorktown]
@@ -119,6 +126,8 @@ OPTIONS:
     --compressed        store cached frontiers in zero-elided sparse form
     --alap              schedule layers as-late-as-possible (moves idle errors)
     --json              machine-readable diagnostics (verify)
+    --trace <P>         stream a JSONL telemetry trace to a file (run, profile)
+    --folded <P>        write folded stacks for flamegraphs (profile)
 ";
 
 impl Options {
@@ -148,6 +157,8 @@ impl Options {
             compressed: false,
             alap: false,
             json: false,
+            trace: None,
+            folded: None,
         };
         let mut i = 0;
         while i < args.len() {
@@ -159,7 +170,7 @@ impl Options {
                 "--alap" => opts.alap = true,
                 "--json" => opts.json = true,
                 "--device" | "--noise" | "--trials" | "--seed" | "--threads" | "--budget"
-                | "--save-trials" | "--load-trials" => {
+                | "--save-trials" | "--load-trials" | "--trace" | "--folded" => {
                     let value =
                         args.get(i + 1).ok_or_else(|| CliError(format!("{arg} needs a value")))?;
                     match arg.as_str() {
@@ -174,6 +185,8 @@ impl Options {
                         }
                         "--save-trials" => opts.save_trials = Some(value.clone()),
                         "--load-trials" => opts.load_trials = Some(value.clone()),
+                        "--trace" => opts.trace = Some(value.clone()),
+                        "--folded" => opts.folded = Some(value.clone()),
                         _ => unreachable!(),
                     }
                     i += 1;
@@ -194,6 +207,7 @@ impl Options {
             "analyze" => Command::Analyze,
             "run" => Command::Run,
             "verify" => Command::Verify,
+            "profile" => Command::Profile,
             other => return Err(CliError(format!("unknown command {other}\n\n{USAGE}"))),
         };
         opts.input =
@@ -315,6 +329,29 @@ mod tests {
         assert!(opts.json);
         assert_eq!(opts.trials, 64);
         assert!(!parse(&["run", "f.qasm"]).unwrap().json);
+    }
+
+    #[test]
+    fn parses_profile_with_trace_and_folded() {
+        let opts = parse(&[
+            "profile",
+            "f.qasm",
+            "--trace",
+            "/tmp/t.jsonl",
+            "--folded",
+            "/tmp/t.folded",
+            "--trials",
+            "64",
+        ])
+        .unwrap();
+        assert_eq!(opts.command, Command::Profile);
+        assert_eq!(opts.trace.as_deref(), Some("/tmp/t.jsonl"));
+        assert_eq!(opts.folded.as_deref(), Some("/tmp/t.folded"));
+        // Both flags default to off and need a value when given.
+        let plain = parse(&["run", "f.qasm"]).unwrap();
+        assert_eq!(plain.trace, None);
+        assert_eq!(plain.folded, None);
+        assert!(parse(&["run", "f.qasm", "--trace"]).is_err());
     }
 
     #[test]

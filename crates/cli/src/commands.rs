@@ -6,7 +6,10 @@ use std::io::{Read, Write};
 use qsim_circuit::transpile::{transpile, TranspileOptions};
 use qsim_circuit::{to_qasm, Circuit, CouplingMap};
 use qsim_noise::NoiseModel;
-use redsim::Simulation;
+use qsim_telemetry::{
+    AggregatingRecorder, JsonlRecorder, MetricsReport, NullRecorder, Recorder, TeeRecorder,
+};
+use redsim::{ExecStats, RunResult, Simulation};
 
 use crate::args::{CliError, Command, DeviceSpec, NoiseSpec, Options};
 
@@ -34,6 +37,7 @@ pub fn execute(opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
         Command::Analyze => analyze(&prepared, opts, out),
         Command::Run => run(&prepared, opts, out),
         Command::Verify => verify(&prepared, opts, out),
+        Command::Profile => profile(&prepared, opts, out),
     }
 }
 
@@ -214,17 +218,22 @@ fn verify(prepared: &Circuit, opts: &Options, out: &mut dyn Write) -> Result<(),
     Ok(())
 }
 
-fn run(prepared: &Circuit, opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
-    let sim = simulation(prepared, opts)?;
-    let started = std::time::Instant::now();
-    let result = if opts.baseline {
+/// Execute the strategy selected by the flags under `recorder`. Shared by
+/// `run` (NullRecorder or a `--trace` sink) and `profile` (aggregating,
+/// possibly teed into a trace).
+fn run_strategy<R: Recorder + ?Sized>(
+    sim: &Simulation,
+    opts: &Options,
+    recorder: &R,
+) -> Result<RunResult, CliError> {
+    if opts.baseline {
         if opts.threads == 1 {
-            sim.run_baseline()
+            sim.run_baseline_traced(recorder)
         } else {
-            sim.run_baseline_parallel(opts.threads)
+            sim.run_baseline_parallel_traced(opts.threads, recorder)
         }
     } else if opts.compressed {
-        sim.run_reordered_compressed().map(|(result, comp)| {
+        sim.run_reordered_compressed_traced(recorder).map(|(result, comp)| {
             eprintln!(
                 "compressed frontiers: peak {} B vs {} B dense ({}/{} sparse)",
                 comp.peak_stored_bytes,
@@ -235,23 +244,124 @@ fn run(prepared: &Circuit, opts: &Options, out: &mut dyn Write) -> Result<(), Cl
             result
         })
     } else if opts.budget != usize::MAX {
-        sim.run_reordered_with_budget(opts.budget)
+        sim.run_reordered_with_budget_traced(opts.budget, recorder)
     } else if opts.threads == 1 {
-        sim.run_reordered()
+        sim.run_reordered_traced(recorder)
     } else {
-        sim.run_reordered_parallel(opts.threads)
+        sim.run_reordered_parallel_traced(opts.threads, recorder)
     }
-    .map_err(|e| CliError(format!("execution: {e}")))?;
+    .map_err(|e| CliError(format!("execution: {e}")))
+}
+
+fn run(prepared: &Circuit, opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
+    let sim = simulation(prepared, opts)?;
+    let started = std::time::Instant::now();
+    let result = match &opts.trace {
+        Some(path) => {
+            let trace =
+                JsonlRecorder::create(path).map_err(|e| CliError(format!("{path}: {e}")))?;
+            let result = run_strategy(&sim, opts, &trace)?;
+            trace.flush().map_err(|e| CliError(format!("{path}: {e}")))?;
+            result
+        }
+        None => run_strategy(&sim, opts, &NullRecorder)?,
+    };
     let elapsed = started.elapsed();
     let histogram = sim.histogram(&result);
-    writeln!(
-        out,
-        "{} trials in {elapsed:?}: {} basic ops, {} stored states at peak",
-        result.stats.n_trials, result.stats.ops, result.stats.peak_msv
-    )
-    .map_err(io_err)?;
+    writeln!(out, "{} ({elapsed:?})", result.stats).map_err(io_err)?;
     writeln!(out, "{histogram}").map_err(io_err)?;
     Ok(())
+}
+
+fn profile(prepared: &Circuit, opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
+    let sim = simulation(prepared, opts)?;
+    let aggregate = AggregatingRecorder::new();
+    let result = match &opts.trace {
+        Some(path) => {
+            let trace =
+                JsonlRecorder::create(path).map_err(|e| CliError(format!("{path}: {e}")))?;
+            let tee = TeeRecorder::new(&aggregate, &trace);
+            let result = run_strategy(&sim, opts, &tee)?;
+            trace.flush().map_err(|e| CliError(format!("{path}: {e}")))?;
+            result
+        }
+        None => run_strategy(&sim, opts, &aggregate)?,
+    };
+    let report = aggregate.report();
+    cross_check(&sim, opts, &result.stats, &report)?;
+    if let Some(path) = &opts.folded {
+        std::fs::write(path, report.render_folded())
+            .map_err(|e| CliError(format!("{path}: {e}")))?;
+    }
+    writeln!(out, "{}", result.stats).map_err(io_err)?;
+    writeln!(out).map_err(io_err)?;
+    if opts.json {
+        writeln!(out, "{}", report.render_json()).map_err(io_err)?;
+    } else {
+        write!(out, "{}", report.render_prometheus()).map_err(io_err)?;
+    }
+    Ok(())
+}
+
+/// Fail loudly if the observation plane drifted from the accounting plane:
+/// the telemetry totals must reproduce [`ExecStats`] exactly, and — for
+/// the strategies the static analyzer models — the [`redsim::CostReport`]
+/// prediction too.
+fn cross_check(
+    sim: &Simulation,
+    opts: &Options,
+    stats: &ExecStats,
+    report: &MetricsReport,
+) -> Result<(), CliError> {
+    let mut mismatches = Vec::new();
+    {
+        let mut expect = |name: &str, telemetry: u64, expected: u64| {
+            if telemetry != expected {
+                mismatches.push(format!("{name}: telemetry says {telemetry}, expected {expected}"));
+            }
+        };
+        expect("trials", report.counter("trials"), stats.n_trials as u64);
+        expect("ops", report.counter("ops"), stats.ops);
+        expect("fused_ops", report.counter("fused_ops"), stats.fused_ops);
+        expect("amplitude_passes", report.counter("amplitude_passes"), stats.amplitude_passes);
+        expect("kernel applications", report.total_kernel_count(), stats.amplitude_passes);
+        if opts.threads == 1 {
+            // Sequential runs: live residency reproduces the MSV metric.
+            expect("peak MSVs", report.peak_residency() as u64, stats.peak_msv as u64);
+        } else if report.peak_residency() > stats.peak_msv {
+            // Workers account their peaks additively, so the true global
+            // concurrent residency can only be at or below the sum.
+            mismatches.push(format!(
+                "peak MSVs: observed residency {} exceeds the summed worker peaks {}",
+                report.peak_residency(),
+                stats.peak_msv
+            ));
+        }
+    }
+    // The static analyzer predicts sequential costs exactly; parallel
+    // chunking changes the sharing structure, so it is exempt.
+    if opts.threads == 1 {
+        let cost =
+            sim.analyze_with_budget(opts.budget).map_err(|e| CliError(format!("analysis: {e}")))?;
+        let predicted = if opts.baseline { cost.baseline_ops } else { cost.optimized_ops };
+        if stats.ops != predicted {
+            mismatches.push(format!(
+                "analyzer ops: executor did {}, analyzer says {predicted}",
+                stats.ops
+            ));
+        }
+        if !opts.baseline && stats.peak_msv != cost.msv_peak {
+            mismatches.push(format!(
+                "analyzer MSV peak: executor held {}, analyzer says {}",
+                stats.peak_msv, cost.msv_peak
+            ));
+        }
+    }
+    if mismatches.is_empty() {
+        Ok(())
+    } else {
+        Err(CliError(format!("telemetry cross-check failed:\n  {}", mismatches.join("\n  "))))
+    }
 }
 
 #[cfg(test)]
@@ -510,6 +620,89 @@ mod tests {
         sweep("yorktown", &["--no-transpile"]);
         // Logical suite: all-to-all, uniform noise (some exceed 5 qubits).
         sweep("logical", &["--device", "none", "--noise", "uniform:1e-3,1e-2,1e-2"]);
+    }
+
+    fn temp_path(tag: &str, ext: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!(
+            "qsim-{tag}-{}-{}.{ext}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .expect("clock after epoch")
+                .as_nanos()
+        ))
+    }
+
+    #[test]
+    fn profile_prints_stats_and_prometheus_metrics() {
+        let file = bell_file();
+        let text =
+            run_cli(&["profile", &file.path_str(), "--trials", "256", "--seed", "5"]).unwrap();
+        // Stats via the shared Display impl, then the metrics page.
+        assert!(text.contains("256 trials:"), "{text}");
+        assert!(text.contains("amplitude passes"), "{text}");
+        assert!(text.contains("qsim_counter{name=\"ops\"}"), "{text}");
+        assert!(text.contains("qsim_msv_peak_residency"), "{text}");
+    }
+
+    #[test]
+    fn profile_json_emits_machine_readable_metrics() {
+        let file = bell_file();
+        let text = run_cli(&["profile", &file.path_str(), "--trials", "128", "--json"]).unwrap();
+        assert!(text.contains("\"counters\""), "{text}");
+        assert!(text.contains("\"ops\""), "{text}");
+    }
+
+    #[test]
+    fn profile_cross_checks_every_strategy() {
+        // The cross-check inside `profile` errors on any drift between
+        // telemetry, ExecStats, and the static analyzer — so a clean exit
+        // over every strategy is the exactness guarantee, end to end.
+        let file = bell_file();
+        for extra in [
+            vec![],
+            vec!["--baseline"],
+            vec!["--budget", "1"],
+            vec!["--compressed"],
+            vec!["--threads", "2"],
+            vec!["--baseline", "--threads", "2"],
+        ] {
+            let path = file.path_str();
+            let mut parts = vec!["profile", path.as_str(), "--trials", "256"];
+            parts.extend(extra.iter().copied());
+            let text = run_cli(&parts).unwrap_or_else(|e| panic!("{extra:?}: {e}"));
+            assert!(text.contains("256 trials:"), "{extra:?}: {text}");
+        }
+    }
+
+    #[test]
+    fn trace_flag_writes_a_schema_valid_jsonl_trace() {
+        let file = bell_file();
+        let trace = temp_path("trace", "jsonl");
+        let trace_str = trace.to_string_lossy().into_owned();
+        let text =
+            run_cli(&["run", &file.path_str(), "--trials", "64", "--trace", &trace_str]).unwrap();
+        assert!(text.contains("64 trials:"), "{text}");
+        let contents = std::fs::read_to_string(&trace).expect("trace file written");
+        qsim_telemetry::schema::validate_jsonl(&contents)
+            .unwrap_or_else(|e| panic!("trace fails its own schema: {e}"));
+        assert!(contents.lines().count() > 64, "suspiciously short trace:\n{contents}");
+        let _ = std::fs::remove_file(&trace);
+    }
+
+    #[test]
+    fn profile_folded_output_feeds_flamegraphs() {
+        let file = bell_file();
+        let folded = temp_path("folded", "txt");
+        let folded_str = folded.to_string_lossy().into_owned();
+        run_cli(&["profile", &file.path_str(), "--trials", "64", "--folded", &folded_str]).unwrap();
+        let contents = std::fs::read_to_string(&folded).expect("folded file written");
+        // Semicolon-separated frames, space, numeric sample count.
+        let line = contents.lines().next().expect("non-empty folded output");
+        let (stack, count) = line.rsplit_once(' ').expect("folded line shape");
+        assert!(!stack.is_empty());
+        assert!(count.parse::<u64>().is_ok(), "{line}");
+        let _ = std::fs::remove_file(&folded);
     }
 
     #[test]

@@ -16,9 +16,10 @@
 //! [`qsim_circuit::FusedProgram`], so outcomes stay bitwise comparable
 //! across every execution strategy.
 
-use qsim_circuit::LayeredCircuit;
+use qsim_circuit::{FusedProgram, LayeredCircuit};
 use qsim_noise::Trial;
 use qsim_statevec::{MeasureOutcome, StateVector, StoredState};
+use qsim_telemetry::{KernelClass, MsvEvent, NullRecorder, Recorder};
 
 use crate::exec::{ExecStats, RunResult};
 use crate::order::{compare_trials, lcp};
@@ -72,6 +73,25 @@ struct Frame {
     stored: StoredState,
 }
 
+/// Advance through fused segments, observing per-kernel timings when the
+/// recorder is live (mirrors the dense executors' instrumentation).
+fn advance_traced<R: Recorder + ?Sized>(
+    program: &FusedProgram,
+    state: &mut StateVector,
+    done: &mut i64,
+    through: i64,
+    recorder: &R,
+    phase: &'static str,
+) -> Result<(u64, u64), SimError> {
+    if !recorder.enabled() {
+        return Ok(program.apply_through(state, done, through)?);
+    }
+    Ok(program.apply_through_observed(state, done, through, &mut |op, ns| {
+        let class = KernelClass::from_name(op.kernel_name()).unwrap_or(KernelClass::Unfused);
+        recorder.kernel(phase, class, 1, ns);
+    })?)
+}
+
 /// Run the reordered, prefix-cached execution with compressed at-rest
 /// frontiers. Returns the usual [`RunResult`] (outcomes in input order,
 /// ops/MSV identical to the dense executor) plus [`CompressionStats`].
@@ -83,6 +103,24 @@ pub fn run_reordered_compressed(
     layered: &LayeredCircuit,
     trials: &[Trial],
 ) -> Result<(RunResult, CompressionStats), SimError> {
+    run_reordered_compressed_traced(layered, trials, &NullRecorder)
+}
+
+/// [`run_reordered_compressed`] with instrumentation streamed into
+/// `recorder`: per-kernel timings (phases `"compressed/shared"`,
+/// `"compressed/remainder"`), MSV lifecycle and prefix-cache events
+/// matching the dense reuse executor, `compress.*` counters mirroring
+/// [`CompressionStats`], and a `"run/compressed"` span. With a
+/// [`NullRecorder`] this is exactly [`run_reordered_compressed`].
+///
+/// # Errors
+///
+/// As [`run_reordered_compressed`].
+pub fn run_reordered_compressed_traced<R: Recorder + ?Sized>(
+    layered: &LayeredCircuit,
+    trials: &[Trial],
+    recorder: &R,
+) -> Result<(RunResult, CompressionStats), SimError> {
     let n_layers = layered.n_layers();
     for trial in trials {
         if let Some(inj) = trial.injections().last() {
@@ -93,6 +131,7 @@ pub fn run_reordered_compressed(
     }
     #[cfg(feature = "paranoid")]
     crate::exec::paranoid_verify(layered, trials, usize::MAX)?;
+    let span_start = recorder.now_ns();
     let last_layer = n_layers as i64 - 1;
     let program = crate::exec::fuse_for_trials(layered, trials);
     let dense_bytes = StoredState::dense_bytes(layered.n_qubits());
@@ -127,6 +166,9 @@ pub fn run_reordered_compressed(
         comp.peak_dense_bytes = comp.peak_dense_bytes.max(msv_peak * dense_bytes);
     };
     track_bytes(&mut comp, &stack, peak_msv);
+    if recorder.enabled() && !trials.is_empty() {
+        recorder.msv(MsvEvent::Create, 0, 1);
+    }
 
     for (pos, &orig) in order.iter().enumerate() {
         let cur = &trials[orig];
@@ -136,19 +178,35 @@ pub fn run_reordered_compressed(
             None => 0,
         };
         let mut d = stack.last().expect("stack holds the root").depth;
+        if recorder.enabled() {
+            recorder.cache(d, pos > 0);
+            if pos > 0 {
+                recorder.msv(MsvEvent::Reuse, d, stack.len());
+            }
+        }
         loop {
             if d == injections.len() {
                 // Terminal: finish the circuit on the node frontier.
                 let top = stack.last_mut().expect("nonempty stack");
                 let mut state = top.stored.to_state();
-                let (src, f) = program.apply_through(&mut state, &mut top.done, last_layer)?;
+                let (src, f) = advance_traced(
+                    &program,
+                    &mut state,
+                    &mut top.done,
+                    last_layer,
+                    recorder,
+                    "compressed/shared",
+                )?;
                 ops += src;
                 fused_ops += f;
                 passes += f;
                 outcomes[orig] = Some(crate::exec::measure(layered, &state, cur));
                 top.stored = store(&mut comp, state);
                 while stack.last().is_some_and(|f| f.depth > keep) {
-                    stack.pop();
+                    let frame = stack.pop().expect("checked nonempty");
+                    if recorder.enabled() {
+                        recorder.msv(MsvEvent::Drop, frame.depth, stack.len());
+                    }
                 }
                 track_bytes(&mut comp, &stack, peak_msv);
                 break;
@@ -158,7 +216,14 @@ pub fn run_reordered_compressed(
                 let top = stack.last_mut().expect("nonempty stack");
                 if top.done < target {
                     let mut state = top.stored.to_state();
-                    let (src, f) = program.apply_through(&mut state, &mut top.done, target)?;
+                    let (src, f) = advance_traced(
+                        &program,
+                        &mut state,
+                        &mut top.done,
+                        target,
+                        recorder,
+                        "compressed/shared",
+                    )?;
                     ops += src;
                     fused_ops += f;
                     passes += f;
@@ -167,11 +232,19 @@ pub fn run_reordered_compressed(
             }
             if d < keep {
                 let mut child = stack.last().expect("nonempty stack").stored.to_state();
-                injections[d].apply_to(&mut child)?;
+                crate::exec::inject_traced(
+                    &injections[d],
+                    &mut child,
+                    recorder,
+                    "compressed/branch",
+                )?;
                 ops += 1;
                 passes += 1;
                 stack.push(Frame { depth: d + 1, done: target, stored: store(&mut comp, child) });
                 peak_msv = peak_msv.max(stack.len());
+                if recorder.enabled() {
+                    recorder.msv(MsvEvent::Fork, d + 1, stack.len());
+                }
                 track_bytes(&mut comp, &stack, peak_msv);
                 d += 1;
             } else {
@@ -179,26 +252,55 @@ pub fn run_reordered_compressed(
                     stack.last().expect("nonempty stack").stored.to_state()
                 } else {
                     let frame = stack.pop().expect("nonempty stack");
+                    if recorder.enabled() {
+                        recorder.msv(MsvEvent::Drop, frame.depth, stack.len());
+                    }
                     while stack.last().is_some_and(|f| f.depth > keep) {
-                        stack.pop();
+                        let dropped = stack.pop().expect("checked nonempty");
+                        if recorder.enabled() {
+                            recorder.msv(MsvEvent::Drop, dropped.depth, stack.len());
+                        }
                     }
                     frame.stored.into_state()
                 };
                 let mut done = target;
-                injections[d].apply_to(&mut working)?;
+                crate::exec::inject_traced(
+                    &injections[d],
+                    &mut working,
+                    recorder,
+                    "compressed/remainder",
+                )?;
                 ops += 1;
                 passes += 1;
                 for inj in &injections[d + 1..] {
-                    let (src, f) =
-                        program.apply_through(&mut working, &mut done, inj.layer() as i64)?;
+                    let (src, f) = advance_traced(
+                        &program,
+                        &mut working,
+                        &mut done,
+                        inj.layer() as i64,
+                        recorder,
+                        "compressed/remainder",
+                    )?;
                     ops += src;
                     fused_ops += f;
                     passes += f;
-                    inj.apply_to(&mut working)?;
+                    crate::exec::inject_traced(
+                        inj,
+                        &mut working,
+                        recorder,
+                        "compressed/remainder",
+                    )?;
                     ops += 1;
                     passes += 1;
                 }
-                let (src, f) = program.apply_through(&mut working, &mut done, last_layer)?;
+                let (src, f) = advance_traced(
+                    &program,
+                    &mut working,
+                    &mut done,
+                    last_layer,
+                    recorder,
+                    "compressed/remainder",
+                )?;
                 ops += src;
                 fused_ops += f;
                 passes += f;
@@ -209,19 +311,28 @@ pub fn run_reordered_compressed(
         }
     }
 
+    let stats = ExecStats {
+        ops,
+        fused_ops,
+        amplitude_passes: passes,
+        peak_msv: if trials.is_empty() { 0 } else { peak_msv },
+        n_trials: trials.len(),
+    };
+    if recorder.enabled() {
+        crate::exec::record_stats_counters(recorder, &stats);
+        recorder.counter("compress.frames_stored", comp.frames_stored);
+        recorder.counter("compress.sparse_frames", comp.sparse_frames);
+        recorder.counter("compress.stored_bytes", comp.total_stored_bytes);
+        recorder.counter("compress.dense_bytes", comp.total_dense_bytes);
+        recorder.span("run/compressed", span_start, recorder.now_ns());
+    }
     Ok((
         RunResult {
             outcomes: outcomes
                 .into_iter()
                 .map(|o| o.expect("every trial produced an outcome"))
                 .collect(),
-            stats: ExecStats {
-                ops,
-                fused_ops,
-                amplitude_passes: passes,
-                peak_msv: if trials.is_empty() { 0 } else { peak_msv },
-                n_trials: trials.len(),
-            },
+            stats,
         },
         comp,
     ))
@@ -285,6 +396,30 @@ mod tests {
         // QV states are dense almost immediately: ratio ≈ 1 but never worse.
         assert!(comp.peak_ratio() <= 1.0);
         assert_eq!(result.outcomes.len(), 200);
+    }
+
+    #[test]
+    fn compressed_telemetry_mirrors_stats_exactly() {
+        use qsim_telemetry::AggregatingRecorder;
+        let layered = catalog::qft(4).layered().unwrap();
+        let model = NoiseModel::uniform(4, 2e-2, 8e-2, 1e-2);
+        let set = TrialGenerator::new(&layered, &model).unwrap().generate(300, 17);
+        let recorder = AggregatingRecorder::new();
+        let (result, comp) =
+            run_reordered_compressed_traced(&layered, set.trials(), &recorder).unwrap();
+        let report = recorder.report();
+        assert_eq!(report.counter("ops"), result.stats.ops);
+        assert_eq!(report.counter("fused_ops"), result.stats.fused_ops);
+        assert_eq!(report.counter("amplitude_passes"), result.stats.amplitude_passes);
+        assert_eq!(report.peak_residency(), result.stats.peak_msv);
+        assert_eq!(report.total_kernel_count(), result.stats.amplitude_passes);
+        assert_eq!(report.counter("compress.frames_stored"), comp.frames_stored);
+        assert_eq!(report.counter("compress.sparse_frames"), comp.sparse_frames);
+        assert!(report.spans.contains_key("run/compressed"));
+        // The traced run is bitwise identical to the untraced one.
+        let (plain, plain_comp) = run_reordered_compressed(&layered, set.trials()).unwrap();
+        assert_eq!(plain, result);
+        assert_eq!(plain_comp, comp);
     }
 
     #[test]

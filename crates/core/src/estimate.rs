@@ -184,4 +184,66 @@ mod tests {
         let estimate = estimate_first_order(&layered, &generator, 0);
         assert_eq!(estimate.normalized_computation(), 1.0);
     }
+
+    #[test]
+    fn zero_trial_estimate_is_finite_and_costless() {
+        // n = 0: no baseline work, and the optimized side must not report
+        // negative or NaN cost for a real circuit either.
+        let layered = catalog::qft(4).layered().unwrap();
+        let model = NoiseModel::uniform(4, 1e-3, 1e-2, 0.0);
+        let generator = TrialGenerator::new(&layered, &model).unwrap();
+        let estimate = estimate_first_order(&layered, &generator, 0);
+        assert_eq!(estimate.n_trials, 0);
+        assert_eq!(estimate.expected_baseline_ops, 0.0);
+        assert!(estimate.expected_optimized_ops.is_finite());
+        // With zero trials no key ever fires: only the error-free frontier.
+        assert!(
+            (estimate.expected_optimized_ops - layered.total_gates() as f64).abs() < 1e-9,
+            "zero trials should cost exactly one shared pass, got {}",
+            estimate.expected_optimized_ops
+        );
+    }
+
+    #[test]
+    fn single_trial_cannot_beat_baseline() {
+        // One trial has nothing to share with, so the predicted optimized
+        // cost must be within rounding of the baseline (never below zero
+        // savings by more than the first-order model's slack).
+        let model = NoiseModel::uniform(4, 1e-3, 1e-2, 0.0);
+        for circuit in [catalog::bv(4, 0b111), catalog::qft(4)] {
+            let layered = circuit.layered().unwrap();
+            let generator = TrialGenerator::new(&layered, &model).unwrap();
+            let estimate = estimate_first_order(&layered, &generator, 1);
+            assert_eq!(estimate.n_trials, 1);
+            assert!(estimate.expected_optimized_ops.is_finite());
+            assert!(estimate.expected_baseline_ops > 0.0);
+            let norm = estimate.normalized_computation();
+            // A single trial executes the whole circuit: normalized ≈ 1.
+            // The model is an over-estimate, so allow a small overshoot.
+            assert!(
+                norm > 0.9 && norm < 1.05,
+                "{}: single-trial normalized computation {norm} not ≈ 1",
+                circuit.name()
+            );
+        }
+    }
+
+    #[test]
+    fn huge_trial_counts_stay_finite_and_saturate() {
+        // The closed form uses (1 − π)^N; astronomically large N must not
+        // overflow to inf/NaN, and the prediction must saturate at the
+        // every-key-used limit instead of growing without bound.
+        let layered = catalog::qft(4).layered().unwrap();
+        let model = NoiseModel::uniform(4, 1e-3, 1e-2, 0.0);
+        let generator = TrialGenerator::new(&layered, &model).unwrap();
+        let huge = estimate_first_order(&layered, &generator, usize::MAX);
+        assert!(huge.expected_baseline_ops.is_finite());
+        assert!(huge.expected_optimized_ops.is_finite());
+        assert!(huge.expected_optimized_ops > 0.0);
+        let norm = huge.normalized_computation();
+        assert!((0.0..=1.0).contains(&norm), "normalized computation {norm} out of range");
+        // Savings only improve between a large and an astronomical N.
+        let large = estimate_first_order(&layered, &generator, 1 << 20);
+        assert!(norm <= large.normalized_computation() + 1e-12);
+    }
 }

@@ -27,9 +27,12 @@
 //!   unfused op is one sweep, so `ops − amplitude_passes` is the work
 //!   fusion eliminated.
 
+use std::fmt;
+
 use qsim_circuit::{FusedProgram, LayeredCircuit};
-use qsim_noise::{injection_cut_layers, Trial};
+use qsim_noise::{injection_cut_layers, Injection, Trial};
 use qsim_statevec::{MeasureOutcome, StatePool, StateVector};
+use qsim_telemetry::{KernelClass, MsvEvent, NullRecorder, Recorder};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -59,6 +62,16 @@ pub struct ExecStats {
     pub peak_msv: usize,
     /// Trials executed.
     pub n_trials: usize,
+}
+
+impl fmt::Display for ExecStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} trials: {} basic ops, {} fused kernels, {} amplitude passes, {} stored states at peak",
+            self.n_trials, self.ops, self.fused_ops, self.amplitude_passes, self.peak_msv
+        )
+    }
 }
 
 /// The outcome of executing a trial set.
@@ -103,6 +116,71 @@ impl Engine<'_> {
             }
         }
     }
+
+    /// [`Engine::advance`] with per-kernel telemetry: each fused op is
+    /// individually timed and attributed to `phase`; the layer-by-layer
+    /// engine reports one batched `unfused` observation. Disabled recorders
+    /// short-circuit to the unobserved path (no clock reads).
+    fn advance_traced<R: Recorder + ?Sized>(
+        &self,
+        layered: &LayeredCircuit,
+        state: &mut StateVector,
+        done: &mut i64,
+        through: i64,
+        recorder: &R,
+        phase: &'static str,
+    ) -> Result<(u64, u64), SimError> {
+        if !recorder.enabled() {
+            return self.advance(layered, state, done, through);
+        }
+        match self {
+            Engine::Fused(program) => {
+                Ok(program.apply_through_observed(state, done, through, &mut |op, ns| {
+                    let class =
+                        KernelClass::from_name(op.kernel_name()).unwrap_or(KernelClass::Unfused);
+                    recorder.kernel(phase, class, 1, ns);
+                })?)
+            }
+            Engine::Layers => {
+                let start = recorder.now_ns();
+                let counts = self.advance(layered, state, done, through)?;
+                let ns = recorder.now_ns().saturating_sub(start);
+                if counts.1 > 0 {
+                    recorder.kernel(phase, KernelClass::Unfused, counts.1, ns);
+                }
+                Ok(counts)
+            }
+        }
+    }
+}
+
+/// Apply one injected error operator, timed under the `error` kernel class
+/// when the recorder is live.
+pub(crate) fn inject_traced<R: Recorder + ?Sized>(
+    injection: &Injection,
+    state: &mut StateVector,
+    recorder: &R,
+    phase: &'static str,
+) -> Result<(), SimError> {
+    if !recorder.enabled() {
+        injection.apply_to(state)?;
+        return Ok(());
+    }
+    let start = recorder.now_ns();
+    injection.apply_to(state)?;
+    let ns = recorder.now_ns().saturating_sub(start);
+    recorder.kernel(phase, KernelClass::Error, 1, ns);
+    Ok(())
+}
+
+/// Emit the end-of-run counters every executor shares. These mirror
+/// [`ExecStats`] field-for-field, which is what lets the profiler
+/// cross-check telemetry against the executors' own accounting exactly.
+pub(crate) fn record_stats_counters<R: Recorder + ?Sized>(recorder: &R, stats: &ExecStats) {
+    recorder.counter("trials", stats.n_trials as u64);
+    recorder.counter("ops", stats.ops);
+    recorder.counter("fused_ops", stats.fused_ops);
+    recorder.counter("amplitude_passes", stats.amplitude_passes);
 }
 
 /// Compile the fused program an executor shares across a whole trial set:
@@ -203,6 +281,39 @@ impl<'a> BaselineExecutor<'a> {
         self.run_with_program(&program, trials)
     }
 
+    /// [`BaselineExecutor::run`] with instrumentation streamed into
+    /// `recorder`: per-kernel timings (phase `"baseline"`), a
+    /// `"run/baseline"` span, and end-of-run counters mirroring the
+    /// returned [`ExecStats`]. With a [`NullRecorder`] this is exactly
+    /// [`BaselineExecutor::run`].
+    ///
+    /// # Errors
+    ///
+    /// As [`BaselineExecutor::run`].
+    pub fn run_traced<R: Recorder + ?Sized>(
+        &self,
+        trials: &[Trial],
+        recorder: &R,
+    ) -> Result<RunResult, SimError> {
+        let program = fuse_for_trials(self.layered, trials);
+        self.run_with_program_traced(&program, trials, recorder)
+    }
+
+    /// [`BaselineExecutor::run_with_program`] with instrumentation (see
+    /// [`BaselineExecutor::run_traced`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`BaselineExecutor::run_with_program`].
+    pub fn run_with_program_traced<R: Recorder + ?Sized>(
+        &self,
+        program: &FusedProgram,
+        trials: &[Trial],
+        recorder: &R,
+    ) -> Result<RunResult, SimError> {
+        self.run_engine(Engine::Fused(program), trials, recorder)
+    }
+
     /// Execute through an externally compiled program (so several runs —
     /// or several worker threads — share one fusion, which keeps their
     /// outcomes bitwise comparable).
@@ -216,7 +327,7 @@ impl<'a> BaselineExecutor<'a> {
         program: &FusedProgram,
         trials: &[Trial],
     ) -> Result<RunResult, SimError> {
-        self.run_engine(Engine::Fused(program), trials)
+        self.run_engine(Engine::Fused(program), trials, &NullRecorder)
     }
 
     /// Execute layer-by-layer without fusion — the pre-fusion reference
@@ -228,10 +339,15 @@ impl<'a> BaselineExecutor<'a> {
     /// Returns [`SimError`] for trials whose injections do not fit the
     /// circuit.
     pub fn run_unfused(&self, trials: &[Trial]) -> Result<RunResult, SimError> {
-        self.run_engine(Engine::Layers, trials)
+        self.run_engine(Engine::Layers, trials, &NullRecorder)
     }
 
-    fn run_engine(&self, engine: Engine<'_>, trials: &[Trial]) -> Result<RunResult, SimError> {
+    fn run_engine<R: Recorder + ?Sized>(
+        &self,
+        engine: Engine<'_>,
+        trials: &[Trial],
+        recorder: &R,
+    ) -> Result<RunResult, SimError> {
         let layered = self.layered;
         let n_layers = layered.n_layers();
         for trial in trials {
@@ -242,6 +358,7 @@ impl<'a> BaselineExecutor<'a> {
         }
         #[cfg(feature = "paranoid")]
         paranoid_verify(layered, trials, usize::MAX)?;
+        let span_start = recorder.now_ns();
         let last_layer = n_layers as i64 - 1;
         let mut stats = ExecStats { n_trials: trials.len(), ..ExecStats::default() };
         let mut outcomes = Vec::with_capacity(trials.len());
@@ -256,18 +373,23 @@ impl<'a> BaselineExecutor<'a> {
                 } else {
                     last_layer
                 };
-                let (src, passes) = engine.advance(layered, &mut state, &mut done, target)?;
+                let (src, passes) = engine
+                    .advance_traced(layered, &mut state, &mut done, target, recorder, "baseline")?;
                 stats.ops += src;
                 stats.fused_ops += passes;
                 stats.amplitude_passes += passes;
                 while next < injections.len() && injections[next].layer() as i64 == done {
-                    injections[next].apply_to(&mut state)?;
+                    inject_traced(&injections[next], &mut state, recorder, "baseline")?;
                     stats.ops += 1;
                     stats.amplitude_passes += 1;
                     next += 1;
                 }
             }
             outcomes.push(measure(layered, &state, trial));
+        }
+        if recorder.enabled() {
+            record_stats_counters(recorder, &stats);
+            recorder.span("run/baseline", span_start, recorder.now_ns());
         }
         Ok(RunResult { outcomes, stats })
     }
@@ -306,6 +428,57 @@ impl<'a> ReuseExecutor<'a> {
     /// circuit.
     pub fn run(&self, trials: &[Trial]) -> Result<RunResult, SimError> {
         self.run_with_budget(trials, usize::MAX)
+    }
+
+    /// [`ReuseExecutor::run`] with instrumentation streamed into
+    /// `recorder`: per-kernel timings (phases `"reuse/shared"`,
+    /// `"reuse/branch"`, `"reuse/remainder"`), MSV lifecycle events with
+    /// live residency, per-trial prefix-cache lookups, pool-reuse counters,
+    /// a `"run/reuse"` span, and end-of-run counters mirroring the returned
+    /// [`ExecStats`]. With a [`NullRecorder`] this is exactly
+    /// [`ReuseExecutor::run`].
+    ///
+    /// # Errors
+    ///
+    /// As [`ReuseExecutor::run`].
+    pub fn run_traced<R: Recorder + ?Sized>(
+        &self,
+        trials: &[Trial],
+        recorder: &R,
+    ) -> Result<RunResult, SimError> {
+        self.run_with_budget_traced(trials, usize::MAX, recorder)
+    }
+
+    /// [`ReuseExecutor::run_with_budget`] with instrumentation (see
+    /// [`ReuseExecutor::run_traced`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`ReuseExecutor::run_with_budget`].
+    pub fn run_with_budget_traced<R: Recorder + ?Sized>(
+        &self,
+        trials: &[Trial],
+        budget: usize,
+        recorder: &R,
+    ) -> Result<RunResult, SimError> {
+        let mut outcomes: Vec<Option<MeasureOutcome>> = vec![None; trials.len()];
+        let program = fuse_for_trials(self.layered, trials);
+        let stats = self.run_streaming_engine(
+            Engine::Fused(&program),
+            trials,
+            budget,
+            |index, outcome| {
+                outcomes[index] = Some(outcome);
+            },
+            recorder,
+        )?;
+        Ok(RunResult {
+            outcomes: outcomes
+                .into_iter()
+                .map(|o| o.expect("every trial produced an outcome"))
+                .collect(),
+            stats,
+        })
     }
 
     /// Execute with a hard cap on concurrently stored state vectors — the
@@ -366,10 +539,15 @@ impl<'a> ReuseExecutor<'a> {
     /// As [`ReuseExecutor::run`].
     pub fn run_unfused(&self, trials: &[Trial]) -> Result<RunResult, SimError> {
         let mut outcomes: Vec<Option<MeasureOutcome>> = vec![None; trials.len()];
-        let stats =
-            self.run_streaming_engine(Engine::Layers, trials, usize::MAX, |index, outcome| {
+        let stats = self.run_streaming_engine(
+            Engine::Layers,
+            trials,
+            usize::MAX,
+            |index, outcome| {
                 outcomes[index] = Some(outcome);
-            })?;
+            },
+            &NullRecorder,
+        )?;
         Ok(RunResult {
             outcomes: outcomes
                 .into_iter()
@@ -418,18 +596,42 @@ impl<'a> ReuseExecutor<'a> {
     where
         F: FnMut(usize, MeasureOutcome),
     {
-        self.run_streaming_engine(Engine::Fused(program), trials, budget, sink)
+        self.run_streaming_engine(Engine::Fused(program), trials, budget, sink, &NullRecorder)
     }
 
-    fn run_streaming_engine<F>(
+    /// [`ReuseExecutor::run_streaming_with`] with instrumentation (see
+    /// [`ReuseExecutor::run_traced`]). This is the variant parallel workers
+    /// use: one shared program, one shared recorder.
+    ///
+    /// # Errors
+    ///
+    /// As [`ReuseExecutor::run_streaming_with`].
+    pub fn run_streaming_with_traced<F, R>(
+        &self,
+        program: &FusedProgram,
+        trials: &[Trial],
+        budget: usize,
+        sink: F,
+        recorder: &R,
+    ) -> Result<ExecStats, SimError>
+    where
+        F: FnMut(usize, MeasureOutcome),
+        R: Recorder + ?Sized,
+    {
+        self.run_streaming_engine(Engine::Fused(program), trials, budget, sink, recorder)
+    }
+
+    fn run_streaming_engine<F, R>(
         &self,
         engine: Engine<'_>,
         trials: &[Trial],
         budget: usize,
         mut sink: F,
+        recorder: &R,
     ) -> Result<ExecStats, SimError>
     where
         F: FnMut(usize, MeasureOutcome),
+        R: Recorder + ?Sized,
     {
         if budget == 0 {
             return Err(SimError::Circuit(
@@ -446,6 +648,7 @@ impl<'a> ReuseExecutor<'a> {
         }
         #[cfg(feature = "paranoid")]
         paranoid_verify(layered, trials, budget)?;
+        let span_start = recorder.now_ns();
         let last_layer = n_layers as i64 - 1;
         let mut order: Vec<usize> = (0..trials.len()).collect();
         order.sort_by(|&a, &b| compare_trials(&trials[a], &trials[b]));
@@ -455,6 +658,9 @@ impl<'a> ReuseExecutor<'a> {
         let mut pool = StatePool::new();
         let mut stack: Vec<Frame> =
             vec![Frame { depth: 0, done: -1, state: StateVector::zero_state(layered.n_qubits()) }];
+        if recorder.enabled() && !trials.is_empty() {
+            recorder.msv(MsvEvent::Create, 0, 1);
+        }
 
         for (pos, &orig) in order.iter().enumerate() {
             let cur = &trials[orig];
@@ -472,19 +678,37 @@ impl<'a> ReuseExecutor<'a> {
                 d <= if pos == 0 { 0 } else { lcp(&trials[order[pos - 1]], cur) },
                 "frontier stack lost sync with the trial order"
             );
+            if recorder.enabled() {
+                // The first trial finds an empty cache; every later trial
+                // resumes from the cached frontier at depth `d`.
+                recorder.cache(d, pos > 0);
+                if pos > 0 {
+                    recorder.msv(MsvEvent::Reuse, d, stack.len());
+                }
+            }
             loop {
                 if d == injections.len() {
                     // Terminal at this trie node: finish the circuit on the
                     // node frontier in place and measure from it.
                     let top = stack.last_mut().expect("nonempty stack");
-                    let (src, passes) =
-                        engine.advance(layered, &mut top.state, &mut top.done, last_layer)?;
+                    let (src, passes) = engine.advance_traced(
+                        layered,
+                        &mut top.state,
+                        &mut top.done,
+                        last_layer,
+                        recorder,
+                        "reuse/shared",
+                    )?;
                     stats.ops += src;
                     stats.fused_ops += passes;
                     stats.amplitude_passes += passes;
                     sink(orig, measure(layered, &top.state, cur));
                     while stack.last().is_some_and(|f| f.depth > keep) {
-                        pool.recycle(stack.pop().expect("checked nonempty").state);
+                        let frame = stack.pop().expect("checked nonempty");
+                        if recorder.enabled() {
+                            recorder.msv(MsvEvent::Drop, frame.depth, stack.len());
+                        }
+                        pool.recycle(frame.state);
                     }
                     debug_assert!(
                         !stack.is_empty(),
@@ -495,8 +719,14 @@ impl<'a> ReuseExecutor<'a> {
                 let target = injections[d].layer() as i64;
                 {
                     let top = stack.last_mut().expect("nonempty stack");
-                    let (src, passes) =
-                        engine.advance(layered, &mut top.state, &mut top.done, target)?;
+                    let (src, passes) = engine.advance_traced(
+                        layered,
+                        &mut top.state,
+                        &mut top.done,
+                        target,
+                        recorder,
+                        "reuse/shared",
+                    )?;
                     stats.ops += src;
                     stats.fused_ops += passes;
                     stats.amplitude_passes += passes;
@@ -510,7 +740,7 @@ impl<'a> ReuseExecutor<'a> {
                         "cached clone must branch from the frontier at the shared depth"
                     );
                     let mut child = pool.clone_state(&stack.last().expect("nonempty stack").state);
-                    injections[d].apply_to(&mut child)?;
+                    inject_traced(&injections[d], &mut child, recorder, "reuse/branch")?;
                     stats.ops += 1;
                     stats.amplitude_passes += 1;
                     stack.push(Frame { depth: d + 1, done: target, state: child });
@@ -519,6 +749,9 @@ impl<'a> ReuseExecutor<'a> {
                         "cache stack exceeded the state-vector budget"
                     );
                     peak = peak.max(stack.len());
+                    if recorder.enabled() {
+                        recorder.msv(MsvEvent::Fork, d + 1, stack.len());
+                    }
                     d += 1;
                 } else {
                     // Transient remainder: nothing below depth d is reused
@@ -535,8 +768,15 @@ impl<'a> ReuseExecutor<'a> {
                             frame.depth > keep,
                             "consumed a frontier the next trial still reuses"
                         );
+                        if recorder.enabled() {
+                            recorder.msv(MsvEvent::Drop, frame.depth, stack.len());
+                        }
                         while stack.last().is_some_and(|f| f.depth > keep) {
-                            pool.recycle(stack.pop().expect("checked nonempty").state);
+                            let dropped = stack.pop().expect("checked nonempty");
+                            if recorder.enabled() {
+                                recorder.msv(MsvEvent::Drop, dropped.depth, stack.len());
+                            }
+                            pool.recycle(dropped.state);
                         }
                         debug_assert!(
                             stack.last().is_some_and(|f| f.depth <= keep),
@@ -545,21 +785,33 @@ impl<'a> ReuseExecutor<'a> {
                         frame.state
                     };
                     let mut done = target;
-                    injections[d].apply_to(&mut working)?;
+                    inject_traced(&injections[d], &mut working, recorder, "reuse/remainder")?;
                     stats.ops += 1;
                     stats.amplitude_passes += 1;
                     for inj in &injections[d + 1..] {
-                        let (src, passes) =
-                            engine.advance(layered, &mut working, &mut done, inj.layer() as i64)?;
+                        let (src, passes) = engine.advance_traced(
+                            layered,
+                            &mut working,
+                            &mut done,
+                            inj.layer() as i64,
+                            recorder,
+                            "reuse/remainder",
+                        )?;
                         stats.ops += src;
                         stats.fused_ops += passes;
                         stats.amplitude_passes += passes;
-                        inj.apply_to(&mut working)?;
+                        inject_traced(inj, &mut working, recorder, "reuse/remainder")?;
                         stats.ops += 1;
                         stats.amplitude_passes += 1;
                     }
-                    let (src, passes) =
-                        engine.advance(layered, &mut working, &mut done, last_layer)?;
+                    let (src, passes) = engine.advance_traced(
+                        layered,
+                        &mut working,
+                        &mut done,
+                        last_layer,
+                        recorder,
+                        "reuse/remainder",
+                    )?;
                     stats.ops += src;
                     stats.fused_ops += passes;
                     stats.amplitude_passes += passes;
@@ -571,6 +823,12 @@ impl<'a> ReuseExecutor<'a> {
         }
 
         stats.peak_msv = if trials.is_empty() { 0 } else { peak };
+        if recorder.enabled() {
+            record_stats_counters(recorder, &stats);
+            recorder.counter("pool.reused", pool.reuse_count());
+            recorder.counter("pool.allocated", pool.alloc_count());
+            recorder.span("run/reuse", span_start, recorder.now_ns());
+        }
         Ok(stats)
     }
 }
@@ -820,6 +1078,80 @@ mod tests {
         assert!(diff / 2.0 < 0.15, "fused/unfused histograms diverged: tv {diff}");
         let reuse_unfused = ReuseExecutor::new(&layered).run_unfused(set.trials()).unwrap();
         assert_eq!(reuse_unfused.outcomes, unfused.outcomes, "unfused paths stay bitwise equal");
+    }
+
+    #[test]
+    fn traced_run_with_null_recorder_is_bitwise_identical() {
+        let (layered, set) = generate(&catalog::qft(4), 3.0, 200, 29);
+        let plain = ReuseExecutor::new(&layered).run(set.trials()).unwrap();
+        let traced = ReuseExecutor::new(&layered).run_traced(set.trials(), &NullRecorder).unwrap();
+        assert_eq!(plain, traced);
+        let plain = BaselineExecutor::new(&layered).run(set.trials()).unwrap();
+        let traced =
+            BaselineExecutor::new(&layered).run_traced(set.trials(), &NullRecorder).unwrap();
+        assert_eq!(plain, traced);
+    }
+
+    #[test]
+    fn telemetry_totals_mirror_exec_stats_exactly() {
+        use qsim_telemetry::AggregatingRecorder;
+        for (circuit, scale) in [(catalog::qft(4), 4.0), (catalog::bv(4, 0b110), 2.0)] {
+            let (layered, set) = generate(&circuit, scale, 300, 31);
+            let recorder = AggregatingRecorder::new();
+            let result = ReuseExecutor::new(&layered).run_traced(set.trials(), &recorder).unwrap();
+            let report = recorder.report();
+            assert_eq!(report.counter("ops"), result.stats.ops);
+            assert_eq!(report.counter("fused_ops"), result.stats.fused_ops);
+            assert_eq!(report.counter("amplitude_passes"), result.stats.amplitude_passes);
+            assert_eq!(report.counter("trials"), result.stats.n_trials as u64);
+            assert_eq!(report.peak_residency(), result.stats.peak_msv);
+            // Every amplitude pass shows up as exactly one timed kernel
+            // application (fused kernels + error operators).
+            assert_eq!(report.total_kernel_count(), result.stats.amplitude_passes);
+            // One prefix-cache lookup per trial; only the first misses.
+            let (hits, misses) = report.cache_totals();
+            assert_eq!(hits + misses, set.len() as u64);
+            assert_eq!(misses, 1);
+            // Forks + the root creation account for every stored frontier;
+            // every non-root frontier is eventually dropped.
+            let forks = report.msv_count(qsim_telemetry::MsvEvent::Fork);
+            let drops = report.msv_count(qsim_telemetry::MsvEvent::Drop);
+            assert_eq!(forks, drops, "{}", circuit.name());
+            assert_eq!(report.msv_count(qsim_telemetry::MsvEvent::Create), 1);
+            // Traced results stay bitwise identical to untraced ones.
+            let plain = ReuseExecutor::new(&layered).run(set.trials()).unwrap();
+            assert_eq!(plain, result);
+        }
+    }
+
+    #[test]
+    fn baseline_telemetry_counts_every_pass_and_stores_nothing() {
+        use qsim_telemetry::AggregatingRecorder;
+        let (layered, set) = generate(&catalog::qft(4), 3.0, 150, 37);
+        let recorder = AggregatingRecorder::new();
+        let result = BaselineExecutor::new(&layered).run_traced(set.trials(), &recorder).unwrap();
+        let report = recorder.report();
+        assert_eq!(report.counter("ops"), result.stats.ops);
+        assert_eq!(report.counter("amplitude_passes"), result.stats.amplitude_passes);
+        assert_eq!(report.total_kernel_count(), result.stats.amplitude_passes);
+        assert_eq!(report.peak_residency(), 0, "baseline stores no intermediate states");
+        assert_eq!(report.cache_totals(), (0, 0));
+    }
+
+    #[test]
+    fn budgeted_traced_runs_keep_residency_under_the_cap() {
+        use qsim_telemetry::AggregatingRecorder;
+        let (layered, set) = generate(&catalog::qft(4), 6.0, 300, 41);
+        for budget in [1usize, 2, 4] {
+            let recorder = AggregatingRecorder::new();
+            let result = ReuseExecutor::new(&layered)
+                .run_with_budget_traced(set.trials(), budget, &recorder)
+                .unwrap();
+            let report = recorder.report();
+            assert_eq!(report.peak_residency(), result.stats.peak_msv, "budget {budget}");
+            assert!(report.peak_residency() <= budget, "budget {budget}");
+            assert_eq!(report.counter("ops"), result.stats.ops, "budget {budget}");
+        }
     }
 
     #[test]

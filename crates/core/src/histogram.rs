@@ -40,8 +40,11 @@ impl Histogram {
     /// Panics if the outcome width differs from the histogram's.
     pub fn record(&mut self, outcome: &MeasureOutcome) {
         assert_eq!(outcome.n_qubits(), self.n_bits, "outcome width mismatch");
-        *self.counts.entry(outcome.to_index() as u64).or_insert(0) += 1;
-        self.total += 1;
+        // Saturating: a 10⁹-trial streaming run must degrade gracefully,
+        // never wrap (matches the telemetry counters' overflow policy).
+        let slot = self.counts.entry(outcome.to_index() as u64).or_insert(0);
+        *slot = slot.saturating_add(1);
+        self.total = self.total.saturating_add(1);
     }
 
     /// Number of recorded outcomes.
@@ -261,5 +264,48 @@ mod tests {
     fn expectation_z_checks_bit_range() {
         let h = Histogram::new(2);
         let _ = h.expectation_z(5);
+    }
+
+    #[test]
+    fn empty_run_yields_empty_histogram_with_sane_queries() {
+        // A zero-trial simulation streams nothing into the histogram;
+        // every read-side query must still be well-defined.
+        let h = Histogram::new(4);
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.n_bits(), 4);
+        assert_eq!(h.iter().count(), 0);
+        assert_eq!(h.count(7), 0);
+        assert!(h.tv_distance(&[1.0 / 16.0; 16]) <= 1.0);
+        assert!(h.to_string().contains("0 outcomes"));
+        assert_eq!(h, Histogram::from_outcomes(4, &[]));
+    }
+
+    #[test]
+    fn single_trial_run_is_a_point_mass() {
+        let h = Histogram::from_outcomes(3, &[outcome(5, 3)]);
+        assert_eq!(h.total(), 1);
+        assert_eq!(h.count(5), 1);
+        assert_eq!(h.probability(5), 1.0);
+        assert_eq!(h.probability(4), 0.0);
+        assert_eq!(h.iter().collect::<Vec<_>>(), vec![(5, 1)]);
+        // ⟨Z⟩ on a set bit is −1, on a clear bit +1.
+        assert_eq!(h.expectation_z(0), -1.0);
+        assert_eq!(h.expectation_z(1), 1.0);
+        let mut reference = [0.0f64; 8];
+        reference[5] = 1.0;
+        assert!(h.tv_distance(&reference) < 1e-12);
+    }
+
+    #[test]
+    fn counters_saturate_instead_of_wrapping() {
+        let mut h = Histogram::new(1);
+        h.total = u64::MAX - 1;
+        h.counts.insert(0, u64::MAX);
+        h.record(&outcome(0, 1));
+        h.record(&outcome(0, 1));
+        assert_eq!(h.total(), u64::MAX);
+        assert_eq!(h.count(0), u64::MAX);
+        // Probabilities stay within [0, 1] even at saturation.
+        assert!(h.probability(0) <= 1.0);
     }
 }

@@ -25,6 +25,13 @@
 //! 4. [`Simulation`] — a builder-style façade tying circuit, noise model,
 //!    trial generation, analysis, and execution together.
 //!
+//! Every execution strategy also has a `*_traced` variant taking a
+//! [`qsim_telemetry::Recorder`]: structured runtime telemetry (per-kernel
+//! timings, MSV lifecycle with live residency, prefix-cache hit rates)
+//! whose totals mirror [`ExecStats`] **exactly** — the observation plane
+//! never drifts from the accounting plane. Passing
+//! [`qsim_telemetry::NullRecorder`] compiles the instrumentation out.
+//!
 //! # Quickstart
 //!
 //! ```

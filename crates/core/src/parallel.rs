@@ -29,6 +29,7 @@
 use qsim_circuit::LayeredCircuit;
 use qsim_noise::Trial;
 use qsim_statevec::MeasureOutcome;
+use qsim_telemetry::{NullRecorder, Recorder};
 
 use crate::exec::{fuse_for_trials, BaselineExecutor, ExecStats, ReuseExecutor, RunResult};
 use crate::order::{compare_trials, lcp};
@@ -87,14 +88,33 @@ pub fn run_baseline_parallel(
     trials: &[Trial],
     n_threads: usize,
 ) -> Result<RunResult, SimError> {
+    run_baseline_parallel_traced(layered, trials, n_threads, &NullRecorder)
+}
+
+/// [`run_baseline_parallel`] with instrumentation: every worker streams
+/// into the same shared `recorder` (the [`Recorder`] contract is
+/// `&self` + `Sync`), so counters and kernel timings are additive across
+/// workers; the coordinator brackets the whole run in a
+/// `"run/parallel-baseline"` span.
+///
+/// # Errors
+///
+/// As [`run_baseline_parallel`].
+pub fn run_baseline_parallel_traced<R: Recorder + ?Sized>(
+    layered: &LayeredCircuit,
+    trials: &[Trial],
+    n_threads: usize,
+    recorder: &R,
+) -> Result<RunResult, SimError> {
     let threads = resolve_threads(n_threads, trials.len());
     if threads <= 1 || trials.is_empty() {
-        return BaselineExecutor::new(layered).run(trials);
+        return BaselineExecutor::new(layered).run_traced(trials, recorder);
     }
     // Verify the whole-set plan up front; workers re-verify their chunks as
     // sub-plans through the executors they call into.
     #[cfg(feature = "paranoid")]
     crate::exec::paranoid_verify(layered, trials, usize::MAX)?;
+    let span_start = recorder.now_ns();
     let program = fuse_for_trials(layered, trials);
     let chunk_size = trials.len().div_ceil(threads);
     let results: Vec<Result<RunResult, SimError>> = std::thread::scope(|scope| {
@@ -102,7 +122,9 @@ pub fn run_baseline_parallel(
             .chunks(chunk_size)
             .map(|chunk| {
                 let program = &program;
-                scope.spawn(move || BaselineExecutor::new(layered).run_with_program(program, chunk))
+                scope.spawn(move || {
+                    BaselineExecutor::new(layered).run_with_program_traced(program, chunk, recorder)
+                })
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
@@ -115,6 +137,9 @@ pub fn run_baseline_parallel(
         stats.ops += part.stats.ops;
         stats.fused_ops += part.stats.fused_ops;
         stats.amplitude_passes += part.stats.amplitude_passes;
+    }
+    if recorder.enabled() {
+        recorder.span("run/parallel-baseline", span_start, recorder.now_ns());
     }
     Ok(RunResult { outcomes, stats })
 }
@@ -133,14 +158,36 @@ pub fn run_reordered_parallel(
     trials: &[Trial],
     n_threads: usize,
 ) -> Result<RunResult, SimError> {
+    run_reordered_parallel_traced(layered, trials, n_threads, &NullRecorder)
+}
+
+/// [`run_reordered_parallel`] with instrumentation: every worker streams
+/// into the same shared `recorder`, so counters and kernel timings are
+/// additive across workers. MSV events interleave from concurrent workers,
+/// which makes the recorder's *observed* peak residency the true global
+/// concurrent peak — at most the summed per-worker peak that
+/// [`ExecStats::peak_msv`] reports (the workers' caches coexist, but rarely
+/// all at their individual peaks simultaneously). The coordinator brackets
+/// the whole run in a `"run/parallel-reuse"` span.
+///
+/// # Errors
+///
+/// As [`run_reordered_parallel`].
+pub fn run_reordered_parallel_traced<R: Recorder + ?Sized>(
+    layered: &LayeredCircuit,
+    trials: &[Trial],
+    n_threads: usize,
+    recorder: &R,
+) -> Result<RunResult, SimError> {
     let threads = resolve_threads(n_threads, trials.len());
     if threads <= 1 || trials.is_empty() {
-        return ReuseExecutor::new(layered).run(trials);
+        return ReuseExecutor::new(layered).run_traced(trials, recorder);
     }
     // Verify the whole-set plan up front; workers re-verify their chunks as
     // sub-plans through the executors they call into.
     #[cfg(feature = "paranoid")]
     crate::exec::paranoid_verify(layered, trials, usize::MAX)?;
+    let span_start = recorder.now_ns();
     // Global sort once, then hand contiguous sorted slices to workers. Each
     // worker receives (original_index, trial) pairs so it can report
     // outcomes against the caller's order.
@@ -172,9 +219,20 @@ pub fn run_reordered_parallel(
                     // permutation) and returns outcomes in chunk order.
                     let chunk_trials: Vec<Trial> =
                         idx_chunk.iter().map(|&i| trials[i].clone()).collect();
-                    let part =
-                        ReuseExecutor::new(layered).run_with_program(program, &chunk_trials)?;
-                    Ok((idx_chunk.iter().copied().zip(part.outcomes).collect(), part.stats))
+                    let mut outcomes: Vec<Option<MeasureOutcome>> = vec![None; chunk_trials.len()];
+                    let stats = ReuseExecutor::new(layered).run_streaming_with_traced(
+                        program,
+                        &chunk_trials,
+                        usize::MAX,
+                        |index, outcome| outcomes[index] = Some(outcome),
+                        recorder,
+                    )?;
+                    let pairs = idx_chunk
+                        .iter()
+                        .copied()
+                        .zip(outcomes.into_iter().map(|o| o.expect("every trial executed")))
+                        .collect();
+                    Ok((pairs, stats))
                 })
             })
             .collect();
@@ -193,6 +251,9 @@ pub fn run_reordered_parallel(
         stats.amplitude_passes += part_stats.amplitude_passes;
         // Workers hold their caches concurrently: peak memory is the sum.
         stats.peak_msv += part_stats.peak_msv;
+    }
+    if recorder.enabled() {
+        recorder.span("run/parallel-reuse", span_start, recorder.now_ns());
     }
     Ok(RunResult {
         outcomes: outcomes.into_iter().map(|o| o.expect("every trial executed")).collect(),
@@ -312,6 +373,33 @@ mod tests {
                 "chunk {k} cost {chunk_cost} vs ideal {ideal}"
             );
         }
+    }
+
+    #[test]
+    fn shared_recorder_counters_are_additive_across_workers() {
+        use qsim_telemetry::AggregatingRecorder;
+        let (layered, set) = workload(400);
+        for threads in [2usize, 4] {
+            let recorder = AggregatingRecorder::new();
+            let result =
+                run_reordered_parallel_traced(&layered, set.trials(), threads, &recorder).unwrap();
+            let report = recorder.report();
+            assert_eq!(report.counter("ops"), result.stats.ops, "{threads} threads");
+            assert_eq!(report.counter("fused_ops"), result.stats.fused_ops);
+            assert_eq!(report.counter("amplitude_passes"), result.stats.amplitude_passes);
+            assert_eq!(report.counter("trials"), result.stats.n_trials as u64);
+            // The recorder sees the true concurrent residency peak; summing
+            // per-worker peaks (ExecStats) can only overestimate it.
+            assert!(report.peak_residency() <= result.stats.peak_msv);
+            assert!(report.peak_residency() >= 1);
+            assert!(report.spans.contains_key("run/parallel-reuse"));
+        }
+        let recorder = AggregatingRecorder::new();
+        let result = run_baseline_parallel_traced(&layered, set.trials(), 3, &recorder).unwrap();
+        let report = recorder.report();
+        assert_eq!(report.counter("ops"), result.stats.ops);
+        assert_eq!(report.peak_residency(), 0);
+        assert!(report.spans.contains_key("run/parallel-baseline"));
     }
 
     #[test]

@@ -144,6 +144,20 @@ impl Simulation {
         BaselineExecutor::new(&self.layered).run(trials.trials())
     }
 
+    /// [`Simulation::run_baseline`] with instrumentation streamed into
+    /// `recorder` (see [`BaselineExecutor::run_traced`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`Simulation::run_baseline`].
+    pub fn run_baseline_traced<R: qsim_telemetry::Recorder + ?Sized>(
+        &self,
+        recorder: &R,
+    ) -> Result<RunResult, SimError> {
+        let trials = self.trials.as_ref().ok_or(SimError::NoTrials)?;
+        BaselineExecutor::new(&self.layered).run_traced(trials.trials(), recorder)
+    }
+
     /// Execute all trials with trial reordering and prefix-state caching.
     ///
     /// # Errors
@@ -153,6 +167,20 @@ impl Simulation {
     pub fn run_reordered(&self) -> Result<RunResult, SimError> {
         let trials = self.trials.as_ref().ok_or(SimError::NoTrials)?;
         ReuseExecutor::new(&self.layered).run(trials.trials())
+    }
+
+    /// [`Simulation::run_reordered`] with instrumentation streamed into
+    /// `recorder` (see [`ReuseExecutor::run_traced`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`Simulation::run_reordered`].
+    pub fn run_reordered_traced<R: qsim_telemetry::Recorder + ?Sized>(
+        &self,
+        recorder: &R,
+    ) -> Result<RunResult, SimError> {
+        let trials = self.trials.as_ref().ok_or(SimError::NoTrials)?;
+        ReuseExecutor::new(&self.layered).run_traced(trials.trials(), recorder)
     }
 
     /// Execute with reordering under a hard cap of `budget` stored state
@@ -165,6 +193,21 @@ impl Simulation {
     pub fn run_reordered_with_budget(&self, budget: usize) -> Result<RunResult, SimError> {
         let trials = self.trials.as_ref().ok_or(SimError::NoTrials)?;
         ReuseExecutor::new(&self.layered).run_with_budget(trials.trials(), budget)
+    }
+
+    /// [`Simulation::run_reordered_with_budget`] with instrumentation (see
+    /// [`ReuseExecutor::run_traced`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`Simulation::run_reordered_with_budget`].
+    pub fn run_reordered_with_budget_traced<R: qsim_telemetry::Recorder + ?Sized>(
+        &self,
+        budget: usize,
+        recorder: &R,
+    ) -> Result<RunResult, SimError> {
+        let trials = self.trials.as_ref().ok_or(SimError::NoTrials)?;
+        ReuseExecutor::new(&self.layered).run_with_budget_traced(trials.trials(), budget, recorder)
     }
 
     /// Static analysis under a stored-state budget.
@@ -191,6 +234,20 @@ impl Simulation {
     ) -> Result<(RunResult, crate::compressed::CompressionStats), SimError> {
         let trials = self.trials.as_ref().ok_or(SimError::NoTrials)?;
         crate::compressed::run_reordered_compressed(&self.layered, trials.trials())
+    }
+
+    /// [`Simulation::run_reordered_compressed`] with instrumentation (see
+    /// [`crate::compressed::run_reordered_compressed_traced`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`Simulation::run_reordered_compressed`].
+    pub fn run_reordered_compressed_traced<R: qsim_telemetry::Recorder + ?Sized>(
+        &self,
+        recorder: &R,
+    ) -> Result<(RunResult, crate::compressed::CompressionStats), SimError> {
+        let trials = self.trials.as_ref().ok_or(SimError::NoTrials)?;
+        crate::compressed::run_reordered_compressed_traced(&self.layered, trials.trials(), recorder)
     }
 
     /// Analytic first-order prediction of the savings for `n_trials`
@@ -234,6 +291,46 @@ impl Simulation {
     pub fn run_reordered_parallel(&self, n_threads: usize) -> Result<RunResult, SimError> {
         let trials = self.trials.as_ref().ok_or(SimError::NoTrials)?;
         crate::parallel::run_reordered_parallel(&self.layered, trials.trials(), n_threads)
+    }
+
+    /// [`Simulation::run_baseline_parallel`] with a shared recorder across
+    /// workers (see [`crate::parallel::run_baseline_parallel_traced`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`Simulation::run_baseline_parallel`].
+    pub fn run_baseline_parallel_traced<R: qsim_telemetry::Recorder + ?Sized>(
+        &self,
+        n_threads: usize,
+        recorder: &R,
+    ) -> Result<RunResult, SimError> {
+        let trials = self.trials.as_ref().ok_or(SimError::NoTrials)?;
+        crate::parallel::run_baseline_parallel_traced(
+            &self.layered,
+            trials.trials(),
+            n_threads,
+            recorder,
+        )
+    }
+
+    /// [`Simulation::run_reordered_parallel`] with a shared recorder across
+    /// workers (see [`crate::parallel::run_reordered_parallel_traced`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`Simulation::run_reordered_parallel`].
+    pub fn run_reordered_parallel_traced<R: qsim_telemetry::Recorder + ?Sized>(
+        &self,
+        n_threads: usize,
+        recorder: &R,
+    ) -> Result<RunResult, SimError> {
+        let trials = self.trials.as_ref().ok_or(SimError::NoTrials)?;
+        crate::parallel::run_reordered_parallel_traced(
+            &self.layered,
+            trials.trials(),
+            n_threads,
+            recorder,
+        )
     }
 
     /// Aggregate a run's outcomes into a histogram over the classical

@@ -52,7 +52,7 @@ pub use matrix::{Matrix2, Matrix4};
 pub use measure::{sample_index, MeasureOutcome};
 pub use observable::{Observable, ParsePauliStringError, PauliString};
 pub use pauli::Pauli;
-pub use pool::StatePool;
+pub use pool::{PoolStats, StatePool};
 pub use state::StateVector;
 pub use stored::StoredState;
 

@@ -59,6 +59,24 @@ impl StatePool {
     pub fn alloc_count(&self) -> u64 {
         self.allocated
     }
+
+    /// Snapshot of the pool's reuse accounting.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats { reused: self.reused, allocated: self.allocated, idle: self.free.len() }
+    }
+}
+
+/// Point-in-time reuse accounting for a [`StatePool`]: how many clones were
+/// served from recycled buffers versus fresh allocations, and how many
+/// buffers sit parked in the free list.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Clones served from recycled buffers.
+    pub reused: u64,
+    /// Clones that had to allocate fresh.
+    pub allocated: u64,
+    /// Buffers currently parked in the free list.
+    pub idle: usize,
 }
 
 #[cfg(test)]
@@ -80,6 +98,21 @@ mod tests {
         assert!(b.approx_eq(&s, 0.0));
         assert_eq!(pool.reuse_count(), 1);
         assert_eq!(pool.idle(), 0);
+    }
+
+    #[test]
+    fn pooled_clone_is_bitwise_identical_to_plain_clone() {
+        let mut pool = StatePool::new();
+        let mut s = StateVector::zero_state(5);
+        s.apply_1q(&Matrix2::h(), 0).unwrap();
+        s.apply_1q(&Matrix2::t(), 3).unwrap();
+        s.apply_cx(0, 4).unwrap();
+        pool.recycle(StateVector::zero_state(5)); // force the reuse path
+        let pooled = pool.clone_state(&s);
+        assert_eq!(pool.reuse_count(), 1);
+        let plain = s.clone();
+        assert_eq!(pooled.amplitudes(), plain.amplitudes(), "reused buffer must match bitwise");
+        assert_eq!(pool.stats(), PoolStats { reused: 1, allocated: 0, idle: 0 });
     }
 
     #[test]

@@ -1,0 +1,41 @@
+//! Validate a JSONL trace file against the telemetry schema.
+//!
+//! Usage: `trace-check <trace.jsonl>...` — exits non-zero (printing the
+//! first violation with its line number) if any file is malformed. CI runs
+//! this over the traces produced by `qsim --trace`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: trace-check <trace.jsonl>...");
+        return ExitCode::from(2);
+    }
+    let mut failed = false;
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match qsim_telemetry::schema::validate_jsonl(&text) {
+            Ok(()) => {
+                let events = text.lines().filter(|l| !l.trim().is_empty()).count();
+                println!("{path}: ok ({events} lines)");
+            }
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,183 @@
+//! Buffered JSONL trace sink: one JSON object per line, validated by
+//! [`crate::schema`].
+
+use std::io::Write;
+use std::sync::Mutex;
+
+use crate::recorder::{KernelClass, MsvEvent, Recorder};
+use crate::Clock;
+
+/// Flush the line buffer to the writer once it exceeds this size.
+const FLUSH_THRESHOLD: usize = 64 * 1024;
+
+/// Trace format version stamped into the meta line.
+pub(crate) const TRACE_VERSION: u64 = 1;
+
+struct Sink {
+    buffer: String,
+    writer: Box<dyn Write + Send>,
+    error: Option<std::io::Error>,
+}
+
+/// A streaming recorder writing one JSON event object per line. Events are
+/// buffered in memory and flushed in large chunks; [`Recorder::flush`]
+/// (called automatically on drop) drains the buffer. I/O errors are sticky
+/// and surface on the next flush.
+pub struct JsonlRecorder {
+    clock: Clock,
+    sink: Mutex<Sink>,
+}
+
+impl JsonlRecorder {
+    /// Trace into `writer`, starting with a meta line identifying the
+    /// format version.
+    pub fn new(writer: Box<dyn Write + Send>) -> Self {
+        let recorder = JsonlRecorder {
+            clock: Clock::new(),
+            sink: Mutex::new(Sink { buffer: String::new(), writer, error: None }),
+        };
+        recorder.line(format!("{{\"ev\":\"meta\",\"version\":{TRACE_VERSION}}}"));
+        recorder
+    }
+
+    /// Trace into a newly created file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the file cannot be created.
+    pub fn create(path: &str) -> std::io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(JsonlRecorder::new(Box::new(std::io::BufWriter::new(file))))
+    }
+
+    fn line(&self, line: String) {
+        let mut sink = self.sink.lock().expect("trace sink poisoned");
+        sink.buffer.push_str(&line);
+        sink.buffer.push('\n');
+        if sink.buffer.len() >= FLUSH_THRESHOLD {
+            drain(&mut sink);
+        }
+    }
+}
+
+fn drain(sink: &mut Sink) {
+    if sink.error.is_some() {
+        return;
+    }
+    if let Err(e) = sink.writer.write_all(sink.buffer.as_bytes()) {
+        sink.error = Some(e);
+    }
+    sink.buffer.clear();
+}
+
+impl Recorder for JsonlRecorder {
+    fn now_ns(&self) -> u64 {
+        self.clock.now_ns()
+    }
+
+    fn span(&self, path: &'static str, start_ns: u64, end_ns: u64) {
+        self.line(format!(
+            "{{\"ev\":\"span\",\"path\":\"{path}\",\"start_ns\":{start_ns},\"end_ns\":{end_ns}}}"
+        ));
+    }
+
+    fn kernel(&self, phase: &'static str, class: KernelClass, count: u64, ns: u64) {
+        self.line(format!(
+            "{{\"ev\":\"kernel\",\"phase\":\"{phase}\",\"class\":\"{}\",\"count\":{count},\"ns\":{ns}}}",
+            class.name()
+        ));
+    }
+
+    fn counter(&self, name: &'static str, delta: u64) {
+        self.line(format!("{{\"ev\":\"counter\",\"name\":\"{name}\",\"delta\":{delta}}}"));
+    }
+
+    fn msv(&self, event: MsvEvent, depth: usize, residency: usize) {
+        self.line(format!(
+            "{{\"ev\":\"msv\",\"kind\":\"{}\",\"depth\":{depth},\"residency\":{residency}}}",
+            event.name()
+        ));
+    }
+
+    fn cache(&self, depth: usize, hit: bool) {
+        self.line(format!("{{\"ev\":\"cache\",\"depth\":{depth},\"hit\":{hit}}}"));
+    }
+
+    fn flush(&self) -> std::io::Result<()> {
+        let mut sink = self.sink.lock().expect("trace sink poisoned");
+        drain(&mut sink);
+        if let Some(e) = sink.error.take() {
+            return Err(e);
+        }
+        sink.writer.flush()
+    }
+}
+
+impl Drop for JsonlRecorder {
+    fn drop(&mut self) {
+        let _ = Recorder::flush(self);
+    }
+}
+
+impl std::fmt::Debug for JsonlRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlRecorder").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex as StdMutex};
+
+    /// A Write sink tests can read back.
+    #[derive(Clone, Default)]
+    struct Shared(Arc<StdMutex<Vec<u8>>>);
+
+    impl Write for Shared {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn recorded(record: impl FnOnce(&JsonlRecorder)) -> String {
+        let sink = Shared::default();
+        let recorder = JsonlRecorder::new(Box::new(sink.clone()));
+        record(&recorder);
+        Recorder::flush(&recorder).unwrap();
+        let bytes = sink.0.lock().unwrap().clone();
+        String::from_utf8(bytes).unwrap()
+    }
+
+    #[test]
+    fn events_become_valid_schema_lines() {
+        let text = recorded(|r| {
+            r.span("run/reuse", 1, 2);
+            r.kernel("reuse/shared", KernelClass::Perm2, 1, 42);
+            r.counter("ops", 9);
+            r.msv(MsvEvent::Drop, 3, 2);
+            r.cache(2, false);
+        });
+        assert_eq!(text.lines().count(), 6, "{text}");
+        assert!(text.starts_with("{\"ev\":\"meta\""), "{text}");
+        crate::schema::validate_jsonl(&text).unwrap();
+    }
+
+    #[test]
+    fn buffer_flushes_at_threshold_without_explicit_flush() {
+        let sink = Shared::default();
+        let recorder = JsonlRecorder::new(Box::new(sink.clone()));
+        for _ in 0..(FLUSH_THRESHOLD / 16) {
+            recorder.counter("ops", 1);
+        }
+        assert!(!sink.0.lock().unwrap().is_empty(), "threshold flush never fired");
+        drop(recorder); // drop drains the tail
+        let text = String::from_utf8(sink.0.lock().unwrap().clone()).unwrap();
+        crate::schema::validate_jsonl(&text).unwrap();
+    }
+}

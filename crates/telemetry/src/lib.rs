@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+//! Runtime telemetry for the noisy-simulation executors: structured
+//! tracing, per-kernel-class timing, and cache-lifecycle profiling.
+//!
+//! The paper's claim is a *runtime* phenomenon — prefix-state reuse
+//! eliminating the bulk of gate applications while only a handful of
+//! maintained state vectors (MSVs) are alive — but executors only report
+//! coarse end-of-run totals. This crate provides the observation plane:
+//!
+//! * [`Recorder`] — the span/kernel/counter/lifecycle sink trait every
+//!   executor is instrumented against. Implementations take `&self` (they
+//!   synchronize internally) so one recorder can serve all worker threads
+//!   of a parallel run.
+//! * [`NullRecorder`] — the default. Its [`Recorder::enabled`] returns
+//!   `false` and every instrumentation site guards on that flag, so the
+//!   monomorphized fast path compiles the telemetry out (overhead is
+//!   budget-gated by the `telemetry` bench).
+//! * [`AggregatingRecorder`] — in-memory aggregation: saturating counters,
+//!   log₂ timing histograms per `(phase, kernel class)`, span totals, MSV
+//!   residency tracking, and per-depth prefix-cache hit rates. Snapshots
+//!   render as a Prometheus-style text page, JSON, or folded stacks for
+//!   flamegraph tooling (see [`MetricsReport`]).
+//! * [`JsonlRecorder`] — a buffered streaming sink writing one JSON object
+//!   per event line; [`schema`] validates such traces (used by tests and
+//!   the `trace-check` binary in CI).
+//! * [`TeeRecorder`] — fan out one instrumentation stream to two sinks
+//!   (e.g. aggregate *and* trace in the same run).
+//!
+//! The crate is intentionally dependency-free (std only) and knows nothing
+//! about circuits or states: executors translate their domain events into
+//! the small vocabulary of [`KernelClass`] / [`MsvEvent`] / named counters.
+//! The contract that makes telemetry trustworthy is *exactness*: the
+//! `ops`, `fused_ops` and `amplitude_passes` counters and the peak MSV
+//! residency recorded by an executor must equal its `ExecStats` — the
+//! integration suite asserts this across every shipped benchmark.
+
+mod aggregate;
+mod clock;
+mod jsonl;
+mod recorder;
+pub mod schema;
+
+pub use aggregate::{AggregatingRecorder, CacheDepthStat, KernelStat, MetricsReport, SpanStat};
+pub use clock::Clock;
+pub use jsonl::JsonlRecorder;
+pub use recorder::{KernelClass, MsvEvent, NullRecorder, Recorder, TeeRecorder};

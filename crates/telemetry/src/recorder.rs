@@ -1,0 +1,281 @@
+//! The recorder trait and its trivial implementations.
+
+/// Kernel classes of the fused execution engine, plus the non-gate passes
+/// executors perform. Mirrors `qsim_statevec::FusedOp::kernel_name` (the
+/// executors translate; this crate stays dependency-free).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum KernelClass {
+    /// Diagonal one-qubit kernel.
+    Diag1,
+    /// Dense one-qubit kernel.
+    Dense1,
+    /// Diagonal two-qubit kernel.
+    Diag2,
+    /// Exact-CNOT strided swap.
+    Cx,
+    /// Phased two-qubit permutation.
+    Perm2,
+    /// Dense two-qubit kernel.
+    Dense2,
+    /// Toffoli fallback.
+    Ccx,
+    /// An injected error operator (one amplitude pass).
+    Error,
+    /// A layer-by-layer (unfused) advance, counted as a batch.
+    Unfused,
+}
+
+impl KernelClass {
+    /// Every class, in report order.
+    pub const ALL: [KernelClass; 9] = [
+        KernelClass::Diag1,
+        KernelClass::Dense1,
+        KernelClass::Diag2,
+        KernelClass::Cx,
+        KernelClass::Perm2,
+        KernelClass::Dense2,
+        KernelClass::Ccx,
+        KernelClass::Error,
+        KernelClass::Unfused,
+    ];
+
+    /// Stable snake-case name (used in reports, traces, and the schema).
+    pub fn name(&self) -> &'static str {
+        match self {
+            KernelClass::Diag1 => "diag1",
+            KernelClass::Dense1 => "dense1",
+            KernelClass::Diag2 => "diag2",
+            KernelClass::Cx => "cx",
+            KernelClass::Perm2 => "perm2",
+            KernelClass::Dense2 => "dense2",
+            KernelClass::Ccx => "ccx",
+            KernelClass::Error => "error",
+            KernelClass::Unfused => "unfused",
+        }
+    }
+
+    /// Inverse of [`KernelClass::name`] (also accepts the executor-side
+    /// `FusedOp::kernel_name` strings, which are identical).
+    pub fn from_name(name: &str) -> Option<KernelClass> {
+        KernelClass::ALL.iter().copied().find(|c| c.name() == name)
+    }
+}
+
+/// Lifecycle of one maintained state vector (MSV) — a cached frontier on
+/// the reuse executors' prefix-trie stack.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MsvEvent {
+    /// The root (error-free) frontier came alive.
+    Create,
+    /// A child frontier was forked off a cached parent (one clone + one
+    /// injection).
+    Fork,
+    /// A cached frontier was reused as the starting point of a trial.
+    Reuse,
+    /// A frontier was dropped (the paper's eager drop) and its buffer
+    /// recycled.
+    Drop,
+}
+
+impl MsvEvent {
+    /// Every event kind, in report order.
+    pub const ALL: [MsvEvent; 4] =
+        [MsvEvent::Create, MsvEvent::Fork, MsvEvent::Reuse, MsvEvent::Drop];
+
+    /// Stable name (reports, traces, schema).
+    pub fn name(&self) -> &'static str {
+        match self {
+            MsvEvent::Create => "create",
+            MsvEvent::Fork => "fork",
+            MsvEvent::Reuse => "reuse",
+            MsvEvent::Drop => "drop",
+        }
+    }
+}
+
+/// Sink for executor instrumentation. Methods take `&self` and must be
+/// thread-safe: a parallel run hands one recorder to every worker.
+///
+/// Every instrumentation site guards on [`Recorder::enabled`] before
+/// taking timestamps or formatting anything, so a recorder that returns
+/// `false` (the [`NullRecorder`]) costs one inlined branch.
+pub trait Recorder: Sync {
+    /// Whether instrumentation sites should emit events at all.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Current monotonic timestamp on this recorder's clock, for span
+    /// bracketing. Disabled recorders return 0.
+    fn now_ns(&self) -> u64 {
+        0
+    }
+
+    /// A named execution span `[start_ns, end_ns]` on this recorder's
+    /// clock. Paths use `/` separators (`"run/reuse"`).
+    fn span(&self, path: &'static str, start_ns: u64, end_ns: u64);
+
+    /// `count` kernel application(s) of `class` taking `ns` nanoseconds in
+    /// total, attributed to `phase` (a `/`-separated context path such as
+    /// `"reuse/shared"`).
+    fn kernel(&self, phase: &'static str, class: KernelClass, count: u64, ns: u64);
+
+    /// Add `delta` to the named saturating counter.
+    fn counter(&self, name: &'static str, delta: u64);
+
+    /// An MSV lifecycle event at prefix-trie depth `depth`; `residency` is
+    /// the number of live MSVs *after* the event.
+    fn msv(&self, event: MsvEvent, depth: usize, residency: usize);
+
+    /// A per-trial prefix-cache lookup that resolved at `depth` reused
+    /// injections (`hit` = a previously cached frontier was reused).
+    fn cache(&self, depth: usize, hit: bool);
+
+    /// Flush buffered output (streaming sinks).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error for streaming sinks.
+    fn flush(&self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// The disabled recorder: reports `enabled() == false` so monomorphized
+/// instrumentation sites compile the telemetry out entirely.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    #[inline(always)]
+    fn span(&self, _: &'static str, _: u64, _: u64) {}
+
+    #[inline(always)]
+    fn kernel(&self, _: &'static str, _: KernelClass, _: u64, _: u64) {}
+
+    #[inline(always)]
+    fn counter(&self, _: &'static str, _: u64) {}
+
+    #[inline(always)]
+    fn msv(&self, _: MsvEvent, _: usize, _: usize) {}
+
+    #[inline(always)]
+    fn cache(&self, _: usize, _: bool) {}
+}
+
+/// Forward one instrumentation stream to two sinks (e.g. aggregate and
+/// trace in the same run). Enabled when either side is; span timestamps
+/// come from the first side's clock.
+#[derive(Clone, Copy)]
+pub struct TeeRecorder<'a> {
+    a: &'a dyn Recorder,
+    b: &'a dyn Recorder,
+}
+
+impl std::fmt::Debug for TeeRecorder<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TeeRecorder").finish_non_exhaustive()
+    }
+}
+
+impl<'a> TeeRecorder<'a> {
+    /// Tee into `a` and `b`.
+    pub fn new(a: &'a dyn Recorder, b: &'a dyn Recorder) -> Self {
+        TeeRecorder { a, b }
+    }
+}
+
+impl Recorder for TeeRecorder<'_> {
+    fn enabled(&self) -> bool {
+        self.a.enabled() || self.b.enabled()
+    }
+
+    fn now_ns(&self) -> u64 {
+        if self.a.enabled() {
+            self.a.now_ns()
+        } else {
+            self.b.now_ns()
+        }
+    }
+
+    fn span(&self, path: &'static str, start_ns: u64, end_ns: u64) {
+        self.a.span(path, start_ns, end_ns);
+        self.b.span(path, start_ns, end_ns);
+    }
+
+    fn kernel(&self, phase: &'static str, class: KernelClass, count: u64, ns: u64) {
+        self.a.kernel(phase, class, count, ns);
+        self.b.kernel(phase, class, count, ns);
+    }
+
+    fn counter(&self, name: &'static str, delta: u64) {
+        self.a.counter(name, delta);
+        self.b.counter(name, delta);
+    }
+
+    fn msv(&self, event: MsvEvent, depth: usize, residency: usize) {
+        self.a.msv(event, depth, residency);
+        self.b.msv(event, depth, residency);
+    }
+
+    fn cache(&self, depth: usize, hit: bool) {
+        self.a.cache(depth, hit);
+        self.b.cache(depth, hit);
+    }
+
+    fn flush(&self) -> std::io::Result<()> {
+        self.a.flush()?;
+        self.b.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AggregatingRecorder;
+
+    #[test]
+    fn kernel_class_names_round_trip() {
+        for class in KernelClass::ALL {
+            assert_eq!(KernelClass::from_name(class.name()), Some(class));
+        }
+        assert_eq!(KernelClass::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn null_recorder_is_disabled_and_inert() {
+        let null = NullRecorder;
+        assert!(!null.enabled());
+        assert_eq!(null.now_ns(), 0);
+        null.span("run/x", 0, 1);
+        null.kernel("p", KernelClass::Cx, 1, 1);
+        null.counter("ops", 5);
+        null.msv(MsvEvent::Fork, 1, 2);
+        null.cache(0, true);
+        null.flush().unwrap();
+    }
+
+    #[test]
+    fn tee_forwards_to_both_sides() {
+        let a = AggregatingRecorder::new();
+        let b = AggregatingRecorder::new();
+        let tee = TeeRecorder::new(&a, &b);
+        assert!(tee.enabled());
+        tee.counter("ops", 3);
+        tee.kernel("reuse/shared", KernelClass::Dense2, 2, 100);
+        tee.msv(MsvEvent::Create, 0, 1);
+        tee.cache(1, true);
+        tee.span("run/reuse", 0, 10);
+        tee.flush().unwrap();
+        for side in [&a, &b] {
+            let report = side.report();
+            assert_eq!(report.counter("ops"), 3);
+            assert_eq!(report.peak_residency(), 1);
+        }
+    }
+}

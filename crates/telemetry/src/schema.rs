@@ -1,0 +1,273 @@
+//! Schema validation for JSONL traces.
+//!
+//! A trace is one JSON object per line: a `meta` header followed by
+//! `span` / `kernel` / `counter` / `msv` / `cache` events. The validator
+//! parses each line with a small built-in JSON reader (flat objects of
+//! strings, integers, and booleans — exactly what [`crate::JsonlRecorder`]
+//! emits) and checks the per-event field schema, so CI can prove a
+//! `--trace` artifact well-formed without external dependencies.
+
+use std::collections::BTreeMap;
+
+use crate::recorder::{KernelClass, MsvEvent};
+
+/// A parsed flat JSON value.
+#[derive(Clone, Debug, PartialEq)]
+enum Value {
+    Str(String),
+    Int(u64),
+    Bool(bool),
+}
+
+/// Parse one flat JSON object (string/integer/boolean values only).
+fn parse_object(line: &str) -> Result<BTreeMap<String, Value>, String> {
+    let mut chars = line.trim().char_indices().peekable();
+    let mut fields = BTreeMap::new();
+    let err = |at: usize, what: &str| format!("offset {at}: {what}");
+
+    let expect =
+        |chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>, want: char| match chars.next()
+        {
+            Some((_, c)) if c == want => Ok(()),
+            Some((at, c)) => Err(format!("offset {at}: expected '{want}', found '{c}'")),
+            None => Err(format!("unexpected end of line (expected '{want}')")),
+        };
+    let parse_string = |chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>| {
+        expect(chars, '"')?;
+        let mut s = String::new();
+        loop {
+            match chars.next() {
+                Some((_, '"')) => return Ok(s),
+                Some((at, '\\')) => match chars.next() {
+                    Some((_, '"')) => s.push('"'),
+                    Some((_, '\\')) => s.push('\\'),
+                    Some((_, 'n')) => s.push('\n'),
+                    Some((_, 't')) => s.push('\t'),
+                    _ => return Err(err(at, "unsupported escape")),
+                },
+                Some((_, c)) => s.push(c),
+                None => return Err("unterminated string".to_owned()),
+            }
+        }
+    };
+
+    expect(&mut chars, '{')?;
+    if chars.peek().is_some_and(|&(_, c)| c == '}') {
+        chars.next();
+    } else {
+        loop {
+            let key = parse_string(&mut chars)?;
+            expect(&mut chars, ':')?;
+            let value = match chars.peek() {
+                Some(&(_, '"')) => Value::Str(parse_string(&mut chars)?),
+                Some(&(_, 't')) | Some(&(_, 'f')) => {
+                    let mut word = String::new();
+                    while chars.peek().is_some_and(|&(_, c)| c.is_ascii_alphabetic()) {
+                        word.push(chars.next().expect("peeked").1);
+                    }
+                    match word.as_str() {
+                        "true" => Value::Bool(true),
+                        "false" => Value::Bool(false),
+                        other => return Err(format!("bad literal {other:?}")),
+                    }
+                }
+                Some(&(at, c)) if c.is_ascii_digit() => {
+                    let mut digits = String::new();
+                    while chars.peek().is_some_and(|&(_, c)| c.is_ascii_digit()) {
+                        digits.push(chars.next().expect("peeked").1);
+                    }
+                    Value::Int(digits.parse().map_err(|_| err(at, "integer out of range"))?)
+                }
+                Some(&(at, c)) => return Err(format!("offset {at}: unexpected value start '{c}'")),
+                None => return Err("unexpected end of line (expected value)".to_owned()),
+            };
+            if fields.insert(key.clone(), value).is_some() {
+                return Err(format!("duplicate key {key:?}"));
+            }
+            match chars.next() {
+                Some((_, ',')) => continue,
+                Some((_, '}')) => break,
+                Some((at, c)) => {
+                    return Err(err(at, &format!("expected ',' or '}}', found '{c}'")))
+                }
+                None => return Err("unterminated object".to_owned()),
+            }
+        }
+    }
+    if let Some((at, c)) = chars.next() {
+        return Err(err(at, &format!("trailing content starting with '{c}'")));
+    }
+    Ok(fields)
+}
+
+fn str_field<'a>(fields: &'a BTreeMap<String, Value>, key: &str) -> Result<&'a str, String> {
+    match fields.get(key) {
+        Some(Value::Str(s)) => Ok(s),
+        Some(_) => Err(format!("field {key:?} must be a string")),
+        None => Err(format!("missing field {key:?}")),
+    }
+}
+
+fn int_field(fields: &BTreeMap<String, Value>, key: &str) -> Result<u64, String> {
+    match fields.get(key) {
+        Some(Value::Int(n)) => Ok(*n),
+        Some(_) => Err(format!("field {key:?} must be an unsigned integer")),
+        None => Err(format!("missing field {key:?}")),
+    }
+}
+
+fn bool_field(fields: &BTreeMap<String, Value>, key: &str) -> Result<bool, String> {
+    match fields.get(key) {
+        Some(Value::Bool(b)) => Ok(*b),
+        Some(_) => Err(format!("field {key:?} must be a boolean")),
+        None => Err(format!("missing field {key:?}")),
+    }
+}
+
+fn check_exact_keys(fields: &BTreeMap<String, Value>, allowed: &[&str]) -> Result<(), String> {
+    for key in fields.keys() {
+        if !allowed.contains(&key.as_str()) {
+            return Err(format!("unexpected field {key:?}"));
+        }
+    }
+    Ok(())
+}
+
+/// Validate one trace line against the event schema.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first violation.
+pub fn validate_line(line: &str) -> Result<(), String> {
+    let fields = parse_object(line)?;
+    match str_field(&fields, "ev")? {
+        "meta" => {
+            check_exact_keys(&fields, &["ev", "version"])?;
+            let version = int_field(&fields, "version")?;
+            if version != crate::jsonl::TRACE_VERSION {
+                return Err(format!("unsupported trace version {version}"));
+            }
+        }
+        "span" => {
+            check_exact_keys(&fields, &["ev", "path", "start_ns", "end_ns"])?;
+            str_field(&fields, "path")?;
+            let start = int_field(&fields, "start_ns")?;
+            let end = int_field(&fields, "end_ns")?;
+            if end < start {
+                return Err(format!("span ends ({end}) before it starts ({start})"));
+            }
+        }
+        "kernel" => {
+            check_exact_keys(&fields, &["ev", "phase", "class", "count", "ns"])?;
+            str_field(&fields, "phase")?;
+            let class = str_field(&fields, "class")?;
+            if KernelClass::from_name(class).is_none() {
+                return Err(format!("unknown kernel class {class:?}"));
+            }
+            int_field(&fields, "count")?;
+            int_field(&fields, "ns")?;
+        }
+        "counter" => {
+            check_exact_keys(&fields, &["ev", "name", "delta"])?;
+            str_field(&fields, "name")?;
+            int_field(&fields, "delta")?;
+        }
+        "msv" => {
+            check_exact_keys(&fields, &["ev", "kind", "depth", "residency"])?;
+            let kind = str_field(&fields, "kind")?;
+            if !MsvEvent::ALL.iter().any(|e| e.name() == kind) {
+                return Err(format!("unknown msv event kind {kind:?}"));
+            }
+            int_field(&fields, "depth")?;
+            int_field(&fields, "residency")?;
+        }
+        "cache" => {
+            check_exact_keys(&fields, &["ev", "depth", "hit"])?;
+            int_field(&fields, "depth")?;
+            bool_field(&fields, "hit")?;
+        }
+        other => return Err(format!("unknown event type {other:?}")),
+    }
+    Ok(())
+}
+
+/// Validate a whole JSONL trace: the first line must be the `meta` header,
+/// every following non-empty line a valid event.
+///
+/// # Errors
+///
+/// Returns `line number (1-based) + description` of the first violation.
+pub fn validate_jsonl(text: &str) -> Result<(), String> {
+    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+    match lines.next() {
+        Some((index, line)) => {
+            validate_line(line).map_err(|e| format!("line {}: {e}", index + 1))?;
+            if !line.contains("\"ev\":\"meta\"") {
+                return Err(format!("line {}: trace must start with the meta header", index + 1));
+            }
+        }
+        None => return Err("empty trace".to_owned()),
+    }
+    for (index, line) in lines {
+        validate_line(line).map_err(|e| format!("line {}: {e}", index + 1))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_every_event_shape() {
+        for line in [
+            "{\"ev\":\"meta\",\"version\":1}",
+            "{\"ev\":\"span\",\"path\":\"run/reuse\",\"start_ns\":5,\"end_ns\":9}",
+            "{\"ev\":\"kernel\",\"phase\":\"reuse/shared\",\"class\":\"cx\",\"count\":2,\"ns\":77}",
+            "{\"ev\":\"counter\",\"name\":\"ops\",\"delta\":3}",
+            "{\"ev\":\"msv\",\"kind\":\"fork\",\"depth\":1,\"residency\":2}",
+            "{\"ev\":\"cache\",\"depth\":0,\"hit\":true}",
+            "{\"ev\":\"cache\",\"depth\":4,\"hit\":false}",
+        ] {
+            validate_line(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for (line, fragment) in [
+            ("not json", "expected '{'"),
+            ("{\"ev\":\"nope\"}", "unknown event type"),
+            ("{\"ev\":\"counter\",\"name\":\"ops\"}", "missing field \"delta\""),
+            ("{\"ev\":\"counter\",\"name\":\"ops\",\"delta\":-1}", "unexpected value start"),
+            ("{\"ev\":\"counter\",\"name\":\"ops\",\"delta\":1,\"extra\":2}", "unexpected field"),
+            (
+                "{\"ev\":\"kernel\",\"phase\":\"p\",\"class\":\"warp\",\"count\":1,\"ns\":1}",
+                "unknown kernel class",
+            ),
+            ("{\"ev\":\"msv\",\"kind\":\"zap\",\"depth\":0,\"residency\":1}", "unknown msv event"),
+            ("{\"ev\":\"span\",\"path\":\"p\",\"start_ns\":9,\"end_ns\":5}", "before it starts"),
+            ("{\"ev\":\"cache\",\"depth\":0,\"hit\":1}", "must be a boolean"),
+            ("{\"ev\":\"meta\",\"version\":99}", "unsupported trace version"),
+            ("{\"ev\":\"meta\",\"version\":1} trailing", "trailing content"),
+            ("{\"ev\":\"meta\",\"ev\":\"meta\",\"version\":1}", "duplicate key"),
+        ] {
+            let err = validate_line(line).expect_err(line);
+            assert!(err.contains(fragment), "{line}: got {err:?}, wanted {fragment:?}");
+        }
+    }
+
+    #[test]
+    fn whole_trace_validation_pins_line_numbers() {
+        let good =
+            "{\"ev\":\"meta\",\"version\":1}\n{\"ev\":\"counter\",\"name\":\"ops\",\"delta\":1}\n";
+        validate_jsonl(good).unwrap();
+        let bad = format!("{good}{{\"ev\":\"bogus\"}}\n");
+        let err = validate_jsonl(&bad).unwrap_err();
+        assert!(err.starts_with("line 3:"), "{err}");
+        let headerless = "{\"ev\":\"counter\",\"name\":\"ops\",\"delta\":1}\n";
+        let err = validate_jsonl(headerless).unwrap_err();
+        assert!(err.contains("meta header"), "{err}");
+        assert!(validate_jsonl("").unwrap_err().contains("empty trace"));
+    }
+}

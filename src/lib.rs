@@ -14,6 +14,9 @@
 //!   prefix-state-cached execution.
 //! * [`analyzer`] — static plan verifier: proves trial plans, cache
 //!   schedules, and fused programs sound before execution.
+//! * [`telemetry`] — structured runtime tracing and metrics; every
+//!   executor has a `*_traced` variant whose totals mirror its
+//!   [`redsim::ExecStats`] exactly.
 //!
 //! # Quickstart
 //!
@@ -28,6 +31,7 @@ pub use qsim_circuit as circuit;
 pub use qsim_noise as noise;
 pub use qsim_qasm as qasm;
 pub use qsim_statevec as statevec;
+pub use qsim_telemetry as telemetry;
 pub use redsim;
 
 /// One-line import for the common workflow:

@@ -1,0 +1,117 @@
+//! The exactness contract of the telemetry subsystem, stated over every
+//! shipped benchmark: the runtime observation plane (recorder counters,
+//! kernel totals, MSV residency) must agree with the executor's own
+//! accounting (`ExecStats`) **and** with the static analyzer's dry-run
+//! prediction (`CostReport`) — no sampling, no tolerance, exact equality.
+
+use noisy_qsim::circuit::transpile::{transpile, TranspileOptions};
+use noisy_qsim::noise::{NoiseModel, TrialGenerator};
+use noisy_qsim::redsim::analysis::analyze;
+use noisy_qsim::redsim::exec::{BaselineExecutor, ReuseExecutor};
+use noisy_qsim::telemetry::{AggregatingRecorder, MsvEvent};
+
+const TRIALS: usize = 64;
+const SEED: u64 = 2020;
+
+fn shipped_benchmarks() -> Vec<(String, noisy_qsim::circuit::LayeredCircuit, NoiseModel)> {
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/benchmarks");
+    let mut cases = Vec::new();
+    for (dir, wide_model) in [("yorktown", false), ("logical", true)] {
+        let mut paths: Vec<_> = std::fs::read_dir(format!("{root}/{dir}"))
+            .unwrap_or_else(|e| panic!("{root}/{dir}: {e}"))
+            .map(|e| e.expect("dir entry").path())
+            .collect();
+        paths.sort();
+        assert!(!paths.is_empty(), "no benchmarks under {dir}");
+        for path in paths {
+            let circuit = noisy_qsim::qasm::parse_file(&path)
+                .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            // The Yorktown suite is device-native; the logical suite still
+            // needs lowering (Toffolis etc.) — all-to-all, no routing.
+            let circuit = if wide_model {
+                let options = TranspileOptions {
+                    coupling: None,
+                    fuse_single_qubit: true,
+                    cancel_cx: true,
+                    commute_rotations: true,
+                };
+                transpile(&circuit, &options).expect("lowering").circuit
+            } else {
+                circuit
+            };
+            let layered = circuit.layered().expect("layers");
+            let model = if wide_model {
+                NoiseModel::uniform(layered.n_qubits(), 1e-3, 1e-2, 1e-2)
+            } else {
+                NoiseModel::ibm_yorktown()
+            };
+            cases.push((format!("{dir}/{}", circuit.name()), layered, model));
+        }
+    }
+    cases
+}
+
+#[test]
+fn telemetry_matches_exec_stats_and_analyzer_on_all_shipped_benchmarks() {
+    let mut checked = 0usize;
+    for (name, layered, model) in shipped_benchmarks() {
+        let generator = TrialGenerator::new(&layered, &model).expect("native circuit");
+        let set = generator.generate(TRIALS, SEED);
+        let trials = set.trials();
+        let cost = analyze(&layered, &set).expect("static analysis");
+
+        // Reordered execution under an aggregating recorder.
+        let recorder = AggregatingRecorder::new();
+        let run = ReuseExecutor::new(&layered).run_traced(trials, &recorder).expect("reuse run");
+        let report = recorder.report();
+
+        // Telemetry ↔ ExecStats: counter-for-counter equality.
+        assert_eq!(report.counter("trials"), run.stats.n_trials as u64, "{name}: trials");
+        assert_eq!(report.counter("ops"), run.stats.ops, "{name}: ops");
+        assert_eq!(report.counter("fused_ops"), run.stats.fused_ops, "{name}: fused_ops");
+        assert_eq!(
+            report.counter("amplitude_passes"),
+            run.stats.amplitude_passes,
+            "{name}: amplitude_passes"
+        );
+        assert_eq!(
+            report.total_kernel_count(),
+            run.stats.amplitude_passes,
+            "{name}: per-kernel histogram totals"
+        );
+        assert_eq!(report.peak_residency(), run.stats.peak_msv, "{name}: MSV residency");
+        // Lifecycle conservation: one root created, never dropped (it is
+        // the error-free frontier held until the run ends), and every
+        // forked frontier eventually dropped.
+        assert_eq!(report.msv_count(MsvEvent::Create), 1, "{name}: one root MSV");
+        assert_eq!(
+            report.msv_count(MsvEvent::Fork),
+            report.msv_count(MsvEvent::Drop),
+            "{name}: MSV fork/drop conservation"
+        );
+        // Prefix cache: exactly one lookup per trial, first one a miss.
+        let (hits, misses) = report.cache_totals();
+        assert_eq!(hits + misses, TRIALS as u64, "{name}: one cache lookup per trial");
+
+        // Telemetry/ExecStats ↔ CostReport: the dry-run prediction is
+        // exact for the sequential reordered execution.
+        assert_eq!(run.stats.ops, cost.optimized_ops, "{name}: analyzer ops");
+        assert_eq!(run.stats.peak_msv, cost.msv_peak, "{name}: analyzer MSV peak");
+
+        // Baseline under the same contract: analyzer predicts its cost
+        // exactly too, and it stores no intermediate states.
+        let base_recorder = AggregatingRecorder::new();
+        let base = BaselineExecutor::new(&layered)
+            .run_traced(trials, &base_recorder)
+            .expect("baseline run");
+        let base_report = base_recorder.report();
+        assert_eq!(base_report.counter("ops"), base.stats.ops, "{name}: baseline ops");
+        assert_eq!(base.stats.ops, cost.baseline_ops, "{name}: analyzer baseline ops");
+        assert_eq!(base_report.peak_residency(), 0, "{name}: baseline stores nothing");
+
+        // And none of the observation machinery may perturb the physics.
+        assert_eq!(run.outcomes, base.outcomes, "{name}: traced strategies diverged");
+        checked += 1;
+    }
+    assert!(checked >= 12, "expected the full shipped suite, checked {checked}");
+}
