@@ -2,11 +2,12 @@
 //! saving and memory frugality comes from the trial *reordering* itself,
 //! versus plain consecutive-trial prefix caching in generation order.
 //!
-//! Usage: `ablation [--trials N] [--seed N]`
+//! Usage: `ablation [--trials N] [--seed N] [--json]`
 
-use redsim_bench::arg_value;
 use redsim_bench::experiments::ablation_sweep;
+use redsim_bench::report::ResultsDoc;
 use redsim_bench::table::Table;
+use redsim_bench::{arg_flag, arg_value, json};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -14,6 +15,26 @@ fn main() {
     let seed = arg_value(&args, "--seed", 2020u64);
 
     let rows = ablation_sweep(trials, seed);
+    if arg_flag(&args, "--json") {
+        let rendered = json::array(rows.iter().map(|row| {
+            json::object(&[
+                ("name", json::string(&row.name)),
+                ("reordered_normalized", json::number(row.reordered.normalized_computation())),
+                (
+                    "generation_normalized",
+                    json::number(row.generation_order.normalized_computation()),
+                ),
+                ("reordered_msv", format!("{}", row.reordered.msv_peak)),
+                ("generation_msv", format!("{}", row.generation_order.msv_peak)),
+            ])
+        }));
+        ResultsDoc::new("ablation")
+            .int("seed", seed)
+            .int("trials", trials)
+            .field("rows", rendered)
+            .print();
+        return;
+    }
     let mut table = Table::new([
         "Benchmark",
         "norm (reordered)",

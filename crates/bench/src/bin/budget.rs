@@ -4,14 +4,15 @@
 //! buys — and shows that even a budget of 1 (just the error-free frontier)
 //! captures most of the saving at realistic error rates.
 //!
-//! Usage: `budget [--trials N] [--seed N]`
+//! Usage: `budget [--trials N] [--seed N] [--json]`
 
 use qsim_noise::TrialGenerator;
 use redsim::analysis::analyze_sorted_with_budget;
 use redsim::order::reorder;
-use redsim_bench::arg_value;
+use redsim_bench::report::ResultsDoc;
 use redsim_bench::suite::{yorktown_model, yorktown_suite};
 use redsim_bench::table::Table;
+use redsim_bench::{arg_flag, arg_value, json};
 
 const BUDGETS: [usize; 5] = [1, 2, 3, 4, usize::MAX];
 
@@ -20,6 +21,39 @@ fn main() {
     let trials = arg_value(&args, "--trials", 8192usize);
     let seed = arg_value(&args, "--seed", 2020u64);
     let model = yorktown_model();
+
+    if arg_flag(&args, "--json") {
+        let rendered = json::array(yorktown_suite().iter().map(|bench| {
+            let generator =
+                TrialGenerator::new(&bench.layered, &model).expect("suite validated against model");
+            let mut sorted = generator.generate(trials, seed).into_trials();
+            reorder(&mut sorted);
+            json::object(&[
+                ("name", json::string(&bench.name)),
+                (
+                    "points",
+                    json::array(BUDGETS.iter().map(|&budget| {
+                        let report = analyze_sorted_with_budget(&bench.layered, &sorted, budget)
+                            .expect("trials fit the circuit");
+                        json::object(&[
+                            // 0 = unbounded, matching the CLI's --budget 0.
+                            (
+                                "budget",
+                                format!("{}", if budget == usize::MAX { 0 } else { budget }),
+                            ),
+                            ("normalized", json::number(report.normalized_computation())),
+                        ])
+                    })),
+                ),
+            ])
+        }));
+        ResultsDoc::new("budget")
+            .int("seed", seed)
+            .int("trials", trials)
+            .field("rows", rendered)
+            .print();
+        return;
+    }
 
     let mut header = vec!["Benchmark".to_owned()];
     header.extend(BUDGETS.iter().map(|b| {

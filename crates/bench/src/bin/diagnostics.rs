@@ -2,14 +2,15 @@
 //! shared-prefix (LCP) profile behind the savings, the analytic prediction,
 //! and the per-layer noise mass.
 //!
-//! Usage: `diagnostics [--bench NAME] [--trials N] [--seed N]`
+//! Usage: `diagnostics [--bench NAME] [--trials N] [--seed N] [--json]`
 
 use qsim_noise::TrialGenerator;
 use redsim::analysis::{analyze_sorted, lcp_histogram};
 use redsim::estimate::estimate_first_order;
 use redsim::order::reorder;
-use redsim_bench::arg_value;
+use redsim_bench::report::ResultsDoc;
 use redsim_bench::suite::{yorktown_model, yorktown_suite};
+use redsim_bench::{arg_flag, arg_value, json};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -25,6 +26,29 @@ fn main() {
     let model = yorktown_model();
     let generator =
         TrialGenerator::new(&bench.layered, &model).expect("suite validated against model");
+
+    if arg_flag(&args, "--json") {
+        let set = generator.generate(trials, seed);
+        let mean_injections = set.mean_injections();
+        let error_free = set.error_free_fraction();
+        let mut sorted = set.into_trials();
+        reorder(&mut sorted);
+        let report = analyze_sorted(&bench.layered, &sorted).expect("trials fit the circuit");
+        let predicted = estimate_first_order(&bench.layered, &generator, trials);
+        ResultsDoc::new("diagnostics")
+            .field("bench", json::string(&bench.name))
+            .int("seed", seed)
+            .int("trials", trials)
+            .int("error_positions", generator.n_positions())
+            .field("expected_injections", json::number(generator.expected_injections()))
+            .field("mean_injections", json::number(mean_injections))
+            .field("error_free_fraction", json::number(error_free))
+            .field("normalized", json::number(report.normalized_computation()))
+            .field("predicted_normalized", json::number(predicted.normalized_computation()))
+            .int("msv_peak", report.msv_peak)
+            .print();
+        return;
+    }
 
     println!("benchmark: {} ({})", bench.name, bench.layered);
     println!(

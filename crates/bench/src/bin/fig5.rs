@@ -1,12 +1,13 @@
 //! Regenerates the paper's Fig. 5: normalized computation of the optimized
 //! simulation on the realistic Yorktown error model, for 1024–8192 trials.
 //!
-//! Usage: `fig5 [--seed N] [--json]`
+//! Usage: `fig5 [--seed N] [--json] [--record]`
 
 use redsim_bench::chart::BarChart;
 use redsim_bench::experiments::realistic_sweep;
+use redsim_bench::report::ResultsDoc;
 use redsim_bench::table::Table;
-use redsim_bench::{arg_flag, arg_value, json};
+use redsim_bench::{arg_flag, arg_value, json, report};
 
 const TRIAL_COUNTS: [usize; 4] = [1024, 2048, 4096, 8192];
 
@@ -15,7 +16,7 @@ fn main() {
     let seed = arg_value(&args, "--seed", 2020u64);
     let rows = realistic_sweep(&TRIAL_COUNTS, seed);
 
-    if arg_flag(&args, "--json") {
+    if arg_flag(&args, "--json") || arg_flag(&args, "--record") {
         let rendered = json::array(rows.iter().map(|row| {
             json::object(&[
                 ("benchmark", json::string(&row.name)),
@@ -32,7 +33,11 @@ fn main() {
                 ),
             ])
         }));
-        println!("{}", json::object(&[("figure", json::string("fig5")), ("rows", rendered)]));
+        let doc = ResultsDoc::figure("fig5").int("seed", seed).field("rows", rendered);
+        report::maybe_record(&args, &doc);
+        if arg_flag(&args, "--json") {
+            doc.print();
+        }
         return;
     }
 

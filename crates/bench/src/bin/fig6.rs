@@ -8,18 +8,19 @@
 //! * **eager policy** — this crate's one-trial-lookahead improvement, a
 //!   strict lower bound.
 //!
-//! Usage: `fig6 [--seed N]`
+//! Usage: `fig6 [--seed N] [--json] [--record]`
 
 use redsim_bench::experiments::realistic_sweep;
+use redsim_bench::report::ResultsDoc;
 use redsim_bench::table::Table;
-use redsim_bench::{arg_flag, arg_value, json};
+use redsim_bench::{arg_flag, arg_value, json, report};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let seed = arg_value(&args, "--seed", 2020u64);
     let rows = realistic_sweep(&[1024, 8192], seed);
 
-    if arg_flag(&args, "--json") {
+    if arg_flag(&args, "--json") || arg_flag(&args, "--record") {
         let rendered = json::array(rows.iter().map(|row| {
             json::object(&[
                 ("benchmark", json::string(&row.name)),
@@ -35,7 +36,11 @@ fn main() {
                 ),
             ])
         }));
-        println!("{}", json::object(&[("figure", json::string("fig6")), ("rows", rendered)]));
+        let doc = ResultsDoc::figure("fig6").int("seed", seed).field("rows", rendered);
+        report::maybe_record(&args, &doc);
+        if arg_flag(&args, "--json") {
+            doc.print();
+        }
         return;
     }
 

@@ -9,6 +9,7 @@
 
 use redsim_bench::chart::BarChart;
 use redsim_bench::experiments::scalability_sweep;
+use redsim_bench::report::ResultsDoc;
 use redsim_bench::suite::SCALABILITY_RATES;
 use redsim_bench::table::Table;
 use redsim_bench::{arg_flag, arg_value, json};
@@ -39,14 +40,7 @@ fn main() {
                 ),
             ])
         }));
-        println!(
-            "{}",
-            json::object(&[
-                ("figure", json::string("fig7")),
-                ("trials", format!("{trials}")),
-                ("rows", rendered),
-            ])
-        );
+        ResultsDoc::figure("fig7").int("trials", trials).field("rows", rendered).print();
         return;
     }
 

@@ -4,6 +4,7 @@
 //! Usage: `fig8 [--trials N] [--seed N]`
 
 use redsim_bench::experiments::scalability_sweep;
+use redsim_bench::report::ResultsDoc;
 use redsim_bench::suite::SCALABILITY_RATES;
 use redsim_bench::table::Table;
 use redsim_bench::{arg_flag, arg_value, json};
@@ -32,14 +33,7 @@ fn main() {
                 ),
             ])
         }));
-        println!(
-            "{}",
-            json::object(&[
-                ("figure", json::string("fig8")),
-                ("trials", format!("{trials}")),
-                ("rows", rendered),
-            ])
-        );
+        ResultsDoc::figure("fig8").int("trials", trials).field("rows", rendered).print();
         return;
     }
     let mut header = vec!["Circuit".to_owned()];

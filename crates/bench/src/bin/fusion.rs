@@ -7,17 +7,20 @@
 //! inject on more distinct layers, densifying the shared cut union and
 //! shortening segments, so the sweep records several counts.
 //!
-//! Usage: `fusion [--seed N] [--reps N] [--out PATH] [--quiet]`
+//! Usage: `fusion [--seed N] [--reps N] [--out PATH] [--quick] [--record] [--quiet]`
 
 use std::time::Instant;
 
 use redsim::exec::{ExecStats, RunResult};
 use redsim::SimError;
+use redsim_bench::report::ResultsDoc;
 use redsim_bench::suite::{yorktown_model, yorktown_suite};
 use redsim_bench::table::Table;
-use redsim_bench::{arg_value, json};
+use redsim_bench::{arg_flag, arg_value, json, report};
 
 const TRIAL_COUNTS: [usize; 3] = [64, 256, 1024];
+/// `--quick` sweep for CI: one trial count keeps the run under a minute.
+const QUICK_TRIAL_COUNTS: [usize; 1] = [64];
 
 /// Best-of-`reps` wall clock for `run`, with one warmup execution.
 fn time_best<F>(reps: usize, mut run: F) -> (f64, ExecStats)
@@ -61,12 +64,14 @@ fn main() {
     let seed = arg_value(&args, "--seed", 2020u64);
     let reps = arg_value(&args, "--reps", 5usize);
     let out = arg_value(&args, "--out", "BENCH_fusion.json".to_owned());
-    let quiet = redsim_bench::arg_flag(&args, "--quiet");
+    let quiet = arg_flag(&args, "--quiet");
+    let counts: &[usize] =
+        if arg_flag(&args, "--quick") { &QUICK_TRIAL_COUNTS } else { &TRIAL_COUNTS };
 
     let suite = yorktown_suite();
     let model = yorktown_model();
     let mut rows = Vec::new();
-    for &n_trials in &TRIAL_COUNTS {
+    for &n_trials in counts {
         for bench in &suite {
             let set = qsim_noise::TrialGenerator::new(&bench.layered, &model)
                 .expect("valid model")
@@ -92,30 +97,26 @@ fn main() {
         }
     }
 
-    let rendered = json::object(&[
-        ("benchmark", json::string("fusion")),
-        ("seed", format!("{seed}")),
-        ("reps", format!("{reps}")),
-        (
-            "rows",
-            json::array(rows.iter().map(|row| {
-                json::object(&[
-                    ("name", json::string(&row.name)),
-                    ("trials", format!("{}", row.trials)),
-                    ("ops", format!("{}", row.stats.ops)),
-                    ("fused_ops", format!("{}", row.stats.fused_ops)),
-                    ("amplitude_passes", format!("{}", row.stats.amplitude_passes)),
-                    ("pass_reduction", json::number(row.pass_reduction())),
-                    ("reuse_fused_ms", json::number(row.reuse_fused_ms)),
-                    ("reuse_unfused_ms", json::number(row.reuse_unfused_ms)),
-                    ("reuse_speedup", json::number(row.speedup())),
-                    ("baseline_pass_reduction", json::number(row.baseline_reduction)),
-                    ("baseline_speedup", json::number(row.baseline_speedup)),
-                ])
-            })),
-        ),
-    ]);
-    std::fs::write(&out, format!("{rendered}\n")).expect("write BENCH_fusion.json");
+    let doc = ResultsDoc::new("fusion").int("seed", seed).int("reps", reps).field(
+        "rows",
+        json::array(rows.iter().map(|row| {
+            json::object(&[
+                ("name", json::string(&row.name)),
+                ("trials", format!("{}", row.trials)),
+                ("ops", format!("{}", row.stats.ops)),
+                ("fused_ops", format!("{}", row.stats.fused_ops)),
+                ("amplitude_passes", format!("{}", row.stats.amplitude_passes)),
+                ("pass_reduction", json::number(row.pass_reduction())),
+                ("reuse_fused_ms", json::number(row.reuse_fused_ms)),
+                ("reuse_unfused_ms", json::number(row.reuse_unfused_ms)),
+                ("reuse_speedup", json::number(row.speedup())),
+                ("baseline_pass_reduction", json::number(row.baseline_reduction)),
+                ("baseline_speedup", json::number(row.baseline_speedup)),
+            ])
+        })),
+    );
+    doc.write_file(&out);
+    report::maybe_record(&args, &doc);
 
     if !quiet {
         let mut table = Table::new([

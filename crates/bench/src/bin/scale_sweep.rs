@@ -3,11 +3,12 @@
 //! the Yorktown calibration scaled by 4×, 1×, ¼×, and 1/16× (Fig. 7 makes
 //! the same point with artificial uniform models).
 //!
-//! Usage: `scale_sweep [--trials N] [--seed N]`
+//! Usage: `scale_sweep [--trials N] [--seed N] [--json]`
 
-use redsim_bench::arg_value;
 use redsim_bench::experiments::noise_scale_sweep;
+use redsim_bench::report::ResultsDoc;
 use redsim_bench::table::Table;
+use redsim_bench::{arg_flag, arg_value, json};
 
 const FACTORS: [f64; 4] = [4.0, 1.0, 0.25, 0.0625];
 
@@ -16,6 +17,29 @@ fn main() {
     let trials = arg_value(&args, "--trials", 8192usize);
     let seed = arg_value(&args, "--seed", 2020u64);
     let rows = noise_scale_sweep(&FACTORS, trials, seed);
+
+    if arg_flag(&args, "--json") {
+        let rendered = json::array(rows.iter().map(|row| {
+            json::object(&[
+                ("name", json::string(&row.name)),
+                (
+                    "points",
+                    json::array(row.points.iter().map(|(factor, report)| {
+                        json::object(&[
+                            ("factor", json::number(*factor)),
+                            ("normalized", json::number(report.normalized_computation())),
+                        ])
+                    })),
+                ),
+            ])
+        }));
+        ResultsDoc::new("scale_sweep")
+            .int("seed", seed)
+            .int("trials", trials)
+            .field("rows", rendered)
+            .print();
+        return;
+    }
 
     let mut header = vec!["Benchmark".to_owned()];
     header.extend(FACTORS.iter().map(|f| format!("{f}x noise")));

@@ -4,11 +4,31 @@
 //! Our transpiler replaces the Enfield compiler the paper used, so absolute
 //! gate counts differ (different router and fusion); the qubit and
 //! measurement counts must match exactly.
+//!
+//! Usage: `table1 [--json]`
 
+use redsim_bench::report::ResultsDoc;
 use redsim_bench::suite::{yorktown_suite, PAPER_TABLE1};
 use redsim_bench::table::Table;
+use redsim_bench::{arg_flag, json};
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if arg_flag(&args, "--json") {
+        let rendered = json::array(yorktown_suite().iter().map(|bench| {
+            let counts = bench.counts();
+            json::object(&[
+                ("name", json::string(&bench.name)),
+                ("n_qubits", format!("{}", bench.logical.n_qubits())),
+                ("single", format!("{}", counts.single)),
+                ("cnot", format!("{}", counts.cnot)),
+                ("measure", format!("{}", counts.measure)),
+                ("layers", format!("{}", bench.layered.n_layers())),
+            ])
+        }));
+        ResultsDoc::new("table1").field("rows", rendered).print();
+        return;
+    }
     let mut table = Table::new([
         "Name",
         "Qubit #",

@@ -9,15 +9,16 @@
 //! overhead exceeds `PCT` percent — CI runs this as the "telemetry is
 //! free unless you ask for it" regression gate.
 //!
-//! Usage: `telemetry [--seed N] [--reps N] [--trials N] [--out PATH] [--check PCT] [--quiet]`
+//! Usage: `telemetry [--seed N] [--reps N] [--trials N] [--out PATH] [--check PCT] [--record] [--quiet]`
 
 use std::time::Instant;
 
-use qsim_telemetry::{AggregatingRecorder, JsonlRecorder, NullRecorder, Recorder};
+use qsim_telemetry::{AggregatingRecorder, JsonlRecorder, NullRecorder, Recorder, TraceMeta};
 use redsim::exec::ReuseExecutor;
+use redsim_bench::report::ResultsDoc;
 use redsim_bench::suite::{yorktown_model, yorktown_suite};
 use redsim_bench::table::Table;
-use redsim_bench::{arg_value, json};
+use redsim_bench::{arg_value, json, report};
 
 /// Best-of-`reps` wall clock in milliseconds, with one warmup execution.
 fn time_best<F: FnMut()>(reps: usize, mut run: F) -> f64 {
@@ -75,7 +76,7 @@ fn main() {
             reuse.run_traced(trials, &recorder).expect("execution succeeds");
         });
         let jsonl_ms = time_best(reps, || {
-            let recorder = JsonlRecorder::new(Box::new(std::io::sink()));
+            let recorder = JsonlRecorder::new(Box::new(std::io::sink()), TraceMeta::default());
             reuse.run_traced(trials, &recorder).expect("execution succeeds");
             recorder.flush().expect("sink never fails");
         });
@@ -89,28 +90,24 @@ fn main() {
         });
     }
 
-    let rendered = json::object(&[
-        ("benchmark", json::string("telemetry")),
-        ("seed", format!("{seed}")),
-        ("reps", format!("{reps}")),
-        (
-            "rows",
-            json::array(rows.iter().map(|row| {
-                json::object(&[
-                    ("name", json::string(&row.name)),
-                    ("trials", format!("{}", row.trials)),
-                    ("plain_ms", json::number(row.plain_ms)),
-                    ("null_ms", json::number(row.null_ms)),
-                    ("null_overhead_pct", json::number(row.overhead_pct(row.null_ms))),
-                    ("aggregate_ms", json::number(row.aggregate_ms)),
-                    ("aggregate_overhead_pct", json::number(row.overhead_pct(row.aggregate_ms))),
-                    ("jsonl_ms", json::number(row.jsonl_ms)),
-                    ("jsonl_overhead_pct", json::number(row.overhead_pct(row.jsonl_ms))),
-                ])
-            })),
-        ),
-    ]);
-    std::fs::write(&out, format!("{rendered}\n")).expect("write BENCH_telemetry.json");
+    let doc = ResultsDoc::new("telemetry").int("seed", seed).int("reps", reps).field(
+        "rows",
+        json::array(rows.iter().map(|row| {
+            json::object(&[
+                ("name", json::string(&row.name)),
+                ("trials", format!("{}", row.trials)),
+                ("plain_ms", json::number(row.plain_ms)),
+                ("null_ms", json::number(row.null_ms)),
+                ("null_overhead_pct", json::number(row.overhead_pct(row.null_ms))),
+                ("aggregate_ms", json::number(row.aggregate_ms)),
+                ("aggregate_overhead_pct", json::number(row.overhead_pct(row.aggregate_ms))),
+                ("jsonl_ms", json::number(row.jsonl_ms)),
+                ("jsonl_overhead_pct", json::number(row.overhead_pct(row.jsonl_ms))),
+            ])
+        })),
+    );
+    doc.write_file(&out);
+    report::maybe_record(&args, &doc);
 
     if !quiet {
         let mut table =

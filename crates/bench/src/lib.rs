@@ -18,6 +18,7 @@
 pub mod chart;
 pub mod experiments;
 pub mod json;
+pub mod report;
 pub mod suite;
 pub mod table;
 

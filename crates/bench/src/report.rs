@@ -1,0 +1,137 @@
+//! Shared results writer for the bench bins.
+//!
+//! Every binary that emits a results document — `BENCH_*.json` files or
+//! `--json` stdout — builds it through [`ResultsDoc`], so the rendering,
+//! the file write, and the optional `--record` append into the benchmark
+//! history all live in one place. Recording goes through the *same*
+//! conversion `qsim history record` uses, so a document recorded at bench
+//! time and one recorded later from its file are identical.
+
+use crate::json;
+
+/// A bench results document under construction. Fields render in
+/// insertion order, which keeps the emitted bytes identical to the bins'
+/// historical hand-rolled output.
+pub struct ResultsDoc {
+    fields: Vec<(String, String)>,
+}
+
+impl ResultsDoc {
+    /// Start a benchmark-style document (leading `"benchmark"` field, as
+    /// the `BENCH_*.json` artifacts use).
+    pub fn new(benchmark: &str) -> Self {
+        ResultsDoc { fields: vec![("benchmark".to_owned(), json::string(benchmark))] }
+    }
+
+    /// Start a figure-style document (leading `"figure"` field, as the
+    /// `--json` figure reproductions use).
+    pub fn figure(name: &str) -> Self {
+        ResultsDoc { fields: vec![("figure".to_owned(), json::string(name))] }
+    }
+
+    /// Append an already-rendered JSON value.
+    #[must_use]
+    pub fn field(mut self, key: &str, rendered: String) -> Self {
+        self.fields.push((key.to_owned(), rendered));
+        self
+    }
+
+    /// Append an integer-like field (rendered via `Display`, no quotes).
+    #[must_use]
+    pub fn int(self, key: &str, value: impl std::fmt::Display) -> Self {
+        self.field(key, format!("{value}"))
+    }
+
+    /// Render the document as one JSON object.
+    pub fn render(&self) -> String {
+        let fields: Vec<(&str, String)> =
+            self.fields.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+        json::object(&fields)
+    }
+
+    /// Write the rendered document (newline-terminated) to `path`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on I/O failure — bench bins have no recovery path.
+    pub fn write_file(&self, path: &str) {
+        std::fs::write(path, format!("{}\n", self.render()))
+            .unwrap_or_else(|e| panic!("{path}: {e}"));
+    }
+
+    /// Print the rendered document to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+}
+
+/// Default benchmark history file, shared with `qsim history`.
+pub const DEFAULT_HISTORY: &str = "results/history.jsonl";
+
+/// Honor the shared `--record` flag: append this document to the
+/// benchmark history (`--history PATH` overrides [`DEFAULT_HISTORY`]) as
+/// one schema-versioned record. No-op without `--record`.
+///
+/// # Panics
+///
+/// Panics if the history file cannot be appended to.
+pub fn maybe_record(args: &[String], doc: &ResultsDoc) {
+    if !crate::arg_flag(args, "--record") {
+        return;
+    }
+    let path = crate::arg_value(args, "--history", DEFAULT_HISTORY.to_owned());
+    let parsed = qsim_observatory::Json::parse(&doc.render())
+        .unwrap_or_else(|e| panic!("results doc is not valid JSON: {e}"));
+    let timestamp = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let record = qsim_observatory::record_from_bench(&parsed, "bench", timestamp);
+    qsim_observatory::history::append(&path, &record)
+        .unwrap_or_else(|e| panic!("history append: {e}"));
+    eprintln!("recorded {} metrics from {} into {path}", record.metrics.len(), record.source);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_byte_compatible_bench_documents() {
+        // The exact shape the hand-rolled fusion/telemetry emitters used.
+        let doc = ResultsDoc::new("fusion").int("seed", 2020).int("reps", 5).field(
+            "rows",
+            json::array([json::object(&[
+                ("name", json::string("rb")),
+                ("trials", "64".to_owned()),
+                ("reuse_speedup", json::number(1.25)),
+            ])]),
+        );
+        assert_eq!(
+            doc.render(),
+            r#"{"benchmark": "fusion", "seed": 2020, "reps": 5, "rows": [{"name": "rb", "trials": 64, "reuse_speedup": 1.25}]}"#
+        );
+    }
+
+    #[test]
+    fn figure_documents_lead_with_the_figure_field() {
+        let doc = ResultsDoc::figure("fig5").field("rows", json::array([]));
+        assert_eq!(doc.render(), r#"{"figure": "fig5", "rows": []}"#);
+    }
+
+    #[test]
+    fn rendered_documents_parse_and_record() {
+        let doc = ResultsDoc::new("selftest").int("seed", 7).field(
+            "rows",
+            json::array([json::object(&[
+                ("name", json::string("rb")),
+                ("run_ms", json::number(12.5)),
+            ])]),
+        );
+        let parsed = qsim_observatory::Json::parse(&doc.render()).unwrap();
+        let record = qsim_observatory::record_from_bench(&parsed, "x", 1);
+        assert_eq!(record.source, "selftest");
+        assert_eq!(record.seed, 7);
+        assert_eq!(record.metrics.get("rows.rb.run_ms"), Some(&12.5));
+    }
+}

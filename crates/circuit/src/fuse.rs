@@ -31,6 +31,13 @@ use qsim_statevec::{FusedOp, Matrix2, Matrix4, StateVecError, StateVector};
 
 use crate::{Gate, LayeredCircuit};
 
+/// Segments standing for fewer source gates than this skip fusion and run
+/// gate-by-gate. On tiny segments the chaining/pairing machinery mostly
+/// promotes cheap specialized kernels (diag1, cx) into dense 4×4 passes
+/// without removing enough passes to pay for them — the profitability
+/// cliff the `fusion` benchmark exposes on densely-cut RB sequences.
+pub const FUSION_MIN_GATES: usize = 4;
+
 /// One fused, cut-respecting slice of the circuit: layers
 /// `start..=end` compiled to a sequence of classified kernel ops.
 #[derive(Clone, Debug, PartialEq)]
@@ -39,6 +46,7 @@ pub struct Segment {
     end: usize,
     ops: Vec<FusedOp>,
     source_gates: usize,
+    bypassed: bool,
 }
 
 impl Segment {
@@ -61,6 +69,12 @@ impl Segment {
     /// contribution to the paper's `ops` metric.
     pub fn source_gates(&self) -> usize {
         self.source_gates
+    }
+
+    /// `true` when the segment fell below [`FUSION_MIN_GATES`] and was
+    /// compiled gate-by-gate instead of fused.
+    pub fn is_bypassed(&self) -> bool {
+        self.bypassed
     }
 
     #[doc(hidden)]
@@ -109,13 +123,18 @@ impl FusedProgram {
                     None => break n_layers - 1,
                 }
             };
-            let ops = pair_disjoint_1q(fuse_layers(layered, start, end));
             let source_gates = layered.gates_through(end)
                 - if start == 0 { 0 } else { layered.gates_through(start - 1) };
+            let bypassed = source_gates < FUSION_MIN_GATES;
+            let ops = if bypassed {
+                classify_gates(layered, start, end)
+            } else {
+                pair_disjoint_1q(fuse_layers(layered, start, end))
+            };
             for slot in seg_at.iter_mut().take(end + 1).skip(start) {
                 *slot = segments.len();
             }
-            segments.push(Segment { start, end, ops, source_gates });
+            segments.push(Segment { start, end, ops, source_gates, bypassed });
             start = end + 1;
         }
         FusedProgram { n_qubits: layered.n_qubits(), n_layers, segments, seg_at }
@@ -151,6 +170,12 @@ impl FusedProgram {
     /// Total fused operators across all segments (one amplitude pass each).
     pub fn total_fused_ops(&self) -> usize {
         self.segments.iter().map(|s| s.ops.len()).sum()
+    }
+
+    /// How many segments fell below [`FUSION_MIN_GATES`] and were compiled
+    /// gate-by-gate (reported as the `fusion_bypassed` telemetry counter).
+    pub fn bypassed_segments(&self) -> usize {
+        self.segments.iter().filter(|s| s.bypassed).count()
     }
 
     /// Total source gates across all segments (equals the layered circuit's
@@ -202,8 +227,8 @@ impl FusedProgram {
     }
 
     /// Like [`FusedProgram::apply_through`], but times every kernel op and
-    /// hands `(op, elapsed_ns)` to `observe`. Profiling path — the unobserved
-    /// variant stays free of per-op clock reads.
+    /// hands `(op, segment_end_layer, elapsed_ns)` to `observe`. Profiling
+    /// path — the unobserved variant stays free of per-op clock reads.
     ///
     /// # Errors
     ///
@@ -218,7 +243,7 @@ impl FusedProgram {
         state: &mut StateVector,
         done: &mut i64,
         through: i64,
-        observe: &mut dyn FnMut(&FusedOp, u64),
+        observe: &mut dyn FnMut(&FusedOp, usize, u64),
     ) -> Result<(u64, u64), StateVecError> {
         let mut source = 0u64;
         let mut fused = 0u64;
@@ -236,7 +261,7 @@ impl FusedProgram {
                 let t0 = std::time::Instant::now();
                 state.apply_fused(op)?;
                 let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
-                observe(op, ns);
+                observe(op, seg.end, ns);
             }
             source += seg.source_gates as u64;
             fused += seg.ops.len() as u64;
@@ -256,6 +281,31 @@ impl FusedProgram {
         self.apply_through(&mut state, &mut done, self.n_layers as i64 - 1)?;
         Ok(state)
     }
+}
+
+/// Compile layers `start..=end` gate-by-gate, classifying each gate but
+/// doing no chaining or pairing: the sub-threshold path, where the small
+/// specialized kernels beat the dense matrices fusion would build.
+fn classify_gates(layered: &LayeredCircuit, start: usize, end: usize) -> Vec<FusedOp> {
+    let mut ops = Vec::new();
+    for layer in start..=end {
+        for op in layered.layer(layer) {
+            if let Some(m) = op.gate.matrix1() {
+                ops.push(FusedOp::classify_1q(&m, op.qubits[0]));
+            } else if let Some(m) = op.gate.matrix2() {
+                // GateOp convention: qubits[0] is the high local bit.
+                ops.push(FusedOp::classify_2q(&m, op.qubits[1], op.qubits[0]));
+            } else {
+                debug_assert_eq!(op.gate, Gate::Ccx);
+                ops.push(FusedOp::Ccx {
+                    control_a: op.qubits[0],
+                    control_b: op.qubits[1],
+                    target: op.qubits[2],
+                });
+            }
+        }
+    }
+    ops
 }
 
 /// A fused operator under construction.
@@ -569,12 +619,40 @@ mod tests {
         let mut observed = StateVector::zero_state(4);
         let mut done_obs = -1i64;
         let mut seen = 0u64;
+        let mut layers: Vec<usize> = Vec::new();
         let counts_obs = program
-            .apply_through_observed(&mut observed, &mut done_obs, last, &mut |_, _| seen += 1)
+            .apply_through_observed(&mut observed, &mut done_obs, last, &mut |_, layer, _| {
+                seen += 1;
+                layers.push(layer);
+            })
             .unwrap();
         assert_eq!(counts, counts_obs);
         assert_eq!(seen, counts.1, "observer must fire once per fused op");
         assert_eq!(plain.amplitudes(), observed.amplitudes());
+        // Every observed layer is a segment end.
+        for layer in layers {
+            assert!(program.is_cut_aligned(layer), "observer reported non-boundary layer {layer}");
+        }
+    }
+
+    #[test]
+    fn tiny_segments_bypass_fusion() {
+        // A 3-gate circuit sits below FUSION_MIN_GATES: compiled per-gate.
+        let mut qc = Circuit::new("tiny", 2, 0);
+        qc.h(0).cx(0, 1).t(1);
+        let layered = qc.layered().unwrap();
+        let program = FusedProgram::new(&layered, &[]);
+        assert_eq!(program.bypassed_segments(), 1);
+        assert!(program.segments()[0].is_bypassed());
+        assert_eq!(program.total_fused_ops(), 3, "bypassed segments run gate-by-gate");
+        assert_fused_matches(&qc, &[]);
+        // Above the threshold the same prefix fuses and reports no bypass.
+        let mut big = Circuit::new("big", 2, 0);
+        big.h(0).cx(0, 1).t(1).h(0).s(1);
+        let program = FusedProgram::new(&big.layered().unwrap(), &[]);
+        assert_eq!(program.bypassed_segments(), 0);
+        assert!(program.total_fused_ops() < 5);
+        assert_fused_matches(&big, &[]);
     }
 
     #[test]

@@ -18,6 +18,21 @@ pub enum Command {
     Verify,
     /// Run with full telemetry and print the metrics report.
     Profile,
+    /// Analyze a JSONL trace (or bench JSON) offline and render a report.
+    Report,
+    /// Benchmark history: record results, check for regressions, show.
+    History(HistoryAction),
+}
+
+/// Subaction of `qsim history`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HistoryAction {
+    /// Append a bench JSON document to the history file.
+    Record,
+    /// Compare the newest record per source against its trailing window.
+    Check,
+    /// Print the recorded history.
+    Show,
 }
 
 /// Target device connectivity.
@@ -83,6 +98,18 @@ pub struct Options {
     pub trace: Option<String>,
     /// Write folded stacks for flamegraph tooling to this path (`profile`).
     pub folded: Option<String>,
+    /// Write a self-contained HTML report to this path (`report`).
+    pub html: Option<String>,
+    /// Compare the input against this earlier trace/bench file (`report`).
+    pub against: Option<String>,
+    /// Benchmark history file (`history`).
+    pub history_path: String,
+    /// Regression threshold in percent (`history check`).
+    pub threshold: f64,
+    /// Trailing baseline window size (`history check`).
+    pub window: usize,
+    /// Exit nonzero when `history check` flags a regression.
+    pub fail: bool,
 }
 
 /// CLI parsing/validation failure; carries a user-facing message.
@@ -111,6 +138,8 @@ COMMANDS:
     run         noisy Monte-Carlo simulation; prints the outcome histogram
     verify      prove the compiled plan sound (schedule, fusion, trials)
     profile     run with full telemetry; prints Prometheus/JSON metrics
+    report      analyze a JSONL trace (or bench JSON) offline; TTY/JSON/HTML
+    history     benchmark history: record <BENCH.json> | check | show
 
 OPTIONS:
     --device <none|yorktown|linear:N|grid:RxC>   connectivity  [default: yorktown]
@@ -125,9 +154,15 @@ OPTIONS:
     --load-trials <P>   replay a saved trial set (ignores --trials/--seed)
     --compressed        store cached frontiers in zero-elided sparse form
     --alap              schedule layers as-late-as-possible (moves idle errors)
-    --json              machine-readable diagnostics (verify)
+    --json              machine-readable output (verify, report)
     --trace <P>         stream a JSONL telemetry trace to a file (run, profile)
     --folded <P>        write folded stacks for flamegraphs (profile)
+    --html <P>          write a self-contained HTML report (report)
+    --against <P>       diff the input against an earlier trace/bench (report)
+    --history <P>       history file                      [default: results/history.jsonl]
+    --threshold <PCT>   regression threshold, e.g. 5%     [default: 5%]
+    --window <N>        trailing baseline window          [default: 5]
+    --fail              exit nonzero when history check flags a regression
 ";
 
 impl Options {
@@ -159,6 +194,12 @@ impl Options {
             json: false,
             trace: None,
             folded: None,
+            html: None,
+            against: None,
+            history_path: "results/history.jsonl".to_owned(),
+            threshold: 5.0,
+            window: 5,
+            fail: false,
         };
         let mut i = 0;
         while i < args.len() {
@@ -169,8 +210,10 @@ impl Options {
                 "--compressed" => opts.compressed = true,
                 "--alap" => opts.alap = true,
                 "--json" => opts.json = true,
+                "--fail" => opts.fail = true,
                 "--device" | "--noise" | "--trials" | "--seed" | "--threads" | "--budget"
-                | "--save-trials" | "--load-trials" | "--trace" | "--folded" => {
+                | "--save-trials" | "--load-trials" | "--trace" | "--folded" | "--html"
+                | "--against" | "--history" | "--threshold" | "--window" => {
                     let value =
                         args.get(i + 1).ok_or_else(|| CliError(format!("{arg} needs a value")))?;
                     match arg.as_str() {
@@ -187,6 +230,13 @@ impl Options {
                         "--load-trials" => opts.load_trials = Some(value.clone()),
                         "--trace" => opts.trace = Some(value.clone()),
                         "--folded" => opts.folded = Some(value.clone()),
+                        "--html" => opts.html = Some(value.clone()),
+                        "--against" => opts.against = Some(value.clone()),
+                        "--history" => opts.history_path = value.clone(),
+                        "--threshold" => {
+                            opts.threshold = parse_num(value.trim_end_matches('%'), "--threshold")?;
+                        }
+                        "--window" => opts.window = parse_num(value, arg)?,
                         _ => unreachable!(),
                     }
                     i += 1;
@@ -208,10 +258,32 @@ impl Options {
             "run" => Command::Run,
             "verify" => Command::Verify,
             "profile" => Command::Profile,
+            "report" => Command::Report,
+            "history" => {
+                let action = positional.next().ok_or_else(|| {
+                    CliError(format!("history needs record|check|show\n\n{USAGE}"))
+                })?;
+                match action.as_str() {
+                    "record" => Command::History(HistoryAction::Record),
+                    "check" => Command::History(HistoryAction::Check),
+                    "show" => Command::History(HistoryAction::Show),
+                    other => {
+                        return Err(CliError(format!(
+                            "unknown history action {other} (record, check, show)"
+                        )))
+                    }
+                }
+            }
             other => return Err(CliError(format!("unknown command {other}\n\n{USAGE}"))),
         };
-        opts.input =
-            positional.next().ok_or_else(|| CliError(format!("missing input file\n\n{USAGE}")))?;
+        // `history check`/`history show` operate on the history file alone.
+        let needs_input =
+            !matches!(opts.command, Command::History(HistoryAction::Check | HistoryAction::Show));
+        if needs_input {
+            opts.input = positional
+                .next()
+                .ok_or_else(|| CliError(format!("missing input file\n\n{USAGE}")))?;
+        }
         if let Some(extra) = positional.next() {
             return Err(CliError(format!("unexpected argument {extra}")));
         }
@@ -385,6 +457,64 @@ mod tests {
         assert!(parse(&["info", "f", "--device", "torus"]).is_err());
         assert!(parse(&["info", "f", "--noise", "uniform:1e-3"]).is_err());
         assert!(parse(&["info", "f", "--device", "grid:9"]).is_err());
+    }
+
+    #[test]
+    fn parses_report_with_outputs() {
+        let opts = parse(&[
+            "report",
+            "trace.jsonl",
+            "--html",
+            "/tmp/r.html",
+            "--against",
+            "old.jsonl",
+            "--json",
+        ])
+        .unwrap();
+        assert_eq!(opts.command, Command::Report);
+        assert_eq!(opts.input, "trace.jsonl");
+        assert_eq!(opts.html.as_deref(), Some("/tmp/r.html"));
+        assert_eq!(opts.against.as_deref(), Some("old.jsonl"));
+        assert!(opts.json);
+        assert!(parse(&["report"]).is_err());
+    }
+
+    #[test]
+    fn parses_history_actions() {
+        let opts = parse(&["history", "record", "BENCH_fusion.json"]).unwrap();
+        assert_eq!(opts.command, Command::History(HistoryAction::Record));
+        assert_eq!(opts.input, "BENCH_fusion.json");
+        assert_eq!(opts.history_path, "results/history.jsonl");
+
+        let opts = parse(&[
+            "history",
+            "check",
+            "--threshold",
+            "7.5%",
+            "--window",
+            "3",
+            "--fail",
+            "--history",
+            "h.jsonl",
+        ])
+        .unwrap();
+        assert_eq!(opts.command, Command::History(HistoryAction::Check));
+        assert_eq!(opts.threshold, 7.5);
+        assert_eq!(opts.window, 3);
+        assert!(opts.fail);
+        assert_eq!(opts.history_path, "h.jsonl");
+        // Bare percentages parse too, and the default is warn-only.
+        let opts = parse(&["history", "check", "--threshold", "5"]).unwrap();
+        assert_eq!(opts.threshold, 5.0);
+        assert!(!opts.fail);
+
+        assert_eq!(
+            parse(&["history", "show"]).unwrap().command,
+            Command::History(HistoryAction::Show)
+        );
+        assert!(parse(&["history"]).is_err());
+        assert!(parse(&["history", "frob"]).is_err());
+        assert!(parse(&["history", "record"]).is_err());
     }
 
     #[test]

@@ -8,10 +8,11 @@ use qsim_circuit::{to_qasm, Circuit, CouplingMap};
 use qsim_noise::NoiseModel;
 use qsim_telemetry::{
     AggregatingRecorder, JsonlRecorder, MetricsReport, NullRecorder, Recorder, TeeRecorder,
+    TraceMeta,
 };
 use redsim::{ExecStats, RunResult, Simulation};
 
-use crate::args::{CliError, Command, DeviceSpec, NoiseSpec, Options};
+use crate::args::{CliError, Command, DeviceSpec, HistoryAction, NoiseSpec, Options};
 
 /// Execute a parsed invocation, writing the report to `out`.
 ///
@@ -20,6 +21,12 @@ use crate::args::{CliError, Command, DeviceSpec, NoiseSpec, Options};
 /// Returns [`CliError`] with a printable message for I/O, parse, compile,
 /// model, or execution failures.
 pub fn execute(opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
+    // Offline commands work on trace/bench/history files, not circuits.
+    match opts.command {
+        Command::Report => return report(opts, out),
+        Command::History(action) => return history(opts, action, out),
+        _ => {}
+    }
     let circuit = if opts.input == "-" {
         let source = read_input(&opts.input)?;
         qsim_qasm::parse(&source).map_err(|e| CliError(format!("<stdin>: {e}")))?
@@ -38,6 +45,9 @@ pub fn execute(opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
         Command::Run => run(&prepared, opts, out),
         Command::Verify => verify(&prepared, opts, out),
         Command::Profile => profile(&prepared, opts, out),
+        Command::Report | Command::History(_) => {
+            unreachable!("offline commands return before circuit parsing")
+        }
     }
 }
 
@@ -218,6 +228,36 @@ fn verify(prepared: &Circuit, opts: &Options, out: &mut dyn Write) -> Result<(),
     Ok(())
 }
 
+/// The strategy name the flag combination selects; recorded in the trace
+/// meta header so offline analysis knows what it is looking at.
+fn strategy_name(opts: &Options) -> &'static str {
+    if opts.baseline {
+        if opts.threads == 1 {
+            "baseline"
+        } else {
+            "parallel-baseline"
+        }
+    } else if opts.compressed {
+        "compressed"
+    } else if opts.budget != usize::MAX {
+        "reuse-budget"
+    } else if opts.threads == 1 {
+        "reuse"
+    } else {
+        "parallel-reuse"
+    }
+}
+
+/// Run-metadata header for a `--trace` file.
+fn trace_meta(sim: &Simulation, opts: &Options) -> TraceMeta {
+    TraceMeta {
+        git_rev: qsim_observatory::git_rev(),
+        seed: opts.seed,
+        qubits: sim.layered().n_qubits() as u64,
+        strategy: strategy_name(opts).to_owned(),
+    }
+}
+
 /// Execute the strategy selected by the flags under `recorder`. Shared by
 /// `run` (NullRecorder or a `--trace` sink) and `profile` (aggregating,
 /// possibly teed into a trace).
@@ -258,8 +298,8 @@ fn run(prepared: &Circuit, opts: &Options, out: &mut dyn Write) -> Result<(), Cl
     let started = std::time::Instant::now();
     let result = match &opts.trace {
         Some(path) => {
-            let trace =
-                JsonlRecorder::create(path).map_err(|e| CliError(format!("{path}: {e}")))?;
+            let trace = JsonlRecorder::create(path, trace_meta(&sim, opts))
+                .map_err(|e| CliError(format!("{path}: {e}")))?;
             let result = run_strategy(&sim, opts, &trace)?;
             trace.flush().map_err(|e| CliError(format!("{path}: {e}")))?;
             result
@@ -278,8 +318,8 @@ fn profile(prepared: &Circuit, opts: &Options, out: &mut dyn Write) -> Result<()
     let aggregate = AggregatingRecorder::new();
     let result = match &opts.trace {
         Some(path) => {
-            let trace =
-                JsonlRecorder::create(path).map_err(|e| CliError(format!("{path}: {e}")))?;
+            let trace = JsonlRecorder::create(path, trace_meta(&sim, opts))
+                .map_err(|e| CliError(format!("{path}: {e}")))?;
             let tee = TeeRecorder::new(&aggregate, &trace);
             let result = run_strategy(&sim, opts, &tee)?;
             trace.flush().map_err(|e| CliError(format!("{path}: {e}")))?;
@@ -325,6 +365,17 @@ fn cross_check(
         expect("fused_ops", report.counter("fused_ops"), stats.fused_ops);
         expect("amplitude_passes", report.counter("amplitude_passes"), stats.amplitude_passes);
         expect("kernel applications", report.total_kernel_count(), stats.amplitude_passes);
+        // The bypassed-segment count is a pure function of the compiled
+        // program, so telemetry must reproduce an independent recompile.
+        let recompiled = redsim::exec::fuse_for_trials(
+            sim.layered(),
+            sim.trials().expect("trials prepared before execution").trials(),
+        );
+        expect(
+            "fusion_bypassed",
+            report.counter("fusion_bypassed"),
+            recompiled.bypassed_segments() as u64,
+        );
         if opts.threads == 1 {
             // Sequential runs: live residency reproduces the MSV metric.
             expect("peak MSVs", report.peak_residency() as u64, stats.peak_msv as u64);
@@ -362,6 +413,164 @@ fn cross_check(
     } else {
         Err(CliError(format!("telemetry cross-check failed:\n  {}", mismatches.join("\n  "))))
     }
+}
+
+/// `qsim report`: offline analysis of a JSONL trace (or a bench JSON
+/// document), rendered as TTY tables, JSON, or self-contained HTML —
+/// optionally diffed against an earlier file with `--against`.
+fn report(opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
+    use qsim_observatory as obs;
+    let text = read_input(&opts.input)?;
+    if text.trim_start().starts_with("{\"ev\":\"meta\"") {
+        let trace =
+            obs::Trace::parse(&text).map_err(|e| CliError(format!("{}: {e}", opts.input)))?;
+        let analysis = obs::TraceAnalysis::from_trace(&trace);
+        if let Some(path) = &opts.against {
+            let before = obs::Trace::load(path).map_err(CliError)?;
+            let deltas = obs::compare_traces(&before, &trace);
+            if opts.json {
+                writeln!(out, "{}", obs::render_deltas_json(&deltas)).map_err(io_err)?;
+            } else {
+                write!(out, "{}", obs::render_deltas_tty(&deltas)).map_err(io_err)?;
+            }
+            return Ok(());
+        }
+        if let Some(path) = &opts.html {
+            std::fs::write(path, obs::render_html(&trace, &analysis))
+                .map_err(|e| CliError(format!("{path}: {e}")))?;
+        }
+        if opts.json {
+            writeln!(out, "{}", obs::render_json(&trace, &analysis)).map_err(io_err)?;
+        } else {
+            write!(out, "{}", obs::render_tty(&trace, &analysis)).map_err(io_err)?;
+        }
+        let problems = analysis.cross_check();
+        if problems.is_empty() {
+            Ok(())
+        } else {
+            Err(CliError(format!("trace cross-check failed:\n  {}", problems.join("\n  "))))
+        }
+    } else {
+        let doc = obs::Json::parse(&text).map_err(|e| CliError(format!("{}: {e}", opts.input)))?;
+        if let Some(path) = &opts.against {
+            let before_text =
+                std::fs::read_to_string(path).map_err(|e| CliError(format!("{path}: {e}")))?;
+            let before =
+                obs::Json::parse(&before_text).map_err(|e| CliError(format!("{path}: {e}")))?;
+            let deltas = obs::compare_bench_json(&before, &doc);
+            if opts.json {
+                writeln!(out, "{}", obs::render_deltas_json(&deltas)).map_err(io_err)?;
+            } else {
+                write!(out, "{}", obs::render_deltas_tty(&deltas)).map_err(io_err)?;
+            }
+            return Ok(());
+        }
+        if opts.html.is_some() {
+            return Err(CliError("--html needs a JSONL trace input".to_owned()));
+        }
+        let metrics = obs::flatten_metrics(&doc);
+        if opts.json {
+            let rows: Vec<String> =
+                metrics.iter().map(|(name, value)| format!("\"{name}\": {value}")).collect();
+            writeln!(out, "{{\"metrics\": {{{}}}}}", rows.join(", ")).map_err(io_err)?;
+        } else {
+            writeln!(out, "bench metrics ({}):", opts.input).map_err(io_err)?;
+            for (name, value) in &metrics {
+                writeln!(out, "  {name} = {value}").map_err(io_err)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// `qsim history record|check|show` over the append-only benchmark
+/// history file.
+fn history(opts: &Options, action: HistoryAction, out: &mut dyn Write) -> Result<(), CliError> {
+    use qsim_observatory as obs;
+    match action {
+        HistoryAction::Record => {
+            let text = read_input(&opts.input)?;
+            let doc =
+                obs::Json::parse(&text).map_err(|e| CliError(format!("{}: {e}", opts.input)))?;
+            let stem = std::path::Path::new(&opts.input)
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .map(|s| s.trim_start_matches("BENCH_").to_owned())
+                .unwrap_or_else(|| "bench".to_owned());
+            let timestamp = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0);
+            let record = obs::record_from_bench(&doc, &stem, timestamp);
+            obs::history::append(&opts.history_path, &record).map_err(CliError)?;
+            writeln!(
+                out,
+                "recorded {} metrics from {} (rev {}) into {}",
+                record.metrics.len(),
+                record.source,
+                record.git_rev,
+                opts.history_path
+            )
+            .map_err(io_err)?;
+        }
+        HistoryAction::Check => {
+            let records = obs::history::load(&opts.history_path).map_err(CliError)?;
+            let regressions = obs::history::check(&records, opts.window, opts.threshold);
+            if regressions.is_empty() {
+                writeln!(
+                    out,
+                    "history check: ok — nothing moved more than {:.1}% against its trailing window of {}",
+                    opts.threshold, opts.window
+                )
+                .map_err(io_err)?;
+            } else {
+                writeln!(
+                    out,
+                    "history check: {} metric(s) regressed past {:.1}%:",
+                    regressions.len(),
+                    opts.threshold
+                )
+                .map_err(io_err)?;
+                for r in &regressions {
+                    writeln!(
+                        out,
+                        "  {}/{}: {:.4} -> {:.4} ({:.1}% worse)",
+                        r.source, r.metric, r.baseline, r.latest, r.worse_pct
+                    )
+                    .map_err(io_err)?;
+                }
+                if opts.fail {
+                    return Err(CliError(format!(
+                        "history check failed: {} regression(s) past {:.1}%",
+                        regressions.len(),
+                        opts.threshold
+                    )));
+                }
+                writeln!(out, "  (warn-only; pass --fail to exit nonzero)").map_err(io_err)?;
+            }
+        }
+        HistoryAction::Show => {
+            let records = obs::history::load(&opts.history_path).map_err(CliError)?;
+            for r in &records {
+                writeln!(
+                    out,
+                    "{}  {:<12}  rev {}  seed {}  {} metrics  [{}/{} {} cpus]",
+                    r.timestamp,
+                    r.source,
+                    r.git_rev,
+                    r.seed,
+                    r.metrics.len(),
+                    r.env.os,
+                    r.env.arch,
+                    r.env.cpus
+                )
+                .map_err(io_err)?;
+            }
+            writeln!(out, "{} record(s) in {}", records.len(), opts.history_path)
+                .map_err(io_err)?;
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -703,6 +912,97 @@ mod tests {
         assert!(!stack.is_empty());
         assert!(count.parse::<u64>().is_ok(), "{line}");
         let _ = std::fs::remove_file(&folded);
+    }
+
+    #[test]
+    fn report_analyzes_a_recorded_trace() {
+        let file = bell_file();
+        let trace = temp_path("report-trace", "jsonl");
+        let trace_str = trace.to_string_lossy().into_owned();
+        run_cli(&["run", &file.path_str(), "--trials", "64", "--seed", "3", "--trace", &trace_str])
+            .unwrap();
+        // TTY report: all sections render and the cross-check holds.
+        let tty = run_cli(&["report", &trace_str]).unwrap();
+        for fragment in
+            ["== trace report ==", "strategy=reuse", "cache waterfall", "cross-check: ok"]
+        {
+            assert!(tty.contains(fragment), "missing {fragment:?} in:\n{tty}");
+        }
+        // JSON report parses and carries the exact counters.
+        let json = run_cli(&["report", &trace_str, "--json"]).unwrap();
+        let v = qsim_observatory::Json::parse(json.trim()).unwrap();
+        assert_eq!(
+            v.get("cross_check").unwrap().get("ok"),
+            Some(&qsim_observatory::Json::Bool(true))
+        );
+        assert_eq!(v.get("counters").unwrap().get("trials").unwrap().as_num(), Some(64.0));
+        // HTML report is written and self-contained.
+        let html_path = temp_path("report", "html");
+        let html_str = html_path.to_string_lossy().into_owned();
+        run_cli(&["report", &trace_str, "--html", &html_str]).unwrap();
+        let html = std::fs::read_to_string(&html_path).expect("html written");
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.contains("<svg"));
+        assert!(!html.contains("http://") && !html.contains("https://"));
+        // Comparing a trace against itself: everything unchanged.
+        let diff = run_cli(&["report", &trace_str, "--against", &trace_str]).unwrap();
+        assert!(diff.contains("unchanged"), "{diff}");
+        assert!(!diff.contains("regressed"), "{diff}");
+        let _ = std::fs::remove_file(&trace);
+        let _ = std::fs::remove_file(&html_path);
+    }
+
+    #[test]
+    fn history_record_and_check_gate_regressions() {
+        let history = temp_path("history", "jsonl");
+        let history_str = history.to_string_lossy().into_owned();
+        let bench = |speedup: f64, run_ms: f64| {
+            tempfile::TempQasm::new(&format!(
+                "{{\"benchmark\": \"selftest\", \"seed\": 7, \"rows\": [{{\"name\": \"rb\", \"reuse_speedup\": {speedup}, \"run_ms\": {run_ms}}}]}}"
+            ))
+        };
+        // Three clean jittered runs, then a clean fourth: passes.
+        for (s, t) in [(1.30, 100.0), (1.32, 98.0), (1.29, 101.5)] {
+            let doc = bench(s, t);
+            let text = run_cli(&["history", "record", &doc.path_str(), "--history", &history_str])
+                .unwrap();
+            assert!(text.contains("recorded"), "{text}");
+        }
+        let clean = bench(1.31, 100.5);
+        run_cli(&["history", "record", &clean.path_str(), "--history", &history_str]).unwrap();
+        let text =
+            run_cli(&["history", "check", "--history", &history_str, "--threshold", "5%"]).unwrap();
+        assert!(text.contains("history check: ok"), "{text}");
+        // Inject a 2× slowdown: flagged, warn-only by default…
+        let slow = bench(1.30, 200.0);
+        run_cli(&["history", "record", &slow.path_str(), "--history", &history_str]).unwrap();
+        let text =
+            run_cli(&["history", "check", "--history", &history_str, "--threshold", "5%"]).unwrap();
+        assert!(text.contains("run_ms"), "{text}");
+        assert!(text.contains("warn-only"), "{text}");
+        // …and fatal with --fail.
+        let err = run_cli(&["history", "check", "--history", &history_str, "--fail"]).unwrap_err();
+        assert!(err.to_string().contains("regression"), "{err}");
+        // show lists every record.
+        let text = run_cli(&["history", "show", "--history", &history_str]).unwrap();
+        assert!(text.contains("5 record(s)"), "{text}");
+        assert!(text.contains("selftest"), "{text}");
+        let _ = std::fs::remove_file(&history);
+    }
+
+    #[test]
+    fn report_renders_bench_documents_too() {
+        let doc = tempfile::TempQasm::new(
+            "{\"benchmark\": \"mini\", \"seed\": 1, \"rows\": [{\"name\": \"rb\", \"ops\": 23}]}",
+        );
+        let text = run_cli(&["report", &doc.path_str()]).unwrap();
+        assert!(text.contains("rows.rb.ops = 23"), "{text}");
+        // --against diffs shared leaves.
+        let text = run_cli(&["report", &doc.path_str(), "--against", &doc.path_str()]).unwrap();
+        assert!(text.contains("unchanged"), "{text}");
+        // --html is trace-only.
+        let err = run_cli(&["report", &doc.path_str(), "--html", "/tmp/x.html"]).unwrap_err();
+        assert!(err.to_string().contains("JSONL trace"), "{err}");
     }
 
     #[test]

@@ -86,9 +86,9 @@ fn advance_traced<R: Recorder + ?Sized>(
     if !recorder.enabled() {
         return Ok(program.apply_through(state, done, through)?);
     }
-    Ok(program.apply_through_observed(state, done, through, &mut |op, ns| {
+    Ok(program.apply_through_observed(state, done, through, &mut |op, layer, ns| {
         let class = KernelClass::from_name(op.kernel_name()).unwrap_or(KernelClass::Unfused);
-        recorder.kernel(phase, class, 1, ns);
+        recorder.kernel(phase, class, layer as u64, 1, ns);
     })?)
 }
 
@@ -133,7 +133,7 @@ pub fn run_reordered_compressed_traced<R: Recorder + ?Sized>(
     crate::exec::paranoid_verify(layered, trials, usize::MAX)?;
     let span_start = recorder.now_ns();
     let last_layer = n_layers as i64 - 1;
-    let program = crate::exec::fuse_for_trials(layered, trials);
+    let program = crate::exec::fuse_for_trials_traced(layered, trials, recorder);
     let dense_bytes = StoredState::dense_bytes(layered.n_qubits());
     let mut order: Vec<usize> = (0..trials.len()).collect();
     order.sort_by(|&a, &b| compare_trials(&trials[a], &trials[b]));

@@ -135,10 +135,10 @@ impl Engine<'_> {
         }
         match self {
             Engine::Fused(program) => {
-                Ok(program.apply_through_observed(state, done, through, &mut |op, ns| {
+                Ok(program.apply_through_observed(state, done, through, &mut |op, layer, ns| {
                     let class =
                         KernelClass::from_name(op.kernel_name()).unwrap_or(KernelClass::Unfused);
-                    recorder.kernel(phase, class, 1, ns);
+                    recorder.kernel(phase, class, layer as u64, 1, ns);
                 })?)
             }
             Engine::Layers => {
@@ -146,7 +146,13 @@ impl Engine<'_> {
                 let counts = self.advance(layered, state, done, through)?;
                 let ns = recorder.now_ns().saturating_sub(start);
                 if counts.1 > 0 {
-                    recorder.kernel(phase, KernelClass::Unfused, counts.1, ns);
+                    recorder.kernel(
+                        phase,
+                        KernelClass::Unfused,
+                        through.max(0) as u64,
+                        counts.1,
+                        ns,
+                    );
                 }
                 Ok(counts)
             }
@@ -169,7 +175,7 @@ pub(crate) fn inject_traced<R: Recorder + ?Sized>(
     let start = recorder.now_ns();
     injection.apply_to(state)?;
     let ns = recorder.now_ns().saturating_sub(start);
-    recorder.kernel(phase, KernelClass::Error, 1, ns);
+    recorder.kernel(phase, KernelClass::Error, injection.layer() as u64, 1, ns);
     Ok(())
 }
 
@@ -187,6 +193,22 @@ pub(crate) fn record_stats_counters<R: Recorder + ?Sized>(recorder: &R, stats: &
 /// cut at the union of the set's injection layers.
 pub fn fuse_for_trials(layered: &LayeredCircuit, trials: &[Trial]) -> FusedProgram {
     FusedProgram::new(layered, &injection_cut_layers(trials))
+}
+
+/// [`fuse_for_trials`] with compilation telemetry: records the
+/// `fusion_bypassed` counter (segments below the fusion profitability
+/// threshold, compiled gate-by-gate). Recorded once per compiled program —
+/// callers sharing a program across workers must not re-record.
+pub fn fuse_for_trials_traced<R: Recorder + ?Sized>(
+    layered: &LayeredCircuit,
+    trials: &[Trial],
+    recorder: &R,
+) -> FusedProgram {
+    let program = fuse_for_trials(layered, trials);
+    if recorder.enabled() {
+        recorder.counter("fusion_bypassed", program.bypassed_segments() as u64);
+    }
+    program
 }
 
 /// Paranoid mode: statically verify the complete execution plan — reorder,
@@ -295,7 +317,7 @@ impl<'a> BaselineExecutor<'a> {
         trials: &[Trial],
         recorder: &R,
     ) -> Result<RunResult, SimError> {
-        let program = fuse_for_trials(self.layered, trials);
+        let program = fuse_for_trials_traced(self.layered, trials, recorder);
         self.run_with_program_traced(&program, trials, recorder)
     }
 
@@ -462,7 +484,7 @@ impl<'a> ReuseExecutor<'a> {
         recorder: &R,
     ) -> Result<RunResult, SimError> {
         let mut outcomes: Vec<Option<MeasureOutcome>> = vec![None; trials.len()];
-        let program = fuse_for_trials(self.layered, trials);
+        let program = fuse_for_trials_traced(self.layered, trials, recorder);
         let stats = self.run_streaming_engine(
             Engine::Fused(&program),
             trials,

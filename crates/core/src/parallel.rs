@@ -31,7 +31,7 @@ use qsim_noise::Trial;
 use qsim_statevec::MeasureOutcome;
 use qsim_telemetry::{NullRecorder, Recorder};
 
-use crate::exec::{fuse_for_trials, BaselineExecutor, ExecStats, ReuseExecutor, RunResult};
+use crate::exec::{fuse_for_trials_traced, BaselineExecutor, ExecStats, ReuseExecutor, RunResult};
 use crate::order::{compare_trials, lcp};
 use crate::SimError;
 
@@ -115,7 +115,7 @@ pub fn run_baseline_parallel_traced<R: Recorder + ?Sized>(
     #[cfg(feature = "paranoid")]
     crate::exec::paranoid_verify(layered, trials, usize::MAX)?;
     let span_start = recorder.now_ns();
-    let program = fuse_for_trials(layered, trials);
+    let program = fuse_for_trials_traced(layered, trials, recorder);
     let chunk_size = trials.len().div_ceil(threads);
     let results: Vec<Result<RunResult, SimError>> = std::thread::scope(|scope| {
         let handles: Vec<_> = trials
@@ -193,7 +193,7 @@ pub fn run_reordered_parallel_traced<R: Recorder + ?Sized>(
     // outcomes against the caller's order.
     let mut order: Vec<usize> = (0..trials.len()).collect();
     order.sort_by(|&a, &b| compare_trials(&trials[a], &trials[b]));
-    let program = fuse_for_trials(layered, trials);
+    let program = fuse_for_trials_traced(layered, trials, recorder);
     let costs: Vec<u64> = order
         .iter()
         .enumerate()

@@ -1,0 +1,279 @@
+//! Derived views over a parsed trace: the analysis engine.
+//!
+//! Everything here is computed from the event stream alone, then
+//! cross-checked against the executor's own end-of-run counters — the same
+//! exactness contract `tests/telemetry_matrix.rs` pins for the aggregating
+//! recorder, applied to the trace file.
+
+use std::collections::BTreeMap;
+
+use qsim_telemetry::{KernelClass, MsvEvent};
+
+use crate::trace::{Trace, TraceEvent};
+
+/// Aggregated kernel work in one cell of an attribution table.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KernelCell {
+    /// Kernel applications.
+    pub count: u64,
+    /// Total nanoseconds.
+    pub ns: u64,
+}
+
+/// One trial's slice of the run, split at its prefix-cache lookup.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TrialSlice {
+    /// Depth the trial's cache lookup resolved at.
+    pub cache_depth: u64,
+    /// Whether the lookup reused a cached frontier.
+    pub hit: bool,
+    /// Amplitude passes performed for this trial (kernel applications
+    /// between its lookup and the next).
+    pub passes: u64,
+    /// Nanoseconds of kernel work in the slice.
+    pub ns: u64,
+}
+
+/// A point on the MSV residency curve.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ResidencyPoint {
+    /// Ordinal of the MSV event (event-stream time).
+    pub seq: u64,
+    /// Lifecycle event kind.
+    pub kind: MsvEvent,
+    /// Live MSVs after the event.
+    pub residency: u64,
+}
+
+/// The analysis engine's digest of one trace.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TraceAnalysis {
+    /// Final value of every counter.
+    pub counters: BTreeMap<String, u64>,
+    /// Kernel work per `(phase, class)`.
+    pub kernels: BTreeMap<(String, KernelClass), KernelCell>,
+    /// Kernel work per class (summed over phases).
+    pub by_class: BTreeMap<KernelClass, KernelCell>,
+    /// Kernel work per circuit layer — the per-layer amplitude-pass
+    /// attribution (fused segments land on their end layer).
+    pub by_layer: BTreeMap<u64, KernelCell>,
+    /// Span totals per path: `(count, total_ns)`.
+    pub spans: BTreeMap<String, (u64, u64)>,
+    /// MSV residency over event-stream time.
+    pub residency_curve: Vec<ResidencyPoint>,
+    /// Peak live MSVs.
+    pub peak_residency: u64,
+    /// Deepest trie depth any MSV reached.
+    pub peak_depth: u64,
+    /// Count of each MSV lifecycle event kind.
+    pub msv_counts: BTreeMap<MsvEvent, u64>,
+    /// Cache hit/miss waterfall keyed by prefix depth: `(hits, misses)`.
+    pub cache_waterfall: BTreeMap<u64, (u64, u64)>,
+    /// Per-trial timeline, in processing (reordered) order.
+    pub trials: Vec<TrialSlice>,
+}
+
+impl TraceAnalysis {
+    /// Analyze a parsed trace.
+    pub fn from_trace(trace: &Trace) -> Self {
+        let mut a = TraceAnalysis::default();
+        let mut msv_seq = 0u64;
+        for event in &trace.events {
+            match event {
+                TraceEvent::Counter { name, delta } => {
+                    let slot = a.counters.entry(name.clone()).or_insert(0);
+                    *slot = slot.saturating_add(*delta);
+                }
+                TraceEvent::Kernel { phase, class, layer, count, ns } => {
+                    for cell in [
+                        a.kernels.entry((phase.clone(), *class)).or_default(),
+                        a.by_class.entry(*class).or_default(),
+                        a.by_layer.entry(*layer).or_default(),
+                    ] {
+                        cell.count = cell.count.saturating_add(*count);
+                        cell.ns = cell.ns.saturating_add(*ns);
+                    }
+                    if let Some(t) = a.trials.last_mut() {
+                        t.passes += count;
+                        t.ns += ns;
+                    }
+                }
+                TraceEvent::Span { path, start_ns, end_ns } => {
+                    let slot = a.spans.entry(path.clone()).or_insert((0, 0));
+                    slot.0 += 1;
+                    slot.1 = slot.1.saturating_add(end_ns.saturating_sub(*start_ns));
+                }
+                TraceEvent::Msv { kind, depth, residency } => {
+                    a.residency_curve.push(ResidencyPoint {
+                        seq: msv_seq,
+                        kind: *kind,
+                        residency: *residency,
+                    });
+                    msv_seq += 1;
+                    a.peak_residency = a.peak_residency.max(*residency);
+                    a.peak_depth = a.peak_depth.max(*depth);
+                    *a.msv_counts.entry(*kind).or_insert(0) += 1;
+                }
+                TraceEvent::Cache { depth, hit } => {
+                    let slot = a.cache_waterfall.entry(*depth).or_insert((0, 0));
+                    if *hit {
+                        slot.0 += 1;
+                    } else {
+                        slot.1 += 1;
+                    }
+                    a.trials.push(TrialSlice { cache_depth: *depth, hit: *hit, passes: 0, ns: 0 });
+                }
+            }
+        }
+        a
+    }
+
+    /// A counter's final value (0 when never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Total kernel applications across all phases and classes — one per
+    /// amplitude pass on a fused run.
+    pub fn total_kernel_count(&self) -> u64 {
+        self.by_class.values().map(|c| c.count).sum()
+    }
+
+    /// Total kernel nanoseconds across all cells.
+    pub fn total_kernel_ns(&self) -> u64 {
+        self.by_class.values().map(|c| c.ns).sum()
+    }
+
+    /// Total cache lookups `(hits, misses)`.
+    pub fn cache_totals(&self) -> (u64, u64) {
+        self.cache_waterfall.values().fold((0, 0), |(h, m), &(hh, mm)| (h + hh, m + mm))
+    }
+
+    /// Cross-check the derived views against the executor's end-of-run
+    /// counters: the exactness contract. Returns one message per
+    /// discrepancy (empty = consistent). Checks that need reuse-style
+    /// events (cache lookups, MSV lifecycle) apply only when such events
+    /// are present, so baseline traces validate too.
+    pub fn cross_check(&self) -> Vec<String> {
+        fn check(problems: &mut Vec<String>, name: &str, got: u64, want: u64) {
+            if got != want {
+                problems.push(format!("{name}: derived {got} != recorded {want}"));
+            }
+        }
+        let mut problems = Vec::new();
+        check(
+            &mut problems,
+            "total kernel applications vs amplitude_passes",
+            self.total_kernel_count(),
+            self.counter("amplitude_passes"),
+        );
+        let error_passes = self.by_class.get(&KernelClass::Error).map_or(0, |c| c.count);
+        check(
+            &mut problems,
+            "gate kernel applications vs fused_ops",
+            self.total_kernel_count() - error_passes,
+            self.counter("fused_ops"),
+        );
+        if self.counter("ops") < self.counter("amplitude_passes") {
+            problems.push(format!(
+                "ops ({}) below amplitude_passes ({}): fusion cannot add passes",
+                self.counter("ops"),
+                self.counter("amplitude_passes")
+            ));
+        }
+        let (hits, misses) = self.cache_totals();
+        if hits + misses > 0 {
+            check(&mut problems, "cache lookups vs trials", hits + misses, self.counter("trials"));
+            check(
+                &mut problems,
+                "trial slices vs trials",
+                self.trials.len() as u64,
+                self.counter("trials"),
+            );
+            let per_trial: u64 = self.trials.iter().map(|t| t.passes).sum();
+            check(
+                &mut problems,
+                "per-trial passes vs amplitude_passes",
+                per_trial,
+                self.counter("amplitude_passes"),
+            );
+        }
+        if !self.residency_curve.is_empty() {
+            let creates = self.msv_counts.get(&MsvEvent::Create).copied().unwrap_or(0);
+            let forks = self.msv_counts.get(&MsvEvent::Fork).copied().unwrap_or(0);
+            let drops = self.msv_counts.get(&MsvEvent::Drop).copied().unwrap_or(0);
+            // One root creation per cold lookup: exactly 1 sequentially,
+            // one per worker on parallel runs.
+            if hits + misses > 0 {
+                check(&mut problems, "root creations vs cold lookups", creates, misses);
+            }
+            check(&mut problems, "forks vs drops", forks, drops);
+        }
+        problems
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Trace;
+
+    fn sample_trace() -> Trace {
+        let text = concat!(
+            "{\"ev\":\"meta\",\"version\":2,\"git_rev\":\"abc\",\"seed\":1,\"qubits\":4,\"strategy\":\"reuse\"}\n",
+            "{\"ev\":\"msv\",\"kind\":\"create\",\"depth\":0,\"residency\":1}\n",
+            "{\"ev\":\"cache\",\"depth\":0,\"hit\":false}\n",
+            "{\"ev\":\"kernel\",\"phase\":\"reuse/shared\",\"class\":\"dense2\",\"layer\":2,\"count\":1,\"ns\":100}\n",
+            "{\"ev\":\"kernel\",\"phase\":\"reuse/shared\",\"class\":\"error\",\"layer\":2,\"count\":1,\"ns\":10}\n",
+            "{\"ev\":\"cache\",\"depth\":1,\"hit\":true}\n",
+            "{\"ev\":\"msv\",\"kind\":\"reuse\",\"depth\":1,\"residency\":1}\n",
+            "{\"ev\":\"kernel\",\"phase\":\"reuse/remainder\",\"class\":\"cx\",\"layer\":5,\"count\":1,\"ns\":30}\n",
+            "{\"ev\":\"counter\",\"name\":\"trials\",\"delta\":2}\n",
+            "{\"ev\":\"counter\",\"name\":\"ops\",\"delta\":5}\n",
+            "{\"ev\":\"counter\",\"name\":\"fused_ops\",\"delta\":2}\n",
+            "{\"ev\":\"counter\",\"name\":\"amplitude_passes\",\"delta\":3}\n",
+            "{\"ev\":\"span\",\"path\":\"run/reuse\",\"start_ns\":0,\"end_ns\":400}\n",
+        );
+        Trace::parse(text).unwrap()
+    }
+
+    #[test]
+    fn derived_views_attribute_work() {
+        let a = TraceAnalysis::from_trace(&sample_trace());
+        assert_eq!(a.total_kernel_count(), 3);
+        assert_eq!(a.total_kernel_ns(), 140);
+        assert_eq!(a.by_layer[&2].count, 2);
+        assert_eq!(a.by_layer[&5].count, 1);
+        assert_eq!(a.by_class[&KernelClass::Error].count, 1);
+        assert_eq!(a.cache_waterfall[&0], (0, 1));
+        assert_eq!(a.cache_waterfall[&1], (1, 0));
+        assert_eq!(a.trials.len(), 2);
+        assert_eq!(a.trials[0].passes, 2);
+        assert_eq!(a.trials[1].passes, 1);
+        assert!(a.trials[1].hit);
+        assert_eq!(a.spans["run/reuse"], (1, 400));
+        assert_eq!(a.peak_residency, 1);
+        assert_eq!(a.residency_curve.len(), 2);
+    }
+
+    #[test]
+    fn cross_check_passes_on_consistent_trace_and_pins_breakage() {
+        let trace = sample_trace();
+        let a = TraceAnalysis::from_trace(&trace);
+        assert_eq!(a.cross_check(), Vec::<String>::new());
+        // Corrupt the recorded pass counter: the check must notice.
+        let mut broken = trace.clone();
+        for ev in &mut broken.events {
+            if let TraceEvent::Counter { name, delta } = ev {
+                if name == "amplitude_passes" {
+                    *delta += 1;
+                }
+            }
+        }
+        let problems = TraceAnalysis::from_trace(&broken).cross_check();
+        assert!(
+            problems.iter().any(|p| p.contains("amplitude_passes")),
+            "expected a discrepancy, got {problems:?}"
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! Build/run environment identification: git revision and a coarse machine
+//! fingerprint. History regression checks only trust timing comparisons
+//! between records whose fingerprints match.
+
+/// The short git revision of the working tree, or `"unknown"` outside a
+/// repository (or without a `git` binary).
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+/// A coarse machine fingerprint. Deliberately minimal: enough to refuse
+/// cross-machine timing comparisons, not enough to deanonymize a record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EnvFingerprint {
+    /// Operating system (`std::env::consts::OS`).
+    pub os: String,
+    /// CPU architecture (`std::env::consts::ARCH`).
+    pub arch: String,
+    /// Available parallelism (0 when undetectable).
+    pub cpus: u64,
+}
+
+impl EnvFingerprint {
+    /// Fingerprint the current machine.
+    pub fn detect() -> Self {
+        EnvFingerprint {
+            os: std::env::consts::OS.to_owned(),
+            arch: std::env::consts::ARCH.to_owned(),
+            cpus: std::thread::available_parallelism().map(|n| n.get() as u64).unwrap_or(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_detects_something() {
+        let fp = EnvFingerprint::detect();
+        assert!(!fp.os.is_empty());
+        assert!(!fp.arch.is_empty());
+        assert!(fp.cpus > 0);
+    }
+
+    #[test]
+    fn git_rev_is_nonempty() {
+        // In this repo it is a short hash; outside one it is "unknown".
+        assert!(!git_rev().is_empty());
+    }
+}

@@ -1,0 +1,54 @@
+//! Golden-file tests for the report renderers: the TTY and JSON views of a
+//! checked-in trace fixture are pinned byte-for-byte. Renderers are pure
+//! functions of the trace, so any diff here is a deliberate format change —
+//! regenerate with `UPDATE_GOLDENS=1 cargo test -p qsim-observatory`.
+
+use qsim_observatory::{render_html, render_json, render_tty, Trace, TraceAnalysis};
+use std::path::Path;
+
+fn fixture(name: &str) -> String {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name).display().to_string()
+}
+
+fn check_golden(name: &str, rendered: &str) {
+    let path = fixture(name);
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        std::fs::write(&path, rendered).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{path}: {e} (run with UPDATE_GOLDENS=1 to create)"));
+    assert_eq!(rendered, want, "{name} drifted; rerun with UPDATE_GOLDENS=1 if intentional");
+}
+
+fn load_fixture() -> (Trace, TraceAnalysis) {
+    let trace = Trace::load(&fixture("grover.trace.jsonl")).expect("fixture parses");
+    let analysis = TraceAnalysis::from_trace(&trace);
+    assert!(analysis.cross_check().is_empty(), "fixture must satisfy the exactness contract");
+    (trace, analysis)
+}
+
+#[test]
+fn tty_report_matches_golden() {
+    let (trace, analysis) = load_fixture();
+    check_golden("grover.report.txt", &render_tty(&trace, &analysis));
+}
+
+#[test]
+fn json_report_matches_golden() {
+    let (trace, analysis) = load_fixture();
+    let json = render_json(&trace, &analysis);
+    check_golden("grover.report.json", &json);
+    // The pinned JSON is itself well-formed for our own reader.
+    qsim_observatory::Json::parse(&json).expect("golden JSON parses");
+}
+
+#[test]
+fn html_report_is_self_contained_for_the_fixture() {
+    let (trace, analysis) = load_fixture();
+    let html = render_html(&trace, &analysis);
+    assert!(html.starts_with("<!DOCTYPE html>"));
+    for banned in ["http://", "https://", "src=", "href="] {
+        assert!(!html.contains(banned), "external reference {banned:?} in HTML report");
+    }
+}

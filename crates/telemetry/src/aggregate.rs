@@ -138,7 +138,9 @@ impl Recorder for AggregatingRecorder {
         });
     }
 
-    fn kernel(&self, phase: &'static str, class: KernelClass, count: u64, ns: u64) {
+    fn kernel(&self, phase: &'static str, class: KernelClass, _layer: u64, count: u64, ns: u64) {
+        // Aggregation folds the per-layer dimension away: per-layer
+        // attribution is reconstructed from JSONL traces by the observatory.
         self.with(|a| {
             a.kernels.entry((phase, class)).or_insert_with(KernelStat::new).record(count, ns);
         });
@@ -356,9 +358,9 @@ mod tests {
         rec.counter("ops", 10);
         rec.counter("ops", 5);
         rec.counter("amplitude_passes", 7);
-        rec.kernel("reuse/shared", KernelClass::Dense2, 3, 300);
-        rec.kernel("reuse/shared", KernelClass::Dense2, 1, 50);
-        rec.kernel("reuse/remainder", KernelClass::Error, 1, 20);
+        rec.kernel("reuse/shared", KernelClass::Dense2, 0, 3, 300);
+        rec.kernel("reuse/shared", KernelClass::Dense2, 0, 1, 50);
+        rec.kernel("reuse/remainder", KernelClass::Error, 1, 1, 20);
         rec.span("run/reuse", 100, 400);
         rec.msv(MsvEvent::Create, 0, 1);
         rec.msv(MsvEvent::Fork, 1, 2);
@@ -395,8 +397,8 @@ mod tests {
         let rec = AggregatingRecorder::new();
         rec.counter("big", u64::MAX - 1);
         rec.counter("big", 5);
-        rec.kernel("p", KernelClass::Cx, u64::MAX, u64::MAX);
-        rec.kernel("p", KernelClass::Cx, 3, 3);
+        rec.kernel("p", KernelClass::Cx, 0, u64::MAX, u64::MAX);
+        rec.kernel("p", KernelClass::Cx, 0, 3, 3);
         let report = rec.report();
         assert_eq!(report.counter("big"), u64::MAX);
         assert_eq!(report.kernel_count(KernelClass::Cx), u64::MAX);
@@ -446,7 +448,7 @@ mod tests {
                 scope.spawn(|| {
                     for _ in 0..100 {
                         rec.counter("ops", 1);
-                        rec.kernel("p", KernelClass::Diag1, 1, 10);
+                        rec.kernel("p", KernelClass::Diag1, 0, 1, 10);
                     }
                 });
             }

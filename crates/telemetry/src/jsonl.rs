@@ -11,7 +11,53 @@ use crate::Clock;
 const FLUSH_THRESHOLD: usize = 64 * 1024;
 
 /// Trace format version stamped into the meta line.
-pub(crate) const TRACE_VERSION: u64 = 1;
+///
+/// Version history:
+/// - 1: meta line carried only `version`.
+/// - 2: meta line carries run metadata (`git_rev`, `seed`, `qubits`,
+///   `strategy`); kernel events carry a `layer` field.
+pub const TRACE_VERSION: u64 = 2;
+
+/// Run metadata stamped into the first (meta) line of every trace, so a
+/// trace file is self-describing: which revision produced it, under which
+/// seed, on how many qubits, and with which execution strategy.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceMeta {
+    /// Git revision of the producing build (`"unknown"` when undetectable).
+    pub git_rev: String,
+    /// RNG seed of the run.
+    pub seed: u64,
+    /// Qubit count of the simulated circuit.
+    pub qubits: u64,
+    /// Execution strategy name (`"baseline"`, `"reuse"`, ...).
+    pub strategy: String,
+}
+
+impl Default for TraceMeta {
+    fn default() -> Self {
+        TraceMeta {
+            git_rev: "unknown".to_owned(),
+            seed: 0,
+            qubits: 0,
+            strategy: "unknown".to_owned(),
+        }
+    }
+}
+
+/// Escape a metadata string for embedding in a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c => out.push(c),
+        }
+    }
+    out
+}
 
 struct Sink {
     buffer: String,
@@ -30,13 +76,20 @@ pub struct JsonlRecorder {
 
 impl JsonlRecorder {
     /// Trace into `writer`, starting with a meta line identifying the
-    /// format version.
-    pub fn new(writer: Box<dyn Write + Send>) -> Self {
+    /// format version and the run metadata.
+    pub fn new(writer: Box<dyn Write + Send>, meta: TraceMeta) -> Self {
         let recorder = JsonlRecorder {
             clock: Clock::new(),
             sink: Mutex::new(Sink { buffer: String::new(), writer, error: None }),
         };
-        recorder.line(format!("{{\"ev\":\"meta\",\"version\":{TRACE_VERSION}}}"));
+        recorder.line(format!(
+            "{{\"ev\":\"meta\",\"version\":{TRACE_VERSION},\"git_rev\":\"{}\",\"seed\":{},\
+             \"qubits\":{},\"strategy\":\"{}\"}}",
+            escape(&meta.git_rev),
+            meta.seed,
+            meta.qubits,
+            escape(&meta.strategy)
+        ));
         recorder
     }
 
@@ -45,9 +98,9 @@ impl JsonlRecorder {
     /// # Errors
     ///
     /// Returns the I/O error if the file cannot be created.
-    pub fn create(path: &str) -> std::io::Result<Self> {
+    pub fn create(path: &str, meta: TraceMeta) -> std::io::Result<Self> {
         let file = std::fs::File::create(path)?;
-        Ok(JsonlRecorder::new(Box::new(std::io::BufWriter::new(file))))
+        Ok(JsonlRecorder::new(Box::new(std::io::BufWriter::new(file)), meta))
     }
 
     fn line(&self, line: String) {
@@ -81,9 +134,10 @@ impl Recorder for JsonlRecorder {
         ));
     }
 
-    fn kernel(&self, phase: &'static str, class: KernelClass, count: u64, ns: u64) {
+    fn kernel(&self, phase: &'static str, class: KernelClass, layer: u64, count: u64, ns: u64) {
         self.line(format!(
-            "{{\"ev\":\"kernel\",\"phase\":\"{phase}\",\"class\":\"{}\",\"count\":{count},\"ns\":{ns}}}",
+            "{{\"ev\":\"kernel\",\"phase\":\"{phase}\",\"class\":\"{}\",\"layer\":{layer},\
+             \"count\":{count},\"ns\":{ns}}}",
             class.name()
         ));
     }
@@ -147,7 +201,7 @@ mod tests {
 
     fn recorded(record: impl FnOnce(&JsonlRecorder)) -> String {
         let sink = Shared::default();
-        let recorder = JsonlRecorder::new(Box::new(sink.clone()));
+        let recorder = JsonlRecorder::new(Box::new(sink.clone()), TraceMeta::default());
         record(&recorder);
         Recorder::flush(&recorder).unwrap();
         let bytes = sink.0.lock().unwrap().clone();
@@ -158,7 +212,7 @@ mod tests {
     fn events_become_valid_schema_lines() {
         let text = recorded(|r| {
             r.span("run/reuse", 1, 2);
-            r.kernel("reuse/shared", KernelClass::Perm2, 1, 42);
+            r.kernel("reuse/shared", KernelClass::Perm2, 4, 1, 42);
             r.counter("ops", 9);
             r.msv(MsvEvent::Drop, 3, 2);
             r.cache(2, false);
@@ -169,9 +223,43 @@ mod tests {
     }
 
     #[test]
+    fn meta_line_carries_run_metadata() {
+        let sink = Shared::default();
+        let meta = TraceMeta {
+            git_rev: "abc1234".to_owned(),
+            seed: 7,
+            qubits: 5,
+            strategy: "reuse".to_owned(),
+        };
+        let recorder = JsonlRecorder::new(Box::new(sink.clone()), meta);
+        Recorder::flush(&recorder).unwrap();
+        let text = String::from_utf8(sink.0.lock().unwrap().clone()).unwrap();
+        let header = text.lines().next().unwrap();
+        assert_eq!(
+            header,
+            format!(
+                "{{\"ev\":\"meta\",\"version\":{TRACE_VERSION},\"git_rev\":\"abc1234\",\
+                 \"seed\":7,\"qubits\":5,\"strategy\":\"reuse\"}}"
+            )
+        );
+        crate::schema::validate_jsonl(&text).unwrap();
+    }
+
+    #[test]
+    fn metadata_strings_are_escaped() {
+        let sink = Shared::default();
+        let meta = TraceMeta { git_rev: "a\"b\\c".to_owned(), ..TraceMeta::default() };
+        let recorder = JsonlRecorder::new(Box::new(sink.clone()), meta);
+        Recorder::flush(&recorder).unwrap();
+        let text = String::from_utf8(sink.0.lock().unwrap().clone()).unwrap();
+        assert!(text.contains("\"git_rev\":\"a\\\"b\\\\c\""), "{text}");
+        crate::schema::validate_jsonl(&text).unwrap();
+    }
+
+    #[test]
     fn buffer_flushes_at_threshold_without_explicit_flush() {
         let sink = Shared::default();
-        let recorder = JsonlRecorder::new(Box::new(sink.clone()));
+        let recorder = JsonlRecorder::new(Box::new(sink.clone()), TraceMeta::default());
         for _ in 0..(FLUSH_THRESHOLD / 16) {
             recorder.counter("ops", 1);
         }

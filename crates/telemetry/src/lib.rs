@@ -42,5 +42,5 @@ pub mod schema;
 
 pub use aggregate::{AggregatingRecorder, CacheDepthStat, KernelStat, MetricsReport, SpanStat};
 pub use clock::Clock;
-pub use jsonl::JsonlRecorder;
+pub use jsonl::{JsonlRecorder, TraceMeta, TRACE_VERSION};
 pub use recorder::{KernelClass, MsvEvent, NullRecorder, Recorder, TeeRecorder};

@@ -117,8 +117,10 @@ pub trait Recorder: Sync {
 
     /// `count` kernel application(s) of `class` taking `ns` nanoseconds in
     /// total, attributed to `phase` (a `/`-separated context path such as
-    /// `"reuse/shared"`).
-    fn kernel(&self, phase: &'static str, class: KernelClass, count: u64, ns: u64);
+    /// `"reuse/shared"`) and to the circuit layer `layer` the work ended on
+    /// (fused segments report their end layer; error operators their
+    /// injection layer).
+    fn kernel(&self, phase: &'static str, class: KernelClass, layer: u64, count: u64, ns: u64);
 
     /// Add `delta` to the named saturating counter.
     fn counter(&self, name: &'static str, delta: u64);
@@ -156,7 +158,7 @@ impl Recorder for NullRecorder {
     fn span(&self, _: &'static str, _: u64, _: u64) {}
 
     #[inline(always)]
-    fn kernel(&self, _: &'static str, _: KernelClass, _: u64, _: u64) {}
+    fn kernel(&self, _: &'static str, _: KernelClass, _: u64, _: u64, _: u64) {}
 
     #[inline(always)]
     fn counter(&self, _: &'static str, _: u64) {}
@@ -208,9 +210,9 @@ impl Recorder for TeeRecorder<'_> {
         self.b.span(path, start_ns, end_ns);
     }
 
-    fn kernel(&self, phase: &'static str, class: KernelClass, count: u64, ns: u64) {
-        self.a.kernel(phase, class, count, ns);
-        self.b.kernel(phase, class, count, ns);
+    fn kernel(&self, phase: &'static str, class: KernelClass, layer: u64, count: u64, ns: u64) {
+        self.a.kernel(phase, class, layer, count, ns);
+        self.b.kernel(phase, class, layer, count, ns);
     }
 
     fn counter(&self, name: &'static str, delta: u64) {
@@ -253,7 +255,7 @@ mod tests {
         assert!(!null.enabled());
         assert_eq!(null.now_ns(), 0);
         null.span("run/x", 0, 1);
-        null.kernel("p", KernelClass::Cx, 1, 1);
+        null.kernel("p", KernelClass::Cx, 0, 1, 1);
         null.counter("ops", 5);
         null.msv(MsvEvent::Fork, 1, 2);
         null.cache(0, true);
@@ -267,7 +269,7 @@ mod tests {
         let tee = TeeRecorder::new(&a, &b);
         assert!(tee.enabled());
         tee.counter("ops", 3);
-        tee.kernel("reuse/shared", KernelClass::Dense2, 2, 100);
+        tee.kernel("reuse/shared", KernelClass::Dense2, 0, 2, 100);
         tee.msv(MsvEvent::Create, 0, 1);
         tee.cache(1, true);
         tee.span("run/reuse", 0, 10);

@@ -142,11 +142,15 @@ pub fn validate_line(line: &str) -> Result<(), String> {
     let fields = parse_object(line)?;
     match str_field(&fields, "ev")? {
         "meta" => {
-            check_exact_keys(&fields, &["ev", "version"])?;
+            check_exact_keys(&fields, &["ev", "version", "git_rev", "seed", "qubits", "strategy"])?;
             let version = int_field(&fields, "version")?;
             if version != crate::jsonl::TRACE_VERSION {
                 return Err(format!("unsupported trace version {version}"));
             }
+            str_field(&fields, "git_rev")?;
+            int_field(&fields, "seed")?;
+            int_field(&fields, "qubits")?;
+            str_field(&fields, "strategy")?;
         }
         "span" => {
             check_exact_keys(&fields, &["ev", "path", "start_ns", "end_ns"])?;
@@ -158,12 +162,13 @@ pub fn validate_line(line: &str) -> Result<(), String> {
             }
         }
         "kernel" => {
-            check_exact_keys(&fields, &["ev", "phase", "class", "count", "ns"])?;
+            check_exact_keys(&fields, &["ev", "phase", "class", "layer", "count", "ns"])?;
             str_field(&fields, "phase")?;
             let class = str_field(&fields, "class")?;
             if KernelClass::from_name(class).is_none() {
                 return Err(format!("unknown kernel class {class:?}"));
             }
+            int_field(&fields, "layer")?;
             int_field(&fields, "count")?;
             int_field(&fields, "ns")?;
         }
@@ -218,12 +223,15 @@ pub fn validate_jsonl(text: &str) -> Result<(), String> {
 mod tests {
     use super::*;
 
+    const META: &str = "{\"ev\":\"meta\",\"version\":2,\"git_rev\":\"abc1234\",\"seed\":1,\
+                        \"qubits\":4,\"strategy\":\"reuse\"}";
+
     #[test]
     fn accepts_every_event_shape() {
         for line in [
-            "{\"ev\":\"meta\",\"version\":1}",
+            META,
             "{\"ev\":\"span\",\"path\":\"run/reuse\",\"start_ns\":5,\"end_ns\":9}",
-            "{\"ev\":\"kernel\",\"phase\":\"reuse/shared\",\"class\":\"cx\",\"count\":2,\"ns\":77}",
+            "{\"ev\":\"kernel\",\"phase\":\"reuse/shared\",\"class\":\"cx\",\"layer\":3,\"count\":2,\"ns\":77}",
             "{\"ev\":\"counter\",\"name\":\"ops\",\"delta\":3}",
             "{\"ev\":\"msv\",\"kind\":\"fork\",\"depth\":1,\"residency\":2}",
             "{\"ev\":\"cache\",\"depth\":0,\"hit\":true}",
@@ -242,13 +250,21 @@ mod tests {
             ("{\"ev\":\"counter\",\"name\":\"ops\",\"delta\":-1}", "unexpected value start"),
             ("{\"ev\":\"counter\",\"name\":\"ops\",\"delta\":1,\"extra\":2}", "unexpected field"),
             (
-                "{\"ev\":\"kernel\",\"phase\":\"p\",\"class\":\"warp\",\"count\":1,\"ns\":1}",
+                "{\"ev\":\"kernel\",\"phase\":\"p\",\"class\":\"warp\",\"layer\":0,\"count\":1,\"ns\":1}",
                 "unknown kernel class",
+            ),
+            (
+                "{\"ev\":\"kernel\",\"phase\":\"p\",\"class\":\"cx\",\"count\":1,\"ns\":1}",
+                "missing field \"layer\"",
             ),
             ("{\"ev\":\"msv\",\"kind\":\"zap\",\"depth\":0,\"residency\":1}", "unknown msv event"),
             ("{\"ev\":\"span\",\"path\":\"p\",\"start_ns\":9,\"end_ns\":5}", "before it starts"),
             ("{\"ev\":\"cache\",\"depth\":0,\"hit\":1}", "must be a boolean"),
-            ("{\"ev\":\"meta\",\"version\":99}", "unsupported trace version"),
+            (
+                "{\"ev\":\"meta\",\"version\":99,\"git_rev\":\"x\",\"seed\":0,\"qubits\":0,\"strategy\":\"s\"}",
+                "unsupported trace version",
+            ),
+            ("{\"ev\":\"meta\",\"version\":2}", "missing field \"git_rev\""),
             ("{\"ev\":\"meta\",\"version\":1} trailing", "trailing content"),
             ("{\"ev\":\"meta\",\"ev\":\"meta\",\"version\":1}", "duplicate key"),
         ] {
@@ -259,8 +275,8 @@ mod tests {
 
     #[test]
     fn whole_trace_validation_pins_line_numbers() {
-        let good =
-            "{\"ev\":\"meta\",\"version\":1}\n{\"ev\":\"counter\",\"name\":\"ops\",\"delta\":1}\n";
+        let good = format!("{META}\n{{\"ev\":\"counter\",\"name\":\"ops\",\"delta\":1}}\n");
+        let good = good.as_str();
         validate_jsonl(good).unwrap();
         let bad = format!("{good}{{\"ev\":\"bogus\"}}\n");
         let err = validate_jsonl(&bad).unwrap_err();
