@@ -171,9 +171,14 @@ fn unit_modulus(c: C64, tol: f64) -> bool {
 /// the full matrix check; CX/CCX are permutations by construction.
 pub fn fused_op_is_unitary(op: &FusedOp, tol: f64) -> bool {
     match op {
+        FusedOp::Phase1 { d1, .. } => unit_modulus(*d1, tol),
         FusedOp::Diag1 { d, .. } => d.iter().all(|&c| unit_modulus(c, tol)),
+        FusedOp::Perm1 { phase, .. } => phase.iter().all(|&c| unit_modulus(c, tol)),
+        FusedOp::CPhase2 { p, .. } => unit_modulus(*p, tol),
+        FusedOp::CDiag1 { d, .. } => d.iter().all(|&c| unit_modulus(c, tol)),
         FusedOp::Diag2 { d, .. } => d.iter().all(|&c| unit_modulus(c, tol)),
         FusedOp::Dense1 { m, .. } => m.is_unitary(tol),
+        FusedOp::Ctrl1 { u, .. } => u.is_unitary(tol),
         FusedOp::Dense2 { m, .. } => m.is_unitary(tol),
         FusedOp::Perm2 { src, phase, .. } => {
             let mut seen = [false; 4];

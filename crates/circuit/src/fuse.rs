@@ -406,11 +406,14 @@ fn fuse_layers(layered: &LayeredCircuit, start: usize, end: usize) -> Vec<FusedO
 
 /// View a kernel as a generic 1q matrix, if it is one.
 fn as_1q(op: &FusedOp) -> Option<(Matrix2, usize)> {
+    let zero = qsim_statevec::C64 { re: 0.0, im: 0.0 };
+    let one = qsim_statevec::C64 { re: 1.0, im: 0.0 };
     match op {
         FusedOp::Dense1 { m, qubit } => Some((*m, *qubit)),
-        FusedOp::Diag1 { d, qubit } => {
-            let zero = qsim_statevec::C64 { re: 0.0, im: 0.0 };
-            Some((Matrix2([[d[0], zero], [zero, d[1]]]), *qubit))
+        FusedOp::Diag1 { d, qubit } => Some((Matrix2([[d[0], zero], [zero, d[1]]]), *qubit)),
+        FusedOp::Phase1 { d1, qubit } => Some((Matrix2([[one, zero], [zero, *d1]]), *qubit)),
+        FusedOp::Perm1 { phase, qubit } => {
+            Some((Matrix2([[zero, phase[0]], [phase[1], zero]]), *qubit))
         }
         _ => None,
     }
@@ -576,13 +579,15 @@ mod tests {
     #[test]
     fn kernel_classes_appear_where_expected() {
         let mut qc = Circuit::new("classes", 3, 0);
-        qc.t(0).rz(0.2, 0).cz(1, 2).cx(0, 1);
+        qc.t(0).rz(0.2, 0).x(1).cz(1, 2).cx(0, 1);
         let layered = qc.layered().unwrap();
         let program = FusedProgram::new(&layered, &(0..layered.n_layers()).collect::<Vec<_>>());
         let kinds: Vec<&str> =
             program.segments().iter().flat_map(|s| s.ops()).map(|o| o.kernel_name()).collect();
+        assert!(kinds.contains(&"phase1"), "{kinds:?}");
         assert!(kinds.contains(&"diag1"), "{kinds:?}");
-        assert!(kinds.contains(&"diag2"), "{kinds:?}");
+        assert!(kinds.contains(&"perm1"), "{kinds:?}");
+        assert!(kinds.contains(&"cphase2"), "{kinds:?}");
         assert!(kinds.contains(&"cx"), "{kinds:?}");
     }
 

@@ -343,18 +343,12 @@ mod tests {
     use super::*;
     use crate::analysis::analyze;
     use crate::exec::BaselineExecutor;
+    use crate::testkit::uniform_workload;
     use qsim_circuit::catalog;
-    use qsim_noise::{NoiseModel, TrialGenerator};
 
     fn run_case(circuit: &qsim_circuit::Circuit, rate_scale: f64, n: usize) {
-        let layered = circuit.layered().unwrap();
-        let model = NoiseModel::uniform(
-            circuit.n_qubits(),
-            (1e-2 * rate_scale).min(1.0),
-            (5e-2 * rate_scale).min(1.0),
-            1e-2,
-        );
-        let set = TrialGenerator::new(&layered, &model).unwrap().generate(n, 3);
+        let rates = ((1e-2 * rate_scale).min(1.0), (5e-2 * rate_scale).min(1.0), 1e-2);
+        let (layered, set) = uniform_workload(circuit, rates, n, 3);
         let baseline = BaselineExecutor::new(&layered).run(set.trials()).unwrap();
         let (result, comp) = run_reordered_compressed(&layered, set.trials()).unwrap();
         assert_eq!(result.outcomes, baseline.outcomes, "{}", circuit.name());
@@ -375,9 +369,7 @@ mod tests {
     #[test]
     fn structured_circuits_compress_their_frontiers() {
         // BV frontiers before the final Hadamards are near-basis states.
-        let layered = catalog::bv(5, 0b1111).layered().unwrap();
-        let model = NoiseModel::uniform(5, 1e-2, 5e-2, 0.0);
-        let set = TrialGenerator::new(&layered, &model).unwrap().generate(500, 9);
+        let (layered, set) = uniform_workload(&catalog::bv(5, 0b1111), (1e-2, 5e-2, 0.0), 500, 9);
         let (_, comp) = run_reordered_compressed(&layered, set.trials()).unwrap();
         assert!(comp.sparse_frames > 0, "no frontier ever compressed");
         // BV's mid-circuit |±…±⟩ frontiers are fully dense, so the peak
@@ -389,9 +381,8 @@ mod tests {
 
     #[test]
     fn dense_random_circuits_fall_back_to_dense_storage() {
-        let layered = catalog::quantum_volume(5, 3, 4).layered().unwrap();
-        let model = NoiseModel::uniform(5, 1e-2, 5e-2, 0.0);
-        let set = TrialGenerator::new(&layered, &model).unwrap().generate(200, 2);
+        let (layered, set) =
+            uniform_workload(&catalog::quantum_volume(5, 3, 4), (1e-2, 5e-2, 0.0), 200, 2);
         let (result, comp) = run_reordered_compressed(&layered, set.trials()).unwrap();
         // QV states are dense almost immediately: ratio ≈ 1 but never worse.
         assert!(comp.peak_ratio() <= 1.0);
@@ -401,9 +392,7 @@ mod tests {
     #[test]
     fn compressed_telemetry_mirrors_stats_exactly() {
         use qsim_telemetry::AggregatingRecorder;
-        let layered = catalog::qft(4).layered().unwrap();
-        let model = NoiseModel::uniform(4, 2e-2, 8e-2, 1e-2);
-        let set = TrialGenerator::new(&layered, &model).unwrap().generate(300, 17);
+        let (layered, set) = uniform_workload(&catalog::qft(4), (2e-2, 8e-2, 1e-2), 300, 17);
         let recorder = AggregatingRecorder::new();
         let (result, comp) =
             run_reordered_compressed_traced(&layered, set.trials(), &recorder).unwrap();

@@ -888,8 +888,9 @@ fn validate(trial: &Trial, n_layers: usize) -> Result<(), SimError> {
 mod tests {
     use super::*;
     use crate::analysis::analyze;
+    use crate::testkit::{scaled_rates, uniform_workload};
     use qsim_circuit::catalog;
-    use qsim_noise::{NoiseModel, TrialGenerator, TrialSet};
+    use qsim_noise::TrialSet;
 
     fn generate(
         circuit: &qsim_circuit::Circuit,
@@ -897,15 +898,7 @@ mod tests {
         n: usize,
         seed: u64,
     ) -> (LayeredCircuit, TrialSet) {
-        let layered = circuit.layered().unwrap();
-        let model = NoiseModel::uniform(
-            circuit.n_qubits(),
-            (1e-2 * scale).min(1.0),
-            (5e-2 * scale).min(1.0),
-            (2e-2 * scale).min(1.0),
-        );
-        let set = TrialGenerator::new(&layered, &model).unwrap().generate(n, seed);
-        (layered, set)
+        uniform_workload(circuit, scaled_rates(scale), n, seed)
     }
 
     #[test]

@@ -63,6 +63,7 @@ pub mod parallel;
 pub mod reference;
 mod sim_error;
 mod simulation;
+pub mod testkit;
 
 pub use analysis::CostReport;
 pub use exec::{ExecStats, RunResult};

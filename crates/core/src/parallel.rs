@@ -265,14 +265,12 @@ pub fn run_reordered_parallel_traced<R: Recorder + ?Sized>(
 mod tests {
     use super::*;
     use crate::exec::BaselineExecutor;
+    use crate::testkit::uniform_workload;
     use qsim_circuit::catalog;
-    use qsim_noise::{NoiseModel, TrialGenerator, TrialSet};
+    use qsim_noise::TrialSet;
 
     fn workload(n: usize) -> (LayeredCircuit, TrialSet) {
-        let layered = catalog::qft(4).layered().unwrap();
-        let model = NoiseModel::uniform(4, 2e-2, 8e-2, 2e-2);
-        let set = TrialGenerator::new(&layered, &model).unwrap().generate(n, 5);
-        (layered, set)
+        uniform_workload(&catalog::qft(4), (2e-2, 8e-2, 2e-2), n, 5)
     }
 
     #[test]

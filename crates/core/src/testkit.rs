@@ -1,0 +1,265 @@
+//! Shared deterministic fixtures for the repository's test suites.
+//!
+//! The strategy/telemetry/observatory matrix tests and the executor crate
+//! tests all need the same few ingredients — a seeded trial-set workload
+//! over a catalog circuit, the Table-I suite transpiled to the Yorktown
+//! device, the shipped QASM benchmarks with their noise models, and
+//! reproducible "random" states and circuits. Each suite used to grow its
+//! own ad-hoc copy; this module is the single seeded source. Everything
+//! here is deterministic (xorshift, fixed seeds threaded through) so the
+//! bitwise-identity contracts the tests state stay meaningful.
+
+use std::path::Path;
+
+use qsim_circuit::transpile::{transpile, TranspileOptions};
+use qsim_circuit::{catalog, Circuit, CouplingMap, LayeredCircuit};
+use qsim_noise::{NoiseModel, TrialGenerator, TrialSet};
+use qsim_statevec::{StateVector, C64};
+
+/// Deterministic xorshift64* generator — reproducible across platforms,
+/// zero dependencies. Used wherever a test needs "random" data.
+#[derive(Clone, Debug)]
+pub struct XorShift64(u64);
+
+impl XorShift64 {
+    /// Seeded generator (seed 0 is remapped; xorshift has no zero state).
+    pub fn new(seed: u64) -> Self {
+        XorShift64(if seed == 0 { 0x9e37_79b9_7f4a_7c15 } else { seed })
+    }
+
+    /// Next raw value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform float in `[0, 1)` (53 mantissa bits).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform index in `0..n` (`n > 0`).
+    pub fn index(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// The executor tests' canonical scale→rates mapping: `scale` multiplies
+/// the base per-layer rates `(1e-2, 5e-2, 2e-2)`, each clamped to 1.
+pub fn scaled_rates(scale: f64) -> (f64, f64, f64) {
+    ((1e-2 * scale).min(1.0), (5e-2 * scale).min(1.0), (2e-2 * scale).min(1.0))
+}
+
+/// Layer `circuit` and generate a seeded trial set under a uniform noise
+/// model with the given `(one-qubit, two-qubit, measurement)` error rates.
+pub fn uniform_workload(
+    circuit: &Circuit,
+    rates: (f64, f64, f64),
+    trials: usize,
+    seed: u64,
+) -> (LayeredCircuit, TrialSet) {
+    let layered = circuit.layered().expect("catalog circuit layers");
+    let model = NoiseModel::uniform(circuit.n_qubits(), rates.0, rates.1, rates.2);
+    let set = TrialGenerator::new(&layered, &model).expect("native circuit").generate(trials, seed);
+    (layered, set)
+}
+
+/// A reproducible fully-entangled `n_qubits` state: xorshift amplitudes
+/// (real and imaginary parts in `[-1, 1)`), normalized. Every amplitude is
+/// non-zero with probability 1, so kernels that only touch half the state
+/// cannot pass by accident.
+pub fn random_state(n_qubits: usize, seed: u64) -> StateVector {
+    let mut rng = XorShift64::new(seed ^ (n_qubits as u64) << 32);
+    let amps: Vec<C64> = (0..1usize << n_qubits)
+        .map(|_| C64::new(2.0 * rng.next_f64() - 1.0, 2.0 * rng.next_f64() - 1.0))
+        .collect();
+    let mut state = StateVector::from_amplitudes(amps).expect("power-of-two length");
+    state.normalize();
+    state
+}
+
+/// A seeded random circuit of `n_gates` gates drawn from a roster covering
+/// every noise-native kernel class the fusion engine produces (phase,
+/// diagonal, permutation, dense, controlled-phase, CX, SWAP), ending in a
+/// full measurement round.
+pub fn random_circuit(n_qubits: usize, n_gates: usize, seed: u64) -> Circuit {
+    assert!(n_qubits >= 2, "random circuits need at least two qubits");
+    let mut rng = XorShift64::new(seed);
+    let mut qc = Circuit::new(format!("rand{n_qubits}s{seed}"), n_qubits, n_qubits);
+    for _ in 0..n_gates {
+        let q = rng.index(n_qubits);
+        let p = (q + 1 + rng.index(n_qubits - 1)) % n_qubits;
+        let theta = 2.0 * std::f64::consts::PI * rng.next_f64();
+        match rng.index(11) {
+            0 => {
+                qc.h(q);
+            }
+            1 => {
+                qc.x(q);
+            }
+            2 => {
+                qc.y(q);
+            }
+            3 => {
+                qc.z(q);
+            }
+            4 => {
+                qc.t(q);
+            }
+            5 => {
+                qc.rz(theta, q);
+            }
+            6 => {
+                qc.rx(theta, q);
+            }
+            7 => {
+                qc.cx(q, p);
+            }
+            8 => {
+                qc.cz(q, p);
+            }
+            9 => {
+                qc.cphase(theta, q, p);
+            }
+            _ => {
+                qc.swap(q, p);
+            }
+        };
+    }
+    qc.measure_all();
+    qc
+}
+
+/// The Table-I logical suite transpiled to the IBM Yorktown device:
+/// `(logical name, device-level layered circuit)` pairs. Pair with
+/// [`NoiseModel::ibm_yorktown`] for device-realistic trials.
+pub fn yorktown_suite() -> Vec<(String, LayeredCircuit)> {
+    let options = TranspileOptions::for_device(CouplingMap::yorktown());
+    catalog::realistic_suite()
+        .into_iter()
+        .map(|logical| {
+            let compiled = transpile(&logical, &options).expect("suite compiles");
+            let layered = compiled.circuit.layered().expect("compiled circuit layers");
+            (logical.name().to_owned(), layered)
+        })
+        .collect()
+}
+
+fn qasm_suite(dir: &Path) -> Vec<(String, Circuit)> {
+    let mut paths: Vec<_> = std::fs::read_dir(dir)
+        .unwrap_or_else(|e| panic!("{}: {e}", dir.display()))
+        .map(|e| e.expect("dir entry").path())
+        .collect();
+    paths.sort();
+    assert!(!paths.is_empty(), "no benchmarks under {}", dir.display());
+    paths
+        .into_iter()
+        .map(|path| {
+            let circuit =
+                qsim_qasm::parse_file(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            (circuit.name().to_owned(), circuit)
+        })
+        .collect()
+}
+
+/// The shipped device-native Yorktown QASM benchmarks under
+/// `benchmarks_root/yorktown`, each with the Yorktown noise model.
+pub fn yorktown_benchmarks(benchmarks_root: &Path) -> Vec<(String, LayeredCircuit, NoiseModel)> {
+    let model = NoiseModel::ibm_yorktown();
+    qasm_suite(&benchmarks_root.join("yorktown"))
+        .into_iter()
+        .map(|(name, circuit)| {
+            let layered = circuit.layered().expect("native benchmark layers");
+            (name, layered, model.clone())
+        })
+        .collect()
+}
+
+/// Every shipped QASM benchmark under `benchmarks_root` with its noise
+/// model: the device-native `yorktown` suite as-is under the Yorktown
+/// model, and the `logical` suite lowered (Toffolis etc. — all-to-all, no
+/// routing) under a width-matched uniform model.
+pub fn shipped_benchmarks(benchmarks_root: &Path) -> Vec<(String, LayeredCircuit, NoiseModel)> {
+    let mut cases: Vec<(String, LayeredCircuit, NoiseModel)> = yorktown_benchmarks(benchmarks_root)
+        .into_iter()
+        .map(|(name, layered, model)| (format!("yorktown/{name}"), layered, model))
+        .collect();
+    let lowering = TranspileOptions {
+        coupling: None,
+        fuse_single_qubit: true,
+        cancel_cx: true,
+        commute_rotations: true,
+    };
+    for (name, circuit) in qasm_suite(&benchmarks_root.join("logical")) {
+        let lowered = transpile(&circuit, &lowering).expect("lowering").circuit;
+        let layered = lowered.layered().expect("lowered benchmark layers");
+        let model = NoiseModel::uniform(layered.n_qubits(), 1e-3, 1e-2, 1e-2);
+        cases.push((format!("logical/{name}"), layered, model));
+    }
+    cases
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xorshift_is_deterministic_and_in_range() {
+        let mut a = XorShift64::new(7);
+        let mut b = XorShift64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut zero = XorShift64::new(0);
+        assert_ne!(zero.next_u64(), 0, "zero seed must be remapped");
+        for _ in 0..100 {
+            let f = a.next_f64();
+            assert!((0.0..1.0).contains(&f));
+            assert!(a.index(5) < 5);
+        }
+    }
+
+    #[test]
+    fn random_state_is_normalized_dense_and_reproducible() {
+        for n in [1usize, 3, 5] {
+            let s = random_state(n, 42);
+            let norm: f64 = s.amplitudes().iter().map(|a| a.norm_sqr()).sum();
+            assert!((norm - 1.0).abs() < 1e-12, "{n} qubits: norm {norm}");
+            assert!(
+                s.amplitudes().iter().all(|a| a.re != 0.0 || a.im != 0.0),
+                "{n} qubits: zero amplitude"
+            );
+            assert_eq!(s.amplitudes(), random_state(n, 42).amplitudes(), "not reproducible");
+        }
+    }
+
+    #[test]
+    fn random_circuits_layer_and_simulate() {
+        for seed in [1u64, 2, 3] {
+            let qc = random_circuit(4, 30, seed);
+            assert_eq!(qc, random_circuit(4, 30, seed), "not reproducible");
+            let layered = qc.layered().expect("layers");
+            assert!(layered.n_layers() > 0);
+        }
+    }
+
+    #[test]
+    fn uniform_workload_matches_its_ingredients() {
+        let (layered, set) = uniform_workload(&catalog::qft(4), scaled_rates(2.0), 50, 11);
+        assert_eq!(layered.n_qubits(), 4);
+        assert_eq!(set.trials().len(), 50);
+        assert_eq!(scaled_rates(2.0), (2e-2, 1e-1, 4e-2));
+        assert_eq!(scaled_rates(1e9), (1.0, 1.0, 1.0), "rates must clamp");
+    }
+
+    #[test]
+    fn yorktown_suite_matches_the_paper_roster() {
+        let suite = yorktown_suite();
+        assert_eq!(suite.len(), 12);
+        assert!(suite.iter().all(|(_, layered)| layered.n_layers() > 0));
+    }
+}

@@ -10,10 +10,17 @@
 //!
 //! Kernel classes, cheapest first:
 //!
-//! * **Diagonal** ([`StateVector::apply_diag1`] / `apply_diag2`) — one
-//!   linear multiply sweep, no gather.
-//! * **Permutation** ([`StateVector::apply_cx`] / `apply_perm2`) — moves
-//!   amplitudes without arithmetic beyond a phase factor.
+//! * **Phase / controlled phase** ([`StateVector::apply_phase1`] /
+//!   `apply_cphase2`) — multiply only the active half (quarter) of the
+//!   amplitudes.
+//! * **Diagonal / controlled diagonal** ([`StateVector::apply_diag1`] /
+//!   `apply_diag2` / `apply_cdiag1`) — one linear multiply sweep, no
+//!   gather.
+//! * **Permutation** ([`StateVector::apply_perm1`] / `apply_cx` /
+//!   `apply_perm2`) — moves amplitudes without arithmetic beyond a phase
+//!   factor.
+//! * **Controlled dense** ([`StateVector::apply_ctrl1`]) — a 2×2 update on
+//!   the half of the pairs where the control bit is set.
 //! * **Dense** ([`StateVector::apply_1q`] / `apply_2q`) — full
 //!   matrix-vector update.
 
@@ -22,10 +29,26 @@ use crate::{Matrix2, Matrix4, StateVecError, StateVector, C64};
 /// A fused operator bound to its qubits, tagged with its kernel class.
 #[derive(Clone, Debug, PartialEq)]
 pub enum FusedOp {
+    /// One-qubit phase `diag(1, d1)` — multiplies only the bit-set half.
+    Phase1 {
+        /// Phase applied where the qubit bit is set.
+        d1: C64,
+        /// Operand qubit.
+        qubit: usize,
+    },
     /// Diagonal one-qubit operator `diag(d[0], d[1])`.
     Diag1 {
         /// Diagonal entries.
         d: [C64; 2],
+        /// Operand qubit.
+        qubit: usize,
+    },
+    /// Phased one-qubit permutation (anti-diagonal 2×2): `new0 =
+    /// phase[0]·old1`, `new1 = phase[1]·old0`. Covers X, Y, and fused
+    /// phase·X products.
+    Perm1 {
+        /// Phase per destination row.
+        phase: [C64; 2],
         /// Operand qubit.
         qubit: usize,
     },
@@ -36,6 +59,26 @@ pub enum FusedOp {
         /// Operand qubit.
         qubit: usize,
     },
+    /// Controlled phase `diag(1, 1, 1, p)` — multiplies only the
+    /// both-bits-set quarter. Symmetric in its operands.
+    CPhase2 {
+        /// Phase applied where both bits are set.
+        p: C64,
+        /// Low local bit.
+        low: usize,
+        /// High local bit.
+        high: usize,
+    },
+    /// Controlled diagonal `diag(1, 1, d[0], d[1])` — `diag(d)` on
+    /// `target` where the `control` bit is set; touches half the array.
+    CDiag1 {
+        /// Diagonal entries of the active block.
+        d: [C64; 2],
+        /// Control qubit.
+        control: usize,
+        /// Target qubit.
+        target: usize,
+    },
     /// Diagonal two-qubit operator over local index `2·bit(high)+bit(low)`.
     Diag2 {
         /// Diagonal entries.
@@ -44,6 +87,17 @@ pub enum FusedOp {
         low: usize,
         /// High local bit.
         high: usize,
+    },
+    /// Controlled dense one-qubit operator: `u` on `target` where the
+    /// `control` bit is set — a 2×2 update on half the pairs, skipping the
+    /// identity block a dense 4×4 kernel would multiply through.
+    Ctrl1 {
+        /// The controlled 2×2 block.
+        u: Matrix2,
+        /// Control qubit.
+        control: usize,
+        /// Target qubit.
+        target: usize,
     },
     /// An exact CNOT (the permutation special case with unit phases and the
     /// cheapest two-qubit kernel: a strided swap).
@@ -95,14 +149,23 @@ impl FusedOp {
     /// Classify a one-qubit operator into its cheapest kernel class.
     pub fn classify_1q(m: &Matrix2, qubit: usize) -> FusedOp {
         if is_zero(m.0[0][1]) && is_zero(m.0[1][0]) {
-            FusedOp::Diag1 { d: [m.0[0][0], m.0[1][1]], qubit }
+            if m.0[0][0] == ONE {
+                FusedOp::Phase1 { d1: m.0[1][1], qubit }
+            } else {
+                FusedOp::Diag1 { d: [m.0[0][0], m.0[1][1]], qubit }
+            }
+        } else if is_zero(m.0[0][0]) && is_zero(m.0[1][1]) {
+            FusedOp::Perm1 { phase: [m.0[0][1], m.0[1][0]], qubit }
         } else {
             FusedOp::Dense1 { m: *m, qubit }
         }
     }
 
     /// Classify a two-qubit operator (in the `(low, high)` convention of
-    /// [`Matrix4`]) into its cheapest kernel class.
+    /// [`Matrix4`]) into its cheapest kernel class. Controlled structure —
+    /// an exact identity on the block where one operand bit is clear — is
+    /// detected on either operand, so CX/CZ/CY/CRz-shaped products reach
+    /// kernels that skip the inactive half entirely.
     pub fn classify_2q(m: &Matrix4, low: usize, high: usize) -> FusedOp {
         // Permutation structure: exactly one nonzero per row and column.
         let mut src = [0u8; 4];
@@ -132,27 +195,76 @@ impl FusedOp {
                 }
             }
         }
-        if !is_perm {
-            return FusedOp::Dense2 { m: *m, low, high };
+        if is_perm {
+            if src == [0, 1, 2, 3] {
+                // Diagonal; strip controlled structure before giving up and
+                // sweeping the whole array.
+                let [d0, d1, d2, d3] = phase;
+                if d0 == ONE && d1 == ONE && d2 == ONE {
+                    return FusedOp::CPhase2 { p: d3, low, high };
+                }
+                if d0 == ONE && d1 == ONE {
+                    return FusedOp::CDiag1 { d: [d2, d3], control: high, target: low };
+                }
+                if d0 == ONE && d2 == ONE {
+                    return FusedOp::CDiag1 { d: [d1, d3], control: low, target: high };
+                }
+                return FusedOp::Diag2 { d: phase, low, high };
+            }
+            if src == [0, 1, 3, 2] && phase.iter().all(|&p| p == ONE) {
+                // CX with control on the high local bit.
+                return FusedOp::Cx { control: high, target: low };
+            }
+            if src == [0, 3, 2, 1] && phase.iter().all(|&p| p == ONE) {
+                // CX with control on the low local bit: locals 1 and 3
+                // (low bit set) swap the high bit.
+                return FusedOp::Cx { control: low, target: high };
+            }
         }
-        if src == [0, 1, 2, 3] {
-            return FusedOp::Diag2 { d: phase, low, high };
+        // Controlled dense structure, control on the high local bit:
+        // identity on locals {0, 1} and no coupling into {2, 3}.
+        if m.0[0][0] == ONE
+            && m.0[1][1] == ONE
+            && is_zero(m.0[0][1])
+            && is_zero(m.0[1][0])
+            && [0, 1].iter().all(|&r| [2, 3].iter().all(|&c| is_zero(m.0[r][c])))
+            && [2, 3].iter().all(|&r| [0, 1].iter().all(|&c| is_zero(m.0[r][c])))
+        {
+            let u = Matrix2([[m.0[2][2], m.0[2][3]], [m.0[3][2], m.0[3][3]]]);
+            return FusedOp::Ctrl1 { u, control: high, target: low };
         }
-        if src == [0, 1, 3, 2] && phase.iter().all(|&p| p == ONE) {
-            // CX with control on the high local bit.
-            return FusedOp::Cx { control: high, target: low };
+        // Control on the low local bit: identity on locals {0, 2} and no
+        // coupling into {1, 3}.
+        if m.0[0][0] == ONE
+            && m.0[2][2] == ONE
+            && is_zero(m.0[0][2])
+            && is_zero(m.0[2][0])
+            && [0, 2].iter().all(|&r| [1, 3].iter().all(|&c| is_zero(m.0[r][c])))
+            && [1, 3].iter().all(|&r| [0, 2].iter().all(|&c| is_zero(m.0[r][c])))
+        {
+            let u = Matrix2([[m.0[1][1], m.0[1][3]], [m.0[3][1], m.0[3][3]]]);
+            return FusedOp::Ctrl1 { u, control: low, target: high };
         }
-        FusedOp::Perm2 { src, phase, low, high }
+        if is_perm {
+            return FusedOp::Perm2 { src, phase, low, high };
+        }
+        FusedOp::Dense2 { m: *m, low, high }
     }
 
     /// The qubits this operator touches.
     pub fn qubits(&self) -> Vec<usize> {
         match *self {
-            FusedOp::Diag1 { qubit, .. } | FusedOp::Dense1 { qubit, .. } => vec![qubit],
-            FusedOp::Diag2 { low, high, .. }
+            FusedOp::Phase1 { qubit, .. }
+            | FusedOp::Diag1 { qubit, .. }
+            | FusedOp::Perm1 { qubit, .. }
+            | FusedOp::Dense1 { qubit, .. } => vec![qubit],
+            FusedOp::CPhase2 { low, high, .. }
+            | FusedOp::Diag2 { low, high, .. }
             | FusedOp::Perm2 { low, high, .. }
             | FusedOp::Dense2 { low, high, .. } => vec![low, high],
-            FusedOp::Cx { control, target } => vec![control, target],
+            FusedOp::CDiag1 { control, target, .. }
+            | FusedOp::Ctrl1 { control, target, .. }
+            | FusedOp::Cx { control, target } => vec![control, target],
             FusedOp::Ccx { control_a, control_b, target } => vec![control_a, control_b, target],
         }
     }
@@ -160,10 +272,15 @@ impl FusedOp {
     /// Short kernel-class name (for diagnostics and reports).
     pub fn kernel_name(&self) -> &'static str {
         match self {
+            FusedOp::Phase1 { .. } => "phase1",
             FusedOp::Diag1 { .. } => "diag1",
+            FusedOp::Perm1 { .. } => "perm1",
             FusedOp::Dense1 { .. } => "dense1",
+            FusedOp::CPhase2 { .. } => "cphase2",
+            FusedOp::CDiag1 { .. } => "cdiag1",
             FusedOp::Diag2 { .. } => "diag2",
             FusedOp::Cx { .. } => "cx",
+            FusedOp::Ctrl1 { .. } => "ctrl1",
             FusedOp::Perm2 { .. } => "perm2",
             FusedOp::Dense2 { .. } => "dense2",
             FusedOp::Ccx { .. } => "ccx",
@@ -180,10 +297,15 @@ impl StateVector {
     /// Propagates [`StateVecError`] for invalid operands.
     pub fn apply_fused(&mut self, op: &FusedOp) -> Result<(), StateVecError> {
         match op {
+            FusedOp::Phase1 { d1, qubit } => self.apply_phase1(*d1, *qubit),
             FusedOp::Diag1 { d, qubit } => self.apply_diag1(d, *qubit),
+            FusedOp::Perm1 { phase, qubit } => self.apply_perm1(phase, *qubit),
             FusedOp::Dense1 { m, qubit } => self.apply_1q(m, *qubit),
+            FusedOp::CPhase2 { p, low, high } => self.apply_cphase2(*p, *low, *high),
+            FusedOp::CDiag1 { d, control, target } => self.apply_cdiag1(d, *control, *target),
             FusedOp::Diag2 { d, low, high } => self.apply_diag2(d, *low, *high),
             FusedOp::Cx { control, target } => self.apply_cx(*control, *target),
+            FusedOp::Ctrl1 { u, control, target } => self.apply_ctrl1(u, *control, *target),
             FusedOp::Perm2 { src, phase, low, high } => self.apply_perm2(src, phase, *low, *high),
             FusedOp::Dense2 { m, low, high } => self.apply_2q(m, *low, *high),
             FusedOp::Ccx { control_a, control_b, target } => {
@@ -214,18 +336,48 @@ mod tests {
 
     #[test]
     fn classification_picks_the_expected_class() {
-        assert!(matches!(FusedOp::classify_1q(&Matrix2::z(), 0), FusedOp::Diag1 { .. }));
-        assert!(matches!(FusedOp::classify_1q(&Matrix2::t(), 0), FusedOp::Diag1 { .. }));
+        // Unit top-left diagonal → phase kernel; general diagonal → diag1.
+        assert!(matches!(FusedOp::classify_1q(&Matrix2::z(), 0), FusedOp::Phase1 { .. }));
+        assert!(matches!(FusedOp::classify_1q(&Matrix2::t(), 0), FusedOp::Phase1 { .. }));
+        assert!(matches!(FusedOp::classify_1q(&Matrix2::rz(0.4), 0), FusedOp::Diag1 { .. }));
+        assert!(matches!(FusedOp::classify_1q(&Matrix2::x(), 0), FusedOp::Perm1 { .. }));
+        assert!(matches!(FusedOp::classify_1q(&Matrix2::y(), 0), FusedOp::Perm1 { .. }));
         assert!(matches!(FusedOp::classify_1q(&Matrix2::h(), 0), FusedOp::Dense1 { .. }));
-        assert!(matches!(FusedOp::classify_2q(&Matrix4::cz(), 0, 1), FusedOp::Diag2 { .. }));
-        assert!(matches!(FusedOp::classify_2q(&Matrix4::cphase(0.3), 0, 1), FusedOp::Diag2 { .. }));
+        // Controlled structure strips to the active-half kernels.
+        assert!(matches!(FusedOp::classify_2q(&Matrix4::cz(), 0, 1), FusedOp::CPhase2 { .. }));
+        assert!(matches!(
+            FusedOp::classify_2q(&Matrix4::cphase(0.3), 0, 1),
+            FusedOp::CPhase2 { .. }
+        ));
+        let crz = Matrix4::controlled(&Matrix2::rz(0.7));
+        assert!(matches!(
+            FusedOp::classify_2q(&crz, 0, 1),
+            FusedOp::CDiag1 { control: 1, target: 0, .. }
+        ));
+        let cy = Matrix4::controlled(&Matrix2::y());
+        assert!(matches!(
+            FusedOp::classify_2q(&cy, 0, 1),
+            FusedOp::Ctrl1 { control: 1, target: 0, .. }
+        ));
+        let ch = Matrix4::controlled(&Matrix2::h());
+        assert!(matches!(
+            FusedOp::classify_2q(&ch, 0, 1),
+            FusedOp::Ctrl1 { control: 1, target: 0, .. }
+        ));
+        // Control lands on the right operand regardless of orientation.
         assert!(matches!(
             FusedOp::classify_2q(&Matrix4::cx(), 2, 1),
             FusedOp::Cx { control: 1, target: 2 }
         ));
+        assert!(matches!(
+            FusedOp::classify_2q(&Matrix4::cx().swapped_operands(), 2, 1),
+            FusedOp::Cx { control: 2, target: 1 }
+        ));
         assert!(matches!(FusedOp::classify_2q(&Matrix4::swap(), 0, 1), FusedOp::Perm2 { .. }));
         let dense = Matrix4::kron(&Matrix2::h(), &Matrix2::identity());
         assert!(matches!(FusedOp::classify_2q(&dense, 0, 1), FusedOp::Dense2 { .. }));
+        let general_diag = Matrix4::kron(&Matrix2::rz(0.3), &Matrix2::rz(0.9));
+        assert!(matches!(FusedOp::classify_2q(&general_diag, 0, 1), FusedOp::Diag2 { .. }));
     }
 
     #[test]
@@ -233,10 +385,16 @@ mod tests {
         let cases: Vec<(Matrix4, &str)> = vec![
             (Matrix4::cz(), "cz"),
             (Matrix4::cx(), "cx"),
+            (Matrix4::cx().swapped_operands(), "cx-low-control"),
             (Matrix4::swap(), "swap"),
             (Matrix4::cphase(1.1), "cphase"),
+            (Matrix4::controlled(&Matrix2::rz(0.8)), "crz"),
+            (Matrix4::controlled(&Matrix2::y()), "cy"),
+            (Matrix4::controlled(&Matrix2::h()), "ch"),
+            (Matrix4::controlled(&Matrix2::h()).swapped_operands(), "ch-low-control"),
             (Matrix4::kron(&Matrix2::x(), &Matrix2::s()), "x⊗s"),
             (Matrix4::kron(&Matrix2::h(), &Matrix2::t()), "h⊗t"),
+            (Matrix4::kron(&Matrix2::rz(0.2), &Matrix2::rz(1.3)), "rz⊗rz"),
         ];
         for (low, high) in [(0usize, 2usize), (2, 0), (1, 2)] {
             for (m, name) in &cases {
@@ -248,7 +406,7 @@ mod tests {
             }
         }
         for q in 0..3 {
-            for m in [Matrix2::s(), Matrix2::rz(0.4), Matrix2::h(), Matrix2::x()] {
+            for m in [Matrix2::s(), Matrix2::rz(0.4), Matrix2::h(), Matrix2::x(), Matrix2::y()] {
                 let mut fused = random_state(3, 7);
                 let mut dense = fused.clone();
                 fused.apply_fused(&FusedOp::classify_1q(&m, q)).unwrap();

@@ -32,6 +32,7 @@
 //! # }
 //! ```
 
+mod buffer;
 mod density;
 mod eigen;
 mod error;
@@ -44,6 +45,7 @@ mod pool;
 mod state;
 mod stored;
 
+pub use buffer::{AmpBuf, AMP_ALIGN};
 pub use density::DensityMatrix;
 pub use eigen::hermitian_eigenvalues;
 pub use error::StateVecError;

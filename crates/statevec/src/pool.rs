@@ -7,12 +7,18 @@
 //! rivals the arithmetic on small registers. A [`StatePool`] keeps dropped
 //! buffers and services clones by `memcpy` into a recycled allocation.
 
-use crate::{StateVector, C64};
+use crate::buffer::AmpBuf;
+use crate::StateVector;
 
 /// A free list of amplitude buffers, all of one register width.
+///
+/// Buffers enter and leave the pool as [`AmpBuf`]s, so every clone the
+/// pool hands out — recycled or fresh — carries the substrate's 64-byte
+/// alignment guarantee and the vectorized kernels never see a degraded
+/// buffer after reuse.
 #[derive(Debug, Default)]
 pub struct StatePool {
-    free: Vec<Vec<C64>>,
+    free: Vec<AmpBuf>,
     reused: u64,
     allocated: u64,
 }
@@ -113,6 +119,25 @@ mod tests {
         let plain = s.clone();
         assert_eq!(pooled.amplitudes(), plain.amplitudes(), "reused buffer must match bitwise");
         assert_eq!(pool.stats(), PoolStats { reused: 1, allocated: 0, idle: 0 });
+    }
+
+    #[test]
+    fn pooled_buffers_stay_cache_line_aligned() {
+        // Regression: recycled buffers must come back with the same
+        // alignment a fresh allocation has, or the vectorized kernels lose
+        // their aligned-load guarantee after the first reuse.
+        let align = crate::buffer::AMP_ALIGN;
+        let mut pool = StatePool::new();
+        let mut s = StateVector::zero_state(6);
+        s.apply_1q(&Matrix2::h(), 1).unwrap();
+        assert_eq!(s.amplitudes().as_ptr() as usize % align, 0, "fresh state");
+        let fresh = pool.clone_state(&s);
+        assert_eq!(fresh.amplitudes().as_ptr() as usize % align, 0, "fresh clone");
+        pool.recycle(fresh);
+        let recycled = pool.clone_state(&s);
+        assert_eq!(recycled.amplitudes().as_ptr() as usize % align, 0, "recycled clone");
+        assert_eq!(pool.reuse_count(), 1, "second clone must exercise the reuse path");
+        assert_eq!(recycled.amplitudes(), s.amplitudes(), "recycled clone must match bitwise");
     }
 
     #[test]

@@ -1,10 +1,16 @@
 use std::fmt;
 
+use crate::buffer::AmpBuf;
 use crate::{Matrix2, Matrix4, Pauli, StateVecError, C64};
 
 /// Maximum register width supported by the dense simulator (2^30 amplitudes
 /// is 16 GiB of `Complex64`; anything larger is rejected up front).
 pub(crate) const MAX_QUBITS: usize = 30;
+
+/// Pairs per tile in the cache-blocked dense sweeps: 8 KiB per stream, so
+/// a tile of each stream stays L1-resident even when the pair stride spans
+/// megabytes on high-qubit registers.
+const DENSE_TILE: usize = 512;
 
 /// A dense `2^n`-amplitude pure quantum state.
 ///
@@ -26,7 +32,7 @@ pub(crate) const MAX_QUBITS: usize = 30;
 #[derive(Clone, PartialEq)]
 pub struct StateVector {
     n_qubits: usize,
-    amps: Vec<C64>,
+    amps: AmpBuf,
 }
 
 impl StateVector {
@@ -40,7 +46,7 @@ impl StateVector {
             n_qubits <= MAX_QUBITS,
             "{n_qubits} qubits exceeds the dense simulator maximum of {MAX_QUBITS}"
         );
-        let mut amps = vec![C64::new(0.0, 0.0); 1 << n_qubits];
+        let mut amps = AmpBuf::zeroed(1 << n_qubits);
         amps[0] = C64::new(1.0, 0.0);
         StateVector { n_qubits, amps }
     }
@@ -59,7 +65,7 @@ impl StateVector {
         if index >= dim {
             return Err(StateVecError::DimensionMismatch { expected: dim, actual: index });
         }
-        let mut amps = vec![C64::new(0.0, 0.0); dim];
+        let mut amps = AmpBuf::zeroed(dim);
         amps[index] = C64::new(1.0, 0.0);
         Ok(StateVector { n_qubits, amps })
     }
@@ -79,7 +85,7 @@ impl StateVector {
             });
         }
         let n_qubits = len.trailing_zeros() as usize;
-        Ok(StateVector { n_qubits, amps })
+        Ok(StateVector { n_qubits, amps: AmpBuf::from_slice(&amps) })
     }
 
     /// Number of qubits in the register.
@@ -129,7 +135,7 @@ impl StateVector {
     pub fn normalize(&mut self) {
         let n = self.norm_sqr().sqrt();
         if n > 0.0 {
-            for a in &mut self.amps {
+            for a in self.amps.iter_mut() {
                 *a /= n;
             }
         }
@@ -147,7 +153,7 @@ impl StateVector {
                 right: other.n_qubits,
             });
         }
-        Ok(self.amps.iter().zip(&other.amps).map(|(a, b)| a.conj() * b).sum())
+        Ok(self.amps.iter().zip(other.amps.iter()).map(|(a, b)| a.conj() * b).sum())
     }
 
     /// Fidelity `|⟨self|other⟩|²`.
@@ -180,7 +186,7 @@ impl StateVector {
     /// bitwise-style reproducibility).
     pub fn approx_eq(&self, other: &StateVector, tol: f64) -> bool {
         self.n_qubits == other.n_qubits
-            && self.amps.iter().zip(&other.amps).all(|(a, b)| (a - b).norm() <= tol)
+            && self.amps.iter().zip(other.amps.iter()).all(|(a, b)| (a - b).norm() <= tol)
     }
 
     /// Apply a one-qubit unitary to `qubit`. One "basic operation"
@@ -193,13 +199,20 @@ impl StateVector {
         self.check_qubit(qubit)?;
         let stride = 1usize << qubit;
         let [[m00, m01], [m10, m11]] = m.0;
+        // Cache-blocked sweep: each pair block is two disjoint contiguous
+        // streams, walked tile-by-tile so one tile of each stream stays
+        // L1-resident even when `stride` spans megabytes; the disjoint
+        // slices drop the bounds checks the indexed loop would pay.
+        let n = self.amps.len();
         let mut base = 0;
-        while base < self.amps.len() {
-            for i in base..base + stride {
-                let a = self.amps[i];
-                let b = self.amps[i + stride];
-                self.amps[i] = m00 * a + m01 * b;
-                self.amps[i + stride] = m10 * a + m11 * b;
+        while base < n {
+            let (lo, hi) = self.amps[base..base + (stride << 1)].split_at_mut(stride);
+            for (lo_tile, hi_tile) in lo.chunks_mut(DENSE_TILE).zip(hi.chunks_mut(DENSE_TILE)) {
+                for (a, b) in lo_tile.iter_mut().zip(hi_tile.iter_mut()) {
+                    let (x, y) = (*a, *b);
+                    *a = m00 * x + m01 * y;
+                    *b = m10 * x + m11 * y;
+                }
             }
             base += stride << 1;
         }
@@ -303,6 +316,188 @@ impl StateVector {
         for (i, a) in self.amps.iter_mut().enumerate() {
             let local = (((i >> high) & 1) << 1) | ((i >> low) & 1);
             *a = d[local] * *a;
+        }
+        Ok(())
+    }
+
+    /// Multiply the amplitudes whose `qubit` bit is **set** by `d1` — the
+    /// one-qubit phase kernel `diag(1, d1)` (S, T, Rz up to global phase,
+    /// and any fused product of them). Touches half the array and performs
+    /// half the multiplies of [`StateVector::apply_diag1`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateVecError::QubitOutOfRange`] for an invalid qubit.
+    pub fn apply_phase1(&mut self, d1: C64, qubit: usize) -> Result<(), StateVecError> {
+        self.check_qubit(qubit)?;
+        let stride = 1usize << qubit;
+        let n = self.amps.len();
+        let mut base = stride;
+        while base < n {
+            for a in self.amps[base..base + stride].iter_mut() {
+                *a = d1 * *a;
+            }
+            base += stride << 1;
+        }
+        Ok(())
+    }
+
+    /// Apply a phased one-qubit permutation (an anti-diagonal 2×2): for
+    /// every pair, `new0 = phase[0] · old1` and `new1 = phase[1] · old0`.
+    /// Covers X (`[1, 1]`), Y (`[-i, i]`), and any fused phase·X product
+    /// with one multiply per amplitude and no additions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateVecError::QubitOutOfRange`] for an invalid qubit.
+    pub fn apply_perm1(&mut self, phase: &[C64; 2], qubit: usize) -> Result<(), StateVecError> {
+        self.check_qubit(qubit)?;
+        let stride = 1usize << qubit;
+        let (p0, p1) = (phase[0], phase[1]);
+        let n = self.amps.len();
+        let mut base = 0;
+        while base < n {
+            let (lo, hi) = self.amps[base..base + (stride << 1)].split_at_mut(stride);
+            for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
+                let x = *a;
+                *a = p0 * *b;
+                *b = p1 * x;
+            }
+            base += stride << 1;
+        }
+        Ok(())
+    }
+
+    /// Apply a controlled phase `diag(1, 1, 1, p)` on the (symmetric) pair
+    /// `(qubit_a, qubit_b)`: multiply only the quarter of the amplitudes
+    /// with **both** bits set. CZ is `p = −1`, CPhase(θ) is `p = e^{iθ}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateVecError::QubitOutOfRange`] or
+    /// [`StateVecError::DuplicateQubit`].
+    pub fn apply_cphase2(
+        &mut self,
+        p: C64,
+        qubit_a: usize,
+        qubit_b: usize,
+    ) -> Result<(), StateVecError> {
+        self.check_qubit(qubit_a)?;
+        self.check_qubit(qubit_b)?;
+        if qubit_a == qubit_b {
+            return Err(StateVecError::DuplicateQubit { qubit: qubit_a });
+        }
+        let offset = (1usize << qubit_a) | (1usize << qubit_b);
+        let (small, large) =
+            if qubit_a < qubit_b { (qubit_a, qubit_b) } else { (qubit_b, qubit_a) };
+        let small_stride = 1usize << small;
+        let large_stride = 1usize << large;
+        let n = self.amps.len();
+        // Strided enumeration of the indices with both bits clear; the
+        // offset lands exactly on the both-bits-set quarter.
+        let mut outer = 0;
+        while outer < n {
+            let mut mid = outer;
+            while mid < outer + large_stride {
+                for i in mid..mid + small_stride {
+                    let idx = i | offset;
+                    self.amps[idx] = p * self.amps[idx];
+                }
+                mid += small_stride << 1;
+            }
+            outer += large_stride << 1;
+        }
+        Ok(())
+    }
+
+    /// Apply a controlled diagonal `diag(d[0], d[1])` on `target`, active
+    /// only where the `control` bit is set — the kernel for fused CZ/CS/CRz
+    /// products `diag(1, 1, d0, d1)`. Touches half the array, one multiply
+    /// per touched amplitude.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateVecError::QubitOutOfRange`] or
+    /// [`StateVecError::DuplicateQubit`].
+    pub fn apply_cdiag1(
+        &mut self,
+        d: &[C64; 2],
+        control: usize,
+        target: usize,
+    ) -> Result<(), StateVecError> {
+        self.check_qubit(control)?;
+        self.check_qubit(target)?;
+        if control == target {
+            return Err(StateVecError::DuplicateQubit { qubit: control });
+        }
+        let cmask = 1usize << control;
+        let tmask = 1usize << target;
+        let (d0, d1) = (d[0], d[1]);
+        let (small, large) = if control < target { (control, target) } else { (target, control) };
+        let small_stride = 1usize << small;
+        let large_stride = 1usize << large;
+        let n = self.amps.len();
+        let mut outer = 0;
+        while outer < n {
+            let mut mid = outer;
+            while mid < outer + large_stride {
+                for i in mid..mid + small_stride {
+                    let ic = i | cmask;
+                    self.amps[ic] = d0 * self.amps[ic];
+                    let ict = ic | tmask;
+                    self.amps[ict] = d1 * self.amps[ict];
+                }
+                mid += small_stride << 1;
+            }
+            outer += large_stride << 1;
+        }
+        Ok(())
+    }
+
+    /// Apply a controlled one-qubit unitary `u` on `target`, active only
+    /// where the `control` bit is set: a dense 2×2 update on **half** the
+    /// amplitude pairs (the other half is the identity block the dense 4×4
+    /// kernel would multiply through).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateVecError::QubitOutOfRange`] or
+    /// [`StateVecError::DuplicateQubit`].
+    pub fn apply_ctrl1(
+        &mut self,
+        u: &Matrix2,
+        control: usize,
+        target: usize,
+    ) -> Result<(), StateVecError> {
+        self.check_qubit(control)?;
+        self.check_qubit(target)?;
+        if control == target {
+            return Err(StateVecError::DuplicateQubit { qubit: control });
+        }
+        let cmask = 1usize << control;
+        let tmask = 1usize << target;
+        let [[u00, u01], [u10, u11]] = u.0;
+        let (small, large) = if control < target { (control, target) } else { (target, control) };
+        let small_stride = 1usize << small;
+        let large_stride = 1usize << large;
+        let n = self.amps.len();
+        // Same enumeration as the CX fast path, with a 2×2 multiply in
+        // place of the swap.
+        let mut outer = 0;
+        while outer < n {
+            let mut mid = outer;
+            while mid < outer + large_stride {
+                for i in mid..mid + small_stride {
+                    let ia = i | cmask;
+                    let ib = ia | tmask;
+                    let x = self.amps[ia];
+                    let y = self.amps[ib];
+                    self.amps[ia] = u00 * x + u01 * y;
+                    self.amps[ib] = u10 * x + u11 * y;
+                }
+                mid += small_stride << 1;
+            }
+            outer += large_stride << 1;
         }
         Ok(())
     }
@@ -490,13 +685,13 @@ impl StateVector {
     }
 
     /// Tear down into the raw amplitude buffer (for [`crate::StatePool`]).
-    pub(crate) fn into_amps(self) -> Vec<C64> {
+    pub(crate) fn into_amps(self) -> AmpBuf {
         self.amps
     }
 
     /// Rebuild from a buffer already known to have length `2^n_qubits`
     /// (for [`crate::StatePool`]).
-    pub(crate) fn from_amps_unchecked(n_qubits: usize, amps: Vec<C64>) -> Self {
+    pub(crate) fn from_amps_unchecked(n_qubits: usize, amps: AmpBuf) -> Self {
         debug_assert_eq!(amps.len(), 1usize << n_qubits);
         StateVector { n_qubits, amps }
     }

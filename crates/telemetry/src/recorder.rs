@@ -5,14 +5,24 @@
 /// executors translate; this crate stays dependency-free).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum KernelClass {
+    /// One-qubit phase kernel (active-half multiply).
+    Phase1,
     /// Diagonal one-qubit kernel.
     Diag1,
+    /// Phased one-qubit permutation (X/Y-shaped).
+    Perm1,
     /// Dense one-qubit kernel.
     Dense1,
+    /// Controlled-phase kernel (active-quarter multiply).
+    CPhase2,
+    /// Controlled-diagonal kernel (active-half multiply).
+    CDiag1,
     /// Diagonal two-qubit kernel.
     Diag2,
     /// Exact-CNOT strided swap.
     Cx,
+    /// Controlled dense one-qubit kernel (active-half 2×2 update).
+    Ctrl1,
     /// Phased two-qubit permutation.
     Perm2,
     /// Dense two-qubit kernel.
@@ -26,12 +36,17 @@ pub enum KernelClass {
 }
 
 impl KernelClass {
-    /// Every class, in report order.
-    pub const ALL: [KernelClass; 9] = [
+    /// Every class, in report order (cheapest dispatch first).
+    pub const ALL: [KernelClass; 14] = [
+        KernelClass::Phase1,
         KernelClass::Diag1,
+        KernelClass::Perm1,
         KernelClass::Dense1,
+        KernelClass::CPhase2,
+        KernelClass::CDiag1,
         KernelClass::Diag2,
         KernelClass::Cx,
+        KernelClass::Ctrl1,
         KernelClass::Perm2,
         KernelClass::Dense2,
         KernelClass::Ccx,
@@ -42,10 +57,15 @@ impl KernelClass {
     /// Stable snake-case name (used in reports, traces, and the schema).
     pub fn name(&self) -> &'static str {
         match self {
+            KernelClass::Phase1 => "phase1",
             KernelClass::Diag1 => "diag1",
+            KernelClass::Perm1 => "perm1",
             KernelClass::Dense1 => "dense1",
+            KernelClass::CPhase2 => "cphase2",
+            KernelClass::CDiag1 => "cdiag1",
             KernelClass::Diag2 => "diag2",
             KernelClass::Cx => "cx",
+            KernelClass::Ctrl1 => "ctrl1",
             KernelClass::Perm2 => "perm2",
             KernelClass::Dense2 => "dense2",
             KernelClass::Ccx => "ccx",

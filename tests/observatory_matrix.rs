@@ -6,9 +6,12 @@
 //! [`TraceAnalysis::cross_check`] must hold. The rendered HTML report
 //! must be self-contained (no external fetches).
 
+use std::path::Path;
+
 use noisy_qsim::noise::{NoiseModel, TrialGenerator};
 use noisy_qsim::redsim::analysis::analyze;
 use noisy_qsim::redsim::exec::ReuseExecutor;
+use noisy_qsim::redsim::testkit;
 use noisy_qsim::telemetry::{JsonlRecorder, TraceMeta};
 use qsim_observatory::{render_html, render_json, Trace, TraceAnalysis};
 
@@ -16,23 +19,7 @@ const TRIALS: usize = 64;
 const SEED: u64 = 2020;
 
 fn shipped_benchmarks() -> Vec<(String, noisy_qsim::circuit::LayeredCircuit, NoiseModel)> {
-    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/benchmarks/yorktown");
-    let mut paths: Vec<_> = std::fs::read_dir(root)
-        .unwrap_or_else(|e| panic!("{root}: {e}"))
-        .map(|e| e.expect("dir entry").path())
-        .collect();
-    paths.sort();
-    assert!(!paths.is_empty(), "no benchmarks under {root}");
-    let model = NoiseModel::ibm_yorktown();
-    paths
-        .into_iter()
-        .map(|path| {
-            let circuit = noisy_qsim::qasm::parse_file(&path)
-                .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
-            let layered = circuit.layered().expect("layers");
-            (circuit.name().to_owned(), layered, model.clone())
-        })
-        .collect()
+    testkit::yorktown_benchmarks(Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/benchmarks")))
 }
 
 #[test]

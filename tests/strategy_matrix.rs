@@ -3,21 +3,17 @@
 //! identical to the baseline. This is the repository's broadest single
 //! correctness statement.
 
-use noisy_qsim::circuit::transpile::{transpile, TranspileOptions};
-use noisy_qsim::circuit::{catalog, CouplingMap};
 use noisy_qsim::noise::{NoiseModel, TrialGenerator};
 use noisy_qsim::redsim::compressed::run_reordered_compressed;
 use noisy_qsim::redsim::exec::{BaselineExecutor, ReuseExecutor};
 use noisy_qsim::redsim::parallel::run_reordered_parallel;
+use noisy_qsim::redsim::testkit;
 
 #[test]
 fn every_strategy_agrees_on_every_benchmark() {
-    let options = TranspileOptions::for_device(CouplingMap::yorktown());
     let model = NoiseModel::ibm_yorktown();
     let mut checked = 0usize;
-    for logical in catalog::realistic_suite() {
-        let compiled = transpile(&logical, &options).expect("compiles");
-        let layered = compiled.circuit.layered().expect("layers");
+    for (name, layered) in testkit::yorktown_suite() {
         let generator = TrialGenerator::new(&layered, &model).expect("native");
         for (label, set) in
             [("direct", generator.generate(150, 3)), ("fast", generator.generate_fast(150, 3))]
@@ -53,10 +49,8 @@ fn every_strategy_agrees_on_every_benchmark() {
             ];
             for (strategy, outcomes) in strategies {
                 assert_eq!(
-                    outcomes,
-                    reference.outcomes,
-                    "{} / {label} generator / {strategy} diverged",
-                    logical.name()
+                    outcomes, reference.outcomes,
+                    "{name} / {label} generator / {strategy} diverged"
                 );
                 checked += 1;
             }

@@ -4,57 +4,22 @@
 //! accounting (`ExecStats`) **and** with the static analyzer's dry-run
 //! prediction (`CostReport`) — no sampling, no tolerance, exact equality.
 
-use noisy_qsim::circuit::transpile::{transpile, TranspileOptions};
-use noisy_qsim::noise::{NoiseModel, TrialGenerator};
+use std::path::Path;
+
+use noisy_qsim::noise::TrialGenerator;
 use noisy_qsim::redsim::analysis::analyze;
 use noisy_qsim::redsim::exec::{BaselineExecutor, ReuseExecutor};
+use noisy_qsim::redsim::testkit;
 use noisy_qsim::telemetry::{AggregatingRecorder, MsvEvent};
 
 const TRIALS: usize = 64;
 const SEED: u64 = 2020;
 
-fn shipped_benchmarks() -> Vec<(String, noisy_qsim::circuit::LayeredCircuit, NoiseModel)> {
-    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/benchmarks");
-    let mut cases = Vec::new();
-    for (dir, wide_model) in [("yorktown", false), ("logical", true)] {
-        let mut paths: Vec<_> = std::fs::read_dir(format!("{root}/{dir}"))
-            .unwrap_or_else(|e| panic!("{root}/{dir}: {e}"))
-            .map(|e| e.expect("dir entry").path())
-            .collect();
-        paths.sort();
-        assert!(!paths.is_empty(), "no benchmarks under {dir}");
-        for path in paths {
-            let circuit = noisy_qsim::qasm::parse_file(&path)
-                .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
-            // The Yorktown suite is device-native; the logical suite still
-            // needs lowering (Toffolis etc.) — all-to-all, no routing.
-            let circuit = if wide_model {
-                let options = TranspileOptions {
-                    coupling: None,
-                    fuse_single_qubit: true,
-                    cancel_cx: true,
-                    commute_rotations: true,
-                };
-                transpile(&circuit, &options).expect("lowering").circuit
-            } else {
-                circuit
-            };
-            let layered = circuit.layered().expect("layers");
-            let model = if wide_model {
-                NoiseModel::uniform(layered.n_qubits(), 1e-3, 1e-2, 1e-2)
-            } else {
-                NoiseModel::ibm_yorktown()
-            };
-            cases.push((format!("{dir}/{}", circuit.name()), layered, model));
-        }
-    }
-    cases
-}
-
 #[test]
 fn telemetry_matches_exec_stats_and_analyzer_on_all_shipped_benchmarks() {
+    let root = Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/benchmarks"));
     let mut checked = 0usize;
-    for (name, layered, model) in shipped_benchmarks() {
+    for (name, layered, model) in testkit::shipped_benchmarks(root) {
         let generator = TrialGenerator::new(&layered, &model).expect("native circuit");
         let set = generator.generate(TRIALS, SEED);
         let trials = set.trials();
