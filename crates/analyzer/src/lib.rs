@@ -14,10 +14,11 @@
 //! * [`ExecutionPlan`] captures one compiled run — circuit, trials,
 //!   order, fused program, and an explicit prefix-cache [`ScheduleOp`]
 //!   stream produced by symbolically replaying `redsim`'s streaming loop.
-//! * [`verify`] runs four passes — the MSV borrow checker, fusion-cut
-//!   soundness, trial-set lints, circuit lints — and returns structured
+//! * [`verify`] runs six passes — the MSV borrow checker, fusion-cut
+//!   soundness, trial-set lints, circuit lints, structure-classification
+//!   cross-checks, and the strategy advisor — and returns structured
 //!   [`Diagnostic`]s with stable [`DiagCode`]s (`MSV*`, `FUS*`, `TRL*`,
-//!   `NSE*`, `CIR*`; the full table lives in `docs/THEORY.md`).
+//!   `NSE*`, `CIR*`, `A2*`; the full table lives in `docs/DIAGNOSTICS.md`).
 //! * [`render_tty`] prints them human-readably; with the `serde` feature
 //!   they serialize to JSON for tooling.
 //! * [`Mutation`] seeds deliberate corruptions so the test suite can prove
@@ -47,18 +48,35 @@ mod plan;
 
 pub use diag::{has_errors, render_tty, DiagCode, Diagnostic, Location, Severity};
 pub use mutate::Mutation;
+pub use passes::advisor::{
+    advise, commute_frame, Advice, CommutedFrame, InjectionVerdict, Strategy, StrategyPrediction,
+};
+pub use passes::structure::{SegmentClass, SegmentStructure};
 pub use plan::{
     compile_schedule, ExecutionPlan, FrameId, PlanExpectations, ScheduleOp, ROOT_FRAME,
 };
 
 /// Run every verifier pass over `plan` and collect the findings, in pass
-/// order (borrow checker, fusion, trial set, circuit). An empty result
-/// means the plan upholds every checked invariant; any
+/// order (borrow checker, fusion, trial set, circuit, structure, advisor).
+/// An empty result means the plan upholds every checked invariant; any
 /// [`Severity::Error`] means executing it could produce wrong results.
 pub fn verify(plan: &ExecutionPlan<'_>) -> Vec<Diagnostic> {
     let mut diags = passes::borrow::check(plan);
     diags.extend(passes::fusion::check(plan));
     diags.extend(passes::trials::check(plan));
     diags.extend(passes::circuit::check(plan));
+    diags.extend(passes::structure::check(plan));
+    diags.extend(passes::advisor::check(plan));
     diags
+}
+
+/// Markdown table of every diagnostic code (used to generate
+/// `docs/DIAGNOSTICS.md`; a test asserts the file matches).
+pub fn diag_table_markdown() -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("| Code | Severity | Invariant |\n| --- | --- | --- |\n");
+    for &code in DiagCode::ALL {
+        let _ = writeln!(out, "| `{}` | {} | {} |", code.as_str(), code.severity(), code.summary());
+    }
+    out
 }

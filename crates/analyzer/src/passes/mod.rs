@@ -1,7 +1,9 @@
 //! The verifier passes. Each is a pure function from [`crate::ExecutionPlan`]
-//! to a list of [`crate::Diagnostic`]s; [`crate::verify`] runs all four.
+//! to a list of [`crate::Diagnostic`]s; [`crate::verify`] runs all six.
 
+pub mod advisor;
 pub mod borrow;
 pub mod circuit;
 pub mod fusion;
+pub mod structure;
 pub mod trials;

@@ -1,0 +1,642 @@
+//! Pass 5 — circuit-structure classification over the fused program.
+//!
+//! Every fused segment (the unit of execution between consecutive
+//! injection cuts) is placed into an exact structure lattice:
+//!
+//! ```text
+//!                   general
+//!                  /   |   \
+//!          diagonal permutation clifford
+//!                  \   |   /
+//!                   identity
+//! ```
+//!
+//! `diagonal` and `permutation` are *structural* classes read off the
+//! kernel tags the fusion engine already assigns from exact zero entries
+//! (`FusedOp::Phase1`/`Diag1`/… are diagonal; `Perm1`/`Cx`/… are phased
+//! permutations), so membership is exact, not a tolerance judgement.
+//! `clifford` is a *semantic* class: an operator is Clifford iff
+//! conjugating every Pauli generator on its operand qubits yields another
+//! Pauli product. Note the lattice is genuinely partial — a `T` gate is
+//! diagonal but not Clifford, a Hadamard is Clifford but neither diagonal
+//! nor permutation — which is why [`SegmentStructure`] carries the
+//! Clifford bit separately from the structural class.
+//!
+//! The pass itself ([`check`]) cross-validates the classification claims
+//! an [`ExecutionPlan`] carries (attached by the advisor) against an
+//! independent recomputation *and* against dense matrix reconstruction of
+//! every operator (`A201` on any disagreement). The classification
+//! functions are public because the advisor's Pauli-frame commutation and
+//! the exactness test suites reuse them.
+
+use qsim_statevec::{FusedOp, Pauli, C64};
+
+use crate::diag::{DiagCode, Diagnostic, Location};
+use crate::plan::ExecutionPlan;
+
+/// Tolerance for the dense-reconstruction soundness checks. Fused
+/// operators are products of exactly-entered gate matrices, so structural
+/// zeros survive exactly and Clifford conjugation residuals stay at the
+/// rounding floor; anything noisier conservatively fails verification.
+pub const STRUCTURE_TOL: f64 = 1e-12;
+
+/// The structural class of one segment (or one fused operator), ordered
+/// bottom-up along the lattice spine `identity ⊑ {diagonal, permutation,
+/// clifford} ⊑ general`.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SegmentClass {
+    /// No operators at all: the segment acts as the identity.
+    Identity,
+    /// Every operator is diagonal in the computational basis.
+    Diagonal,
+    /// Every operator is a phased basis-state permutation.
+    Permutation,
+    /// Mixed or dense operators, but all of them Clifford.
+    Clifford,
+    /// At least one non-Clifford dense (or mixed-structure) operator.
+    General,
+}
+
+impl SegmentClass {
+    /// Stable lower-case name (reports, JSON, docs).
+    pub fn name(self) -> &'static str {
+        match self {
+            SegmentClass::Identity => "identity",
+            SegmentClass::Diagonal => "diagonal",
+            SegmentClass::Permutation => "permutation",
+            SegmentClass::Clifford => "clifford",
+            SegmentClass::General => "general",
+        }
+    }
+}
+
+impl std::fmt::Display for SegmentClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Everything the structure pass asserts about one segment: its lattice
+/// class plus the (independent) Clifford bit the Pauli-frame commutation
+/// relies on.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SegmentStructure {
+    /// Structural lattice class.
+    pub class: SegmentClass,
+    /// Whether *every* operator in the segment is Clifford. Independent of
+    /// `class`: a diagonal segment of `T` gates is not Clifford, a
+    /// Hadamard-bearing Clifford segment is not diagonal.
+    pub clifford: bool,
+}
+
+/// Structural kind of a single fused operator, read off its kernel tag.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpClass {
+    /// Diagonal in the computational basis.
+    Diagonal,
+    /// Phased basis-state permutation.
+    Permutation,
+    /// Dense (no exploited structure).
+    Dense,
+}
+
+/// The kernel tag decides the structural class — the fusion engine only
+/// assigns diagonal/permutation kernels on exact structural zeros.
+pub fn op_class(op: &FusedOp) -> OpClass {
+    match op {
+        FusedOp::Phase1 { .. }
+        | FusedOp::Diag1 { .. }
+        | FusedOp::CPhase2 { .. }
+        | FusedOp::CDiag1 { .. }
+        | FusedOp::Diag2 { .. } => OpClass::Diagonal,
+        FusedOp::Perm1 { .. }
+        | FusedOp::Cx { .. }
+        | FusedOp::Perm2 { .. }
+        | FusedOp::Ccx { .. } => OpClass::Permutation,
+        FusedOp::Dense1 { .. } | FusedOp::Ctrl1 { .. } | FusedOp::Dense2 { .. } => OpClass::Dense,
+    }
+}
+
+/// A fused operator lifted to an explicit dense matrix over its operand
+/// qubits: `qubits[i]` contributes bit `i` of the local basis index, and
+/// `mat` is the row-major `2^k × 2^k` matrix. This is the single dense
+/// reconstruction every soundness check and the Pauli-frame commutation
+/// share.
+#[derive(Clone, Debug)]
+pub struct LocalOp {
+    /// Operand qubits; position in this list is the local bit position.
+    pub qubits: Vec<usize>,
+    /// Row-major dense matrix, dimension `2^qubits.len()`.
+    pub mat: Vec<C64>,
+}
+
+impl LocalOp {
+    /// Matrix dimension (`2^k`).
+    pub fn dim(&self) -> usize {
+        1 << self.qubits.len()
+    }
+
+    /// Entry at `(row, col)`.
+    pub fn at(&self, row: usize, col: usize) -> C64 {
+        self.mat[row * self.dim() + col]
+    }
+}
+
+fn zero() -> C64 {
+    C64::new(0.0, 0.0)
+}
+
+fn one() -> C64 {
+    C64::new(1.0, 0.0)
+}
+
+fn diag_local(qubits: Vec<usize>, d: &[C64]) -> LocalOp {
+    let dim = d.len();
+    let mut mat = vec![zero(); dim * dim];
+    for (i, &e) in d.iter().enumerate() {
+        mat[i * dim + i] = e;
+    }
+    LocalOp { qubits, mat }
+}
+
+/// Reconstruct the dense matrix a fused operator applies. The local bit
+/// convention matches [`qsim_statevec::StateVector::apply_2q`]: for the
+/// two-qubit kernels `qubits = [low, high]` so the local index is
+/// `2·bit(high) + bit(low)`; the Toffoli uses `[target, control_a,
+/// control_b]`.
+pub fn local_op(op: &FusedOp) -> LocalOp {
+    match op {
+        FusedOp::Phase1 { d1, qubit } => diag_local(vec![*qubit], &[one(), *d1]),
+        FusedOp::Diag1 { d, qubit } => diag_local(vec![*qubit], d),
+        FusedOp::Perm1 { phase, qubit } => {
+            LocalOp { qubits: vec![*qubit], mat: vec![zero(), phase[0], phase[1], zero()] }
+        }
+        FusedOp::Dense1 { m, qubit } => {
+            LocalOp { qubits: vec![*qubit], mat: m.0.iter().flatten().copied().collect() }
+        }
+        FusedOp::CPhase2 { p, low, high } => {
+            diag_local(vec![*low, *high], &[one(), one(), one(), *p])
+        }
+        FusedOp::CDiag1 { d, control, target } => {
+            // Local index 2·bit(control) + bit(target): the diagonal acts on
+            // the target where the control bit is set.
+            diag_local(vec![*target, *control], &[one(), one(), d[0], d[1]])
+        }
+        FusedOp::Diag2 { d, low, high } => diag_local(vec![*low, *high], d),
+        FusedOp::Ctrl1 { u, control, target } => {
+            let mut mat = vec![zero(); 16];
+            mat[0] = one();
+            mat[4 + 1] = one();
+            for r in 0..2 {
+                for c in 0..2 {
+                    mat[(2 + r) * 4 + (2 + c)] = u.0[r][c];
+                }
+            }
+            LocalOp { qubits: vec![*target, *control], mat }
+        }
+        FusedOp::Cx { control, target } => {
+            // Local index 2·bit(control) + bit(target); the target flips
+            // where the control is set.
+            let mut mat = vec![zero(); 16];
+            for input in 0..4usize {
+                let (t, c) = (input & 1, input >> 1);
+                let out = if c == 1 { (t ^ 1) | 2 } else { input };
+                mat[out * 4 + input] = one();
+            }
+            LocalOp { qubits: vec![*target, *control], mat }
+        }
+        FusedOp::Dense2 { m, low, high } => {
+            LocalOp { qubits: vec![*low, *high], mat: m.0.iter().flatten().copied().collect() }
+        }
+        FusedOp::Perm2 { src, phase, low, high } => {
+            let mut mat = vec![zero(); 16];
+            for (row, (&s, &p)) in src.iter().zip(phase.iter()).enumerate() {
+                mat[row * 4 + s as usize] = p;
+            }
+            LocalOp { qubits: vec![*low, *high], mat }
+        }
+        FusedOp::Ccx { control_a, control_b, target } => {
+            let mut mat = vec![zero(); 64];
+            for input in 0..8usize {
+                let (t, a, b) = (input & 1, (input >> 1) & 1, (input >> 2) & 1);
+                let out = if a == 1 && b == 1 { input ^ 1 } else { input };
+                let _ = t;
+                mat[out * 8 + input] = one();
+            }
+            LocalOp { qubits: vec![*target, *control_a, *control_b], mat }
+        }
+    }
+}
+
+/// A Pauli product on the local qubits of a [`LocalOp`]: an overall phase
+/// `i^phase_quarters` and one optional Pauli factor per local bit
+/// position (`None` = identity).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PauliProduct {
+    /// Global phase as a power of `i` (mod 4).
+    pub phase_quarters: u8,
+    /// Pauli factor per local qubit position.
+    pub factors: Vec<Option<Pauli>>,
+}
+
+fn pauli_entry(factor: Option<Pauli>, row: usize, col: usize) -> C64 {
+    match factor {
+        None => {
+            if row == col {
+                one()
+            } else {
+                zero()
+            }
+        }
+        Some(p) => p.matrix().0[row][col],
+    }
+}
+
+fn pauli_product_entry(factors: &[Option<Pauli>], row: usize, col: usize) -> C64 {
+    let mut e = one();
+    for (bit, &factor) in factors.iter().enumerate() {
+        e *= pauli_entry(factor, (row >> bit) & 1, (col >> bit) & 1);
+    }
+    e
+}
+
+const QUARTER_PHASES: [C64; 4] = [
+    C64 { re: 1.0, im: 0.0 },
+    C64 { re: 0.0, im: 1.0 },
+    C64 { re: -1.0, im: 0.0 },
+    C64 { re: 0.0, im: -1.0 },
+];
+
+/// Match a dense `2^k × 2^k` matrix against `i^q · P₁ ⊗ … ⊗ Pₖ` within
+/// `tol`. Returns `None` when the matrix is not a phased Pauli product —
+/// the conservative bail-out every Clifford claim rests on.
+pub fn match_pauli_product(mat: &[C64], k: usize, tol: f64) -> Option<PauliProduct> {
+    let dim = 1usize << k;
+    debug_assert_eq!(mat.len(), dim * dim);
+    // Decode the permutation-with-phase structure directly instead of
+    // trying all 4^k products: each Pauli factor either preserves (I/Z) or
+    // flips (X/Y) its bit, so column 0 must hold exactly one entry of unit
+    // modulus whose row reveals the flip mask.
+    let mut factors: Vec<Option<Pauli>> = vec![None; k];
+    let mut flip_row = None;
+    for row in 0..dim {
+        let e = mat[row * dim];
+        if e.norm() > tol {
+            if flip_row.is_some() {
+                return None;
+            }
+            flip_row = Some(row);
+        }
+    }
+    let flips = flip_row?;
+    // Candidate factor per bit: flipped bits are X or Y, kept bits I or Z.
+    // Disambiguate each by probing the column whose input sets only that
+    // bit... more robustly, try the 2^k I/Z vs X/Y sign choices implied by
+    // two probe columns per bit. With k ≤ 3 a direct scan over the 4^k
+    // candidates is still cheap and unambiguous, so fall back to that.
+    let choices: [[Option<Pauli>; 2]; 2] =
+        [[None, Some(Pauli::Z)], [Some(Pauli::X), Some(Pauli::Y)]];
+    let mut assignment = vec![0usize; k];
+    loop {
+        for (bit, f) in factors.iter_mut().enumerate() {
+            *f = choices[(flips >> bit) & 1][assignment[bit]];
+        }
+        if let Some(product) = match_with_factors(mat, dim, &factors, tol) {
+            return Some(product);
+        }
+        // Advance the per-bit binary counter.
+        let mut bit = 0;
+        loop {
+            if bit == k {
+                return None;
+            }
+            assignment[bit] += 1;
+            if assignment[bit] < 2 {
+                break;
+            }
+            assignment[bit] = 0;
+            bit += 1;
+        }
+    }
+}
+
+fn match_with_factors(
+    mat: &[C64],
+    dim: usize,
+    factors: &[Option<Pauli>],
+    tol: f64,
+) -> Option<PauliProduct> {
+    // Fix the phase on the first non-negligible candidate entry.
+    let mut scale = None;
+    for row in 0..dim {
+        for col in 0..dim {
+            let c = pauli_product_entry(factors, row, col);
+            if c.norm() > 0.5 {
+                let m = mat[row * dim + col];
+                scale = Some(m / c);
+                break;
+            }
+        }
+        if scale.is_some() {
+            break;
+        }
+    }
+    let scale = scale?;
+    let quarters = QUARTER_PHASES.iter().position(|&q| (q - scale).norm() <= tol)? as u8;
+    for row in 0..dim {
+        for col in 0..dim {
+            let want = pauli_product_entry(factors, row, col) * scale;
+            if (mat[row * dim + col] - want).norm() > tol {
+                return None;
+            }
+        }
+    }
+    Some(PauliProduct { phase_quarters: quarters, factors: factors.to_vec() })
+}
+
+/// Conjugate a Pauli product through a fused operator: returns
+/// `U · P · U†` as a Pauli product, or `None` when the result leaves the
+/// Pauli group (the operator is not Clifford for this input).
+pub fn conjugate(op: &LocalOp, product: &PauliProduct, tol: f64) -> Option<PauliProduct> {
+    let dim = op.dim();
+    let k = op.qubits.len();
+    // M = U · P
+    let mut up = vec![zero(); dim * dim];
+    for row in 0..dim {
+        for col in 0..dim {
+            let mut e = zero();
+            for mid in 0..dim {
+                e += op.at(row, mid) * pauli_product_entry(&product.factors, mid, col);
+            }
+            up[row * dim + col] = e;
+        }
+    }
+    // M · U†
+    let mut upu = vec![zero(); dim * dim];
+    for row in 0..dim {
+        for col in 0..dim {
+            let mut e = zero();
+            for mid in 0..dim {
+                e += up[row * dim + mid] * op.at(col, mid).conj();
+            }
+            upu[row * dim + col] = e;
+        }
+    }
+    let mut out = match_pauli_product(&upu, k, tol)?;
+    out.phase_quarters = (out.phase_quarters + product.phase_quarters) % 4;
+    Some(out)
+}
+
+/// Whether a fused operator is Clifford: conjugating each `X` and `Z`
+/// generator on its operand qubits must yield a Pauli product. The two
+/// generators per qubit generate the whole local Pauli group, so this is
+/// both necessary and sufficient.
+pub fn op_is_clifford(op: &FusedOp, tol: f64) -> bool {
+    let local = local_op(op);
+    let k = local.qubits.len();
+    for bit in 0..k {
+        for generator in [Pauli::X, Pauli::Z] {
+            let mut factors = vec![None; k];
+            factors[bit] = Some(generator);
+            let product = PauliProduct { phase_quarters: 0, factors };
+            if conjugate(&local, &product, tol).is_none() {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Classify one segment's operator list into the structure lattice.
+pub fn classify_ops(ops: &[FusedOp]) -> SegmentStructure {
+    if ops.is_empty() {
+        return SegmentStructure { class: SegmentClass::Identity, clifford: true };
+    }
+    let clifford = ops.iter().all(|op| op_is_clifford(op, STRUCTURE_TOL));
+    let class = if ops.iter().all(|op| op_class(op) == OpClass::Diagonal) {
+        SegmentClass::Diagonal
+    } else if ops.iter().all(|op| op_class(op) == OpClass::Permutation) {
+        SegmentClass::Permutation
+    } else if clifford {
+        SegmentClass::Clifford
+    } else {
+        SegmentClass::General
+    };
+    SegmentStructure { class, clifford }
+}
+
+/// Classify every segment of a fused program, in segment order.
+pub fn classify_program(program: &qsim_circuit::FusedProgram) -> Vec<SegmentStructure> {
+    program.segments().iter().map(|seg| classify_ops(seg.ops())).collect()
+}
+
+/// Verify a structure claim by dense reconstruction: every operator's
+/// reconstructed matrix must exhibit the claimed structure within `tol`.
+/// Returns the first violation as a human-readable message.
+///
+/// # Errors
+///
+/// Returns a description of the first operator violating the claim.
+pub fn check_structure(ops: &[FusedOp], claim: SegmentStructure, tol: f64) -> Result<(), String> {
+    if claim.class == SegmentClass::Identity && !ops.is_empty() {
+        return Err(format!("claimed identity but the segment holds {} op(s)", ops.len()));
+    }
+    for (i, op) in ops.iter().enumerate() {
+        let local = local_op(op);
+        let dim = local.dim();
+        match claim.class {
+            SegmentClass::Identity | SegmentClass::General | SegmentClass::Clifford => {}
+            SegmentClass::Diagonal => {
+                for row in 0..dim {
+                    for col in 0..dim {
+                        if row != col && local.at(row, col).norm() > tol {
+                            return Err(format!(
+                                "op {i} (`{}`) claimed diagonal but |m[{row}][{col}]| = {:.3e}",
+                                op.kernel_name(),
+                                local.at(row, col).norm()
+                            ));
+                        }
+                    }
+                }
+            }
+            SegmentClass::Permutation => {
+                for row in 0..dim {
+                    let hot = (0..dim).filter(|&col| local.at(row, col).norm() > tol).count();
+                    if hot != 1 {
+                        return Err(format!(
+                            "op {i} (`{}`) claimed permutation but row {row} has {hot} entries",
+                            op.kernel_name()
+                        ));
+                    }
+                }
+                for col in 0..dim {
+                    let hot = (0..dim).filter(|&row| local.at(row, col).norm() > tol).count();
+                    if hot != 1 {
+                        return Err(format!(
+                            "op {i} (`{}`) claimed permutation but column {col} has {hot} entries",
+                            op.kernel_name()
+                        ));
+                    }
+                }
+            }
+        }
+        if claim.clifford && !op_is_clifford(op, tol) {
+            return Err(format!(
+                "op {i} (`{}`) claimed Clifford but conjugation leaves the Pauli group",
+                op.kernel_name()
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Run the structure pass: cross-check the plan's attached classification
+/// claims (if any) against recomputation and dense reconstruction.
+pub fn check(plan: &ExecutionPlan<'_>) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let Some(advice) = &plan.advice else {
+        return diags;
+    };
+    let segments = plan.program.segments();
+    if advice.segments.len() != segments.len() {
+        diags.push(Diagnostic::new(
+            DiagCode::SegmentClassMismatch,
+            Location::none(),
+            format!(
+                "advice classifies {} segment(s) but the fused program has {}",
+                advice.segments.len(),
+                segments.len()
+            ),
+        ));
+        return diags;
+    }
+    for (s, (seg, &claim)) in segments.iter().zip(&advice.segments).enumerate() {
+        let recomputed = classify_ops(seg.ops());
+        if claim != recomputed {
+            diags.push(Diagnostic::new(
+                DiagCode::SegmentClassMismatch,
+                Location::segment(s).at_layer(seg.start_layer()),
+                format!(
+                    "segment {s} claimed {} (clifford={}) but reclassifies as {} (clifford={})",
+                    claim.class, claim.clifford, recomputed.class, recomputed.clifford
+                ),
+            ));
+            continue;
+        }
+        if let Err(why) = check_structure(seg.ops(), claim, STRUCTURE_TOL) {
+            diags.push(Diagnostic::new(
+                DiagCode::SegmentClassMismatch,
+                Location::segment(s).at_layer(seg.start_layer()),
+                format!("segment {s} fails dense-reconstruction verification: {why}"),
+            ));
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim_statevec::{Matrix2, Matrix4};
+
+    #[test]
+    fn kernel_tags_map_to_structural_classes() {
+        let diag = FusedOp::classify_1q(&Matrix2::s(), 0);
+        assert_eq!(op_class(&diag), OpClass::Diagonal);
+        let perm = FusedOp::classify_1q(&Matrix2::x(), 0);
+        assert_eq!(op_class(&perm), OpClass::Permutation);
+        let dense = FusedOp::classify_1q(&Matrix2::h(), 0);
+        assert_eq!(op_class(&dense), OpClass::Dense);
+        let cx = FusedOp::classify_2q(&Matrix4::cx(), 0, 1);
+        assert_eq!(op_class(&cx), OpClass::Permutation);
+    }
+
+    #[test]
+    fn clifford_judgement_matches_textbook_gates() {
+        for (m, clifford) in [
+            (Matrix2::h(), true),
+            (Matrix2::s(), true),
+            (Matrix2::x(), true),
+            (Matrix2::y(), true),
+            (Matrix2::z(), true),
+            (Matrix2::t(), false),
+            (Matrix2::rz(0.3), false),
+            (Matrix2::rx(1.0), false),
+        ] {
+            let op = FusedOp::classify_1q(&m, 0);
+            assert_eq!(op_is_clifford(&op, STRUCTURE_TOL), clifford, "matrix {m}");
+        }
+        for (m, clifford) in [
+            (Matrix4::cx(), true),
+            (Matrix4::cz(), true),
+            (Matrix4::swap(), true),
+            (Matrix4::cphase(0.4), false),
+            (Matrix4::controlled(&Matrix2::h()), false),
+        ] {
+            let op = FusedOp::classify_2q(&m, 0, 1);
+            assert_eq!(op_is_clifford(&op, STRUCTURE_TOL), clifford, "matrix {m}");
+        }
+        // The Toffoli is a permutation but famously not Clifford.
+        let ccx = FusedOp::Ccx { control_a: 0, control_b: 1, target: 2 };
+        assert_eq!(op_class(&ccx), OpClass::Permutation);
+        assert!(!op_is_clifford(&ccx, STRUCTURE_TOL));
+    }
+
+    #[test]
+    fn conjugation_reproduces_known_clifford_tableaus() {
+        // H X H† = Z, H Z H† = X, S X S† = Y (phase-free on these).
+        let h = local_op(&FusedOp::classify_1q(&Matrix2::h(), 0));
+        let x = PauliProduct { phase_quarters: 0, factors: vec![Some(Pauli::X)] };
+        let z = PauliProduct { phase_quarters: 0, factors: vec![Some(Pauli::Z)] };
+        assert_eq!(conjugate(&h, &x, STRUCTURE_TOL).unwrap().factors, vec![Some(Pauli::Z)]);
+        assert_eq!(conjugate(&h, &z, STRUCTURE_TOL).unwrap().factors, vec![Some(Pauli::X)]);
+        let s = local_op(&FusedOp::classify_1q(&Matrix2::s(), 0));
+        let sxs = conjugate(&s, &x, STRUCTURE_TOL).unwrap();
+        assert_eq!(sxs.factors, vec![Some(Pauli::Y)]);
+        // CX propagates X on the control to X⊗X and Z on the target to Z⊗Z.
+        let cx = local_op(&FusedOp::Cx { control: 1, target: 0 });
+        let x_ctrl = PauliProduct { phase_quarters: 0, factors: vec![None, Some(Pauli::X)] };
+        let spread = conjugate(&cx, &x_ctrl, STRUCTURE_TOL).unwrap();
+        assert_eq!(spread.factors, vec![Some(Pauli::X), Some(Pauli::X)]);
+        // T breaks out of the Pauli group on X.
+        let t = local_op(&FusedOp::classify_1q(&Matrix2::t(), 0));
+        assert!(conjugate(&t, &x, STRUCTURE_TOL).is_none());
+        assert!(conjugate(&t, &z, STRUCTURE_TOL).is_some());
+    }
+
+    #[test]
+    fn segment_classification_covers_the_lattice() {
+        let s = FusedOp::classify_1q(&Matrix2::s(), 0);
+        let t = FusedOp::classify_1q(&Matrix2::t(), 0);
+        let x = FusedOp::classify_1q(&Matrix2::x(), 0);
+        let h = FusedOp::classify_1q(&Matrix2::h(), 0);
+        let cases: Vec<(Vec<FusedOp>, SegmentClass, bool)> = vec![
+            (vec![], SegmentClass::Identity, true),
+            (vec![s.clone()], SegmentClass::Diagonal, true),
+            (vec![t.clone()], SegmentClass::Diagonal, false),
+            (vec![x.clone()], SegmentClass::Permutation, true),
+            (vec![s.clone(), x.clone()], SegmentClass::Clifford, true),
+            (vec![h.clone()], SegmentClass::Clifford, true),
+            (vec![h.clone(), t.clone()], SegmentClass::General, false),
+        ];
+        for (ops, class, clifford) in cases {
+            let got = classify_ops(&ops);
+            assert_eq!(got, SegmentStructure { class, clifford }, "ops {ops:?}");
+            check_structure(&ops, got, STRUCTURE_TOL).expect("own classification verifies");
+        }
+    }
+
+    #[test]
+    fn dense_reconstruction_rejects_false_claims() {
+        let h = FusedOp::classify_1q(&Matrix2::h(), 0);
+        let claim = SegmentStructure { class: SegmentClass::Diagonal, clifford: true };
+        assert!(check_structure(std::slice::from_ref(&h), claim, STRUCTURE_TOL).is_err());
+        let t = FusedOp::classify_1q(&Matrix2::t(), 0);
+        let claim = SegmentStructure { class: SegmentClass::Diagonal, clifford: true };
+        assert!(check_structure(std::slice::from_ref(&t), claim, STRUCTURE_TOL).is_err());
+        let claim = SegmentStructure { class: SegmentClass::Identity, clifford: true };
+        assert!(check_structure(std::slice::from_ref(&t), claim, STRUCTURE_TOL).is_err());
+    }
+}

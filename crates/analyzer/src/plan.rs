@@ -12,6 +12,9 @@ use qsim_circuit::{CouplingMap, FusedProgram, LayeredCircuit};
 use qsim_noise::{
     compare_trials, injection_cut_layers, lcp, Injection, NoiseModel, Trial, TrialSet,
 };
+use qsim_telemetry::{NullRecorder, Recorder};
+
+use crate::passes::advisor::{Advice, Strategy};
 
 /// Identifier of one multi-state-vector frame. Frames are allocated
 /// monotonically; the error-free root prefix is always [`ROOT_FRAME`] and
@@ -128,6 +131,12 @@ pub struct ExecutionPlan<'a> {
     pub model: Option<NoiseModel>,
     /// The device coupling map the circuit was transpiled to, if any.
     pub coupling: Option<CouplingMap>,
+    /// The execution strategy the caller intends to run, if declared
+    /// (judged by the advisor pass, `A204`/`A205`).
+    pub strategy: Option<Strategy>,
+    /// Claimed advisor output, if attached (cross-checked by the structure
+    /// and advisor passes, `A201`–`A203`).
+    pub advice: Option<Advice>,
 }
 
 impl<'a> ExecutionPlan<'a> {
@@ -139,10 +148,27 @@ impl<'a> ExecutionPlan<'a> {
     /// empty set, budget 0) still produce a plan; it is [`crate::verify`]'s
     /// job to diagnose them.
     pub fn compile(layered: &'a LayeredCircuit, set: &TrialSet, budget: usize) -> Self {
+        Self::compile_traced(layered, set, budget, &NullRecorder)
+    }
+
+    /// [`ExecutionPlan::compile`] with telemetry: bumps the
+    /// `"plan.fuse_compile"` counter once per fused-program compilation,
+    /// so callers sharing one plan across consumers (`qsim verify` +
+    /// `qsim advise`, the auto-select hook) can prove fuse work is not
+    /// repeated.
+    pub fn compile_traced<R: Recorder + ?Sized>(
+        layered: &'a LayeredCircuit,
+        set: &TrialSet,
+        budget: usize,
+        recorder: &R,
+    ) -> Self {
         let trials = set.trials().to_vec();
         let mut order: Vec<usize> = (0..trials.len()).collect();
         order.sort_by(|&a, &b| compare_trials(&trials[a], &trials[b]));
         let program = FusedProgram::new(layered, &injection_cut_layers(&trials));
+        if recorder.enabled() {
+            recorder.counter("plan.fuse_compile", 1);
+        }
         let schedule = compile_schedule(&trials, &order, layered.n_layers(), budget);
         ExecutionPlan {
             layered,
@@ -156,6 +182,8 @@ impl<'a> ExecutionPlan<'a> {
             expectations: None,
             model: None,
             coupling: None,
+            strategy: None,
+            advice: None,
         }
     }
 
@@ -174,6 +202,19 @@ impl<'a> ExecutionPlan<'a> {
     /// Attach the coupling map for `CIR002` lints.
     pub fn with_coupling(mut self, coupling: CouplingMap) -> Self {
         self.coupling = Some(coupling);
+        self
+    }
+
+    /// Declare the strategy this plan will run under (judged by the
+    /// advisor pass, `A204`/`A205`).
+    pub fn with_strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = Some(strategy);
+        self
+    }
+
+    /// Attach claimed advisor output for `A201`–`A203` cross-checks.
+    pub fn with_advice(mut self, advice: Advice) -> Self {
+        self.advice = Some(advice);
         self
     }
 }

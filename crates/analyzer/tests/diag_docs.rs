@@ -1,0 +1,28 @@
+//! Golden test keeping `docs/DIAGNOSTICS.md` in sync with the code
+//! registry: everything after the generation marker must byte-match
+//! [`qsim_analyzer::diag_table_markdown`]. Run with `UPDATE_DIAGNOSTICS=1`
+//! to rewrite the generated region in place after adding a code.
+
+const DOC_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/DIAGNOSTICS.md");
+const MARKER_END: &str = "Do not edit below this line. -->\n";
+
+#[test]
+fn diagnostics_doc_matches_generated_table() {
+    let table = qsim_analyzer::diag_table_markdown();
+    let contents =
+        std::fs::read_to_string(DOC_PATH).unwrap_or_else(|e| panic!("read {DOC_PATH}: {e}"));
+    let marker_at =
+        contents.find(MARKER_END).expect("docs/DIAGNOSTICS.md must keep its generation marker");
+    let head = &contents[..marker_at + MARKER_END.len()];
+    let generated = &contents[marker_at + MARKER_END.len()..];
+    if std::env::var_os("UPDATE_DIAGNOSTICS").is_some() {
+        std::fs::write(DOC_PATH, format!("{head}{table}"))
+            .unwrap_or_else(|e| panic!("write {DOC_PATH}: {e}"));
+        return;
+    }
+    assert_eq!(
+        generated, table,
+        "docs/DIAGNOSTICS.md is stale; regenerate with \
+         `UPDATE_DIAGNOSTICS=1 cargo test -p qsim-analyzer --test diag_docs`"
+    );
+}

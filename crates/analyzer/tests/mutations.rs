@@ -60,9 +60,13 @@ fn compile<'a>(
     model: &NoiseModel,
     budget: usize,
 ) -> ExecutionPlan<'a> {
-    ExecutionPlan::compile(layered, set, budget)
+    let plan = ExecutionPlan::compile(layered, set, budget)
         .with_expectations(expectations(layered, set, budget))
-        .with_model(model.clone())
+        .with_model(model.clone());
+    // Attach the advisor's own analysis so the structure and advisor
+    // cross-check passes run (and the A2xx mutations find sites).
+    let advice = qsim_analyzer::advise(&plan);
+    plan.with_advice(advice)
 }
 
 #[test]

@@ -76,7 +76,7 @@ fn main() {
             reuse.run_traced(trials, &recorder).expect("execution succeeds");
         });
         let jsonl_ms = time_best(reps, || {
-            let recorder = JsonlRecorder::new(Box::new(std::io::sink()), TraceMeta::default());
+            let recorder = JsonlRecorder::new(Box::new(std::io::sink()), &TraceMeta::default());
             reuse.run_traced(trials, &recorder).expect("execution succeeds");
             recorder.flush().expect("sink never fails");
         });

@@ -76,7 +76,7 @@ pub fn unitarily_equivalent(
             let amps: Vec<C64> = (0..1usize << n)
                 .map(|_| C64::new(rng.random::<f64>() - 0.5, rng.random::<f64>() - 0.5))
                 .collect();
-            let mut input = StateVector::from_amplitudes(amps)?;
+            let mut input = StateVector::from_amplitudes(&amps)?;
             input.normalize();
             let fidelity = run(&input, a)?.fidelity(&run(&input, b)?)?;
             if fidelity < 1.0 - tol {

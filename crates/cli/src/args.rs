@@ -16,6 +16,8 @@ pub enum Command {
     Run,
     /// Statically verify the compiled execution plan; no amplitudes.
     Verify,
+    /// Classify circuit structure, predict per-strategy cost, recommend.
+    Advise,
     /// Run with full telemetry and print the metrics report.
     Profile,
     /// Analyze a JSONL trace (or bench JSON) offline and render a report.
@@ -137,6 +139,7 @@ COMMANDS:
     analyze     static cost analysis (ops saved, MSVs) — no amplitudes
     run         noisy Monte-Carlo simulation; prints the outcome histogram
     verify      prove the compiled plan sound (schedule, fusion, trials)
+    advise      rank execution strategies by predicted cost — no amplitudes
     profile     run with full telemetry; prints Prometheus/JSON metrics
     report      analyze a JSONL trace (or bench JSON) offline; TTY/JSON/HTML
     history     benchmark history: record <BENCH.json> | check | show
@@ -154,7 +157,7 @@ OPTIONS:
     --load-trials <P>   replay a saved trial set (ignores --trials/--seed)
     --compressed        store cached frontiers in zero-elided sparse form
     --alap              schedule layers as-late-as-possible (moves idle errors)
-    --json              machine-readable output (verify, report)
+    --json              machine-readable output (verify, advise, report)
     --trace <P>         stream a JSONL telemetry trace to a file (run, profile)
     --folded <P>        write folded stacks for flamegraphs (profile)
     --html <P>          write a self-contained HTML report (report)
@@ -257,6 +260,7 @@ impl Options {
             "analyze" => Command::Analyze,
             "run" => Command::Run,
             "verify" => Command::Verify,
+            "advise" => Command::Advise,
             "profile" => Command::Profile,
             "report" => Command::Report,
             "history" => {
@@ -401,6 +405,15 @@ mod tests {
         assert!(opts.json);
         assert_eq!(opts.trials, 64);
         assert!(!parse(&["run", "f.qasm"]).unwrap().json);
+    }
+
+    #[test]
+    fn parses_advise() {
+        let opts = parse(&["advise", "f.qasm", "--json", "--budget", "2"]).unwrap();
+        assert_eq!(opts.command, Command::Advise);
+        assert!(opts.json);
+        assert_eq!(opts.budget, 2);
+        assert!(parse(&["advise"]).is_err());
     }
 
     #[test]

@@ -44,6 +44,7 @@ pub fn execute(opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
         Command::Analyze => analyze(&prepared, opts, out),
         Command::Run => run(&prepared, opts, out),
         Command::Verify => verify(&prepared, opts, out),
+        Command::Advise => advise(&prepared, opts, out),
         Command::Profile => profile(&prepared, opts, out),
         Command::Report | Command::History(_) => {
             unreachable!("offline commands return before circuit parsing")
@@ -51,6 +52,9 @@ pub fn execute(opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
     }
 }
 
+// A `map_err` adapter, so it takes the error by value like `map_err` hands
+// it over.
+#[allow(clippy::needless_pass_by_value)]
 fn io_err(e: std::io::Error) -> CliError {
     CliError(format!("i/o failure: {e}"))
 }
@@ -188,8 +192,14 @@ fn analyze(prepared: &Circuit, opts: &Options, out: &mut dyn Write) -> Result<()
     Ok(())
 }
 
-fn verify(prepared: &Circuit, opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
-    let sim = simulation(prepared, opts)?;
+/// Compile the analyzer plan for this invocation — the single shared
+/// entry point for `verify` and `advise`, so each command compiles the
+/// fused program exactly once (tracked by the `plan.fuse_compile`
+/// telemetry counter).
+fn compiled_plan<'a>(
+    sim: &'a Simulation,
+    opts: &Options,
+) -> Result<qsim_analyzer::ExecutionPlan<'a>, CliError> {
     let set = sim.trials().expect("trials just prepared");
     let report =
         sim.analyze_with_budget(opts.budget).map_err(|e| CliError(format!("analysis: {e}")))?;
@@ -203,6 +213,13 @@ fn verify(prepared: &Circuit, opts: &Options, out: &mut dyn Write) -> Result<(),
     if let Some(map) = coupling(&opts.device) {
         plan = plan.with_coupling(map);
     }
+    Ok(plan)
+}
+
+fn verify(prepared: &Circuit, opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
+    let sim = simulation(prepared, opts)?;
+    let plan = compiled_plan(&sim, opts)?;
+    let set = sim.trials().expect("trials just prepared");
     let diagnostics = qsim_analyzer::verify(&plan);
     if opts.json {
         let json = serde_json::to_string(&diagnostics)
@@ -224,6 +241,119 @@ fn verify(prepared: &Circuit, opts: &Options, out: &mut dyn Write) -> Result<(),
         let errors =
             diagnostics.iter().filter(|d| d.severity == qsim_analyzer::Severity::Error).count();
         return Err(CliError(format!("plan verification failed with {errors} error(s)")));
+    }
+    Ok(())
+}
+
+/// The strategy the flag combination declares, for the advisor's
+/// suboptimal-strategy lint (`--baseline` runs the fused program).
+fn declared_strategy(opts: &Options) -> qsim_analyzer::Strategy {
+    if opts.baseline {
+        qsim_analyzer::Strategy::Fused
+    } else if opts.compressed {
+        qsim_analyzer::Strategy::Compressed
+    } else {
+        qsim_analyzer::Strategy::Reuse
+    }
+}
+
+fn advise(prepared: &Circuit, opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
+    let sim = simulation(prepared, opts)?;
+    let plan = compiled_plan(&sim, opts)?;
+    let advice = qsim_analyzer::advise(&plan);
+    let plan = plan.with_strategy(declared_strategy(opts)).with_advice(advice);
+    let diagnostics = qsim_analyzer::verify(&plan);
+    let advice = plan.advice.as_ref().expect("advice just attached");
+    let best = advice.best_executable();
+
+    if opts.json {
+        let advice_json = serde_json::to_string(advice)
+            .map_err(|e| CliError(format!("serializing advice: {e}")))?;
+        let diags_json = serde_json::to_string(&diagnostics)
+            .map_err(|e| CliError(format!("serializing diagnostics: {e}")))?;
+        writeln!(
+            out,
+            "{{\"advice\":{advice_json},\"recommended\":\"{}\",\"diagnostics\":{diags_json}}}",
+            best.strategy
+        )
+        .map_err(io_err)?;
+    } else {
+        let tally = |class| advice.segments.iter().filter(|s| s.class == class).count();
+        writeln!(
+            out,
+            "segments:    {} — {} identity, {} diagonal, {} permutation, {} clifford, {} general ({} clifford in total)",
+            advice.segments.len(),
+            tally(qsim_analyzer::SegmentClass::Identity),
+            tally(qsim_analyzer::SegmentClass::Diagonal),
+            tally(qsim_analyzer::SegmentClass::Permutation),
+            tally(qsim_analyzer::SegmentClass::Clifford),
+            tally(qsim_analyzer::SegmentClass::General),
+            advice.segments.iter().filter(|s| s.clifford).count(),
+        )
+        .map_err(io_err)?;
+        writeln!(
+            out,
+            "frames:      {}/{} distinct injections commute through their suffix; {}/{} trials fully trackable ({:.1}%)",
+            advice.verdicts.iter().filter(|v| v.trackable).count(),
+            advice.verdicts.len(),
+            advice.trackable_trials,
+            advice.n_trials,
+            100.0 * advice.trackable_fraction(),
+        )
+        .map_err(io_err)?;
+        writeln!(out).map_err(io_err)?;
+        writeln!(
+            out,
+            "  {:<16} {:>14} {:>14} {:>14} {:>5} {:>12}",
+            "strategy", "passes", "ops", "fused_ops", "msv", "updates"
+        )
+        .map_err(io_err)?;
+        let n_qubits = sim.layered().n_qubits();
+        for p in &advice.predictions {
+            let marker = if p.strategy == best.strategy { '>' } else { ' ' };
+            let name = if p.strategy.executable() {
+                p.strategy.name().to_owned()
+            } else {
+                format!("{}*", p.strategy)
+            };
+            writeln!(
+                out,
+                "{marker} {name:<16} {:>14} {:>14} {:>14} {:>5} {:>12.3e}",
+                p.amplitude_passes,
+                p.ops,
+                p.fused_ops,
+                p.msv_peak,
+                p.amplitude_updates(n_qubits),
+            )
+            .map_err(io_err)?;
+        }
+        if advice.predictions.iter().any(|p| !p.strategy.executable()) {
+            writeln!(out, "  (* predicted only; no executor ships yet)").map_err(io_err)?;
+        }
+        let declared = advice
+            .prediction(declared_strategy(opts))
+            .expect("declared strategies are always ranked");
+        write!(out, "\nrecommended: {}", best.strategy).map_err(io_err)?;
+        if best.amplitude_passes < declared.amplitude_passes {
+            writeln!(
+                out,
+                " — saves {:.1}% of amplitude passes vs the selected {}",
+                100.0 * (1.0 - best.amplitude_passes as f64 / declared.amplitude_passes as f64),
+                declared.strategy,
+            )
+            .map_err(io_err)?;
+        } else {
+            writeln!(out, " (the selected {} is already optimal)", declared.strategy)
+                .map_err(io_err)?;
+        }
+        if !diagnostics.is_empty() {
+            writeln!(out, "\n{}", qsim_analyzer::render_tty(&diagnostics)).map_err(io_err)?;
+        }
+    }
+    if qsim_analyzer::has_errors(&diagnostics) {
+        let errors =
+            diagnostics.iter().filter(|d| d.severity == qsim_analyzer::Severity::Error).count();
+        return Err(CliError(format!("advisor cross-check failed with {errors} error(s)")));
     }
     Ok(())
 }
@@ -298,7 +428,7 @@ fn run(prepared: &Circuit, opts: &Options, out: &mut dyn Write) -> Result<(), Cl
     let started = std::time::Instant::now();
     let result = match &opts.trace {
         Some(path) => {
-            let trace = JsonlRecorder::create(path, trace_meta(&sim, opts))
+            let trace = JsonlRecorder::create(path, &trace_meta(&sim, opts))
                 .map_err(|e| CliError(format!("{path}: {e}")))?;
             let result = run_strategy(&sim, opts, &trace)?;
             trace.flush().map_err(|e| CliError(format!("{path}: {e}")))?;
@@ -318,7 +448,7 @@ fn profile(prepared: &Circuit, opts: &Options, out: &mut dyn Write) -> Result<()
     let aggregate = AggregatingRecorder::new();
     let result = match &opts.trace {
         Some(path) => {
-            let trace = JsonlRecorder::create(path, trace_meta(&sim, opts))
+            let trace = JsonlRecorder::create(path, &trace_meta(&sim, opts))
                 .map_err(|e| CliError(format!("{path}: {e}")))?;
             let tee = TeeRecorder::new(&aggregate, &trace);
             let result = run_strategy(&sim, opts, &tee)?;
@@ -791,6 +921,42 @@ mod tests {
         let file = bell_file();
         let text = run_cli(&["verify", &file.path_str(), "--trials", "64", "--json"]).unwrap();
         assert_eq!(text.trim(), "[]");
+    }
+
+    #[test]
+    fn advise_ranks_every_strategy() {
+        let file = bell_file();
+        let text =
+            run_cli(&["advise", &file.path_str(), "--trials", "128", "--seed", "4"]).unwrap();
+        for name in ["sequential", "fused", "reuse", "compressed", "frame-tracking"] {
+            assert!(text.contains(name), "missing {name}:\n{text}");
+        }
+        assert!(text.contains("recommended:"), "{text}");
+        assert!(text.contains("segments:"), "{text}");
+        assert!(text.contains("frames:"), "{text}");
+    }
+
+    #[test]
+    fn advise_json_carries_advice_and_diagnostics() {
+        let file = bell_file();
+        let text = run_cli(&["advise", &file.path_str(), "--trials", "64", "--json"]).unwrap();
+        assert!(text.starts_with("{\"advice\":"), "{text}");
+        assert!(text.contains("\"predictions\":"), "{text}");
+        assert!(text.contains("\"recommended\":\""), "{text}");
+        assert!(text.contains("\"diagnostics\":"), "{text}");
+    }
+
+    #[test]
+    fn advise_warns_when_a_declared_strategy_is_suboptimal() {
+        // Bell is all-Clifford, so frame tracking dominates, and reuse
+        // beats the fused baseline: declaring --baseline draws both the
+        // suboptimal-strategy and trackable-set warnings.
+        let file = bell_file();
+        let text =
+            run_cli(&["advise", &file.path_str(), "--trials", "256", "--seed", "11", "--baseline"])
+                .unwrap();
+        assert!(text.contains("A204"), "expected suboptimal-strategy warning:\n{text}");
+        assert!(text.contains("A205"), "expected frame-trackable-set warning:\n{text}");
     }
 
     #[test]

@@ -250,6 +250,84 @@ impl Simulation {
         crate::compressed::run_reordered_compressed_traced(&self.layered, trials.trials(), recorder)
     }
 
+    /// Compile the plan once, ask the static advisor for the cheapest
+    /// *executable* strategy (see [`qsim_analyzer::advise`]), and run it.
+    /// Returns the result together with the winning prediction so callers
+    /// can cross-check measured [`crate::exec::ExecStats`] against it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NoTrials`] before trial generation, or execution
+    /// failures from the selected strategy.
+    #[cfg(feature = "advisor")]
+    pub fn run_advised(&self) -> Result<(RunResult, qsim_analyzer::StrategyPrediction), SimError> {
+        self.run_advised_traced(&qsim_telemetry::NullRecorder)
+    }
+
+    /// [`Simulation::run_advised`] with instrumentation: records the
+    /// advisor's verdict as `advisor.predicted_passes`,
+    /// `advisor.predicted_ops`, `advisor.predicted_msv`, and an
+    /// `advisor.selected.<strategy>` counter before handing the run to the
+    /// selected executor (which streams its usual telemetry on top).
+    ///
+    /// # Errors
+    ///
+    /// As [`Simulation::run_advised`].
+    #[cfg(feature = "advisor")]
+    pub fn run_advised_traced<R: qsim_telemetry::Recorder + ?Sized>(
+        &self,
+        recorder: &R,
+    ) -> Result<(RunResult, qsim_analyzer::StrategyPrediction), SimError> {
+        use qsim_analyzer::Strategy;
+        let trials = self.trials.as_ref().ok_or(SimError::NoTrials)?;
+        let plan = qsim_analyzer::ExecutionPlan::compile_traced(
+            &self.layered,
+            trials,
+            usize::MAX,
+            recorder,
+        );
+        let advice = qsim_analyzer::advise(&plan);
+        let chosen = *advice.best_executable();
+        if recorder.enabled() {
+            recorder.counter("advisor.predicted_passes", chosen.amplitude_passes);
+            recorder.counter("advisor.predicted_ops", chosen.ops);
+            recorder.counter("advisor.predicted_msv", chosen.msv_peak as u64);
+            recorder.counter(
+                match chosen.strategy {
+                    Strategy::Sequential => "advisor.selected.sequential",
+                    Strategy::Fused => "advisor.selected.fused",
+                    Strategy::Reuse => "advisor.selected.reuse",
+                    Strategy::Compressed => "advisor.selected.compressed",
+                    Strategy::FrameTracking => "advisor.selected.frame-tracking",
+                },
+                1,
+            );
+        }
+        let result = match chosen.strategy {
+            Strategy::Sequential => {
+                BaselineExecutor::new(&self.layered).run_unfused(trials.trials())?
+            }
+            Strategy::Fused => {
+                BaselineExecutor::new(&self.layered).run_traced(trials.trials(), recorder)?
+            }
+            Strategy::Reuse => {
+                ReuseExecutor::new(&self.layered).run_traced(trials.trials(), recorder)?
+            }
+            Strategy::Compressed => {
+                crate::compressed::run_reordered_compressed_traced(
+                    &self.layered,
+                    trials.trials(),
+                    recorder,
+                )?
+                .0
+            }
+            Strategy::FrameTracking => {
+                unreachable!("best_executable never returns a frame-tracking prediction")
+            }
+        };
+        Ok((result, chosen))
+    }
+
     /// Analytic first-order prediction of the savings for `n_trials`
     /// Monte-Carlo trials (see [`crate::estimate`]); no trials generated.
     ///

@@ -77,7 +77,7 @@ pub fn random_state(n_qubits: usize, seed: u64) -> StateVector {
     let amps: Vec<C64> = (0..1usize << n_qubits)
         .map(|_| C64::new(2.0 * rng.next_f64() - 1.0, 2.0 * rng.next_f64() - 1.0))
         .collect();
-    let mut state = StateVector::from_amplitudes(amps).expect("power-of-two length");
+    let mut state = StateVector::from_amplitudes(&amps).expect("power-of-two length");
     state.normalize();
     state
 }

@@ -28,8 +28,10 @@ pub struct AmpBuf {
     len: usize,
 }
 
-// The buffer uniquely owns plain `Copy` data.
+// SAFETY: the buffer uniquely owns a heap allocation of plain `Copy` data
+// with no interior mutability or thread affinity.
 unsafe impl Send for AmpBuf {}
+// SAFETY: shared access is read-only (`&AmpBuf` only derefs to `&[C64]`).
 unsafe impl Sync for AmpBuf {}
 
 impl AmpBuf {
@@ -182,6 +184,34 @@ mod tests {
         let clone = empty.clone();
         assert_eq!(empty, clone);
         assert!(!format!("{empty:?}").is_empty());
+    }
+
+    #[test]
+    fn clones_are_independent_allocations() {
+        let mut a = AmpBuf::zeroed(16);
+        a[0] = C64::new(1.0, 2.0);
+        let mut b = a.clone();
+        assert_ne!(a.as_ptr(), b.as_ptr());
+        b[0] = C64::new(-3.0, 0.5);
+        assert_eq!(a[0], C64::new(1.0, 2.0));
+        assert_eq!(b[0], C64::new(-3.0, 0.5));
+    }
+
+    #[test]
+    fn repeated_alloc_copy_free_cycles_are_clean() {
+        // Walks every unsafe path (alloc, alloc_zeroed, copy, dealloc)
+        // across many sizes — the core loop Miri and ASan interpret.
+        for round in 0..64usize {
+            let len = 1usize << (round % 7);
+            let mut buf = AmpBuf::zeroed(len);
+            for (i, a) in buf.iter_mut().enumerate() {
+                *a = C64::new(i as f64, round as f64);
+            }
+            let copy = AmpBuf::from_slice(&buf);
+            drop(buf);
+            assert_eq!(copy.len(), len);
+            assert_eq!(copy[len - 1], C64::new((len - 1) as f64, round as f64));
+        }
     }
 
     #[test]

@@ -213,7 +213,7 @@ mod tests {
             amps[0b001] = c(a, 0.0);
             amps[0b010] = c(a, 0.0);
             amps[0b100] = c(a, 0.0);
-            StateVector::from_amplitudes(amps).unwrap()
+            StateVector::from_amplitudes(&amps).unwrap()
         };
         let expected =
             -(1.0f64 / 3.0) * (1.0f64 / 3.0).log2() - (2.0f64 / 3.0) * (2.0f64 / 3.0).log2();

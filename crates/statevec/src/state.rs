@@ -76,7 +76,7 @@ impl StateVector {
     ///
     /// Returns [`StateVecError::DimensionMismatch`] if `amps.len()` is not a
     /// power of two matching some register width.
-    pub fn from_amplitudes(amps: Vec<C64>) -> Result<Self, StateVecError> {
+    pub fn from_amplitudes(amps: &[C64]) -> Result<Self, StateVecError> {
         let len = amps.len();
         if len == 0 || !len.is_power_of_two() {
             return Err(StateVecError::DimensionMismatch {
@@ -85,7 +85,7 @@ impl StateVector {
             });
         }
         let n_qubits = len.trailing_zeros() as usize;
-        Ok(StateVector { n_qubits, amps: AmpBuf::from_slice(&amps) })
+        Ok(StateVector { n_qubits, amps: AmpBuf::from_slice(amps) })
     }
 
     /// Number of qubits in the register.
@@ -768,9 +768,9 @@ mod tests {
 
     #[test]
     fn from_amplitudes_validates_length() {
-        assert!(StateVector::from_amplitudes(vec![]).is_err());
-        assert!(StateVector::from_amplitudes(vec![C64::new(1.0, 0.0); 3]).is_err());
-        let s = StateVector::from_amplitudes(vec![C64::new(0.6, 0.0), C64::new(0.8, 0.0)]).unwrap();
+        assert!(StateVector::from_amplitudes(&[]).is_err());
+        assert!(StateVector::from_amplitudes(&[C64::new(1.0, 0.0); 3]).is_err());
+        let s = StateVector::from_amplitudes(&[C64::new(0.6, 0.0), C64::new(0.8, 0.0)]).unwrap();
         assert_eq!(s.n_qubits(), 1);
     }
 
@@ -939,7 +939,7 @@ mod tests {
     #[test]
     fn normalize_rescales() {
         let mut s =
-            StateVector::from_amplitudes(vec![C64::new(3.0, 0.0), C64::new(4.0, 0.0)]).unwrap();
+            StateVector::from_amplitudes(&[C64::new(3.0, 0.0), C64::new(4.0, 0.0)]).unwrap();
         s.normalize();
         assert_close(s.norm_sqr(), 1.0);
         assert_close(s.probability(0), 9.0 / 25.0);

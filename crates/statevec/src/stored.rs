@@ -81,7 +81,7 @@ impl StoredState {
                 for &(index, amp) in entries {
                     amps[index] = amp;
                 }
-                StateVector::from_amplitudes(amps).expect("power-of-two length by construction")
+                StateVector::from_amplitudes(&amps).expect("power-of-two length by construction")
             }
         }
     }
@@ -184,7 +184,7 @@ mod tests {
         for (i, amp) in amps.iter_mut().enumerate().take(12) {
             *amp = C64::new(1.0 + i as f64, 0.0);
         }
-        let psi = StateVector::from_amplitudes(amps).unwrap();
+        let psi = StateVector::from_amplitudes(&amps).unwrap();
         let stored = StoredState::compress(&psi);
         assert!(!stored.is_sparse());
     }
@@ -197,7 +197,7 @@ mod tests {
         let mut amps = vec![C64::new(0.0, 0.0); 4];
         amps[2] = C64::new(1.0, 0.0);
         amps[1] = C64::new(-0.0, 0.0);
-        let psi = StateVector::from_amplitudes(amps).unwrap();
+        let psi = StateVector::from_amplitudes(&amps).unwrap();
         let stored = StoredState::compress(&psi);
         assert!(stored.is_sparse());
         let rebuilt = stored.to_state();

@@ -77,12 +77,12 @@ pub struct JsonlRecorder {
 impl JsonlRecorder {
     /// Trace into `writer`, starting with a meta line identifying the
     /// format version and the run metadata.
-    pub fn new(writer: Box<dyn Write + Send>, meta: TraceMeta) -> Self {
+    pub fn new(writer: Box<dyn Write + Send>, meta: &TraceMeta) -> Self {
         let recorder = JsonlRecorder {
             clock: Clock::new(),
             sink: Mutex::new(Sink { buffer: String::new(), writer, error: None }),
         };
-        recorder.line(format!(
+        recorder.line(&format!(
             "{{\"ev\":\"meta\",\"version\":{TRACE_VERSION},\"git_rev\":\"{}\",\"seed\":{},\
              \"qubits\":{},\"strategy\":\"{}\"}}",
             escape(&meta.git_rev),
@@ -98,14 +98,14 @@ impl JsonlRecorder {
     /// # Errors
     ///
     /// Returns the I/O error if the file cannot be created.
-    pub fn create(path: &str, meta: TraceMeta) -> std::io::Result<Self> {
+    pub fn create(path: &str, meta: &TraceMeta) -> std::io::Result<Self> {
         let file = std::fs::File::create(path)?;
         Ok(JsonlRecorder::new(Box::new(std::io::BufWriter::new(file)), meta))
     }
 
-    fn line(&self, line: String) {
+    fn line(&self, line: &str) {
         let mut sink = self.sink.lock().expect("trace sink poisoned");
-        sink.buffer.push_str(&line);
+        sink.buffer.push_str(line);
         sink.buffer.push('\n');
         if sink.buffer.len() >= FLUSH_THRESHOLD {
             drain(&mut sink);
@@ -129,13 +129,13 @@ impl Recorder for JsonlRecorder {
     }
 
     fn span(&self, path: &'static str, start_ns: u64, end_ns: u64) {
-        self.line(format!(
+        self.line(&format!(
             "{{\"ev\":\"span\",\"path\":\"{path}\",\"start_ns\":{start_ns},\"end_ns\":{end_ns}}}"
         ));
     }
 
     fn kernel(&self, phase: &'static str, class: KernelClass, layer: u64, count: u64, ns: u64) {
-        self.line(format!(
+        self.line(&format!(
             "{{\"ev\":\"kernel\",\"phase\":\"{phase}\",\"class\":\"{}\",\"layer\":{layer},\
              \"count\":{count},\"ns\":{ns}}}",
             class.name()
@@ -143,18 +143,18 @@ impl Recorder for JsonlRecorder {
     }
 
     fn counter(&self, name: &'static str, delta: u64) {
-        self.line(format!("{{\"ev\":\"counter\",\"name\":\"{name}\",\"delta\":{delta}}}"));
+        self.line(&format!("{{\"ev\":\"counter\",\"name\":\"{name}\",\"delta\":{delta}}}"));
     }
 
     fn msv(&self, event: MsvEvent, depth: usize, residency: usize) {
-        self.line(format!(
+        self.line(&format!(
             "{{\"ev\":\"msv\",\"kind\":\"{}\",\"depth\":{depth},\"residency\":{residency}}}",
             event.name()
         ));
     }
 
     fn cache(&self, depth: usize, hit: bool) {
-        self.line(format!("{{\"ev\":\"cache\",\"depth\":{depth},\"hit\":{hit}}}"));
+        self.line(&format!("{{\"ev\":\"cache\",\"depth\":{depth},\"hit\":{hit}}}"));
     }
 
     fn flush(&self) -> std::io::Result<()> {
@@ -201,7 +201,7 @@ mod tests {
 
     fn recorded(record: impl FnOnce(&JsonlRecorder)) -> String {
         let sink = Shared::default();
-        let recorder = JsonlRecorder::new(Box::new(sink.clone()), TraceMeta::default());
+        let recorder = JsonlRecorder::new(Box::new(sink.clone()), &TraceMeta::default());
         record(&recorder);
         Recorder::flush(&recorder).unwrap();
         let bytes = sink.0.lock().unwrap().clone();
@@ -231,7 +231,7 @@ mod tests {
             qubits: 5,
             strategy: "reuse".to_owned(),
         };
-        let recorder = JsonlRecorder::new(Box::new(sink.clone()), meta);
+        let recorder = JsonlRecorder::new(Box::new(sink.clone()), &meta);
         Recorder::flush(&recorder).unwrap();
         let text = String::from_utf8(sink.0.lock().unwrap().clone()).unwrap();
         let header = text.lines().next().unwrap();
@@ -249,7 +249,7 @@ mod tests {
     fn metadata_strings_are_escaped() {
         let sink = Shared::default();
         let meta = TraceMeta { git_rev: "a\"b\\c".to_owned(), ..TraceMeta::default() };
-        let recorder = JsonlRecorder::new(Box::new(sink.clone()), meta);
+        let recorder = JsonlRecorder::new(Box::new(sink.clone()), &meta);
         Recorder::flush(&recorder).unwrap();
         let text = String::from_utf8(sink.0.lock().unwrap().clone()).unwrap();
         assert!(text.contains("\"git_rev\":\"a\\\"b\\\\c\""), "{text}");
@@ -259,7 +259,7 @@ mod tests {
     #[test]
     fn buffer_flushes_at_threshold_without_explicit_flush() {
         let sink = Shared::default();
-        let recorder = JsonlRecorder::new(Box::new(sink.clone()), TraceMeta::default());
+        let recorder = JsonlRecorder::new(Box::new(sink.clone()), &TraceMeta::default());
         for _ in 0..(FLUSH_THRESHOLD / 16) {
             recorder.counter("ops", 1);
         }

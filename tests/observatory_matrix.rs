@@ -41,7 +41,7 @@ fn trace_analysis_matches_exec_stats_and_analyzer_on_all_shipped_benchmarks() {
             strategy: "reuse".to_owned(),
         };
         let run = {
-            let recorder = JsonlRecorder::create(trace_path, meta).expect("trace file");
+            let recorder = JsonlRecorder::create(trace_path, &meta).expect("trace file");
             ReuseExecutor::new(&layered).run_traced(set.trials(), &recorder).expect("reuse run")
         };
 
@@ -98,7 +98,8 @@ fn html_report_is_self_contained_and_json_counters_match_stats() {
     let trace_path = dir.join(format!("{name}.trace.jsonl"));
     let trace_path = trace_path.to_str().expect("utf-8 temp path");
     let run = {
-        let recorder = JsonlRecorder::create(trace_path, TraceMeta::default()).expect("trace file");
+        let recorder =
+            JsonlRecorder::create(trace_path, &TraceMeta::default()).expect("trace file");
         ReuseExecutor::new(&layered).run_traced(set.trials(), &recorder).expect("reuse run")
     };
 
