@@ -41,11 +41,13 @@
 //! # }
 //! ```
 
+pub mod canon;
 mod diag;
 pub mod mutate;
 pub mod passes;
 mod plan;
 
+pub use canon::{model_digest, prefix_fingerprint, StableHasher};
 pub use diag::{has_errors, render_tty, DiagCode, Diagnostic, Location, Severity};
 pub use mutate::Mutation;
 pub use passes::advisor::{

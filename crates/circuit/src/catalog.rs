@@ -420,6 +420,43 @@ pub fn hidden_shift(n_qubits: usize, shift: usize) -> Circuit {
     qc
 }
 
+/// A hardware-efficient VQA-style ansatz: `n_blocks` fixed entangling
+/// blocks (a full layer of `ry` rotations with deterministic golden-angle
+/// parameters, then a brick pattern of CNOTs), followed by one final
+/// layer of `ry` rotations driven by the single sweep parameter `theta`
+/// (qubit `q` rotates by `theta · (q + 1) / n_qubits`). Sweeping `theta`
+/// varies only the tail of the circuit — the deep entangling prefix is
+/// gate-for-gate identical across every point of the sweep, which is the
+/// structure that makes parameter sweeps cache well.
+///
+/// # Panics
+///
+/// Panics if `n_qubits < 2` (no entangling pair) or `n_blocks == 0`.
+pub fn vqa_ansatz(n_qubits: usize, n_blocks: usize, theta: f64) -> Circuit {
+    assert!(n_qubits >= 2, "the ansatz needs at least one entangling pair");
+    assert!(n_blocks >= 1, "the ansatz needs at least one entangling block");
+    let mut qc = Circuit::new(format!("vqa{n_qubits}x{n_blocks}"), n_qubits, n_qubits);
+    // Golden-angle sequence: every fixed rotation is distinct and
+    // irrational in turns, with no RNG dependence.
+    let golden = PI * (3.0 - 5.0_f64.sqrt());
+    for block in 0..n_blocks {
+        for q in 0..n_qubits {
+            qc.ry(golden * (block * n_qubits + q + 1) as f64 % (2.0 * PI), q);
+        }
+        for q in (0..n_qubits - 1).step_by(2) {
+            qc.cx(q, q + 1);
+        }
+        for q in (1..n_qubits - 1).step_by(2) {
+            qc.cx(q, q + 1);
+        }
+    }
+    for q in 0..n_qubits {
+        qc.ry(theta * (q + 1) as f64 / n_qubits as f64, q);
+    }
+    qc.measure_all();
+    qc
+}
+
 /// The 12 benchmarks of the paper's Table I, in table order, as logical
 /// circuits. QV circuits use fixed seeds so the suite is reproducible.
 pub fn realistic_suite() -> Vec<Circuit> {

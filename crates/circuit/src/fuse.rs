@@ -184,6 +184,37 @@ impl FusedProgram {
         self.segments.iter().map(|s| s.source_gates).sum()
     }
 
+    /// `(source_gates, fused_ops)` of the segments covering layers
+    /// `0 ..= through` — exactly what [`FusedProgram::apply_through`] from
+    /// `done = -1` would return, computed without touching any amplitudes.
+    /// This is the accounting credit an executor owes when it restores a
+    /// cached prefix state instead of recomputing it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `through` does not end a segment (the same boundary
+    /// contract as [`FusedProgram::apply_through`]). `through < 0` yields
+    /// `(0, 0)`.
+    pub fn segment_costs_through(&self, through: i64) -> (u64, u64) {
+        let mut source = 0u64;
+        let mut fused = 0u64;
+        let mut done = -1i64;
+        while done < through {
+            let next = (done + 1) as usize;
+            let seg = &self.segments[self.seg_at[next]];
+            assert!(
+                (seg.end as i64) <= through,
+                "cost target {through} splits segment {}..={}",
+                seg.start,
+                seg.end
+            );
+            source += seg.source_gates as u64;
+            fused += seg.ops.len() as u64;
+            done = seg.end as i64;
+        }
+        (source, fused)
+    }
+
     /// Apply whole segments to `state`, advancing `done` (the highest layer
     /// already applied, `-1` for none) through `through` inclusive. Returns
     /// `(source_gates, fused_ops)` applied — the former is the paper's

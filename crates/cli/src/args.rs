@@ -24,6 +24,19 @@ pub enum Command {
     Report,
     /// Benchmark history: record results, check for regressions, show.
     History(HistoryAction),
+    /// Persistent semantic prefix cache: stats, garbage-collect, clear.
+    Cache(CacheAction),
+}
+
+/// Subaction of `qsim cache`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheAction {
+    /// Print entry/byte/hit totals, per-layer breakdown.
+    Stats,
+    /// Drop dead entries and orphan snapshots; compact the manifest.
+    Gc,
+    /// Remove every entry and snapshot.
+    Clear,
 }
 
 /// Subaction of `qsim history`.
@@ -112,6 +125,11 @@ pub struct Options {
     pub window: usize,
     /// Exit nonzero when `history check` flags a regression.
     pub fail: bool,
+    /// Semantic prefix cache directory (`run`/`profile` opt in; `cache`
+    /// subcommand default `.qsim-cache`).
+    pub cache: Option<String>,
+    /// Cache size budget in bytes (0 = unbounded).
+    pub cache_budget: u64,
 }
 
 /// CLI parsing/validation failure; carries a user-facing message.
@@ -143,6 +161,7 @@ COMMANDS:
     profile     run with full telemetry; prints Prometheus/JSON metrics
     report      analyze a JSONL trace (or bench JSON) offline; TTY/JSON/HTML
     history     benchmark history: record <BENCH.json> | check | show
+    cache       semantic prefix cache: stats | gc | clear
 
 OPTIONS:
     --device <none|yorktown|linear:N|grid:RxC>   connectivity  [default: yorktown]
@@ -166,6 +185,8 @@ OPTIONS:
     --threshold <PCT>   regression threshold, e.g. 5%     [default: 5%]
     --window <N>        trailing baseline window          [default: 5]
     --fail              exit nonzero when history check flags a regression
+    --cache <DIR>       persistent prefix cache directory (run, profile, cache)
+    --cache-budget <B>  cache size cap in bytes (0 = unbounded)  [default: 0]
 ";
 
 impl Options {
@@ -203,6 +224,8 @@ impl Options {
             threshold: 5.0,
             window: 5,
             fail: false,
+            cache: None,
+            cache_budget: 0,
         };
         let mut i = 0;
         while i < args.len() {
@@ -216,7 +239,8 @@ impl Options {
                 "--fail" => opts.fail = true,
                 "--device" | "--noise" | "--trials" | "--seed" | "--threads" | "--budget"
                 | "--save-trials" | "--load-trials" | "--trace" | "--folded" | "--html"
-                | "--against" | "--history" | "--threshold" | "--window" => {
+                | "--against" | "--history" | "--threshold" | "--window" | "--cache"
+                | "--cache-budget" => {
                     let value =
                         args.get(i + 1).ok_or_else(|| CliError(format!("{arg} needs a value")))?;
                     match arg.as_str() {
@@ -240,6 +264,8 @@ impl Options {
                             opts.threshold = parse_num(value.trim_end_matches('%'), "--threshold")?;
                         }
                         "--window" => opts.window = parse_num(value, arg)?,
+                        "--cache" => opts.cache = Some(value.clone()),
+                        "--cache-budget" => opts.cache_budget = parse_num(value, arg)?,
                         _ => unreachable!(),
                     }
                     i += 1;
@@ -278,11 +304,29 @@ impl Options {
                     }
                 }
             }
+            "cache" => {
+                let action = positional
+                    .next()
+                    .ok_or_else(|| CliError(format!("cache needs stats|gc|clear\n\n{USAGE}")))?;
+                match action.as_str() {
+                    "stats" => Command::Cache(CacheAction::Stats),
+                    "gc" => Command::Cache(CacheAction::Gc),
+                    "clear" => Command::Cache(CacheAction::Clear),
+                    other => {
+                        return Err(CliError(format!(
+                            "unknown cache action {other} (stats, gc, clear)"
+                        )))
+                    }
+                }
+            }
             other => return Err(CliError(format!("unknown command {other}\n\n{USAGE}"))),
         };
-        // `history check`/`history show` operate on the history file alone.
-        let needs_input =
-            !matches!(opts.command, Command::History(HistoryAction::Check | HistoryAction::Show));
+        // `history check`/`history show` and the cache subcommand operate
+        // on their own files, not a circuit.
+        let needs_input = !matches!(
+            opts.command,
+            Command::History(HistoryAction::Check | HistoryAction::Show) | Command::Cache(_)
+        );
         if needs_input {
             opts.input = positional
                 .next()
@@ -528,6 +572,36 @@ mod tests {
         assert!(parse(&["history"]).is_err());
         assert!(parse(&["history", "frob"]).is_err());
         assert!(parse(&["history", "record"]).is_err());
+    }
+
+    #[test]
+    fn parses_cache_actions() {
+        let opts = parse(&["cache", "stats", "--cache", "/tmp/c", "--json"]).unwrap();
+        assert_eq!(opts.command, Command::Cache(CacheAction::Stats));
+        assert_eq!(opts.cache.as_deref(), Some("/tmp/c"));
+        assert!(opts.json);
+
+        let opts = parse(&["cache", "gc", "--cache-budget", "1048576"]).unwrap();
+        assert_eq!(opts.command, Command::Cache(CacheAction::Gc));
+        assert_eq!(opts.cache, None, "directory defaults downstream");
+        assert_eq!(opts.cache_budget, 1_048_576);
+
+        assert_eq!(parse(&["cache", "clear"]).unwrap().command, Command::Cache(CacheAction::Clear));
+        assert!(parse(&["cache"]).is_err());
+        assert!(parse(&["cache", "frob"]).is_err());
+        assert!(parse(&["cache", "stats", "extra"]).is_err());
+        assert!(parse(&["cache", "stats", "--cache"]).is_err());
+        assert!(parse(&["cache", "stats", "--cache-budget", "lots"]).is_err());
+    }
+
+    #[test]
+    fn parses_run_with_cache() {
+        let opts =
+            parse(&["run", "f.qasm", "--cache", ".qsim-cache", "--cache-budget", "0"]).unwrap();
+        assert_eq!(opts.command, Command::Run);
+        assert_eq!(opts.cache.as_deref(), Some(".qsim-cache"));
+        assert_eq!(opts.cache_budget, 0);
+        assert_eq!(parse(&["run", "f.qasm"]).unwrap().cache, None);
     }
 
     #[test]

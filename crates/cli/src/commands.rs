@@ -11,8 +11,9 @@ use qsim_telemetry::{
     TraceMeta,
 };
 use redsim::{ExecStats, RunResult, Simulation};
+use redsim_msvstore::MsvStore;
 
-use crate::args::{CliError, Command, DeviceSpec, HistoryAction, NoiseSpec, Options};
+use crate::args::{CacheAction, CliError, Command, DeviceSpec, HistoryAction, NoiseSpec, Options};
 
 /// Execute a parsed invocation, writing the report to `out`.
 ///
@@ -25,6 +26,7 @@ pub fn execute(opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
     match opts.command {
         Command::Report => return report(opts, out),
         Command::History(action) => return history(opts, action, out),
+        Command::Cache(action) => return cache_cmd(opts, action, out),
         _ => {}
     }
     let circuit = if opts.input == "-" {
@@ -46,7 +48,7 @@ pub fn execute(opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
         Command::Verify => verify(&prepared, opts, out),
         Command::Advise => advise(&prepared, opts, out),
         Command::Profile => profile(&prepared, opts, out),
-        Command::Report | Command::History(_) => {
+        Command::Report | Command::History(_) | Command::Cache(_) => {
             unreachable!("offline commands return before circuit parsing")
         }
     }
@@ -361,7 +363,9 @@ fn advise(prepared: &Circuit, opts: &Options, out: &mut dyn Write) -> Result<(),
 /// The strategy name the flag combination selects; recorded in the trace
 /// meta header so offline analysis knows what it is looking at.
 fn strategy_name(opts: &Options) -> &'static str {
-    if opts.baseline {
+    if opts.cache.is_some() && !opts.baseline && !opts.compressed {
+        "reuse-cached"
+    } else if opts.baseline {
         if opts.threads == 1 {
             "baseline"
         } else {
@@ -396,6 +400,30 @@ fn run_strategy<R: Recorder + ?Sized>(
     opts: &Options,
     recorder: &R,
 ) -> Result<RunResult, CliError> {
+    if let Some(dir) = &opts.cache {
+        if opts.baseline || opts.compressed || opts.budget != usize::MAX || opts.threads != 1 {
+            return Err(CliError(
+                "--cache applies to the default reordered strategy; \
+                 drop --baseline/--compressed/--budget/--threads"
+                    .to_owned(),
+            ));
+        }
+        let store = open_store(dir, opts.cache_budget)?;
+        return sim
+            .run_reordered_cached_traced(&store, recorder)
+            .map(|(result, cache)| {
+                eprintln!(
+                    "semantic cache {} at layer {}: key {} ({} B read, {} B written)",
+                    if cache.hit { "hit" } else { "miss" },
+                    cache.prefix_layer,
+                    cache.key.as_deref().unwrap_or("-"),
+                    cache.bytes_read,
+                    cache.bytes_written
+                );
+                result
+            })
+            .map_err(|e| CliError(format!("execution: {e}")));
+    }
     if opts.baseline {
         if opts.threads == 1 {
             sim.run_baseline_traced(recorder)
@@ -703,6 +731,119 @@ fn history(opts: &Options, action: HistoryAction, out: &mut dyn Write) -> Result
     Ok(())
 }
 
+/// Default directory for the `cache` subcommand when `--cache` is absent.
+const DEFAULT_CACHE_DIR: &str = ".qsim-cache";
+
+fn open_store(dir: &str, budget: u64) -> Result<MsvStore, CliError> {
+    MsvStore::open(std::path::Path::new(dir), budget).map_err(|e| CliError(format!("{dir}: {e}")))
+}
+
+/// Minimal JSON string escaping for paths embedded in reports.
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn cache_cmd(opts: &Options, action: CacheAction, out: &mut dyn Write) -> Result<(), CliError> {
+    let dir = opts.cache.as_deref().unwrap_or(DEFAULT_CACHE_DIR);
+    let store = open_store(dir, opts.cache_budget)?;
+    match action {
+        CacheAction::Stats => {
+            let stats = store.stats();
+            if opts.json {
+                let layers: Vec<String> = stats
+                    .by_layer
+                    .iter()
+                    .map(|l| {
+                        format!(
+                            "{{\"layer\": {}, \"entries\": {}, \"bytes\": {}, \"hits\": {}}}",
+                            l.layer, l.entries, l.bytes, l.hits
+                        )
+                    })
+                    .collect();
+                writeln!(
+                    out,
+                    "{{\"dir\": \"{}\", \"entries\": {}, \"bytes\": {}, \"budget_bytes\": {}, \
+                     \"hits\": {}, \"by_layer\": [{}]}}",
+                    json_escape(dir),
+                    stats.entries,
+                    stats.bytes,
+                    stats.budget_bytes,
+                    stats.hits,
+                    layers.join(", ")
+                )
+                .map_err(io_err)?;
+            } else {
+                let budget = if stats.budget_bytes == 0 {
+                    "unbounded".to_owned()
+                } else {
+                    format!("{} B", stats.budget_bytes)
+                };
+                writeln!(out, "semantic prefix cache at {dir}").map_err(io_err)?;
+                writeln!(
+                    out,
+                    "entries: {}   bytes: {}   budget: {budget}   recorded hits: {}",
+                    stats.entries, stats.bytes, stats.hits
+                )
+                .map_err(io_err)?;
+                for l in &stats.by_layer {
+                    writeln!(
+                        out,
+                        "  prefix layer {:>4}: {} entries, {} B, {} hits",
+                        l.layer, l.entries, l.bytes, l.hits
+                    )
+                    .map_err(io_err)?;
+                }
+            }
+        }
+        CacheAction::Gc => {
+            let report = store.gc().map_err(|e| CliError(format!("{dir}: gc: {e}")))?;
+            if opts.json {
+                writeln!(
+                    out,
+                    "{{\"dir\": \"{}\", \"dead_entries\": {}, \"orphan_files\": {}, \
+                     \"entries\": {}, \"bytes\": {}}}",
+                    json_escape(dir),
+                    report.dead_entries,
+                    report.orphan_files,
+                    report.entries,
+                    report.bytes
+                )
+                .map_err(io_err)?;
+            } else {
+                writeln!(
+                    out,
+                    "gc {dir}: dropped {} dead entr{} and {} orphan snapshot(s); \
+                     {} entries / {} B remain",
+                    report.dead_entries,
+                    if report.dead_entries == 1 { "y" } else { "ies" },
+                    report.orphan_files,
+                    report.entries,
+                    report.bytes
+                )
+                .map_err(io_err)?;
+            }
+        }
+        CacheAction::Clear => {
+            let stats = store.stats();
+            store.clear().map_err(|e| CliError(format!("{dir}: clear: {e}")))?;
+            if opts.json {
+                writeln!(
+                    out,
+                    "{{\"dir\": \"{}\", \"cleared_entries\": {}, \"cleared_bytes\": {}}}",
+                    json_escape(dir),
+                    stats.entries,
+                    stats.bytes
+                )
+                .map_err(io_err)?;
+            } else {
+                writeln!(out, "cleared {} entries ({} B) from {dir}", stats.entries, stats.bytes)
+                    .map_err(io_err)?;
+            }
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -781,6 +922,49 @@ mod tests {
             run_cli(&["analyze", &file.path_str(), "--trials", "512", "--seed", "3"]).unwrap();
         assert!(text.contains("normalized computation"), "{text}");
         assert!(text.contains("maintained state vectors"), "{text}");
+    }
+
+    #[test]
+    fn cached_run_repeats_bitwise_and_cache_commands_report() {
+        let file = bell_file();
+        let dir =
+            std::env::temp_dir().join(format!("qsim-cli-cache-{}-{:p}", std::process::id(), &file));
+        let dir_str = dir.to_string_lossy().into_owned();
+        let invocation = [
+            "run",
+            &file.path_str(),
+            "--trials",
+            "512",
+            "--noise",
+            "uniform:1e-3,1e-2,1e-2",
+            "--cache",
+            &dir_str,
+        ];
+        let strip_timing =
+            |text: String| -> String { text.lines().skip(1).collect::<Vec<_>>().join("\n") };
+        let cold = strip_timing(run_cli(&invocation).unwrap());
+        let warm = strip_timing(run_cli(&invocation).unwrap());
+        assert_eq!(cold, warm, "cached rerun must reproduce the histogram exactly");
+        assert!(cold.contains("11:"), "{cold}");
+
+        let stats = run_cli(&["cache", "stats", "--cache", &dir_str]).unwrap();
+        assert!(stats.contains("entries: 1"), "{stats}");
+        assert!(stats.contains("recorded hits: 1"), "{stats}");
+        let stats_json = run_cli(&["cache", "stats", "--cache", &dir_str, "--json"]).unwrap();
+        assert!(stats_json.contains("\"entries\": 1"), "{stats_json}");
+        let gc = run_cli(&["cache", "gc", "--cache", &dir_str]).unwrap();
+        assert!(gc.contains("0 dead"), "{gc}");
+        let cleared = run_cli(&["cache", "clear", "--cache", &dir_str]).unwrap();
+        assert!(cleared.contains("cleared 1 entries"), "{cleared}");
+        let stats = run_cli(&["cache", "stats", "--cache", &dir_str]).unwrap();
+        assert!(stats.contains("entries: 0"), "{stats}");
+
+        // Strategy combinations the cache does not cover fail loudly.
+        let mut bad: Vec<&str> = invocation.to_vec();
+        bad.push("--baseline");
+        let err = run_cli(&bad).unwrap_err();
+        assert!(err.to_string().contains("--cache applies"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -435,6 +435,61 @@ struct Frame {
     state: StateVector,
 }
 
+/// How one streaming execution interacts with the cross-run semantic
+/// prefix cache (`redsim-msvstore`).
+///
+/// [`PrefixCache::Off`] is the behaviour of every pre-existing entry
+/// point. The other two variants exist for `Simulation::run_reordered_cached`:
+/// on a store hit the root frontier is *seeded* with the restored prefix
+/// state (the first trial's shared advance becomes a no-op, and the
+/// skipped work is credited back into [`ExecStats`] so cached and
+/// uncached runs report identical accounting); on a miss the run proceeds
+/// bit-for-bit as [`PrefixCache::Off`] and merely *captures* a copy of
+/// the root frontier the moment it first reaches the publishable layer.
+pub enum PrefixCache<'c> {
+    /// No cross-run caching.
+    Off,
+    /// Start the root frontier from `state`, already advanced through
+    /// `layer` (inclusive), crediting `ops` source gates and `passes`
+    /// amplitude passes for the skipped prefix.
+    Seed {
+        /// Layer the seeded state is advanced through (inclusive). Must
+        /// equal the first sorted trial's first injection layer (or the
+        /// last layer when every trial is error-free) — anything else is
+        /// rejected, because injecting into an over-advanced state would
+        /// silently corrupt outcomes.
+        layer: usize,
+        /// The restored prefix state.
+        state: StateVector,
+        /// Source-gate credit for the skipped prefix.
+        ops: u64,
+        /// Amplitude-pass credit for the skipped prefix.
+        passes: u64,
+    },
+    /// Run exactly as [`PrefixCache::Off`], additionally cloning the root
+    /// frontier into `out` when its `done` first equals `layer`. If the
+    /// run never parks the root at `layer` (a mis-computed capture
+    /// layer), `out` stays `None` and nothing is published.
+    Capture {
+        /// Layer (inclusive) at which to capture the root frontier.
+        layer: usize,
+        /// Receives the captured state.
+        out: &'c mut Option<StateVector>,
+    },
+}
+
+/// Clone the root frontier into the capture slot the first time it parks
+/// exactly at the capture layer. The clone is a plain memcpy on the miss
+/// path; nothing else about the run observes it.
+fn maybe_capture(capture: &mut Option<(i64, &mut Option<StateVector>)>, frame: &Frame) {
+    let parked = matches!(capture, Some((layer, _)) if frame.depth == 0 && frame.done == *layer);
+    if parked {
+        if let Some((_, out)) = capture.take() {
+            *out = Some(frame.state.clone());
+        }
+    }
+}
+
 impl<'a> ReuseExecutor<'a> {
     /// Bind to a layered circuit.
     pub fn new(layered: &'a LayeredCircuit) -> Self {
@@ -643,11 +698,61 @@ impl<'a> ReuseExecutor<'a> {
         self.run_streaming_engine(Engine::Fused(program), trials, budget, sink, recorder)
     }
 
+    /// [`ReuseExecutor::run_streaming_with_traced`] with an explicit
+    /// cross-run prefix-cache interaction — the entry point
+    /// `Simulation::run_reordered_cached` drives. With
+    /// [`PrefixCache::Off`] this is exactly
+    /// [`ReuseExecutor::run_streaming_with_traced`].
+    ///
+    /// # Errors
+    ///
+    /// As [`ReuseExecutor::run_streaming_with`], plus
+    /// [`SimError::Circuit`] when a [`PrefixCache::Seed`] does not match
+    /// the trial set's actual shared-prefix layer or register width.
+    pub fn run_streaming_prefix_traced<F, R>(
+        &self,
+        program: &FusedProgram,
+        trials: &[Trial],
+        budget: usize,
+        prefix: PrefixCache<'_>,
+        sink: F,
+        recorder: &R,
+    ) -> Result<ExecStats, SimError>
+    where
+        F: FnMut(usize, MeasureOutcome),
+        R: Recorder + ?Sized,
+    {
+        self.run_streaming_engine_prefix(
+            Engine::Fused(program),
+            trials,
+            budget,
+            prefix,
+            sink,
+            recorder,
+        )
+    }
+
     fn run_streaming_engine<F, R>(
         &self,
         engine: Engine<'_>,
         trials: &[Trial],
         budget: usize,
+        sink: F,
+        recorder: &R,
+    ) -> Result<ExecStats, SimError>
+    where
+        F: FnMut(usize, MeasureOutcome),
+        R: Recorder + ?Sized,
+    {
+        self.run_streaming_engine_prefix(engine, trials, budget, PrefixCache::Off, sink, recorder)
+    }
+
+    fn run_streaming_engine_prefix<F, R>(
+        &self,
+        engine: Engine<'_>,
+        trials: &[Trial],
+        budget: usize,
+        prefix: PrefixCache<'_>,
         mut sink: F,
         recorder: &R,
     ) -> Result<ExecStats, SimError>
@@ -678,8 +783,43 @@ impl<'a> ReuseExecutor<'a> {
         let mut stats = ExecStats { n_trials: trials.len(), ..ExecStats::default() };
         let mut peak = usize::from(!trials.is_empty());
         let mut pool = StatePool::new();
-        let mut stack: Vec<Frame> =
-            vec![Frame { depth: 0, done: -1, state: StateVector::zero_state(layered.n_qubits()) }];
+        // The layer the first sorted trial's shared advance stops at — the
+        // only layer a seeded root may claim, and the layer a capture
+        // watches for.
+        let shared_prefix_layer = order
+            .first()
+            .and_then(|&first| trials[first].injections().first())
+            .map_or(last_layer, |inj| inj.layer() as i64);
+        let mut capture: Option<(i64, &mut Option<StateVector>)> = None;
+        let root = match prefix {
+            PrefixCache::Off => {
+                Frame { depth: 0, done: -1, state: StateVector::zero_state(layered.n_qubits()) }
+            }
+            PrefixCache::Seed { layer, state, ops, passes } => {
+                if trials.is_empty() || layer as i64 != shared_prefix_layer {
+                    return Err(SimError::Circuit(format!(
+                        "seeded prefix layer {layer} does not match the trial set's shared \
+                         prefix layer {shared_prefix_layer}"
+                    )));
+                }
+                if state.amplitudes().len() != 1usize << layered.n_qubits() {
+                    return Err(SimError::Circuit(format!(
+                        "seeded prefix state holds {} amplitudes, circuit needs {}",
+                        state.amplitudes().len(),
+                        1usize << layered.n_qubits()
+                    )));
+                }
+                stats.ops += ops;
+                stats.fused_ops += passes;
+                stats.amplitude_passes += passes;
+                Frame { depth: 0, done: layer as i64, state }
+            }
+            PrefixCache::Capture { layer, out } => {
+                capture = Some((layer as i64, out));
+                Frame { depth: 0, done: -1, state: StateVector::zero_state(layered.n_qubits()) }
+            }
+        };
+        let mut stack: Vec<Frame> = vec![root];
         if recorder.enabled() && !trials.is_empty() {
             recorder.msv(MsvEvent::Create, 0, 1);
         }
@@ -724,6 +864,7 @@ impl<'a> ReuseExecutor<'a> {
                     stats.ops += src;
                     stats.fused_ops += passes;
                     stats.amplitude_passes += passes;
+                    maybe_capture(&mut capture, top);
                     sink(orig, measure(layered, &top.state, cur));
                     while stack.last().is_some_and(|f| f.depth > keep) {
                         let frame = stack.pop().expect("checked nonempty");
@@ -752,6 +893,7 @@ impl<'a> ReuseExecutor<'a> {
                     stats.ops += src;
                     stats.fused_ops += passes;
                     stats.amplitude_passes += passes;
+                    maybe_capture(&mut capture, top);
                 }
                 if d < keep {
                     // The post-injection state is itself a shared prefix of

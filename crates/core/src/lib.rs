@@ -61,13 +61,15 @@ mod histogram;
 pub mod order;
 pub mod parallel;
 pub mod reference;
+pub mod semcache;
 mod sim_error;
 mod simulation;
 pub mod testkit;
 
 pub use analysis::CostReport;
-pub use exec::{ExecStats, RunResult};
+pub use exec::{ExecStats, PrefixCache, RunResult};
 pub use histogram::Histogram;
 pub use order::{compare_trials, lcp, reorder, reorder_recursive};
+pub use semcache::CacheOutcome;
 pub use sim_error::SimError;
 pub use simulation::Simulation;

@@ -250,6 +250,47 @@ impl Simulation {
         crate::compressed::run_reordered_compressed_traced(&self.layered, trials.trials(), recorder)
     }
 
+    /// [`Simulation::run_reordered`] through the persistent cross-run
+    /// prefix store (see [`crate::semcache`]): consult the store before
+    /// materializing the shared prefix, publish the frontier after a
+    /// miss. Outcomes and [`crate::exec::ExecStats`] are bitwise identical
+    /// to [`Simulation::run_reordered`] whether the lookup hits or
+    /// misses.
+    ///
+    /// # Errors
+    ///
+    /// As [`Simulation::run_reordered`]; store I/O problems degrade to an
+    /// uncached run, they never fail it.
+    pub fn run_reordered_cached(
+        &self,
+        store: &redsim_msvstore::MsvStore,
+    ) -> Result<(RunResult, crate::semcache::CacheOutcome), SimError> {
+        self.run_reordered_cached_traced(store, &qsim_telemetry::NullRecorder)
+    }
+
+    /// [`Simulation::run_reordered_cached`] with instrumentation: the
+    /// usual reuse-executor telemetry plus the `msvstore.*` counters
+    /// (hit/miss/store/evict, bytes moved, and the pass/op credit that
+    /// keeps trace cross-checks exact on hit runs).
+    ///
+    /// # Errors
+    ///
+    /// As [`Simulation::run_reordered_cached`].
+    pub fn run_reordered_cached_traced<R: qsim_telemetry::Recorder + ?Sized>(
+        &self,
+        store: &redsim_msvstore::MsvStore,
+        recorder: &R,
+    ) -> Result<(RunResult, crate::semcache::CacheOutcome), SimError> {
+        let trials = self.trials.as_ref().ok_or(SimError::NoTrials)?;
+        crate::semcache::run_reordered_cached_traced(
+            &self.layered,
+            &self.model,
+            trials.trials(),
+            store,
+            recorder,
+        )
+    }
+
     /// Compile the plan once, ask the static advisor for the cheapest
     /// *executable* strategy (see [`qsim_analyzer::advise`]), and run it.
     /// Returns the result together with the winning prediction so callers
@@ -280,29 +321,7 @@ impl Simulation {
     ) -> Result<(RunResult, qsim_analyzer::StrategyPrediction), SimError> {
         use qsim_analyzer::Strategy;
         let trials = self.trials.as_ref().ok_or(SimError::NoTrials)?;
-        let plan = qsim_analyzer::ExecutionPlan::compile_traced(
-            &self.layered,
-            trials,
-            usize::MAX,
-            recorder,
-        );
-        let advice = qsim_analyzer::advise(&plan);
-        let chosen = *advice.best_executable();
-        if recorder.enabled() {
-            recorder.counter("advisor.predicted_passes", chosen.amplitude_passes);
-            recorder.counter("advisor.predicted_ops", chosen.ops);
-            recorder.counter("advisor.predicted_msv", chosen.msv_peak as u64);
-            recorder.counter(
-                match chosen.strategy {
-                    Strategy::Sequential => "advisor.selected.sequential",
-                    Strategy::Fused => "advisor.selected.fused",
-                    Strategy::Reuse => "advisor.selected.reuse",
-                    Strategy::Compressed => "advisor.selected.compressed",
-                    Strategy::FrameTracking => "advisor.selected.frame-tracking",
-                },
-                1,
-            );
-        }
+        let chosen = self.advise_choice(trials, recorder);
         let result = match chosen.strategy {
             Strategy::Sequential => {
                 BaselineExecutor::new(&self.layered).run_unfused(trials.trials())?
@@ -326,6 +345,93 @@ impl Simulation {
             }
         };
         Ok((result, chosen))
+    }
+
+    /// [`Simulation::run_advised_traced`] consulting the persistent
+    /// prefix store when — and only when — the advisor selects the reuse
+    /// strategy; every other strategy has no seedable root frontier and
+    /// runs uncached (`None` in the returned triple).
+    ///
+    /// # Errors
+    ///
+    /// As [`Simulation::run_advised`].
+    #[cfg(feature = "advisor")]
+    pub fn run_advised_cached_traced<R: qsim_telemetry::Recorder + ?Sized>(
+        &self,
+        store: &redsim_msvstore::MsvStore,
+        recorder: &R,
+    ) -> Result<
+        (RunResult, qsim_analyzer::StrategyPrediction, Option<crate::semcache::CacheOutcome>),
+        SimError,
+    > {
+        use qsim_analyzer::Strategy;
+        let trials = self.trials.as_ref().ok_or(SimError::NoTrials)?;
+        let chosen = self.advise_choice(trials, recorder);
+        if chosen.strategy == Strategy::Reuse {
+            let (result, cache) = crate::semcache::run_reordered_cached_traced(
+                &self.layered,
+                &self.model,
+                trials.trials(),
+                store,
+                recorder,
+            )?;
+            return Ok((result, chosen, Some(cache)));
+        }
+        let result = match chosen.strategy {
+            Strategy::Sequential => {
+                BaselineExecutor::new(&self.layered).run_unfused(trials.trials())?
+            }
+            Strategy::Fused => {
+                BaselineExecutor::new(&self.layered).run_traced(trials.trials(), recorder)?
+            }
+            Strategy::Compressed => {
+                crate::compressed::run_reordered_compressed_traced(
+                    &self.layered,
+                    trials.trials(),
+                    recorder,
+                )?
+                .0
+            }
+            Strategy::Reuse | Strategy::FrameTracking => {
+                unreachable!("reuse handled above; frame-tracking is never executable")
+            }
+        };
+        Ok((result, chosen, None))
+    }
+
+    /// Compile the execution plan, record the advisor's verdict counters,
+    /// and return the winning executable prediction.
+    #[cfg(feature = "advisor")]
+    fn advise_choice<R: qsim_telemetry::Recorder + ?Sized>(
+        &self,
+        trials: &TrialSet,
+        recorder: &R,
+    ) -> qsim_analyzer::StrategyPrediction {
+        use qsim_analyzer::Strategy;
+        let plan = qsim_analyzer::ExecutionPlan::compile_traced(
+            &self.layered,
+            trials,
+            usize::MAX,
+            recorder,
+        );
+        let advice = qsim_analyzer::advise(&plan);
+        let chosen = *advice.best_executable();
+        if recorder.enabled() {
+            recorder.counter("advisor.predicted_passes", chosen.amplitude_passes);
+            recorder.counter("advisor.predicted_ops", chosen.ops);
+            recorder.counter("advisor.predicted_msv", chosen.msv_peak as u64);
+            recorder.counter(
+                match chosen.strategy {
+                    Strategy::Sequential => "advisor.selected.sequential",
+                    Strategy::Fused => "advisor.selected.fused",
+                    Strategy::Reuse => "advisor.selected.reuse",
+                    Strategy::Compressed => "advisor.selected.compressed",
+                    Strategy::FrameTracking => "advisor.selected.frame-tracking",
+                },
+                1,
+            );
+        }
+        chosen
     }
 
     /// Analytic first-order prediction of the savings for `n_trials`

@@ -13,8 +13,8 @@ use std::path::Path;
 
 use qsim_circuit::transpile::{transpile, TranspileOptions};
 use qsim_circuit::{catalog, Circuit, CouplingMap, LayeredCircuit};
-use qsim_noise::{NoiseModel, TrialGenerator, TrialSet};
-use qsim_statevec::{StateVector, C64};
+use qsim_noise::{Injection, NoiseModel, Trial, TrialGenerator, TrialSet};
+use qsim_statevec::{Pauli, StateVector, C64};
 
 /// Deterministic xorshift64* generator — reproducible across platforms,
 /// zero dependencies. Used wherever a test needs "random" data.
@@ -66,6 +66,69 @@ pub fn uniform_workload(
     let model = NoiseModel::uniform(circuit.n_qubits(), rates.0, rates.1, rates.2);
     let set = TrialGenerator::new(&layered, &model).expect("native circuit").generate(trials, seed);
     (layered, set)
+}
+
+/// One point of a VQA parameter sweep: the ansatz evaluated at this
+/// sweep angle, plus its deterministic noisy trial set.
+#[derive(Clone, Debug)]
+pub struct SweepPoint {
+    /// Display name, `theta00`, `theta01`, …, in sweep order.
+    pub name: String,
+    /// The sweep parameter driving the final rotation layer.
+    pub theta: f64,
+    /// The layered ansatz at this angle.
+    pub layered: LayeredCircuit,
+    /// The trial set to execute at this point.
+    pub trials: TrialSet,
+}
+
+/// A deterministic VQA parameter sweep: `n_points` evaluations of
+/// [`catalog::vqa_ansatz`] at evenly spaced angles, each with
+/// `trials_per_point` noisy trials whose injections all land at the final
+/// gate layer (three in four trials; the rest carry readout flips only).
+/// Because every injection sits at the last layer, the entire
+/// pre-measurement state is the shared prefix of each point's trial set —
+/// re-running any point replays work a semantic prefix cache can serve
+/// wholesale. All randomness derives from `seed`, so two calls with equal
+/// arguments produce gate-for-gate and trial-for-trial identical
+/// workloads (the cross-run determinism the cache keys rely on).
+pub fn vqa_sweep(
+    n_qubits: usize,
+    n_blocks: usize,
+    n_points: usize,
+    trials_per_point: usize,
+    seed: u64,
+) -> (NoiseModel, Vec<SweepPoint>) {
+    let model = NoiseModel::uniform(n_qubits, 1e-3, 1e-2, 1e-2);
+    let mut rng = XorShift64::new(seed);
+    let mask = (1u64 << n_qubits) - 1;
+    let points = (0..n_points)
+        .map(|p| {
+            let theta = 2.0 * std::f64::consts::PI * (p as f64 + 0.5) / n_points as f64;
+            let circuit = catalog::vqa_ansatz(n_qubits, n_blocks, theta);
+            let layered = circuit.layered().expect("ansatz layers");
+            let tail = layered.n_layers() - 1;
+            let trials = (0..trials_per_point)
+                .map(|t| {
+                    let trial_seed = rng.next_u64();
+                    if t % 4 == 3 {
+                        Trial::new(vec![], rng.next_u64() & mask, trial_seed)
+                    } else {
+                        let qubit = rng.index(n_qubits);
+                        let pauli = [Pauli::X, Pauli::Y, Pauli::Z][rng.index(3)];
+                        Trial::new(vec![Injection::single(tail, qubit, pauli)], 0, trial_seed)
+                    }
+                })
+                .collect();
+            SweepPoint {
+                name: format!("theta{p:02}"),
+                theta,
+                layered,
+                trials: TrialSet::new(n_qubits, tail + 1, trials),
+            }
+        })
+        .collect();
+    (model, points)
 }
 
 /// A reproducible fully-entangled `n_qubits` state: xorshift amplitudes
@@ -254,6 +317,34 @@ mod tests {
         assert_eq!(set.trials().len(), 50);
         assert_eq!(scaled_rates(2.0), (2e-2, 1e-1, 4e-2));
         assert_eq!(scaled_rates(1e9), (1.0, 1.0, 1.0), "rates must clamp");
+    }
+
+    #[test]
+    fn vqa_sweep_is_deterministic_with_tail_concentrated_errors() {
+        let (model, points) = vqa_sweep(4, 3, 5, 8, 17);
+        assert_eq!(points.len(), 5);
+        assert_eq!(model.n_qubits(), 4);
+        let depth = points[0].layered.n_layers();
+        for point in &points {
+            assert_eq!(point.layered.n_layers(), depth, "sweep points share geometry");
+            assert_eq!(point.trials.trials().len(), 8);
+            for trial in point.trials.trials() {
+                for inj in trial.injections() {
+                    assert_eq!(inj.layer(), depth - 1, "errors land at the tail");
+                }
+            }
+            assert!(
+                point.trials.trials().iter().any(|t| t.injections().is_empty()),
+                "some trials are readout-only"
+            );
+        }
+        // Same seed → bitwise-identical workload; the cache keys depend on it.
+        let (_, again) = vqa_sweep(4, 3, 5, 8, 17);
+        for (a, b) in points.iter().zip(&again) {
+            assert_eq!(a.theta.to_bits(), b.theta.to_bits());
+            assert_eq!(a.trials.trials(), b.trials.trials());
+        }
+        assert_ne!(points[0].theta.to_bits(), points[1].theta.to_bits());
     }
 
     #[test]

@@ -1,0 +1,120 @@
+//! Semantic keys: what makes two prefixes "the same computation".
+//!
+//! A key names the exact float program that produces a prefix state from
+//! `|0…0⟩`, plus the run context the cache is scoped to. Two runs with
+//! equal keys would execute the identical fused kernel sequence over the
+//! prefix — so the snapshot one of them stored is, bit for bit, the state
+//! the other is about to compute.
+
+use qsim_analyzer::{canon, StableHasher};
+use qsim_circuit::LayeredCircuit;
+use qsim_noise::NoiseModel;
+
+/// The seed policy tag for `redsim`'s executors: each trial carries a
+/// private `StdRng` seed used only for measurement sampling. The policy
+/// (not the seed *values*) is part of the key — the prefix state below the
+/// first injection is seed-independent, but a different sampling scheme
+/// is a different workload and must not share hit-rate accounting.
+pub const DEFAULT_SEED_POLICY: &str = "stdrng-per-trial-v1";
+
+/// Versioned domain tag folded into every key; bump on any change to the
+/// key construction (a silent change would orphan every stored snapshot —
+/// the golden tests pin the resulting hex strings).
+const KEY_DOMAIN: &str = "redsim-msvstore-key-v1";
+
+/// A canonical cache key for one circuit prefix under one run context.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct SemanticKey {
+    hash: u128,
+    n_qubits: usize,
+    prefix_layer: usize,
+}
+
+impl SemanticKey {
+    /// Compute the key for the prefix of `layered` through `prefix_layer`
+    /// (inclusive) under `model` and `seed_policy`.
+    ///
+    /// The circuit contribution is [`canon::prefix_fingerprint`] — the
+    /// fused kernel stream of the prefix segment, so gauge-equivalent
+    /// prefixes (same ASAP layering, same fused float program) collide
+    /// while anything that would change a single executed bit does not.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prefix_layer` is not a valid layer of `layered`.
+    pub fn compute(
+        layered: &LayeredCircuit,
+        prefix_layer: usize,
+        model: &NoiseModel,
+        seed_policy: &str,
+    ) -> SemanticKey {
+        let mut h = StableHasher::new();
+        h.write_str(KEY_DOMAIN);
+        h.write_u64(canon::prefix_fingerprint(layered, prefix_layer) as u64);
+        h.write_u64((canon::prefix_fingerprint(layered, prefix_layer) >> 64) as u64);
+        h.write_u64(canon::model_digest(model) as u64);
+        h.write_u64((canon::model_digest(model) >> 64) as u64);
+        h.write_str(seed_policy);
+        SemanticKey { hash: h.finish(), n_qubits: layered.n_qubits(), prefix_layer }
+    }
+
+    /// The key as 32 lowercase hex characters (also the snapshot's file
+    /// stem on disk).
+    pub fn hex(&self) -> String {
+        format!("{:032x}", self.hash)
+    }
+
+    /// Register width the keyed snapshot must have.
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Layer the keyed prefix extends through (inclusive).
+    pub fn prefix_layer(&self) -> usize {
+        self.prefix_layer
+    }
+}
+
+impl std::fmt::Display for SemanticKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ({}q through layer {})", self.hex(), self.n_qubits, self.prefix_layer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim_circuit::catalog;
+
+    fn bv() -> LayeredCircuit {
+        catalog::bv(4, 0b101).layered().unwrap()
+    }
+
+    #[test]
+    fn keys_are_stable_and_discriminating() {
+        let model = NoiseModel::uniform(4, 1e-3, 1e-2, 1e-2);
+        let a = SemanticKey::compute(&bv(), 1, &model, DEFAULT_SEED_POLICY);
+        assert_eq!(a, SemanticKey::compute(&bv(), 1, &model, DEFAULT_SEED_POLICY));
+        assert_eq!(a.hex().len(), 32);
+        assert_eq!(a.n_qubits(), 4);
+        assert_eq!(a.prefix_layer(), 1);
+
+        let deeper = SemanticKey::compute(&bv(), 2, &model, DEFAULT_SEED_POLICY);
+        assert_ne!(a.hex(), deeper.hex(), "prefix extent must discriminate");
+        let other_model = NoiseModel::uniform(4, 2e-3, 1e-2, 1e-2);
+        let b = SemanticKey::compute(&bv(), 1, &other_model, DEFAULT_SEED_POLICY);
+        assert_ne!(a.hex(), b.hex(), "noise model must discriminate");
+        let c = SemanticKey::compute(&bv(), 1, &model, "other-policy");
+        assert_ne!(a.hex(), c.hex(), "seed policy must discriminate");
+    }
+
+    #[test]
+    fn display_names_the_scope() {
+        let model = NoiseModel::uniform(4, 1e-3, 1e-2, 1e-2);
+        let key = SemanticKey::compute(&bv(), 1, &model, DEFAULT_SEED_POLICY);
+        let text = key.to_string();
+        assert!(text.contains("4q"));
+        assert!(text.contains("layer 1"));
+        assert!(text.starts_with(&key.hex()));
+    }
+}

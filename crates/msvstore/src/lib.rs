@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+//! Persistent, canonically-keyed MSV store — the cross-run semantic
+//! prefix cache.
+//!
+//! The paper's optimization reuses Multi-shot State Vectors *within* one
+//! trial set: trials sharing their first *k* injections share every state
+//! up to the *k*-th error. But the dominant real-world redundancy lives
+//! **across runs**: variational and parameter-sweep workloads re-submit
+//! the same circuit family thousands of times with only late-layer
+//! rotation angles changing, so the noiseless prefix below the first
+//! injection cut is recomputed identically on every invocation.
+//!
+//! This crate persists that prefix state between processes:
+//!
+//! * [`SemanticKey`] — a stable 128-bit key over the *float program* that
+//!   materializes the prefix (fused kernel stream via
+//!   `qsim_analyzer::canon`), the noise model, and the seed policy. Equal
+//!   keys guarantee a bitwise-identical replay, which is what makes
+//!   restoring a snapshot sound under the executors' exactness contract.
+//! * [`MsvStore`] — a directory of checksummed amplitude snapshots plus an
+//!   append-only JSONL manifest. Writes are atomic (temp file + rename),
+//!   reads validate magic/geometry/checksum and degrade to a cache miss on
+//!   any corruption, and a byte budget drives least-valuable-first
+//!   eviction (fewest recorded hits, then least recently used).
+//!
+//! The store never decides *whether* reuse is sound — the key construction
+//! does. The executors in `redsim` consult the store before materializing
+//! a prefix and publish the frontier they computed on a miss.
+
+mod key;
+mod manifest;
+mod snapshot;
+mod store;
+
+pub use key::{SemanticKey, DEFAULT_SEED_POLICY};
+pub use manifest::{ManifestEvent, MANIFEST_NAME};
+pub use snapshot::{decode_snapshot, encode_snapshot, Snapshot, SnapshotError, SNAPSHOT_EXT};
+pub use store::{GcReport, LayerStat, MsvStore, PutOutcome, StoreHit, StoreStats};

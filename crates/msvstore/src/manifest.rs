@@ -1,0 +1,247 @@
+//! The append-only JSONL manifest.
+//!
+//! Every mutation of the store appends one JSON line; replaying the log
+//! from the top reconstructs the entry table. Recency is **line order**
+//! (the replay sequence number), not wall-clock time, which keeps replay
+//! deterministic and the format trivially mergeable across concurrent
+//! writers — interleaved appends from two processes replay to a coherent
+//! table in whichever order the kernel serialized them.
+//!
+//! Robustness contract: a line that fails to parse (torn tail from a
+//! crashed writer, garbage from a corrupted disk) is *skipped*, never
+//! fatal. The store then lazily reconciles against the snapshot files
+//! actually present.
+//!
+//! Event vocabulary:
+//!
+//! ```text
+//! {"ev":"put","key":"<hex>","qubits":4,"layer":3,"bytes":284}
+//! {"ev":"touch","key":"<hex>"}
+//! {"ev":"evict","key":"<hex>"}
+//! {"ev":"clear"}
+//! ```
+
+/// File name of the manifest inside a store directory.
+pub const MANIFEST_NAME: &str = "manifest.jsonl";
+
+/// One replayed manifest event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ManifestEvent {
+    /// A snapshot was stored.
+    Put {
+        /// Key hex (file stem).
+        key: String,
+        /// Register width.
+        qubits: u64,
+        /// Prefix layer (inclusive).
+        layer: u64,
+        /// Snapshot file size in bytes.
+        bytes: u64,
+    },
+    /// A stored snapshot served a hit.
+    Touch {
+        /// Key hex.
+        key: String,
+    },
+    /// A snapshot was evicted under budget pressure.
+    Evict {
+        /// Key hex.
+        key: String,
+    },
+    /// The store was cleared; all prior entries are void.
+    Clear,
+}
+
+impl ManifestEvent {
+    /// Render as one JSON line (no trailing newline).
+    pub fn render(&self) -> String {
+        match self {
+            ManifestEvent::Put { key, qubits, layer, bytes } => format!(
+                r#"{{"ev":"put","key":"{key}","qubits":{qubits},"layer":{layer},"bytes":{bytes}}}"#
+            ),
+            ManifestEvent::Touch { key } => format!(r#"{{"ev":"touch","key":"{key}"}}"#),
+            ManifestEvent::Evict { key } => format!(r#"{{"ev":"evict","key":"{key}"}}"#),
+            ManifestEvent::Clear => r#"{"ev":"clear"}"#.to_owned(),
+        }
+    }
+
+    /// Parse one manifest line; `None` for anything malformed (the replay
+    /// skips it).
+    pub fn parse(line: &str) -> Option<ManifestEvent> {
+        let fields = parse_flat_object(line.trim())?;
+        let get = |name: &str| fields.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+        let key_of = |fields: &dyn Fn(&str) -> Option<FlatValue>| -> Option<String> {
+            match fields("key")? {
+                FlatValue::Str(s) if is_key_hex(&s) => Some(s),
+                _ => None,
+            }
+        };
+        let fetch = |name: &str| get(name).cloned();
+        match get("ev")? {
+            FlatValue::Str(ev) => match ev.as_str() {
+                "put" => {
+                    let key = key_of(&fetch)?;
+                    let num = |name: &str| match fetch(name)? {
+                        FlatValue::Num(n) => Some(n),
+                        FlatValue::Str(_) => None,
+                    };
+                    Some(ManifestEvent::Put {
+                        key,
+                        qubits: num("qubits")?,
+                        layer: num("layer")?,
+                        bytes: num("bytes")?,
+                    })
+                }
+                "touch" => Some(ManifestEvent::Touch { key: key_of(&fetch)? }),
+                "evict" => Some(ManifestEvent::Evict { key: key_of(&fetch)? }),
+                "clear" => Some(ManifestEvent::Clear),
+                _ => None,
+            },
+            FlatValue::Num(_) => None,
+        }
+    }
+}
+
+/// A valid key hex string: exactly 32 lowercase hex characters. Keys name
+/// files on disk, so anything else (path separators, dots) is rejected at
+/// parse time.
+pub(crate) fn is_key_hex(s: &str) -> bool {
+    s.len() == 32 && s.bytes().all(|b| b.is_ascii_hexdigit() && !b.is_ascii_uppercase())
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum FlatValue {
+    Str(String),
+    Num(u64),
+}
+
+/// Parse a flat JSON object of string and unsigned-integer values — the
+/// only shape the manifest writer emits. Hand-rolled to keep this crate
+/// dependency-free; anything outside the shape returns `None`.
+fn parse_flat_object(line: &str) -> Option<Vec<(String, FlatValue)>> {
+    let bytes = line.as_bytes();
+    let mut i = 0usize;
+    let mut out = Vec::new();
+    let skip_ws = |i: &mut usize| {
+        while *i < bytes.len() && (bytes[*i] as char).is_ascii_whitespace() {
+            *i += 1;
+        }
+    };
+    skip_ws(&mut i);
+    if i >= bytes.len() || bytes[i] != b'{' {
+        return None;
+    }
+    i += 1;
+    skip_ws(&mut i);
+    if i < bytes.len() && bytes[i] == b'}' {
+        return if i + 1 == bytes.len() { Some(out) } else { None };
+    }
+    loop {
+        skip_ws(&mut i);
+        let key = parse_string(bytes, &mut i)?;
+        skip_ws(&mut i);
+        if i >= bytes.len() || bytes[i] != b':' {
+            return None;
+        }
+        i += 1;
+        skip_ws(&mut i);
+        let value = if i < bytes.len() && bytes[i] == b'"' {
+            FlatValue::Str(parse_string(bytes, &mut i)?)
+        } else {
+            let start = i;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+            if i == start {
+                return None;
+            }
+            FlatValue::Num(line[start..i].parse().ok()?)
+        };
+        out.push((key, value));
+        skip_ws(&mut i);
+        match bytes.get(i) {
+            Some(b',') => i += 1,
+            Some(b'}') => {
+                i += 1;
+                skip_ws(&mut i);
+                return if i == bytes.len() { Some(out) } else { None };
+            }
+            _ => return None,
+        }
+    }
+}
+
+/// Parse a JSON string without escapes (keys and key-hex values never
+/// contain any); a string containing `\` fails the line.
+fn parse_string(bytes: &[u8], i: &mut usize) -> Option<String> {
+    if *i >= bytes.len() || bytes[*i] != b'"' {
+        return None;
+    }
+    *i += 1;
+    let start = *i;
+    while *i < bytes.len() && bytes[*i] != b'"' {
+        if bytes[*i] == b'\\' {
+            return None;
+        }
+        *i += 1;
+    }
+    if *i >= bytes.len() {
+        return None;
+    }
+    let s = std::str::from_utf8(&bytes[start..*i]).ok()?.to_owned();
+    *i += 1;
+    Some(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KEY: &str = "0123456789abcdef0123456789abcdef";
+
+    #[test]
+    fn events_round_trip() {
+        let events = [
+            ManifestEvent::Put { key: KEY.to_owned(), qubits: 4, layer: 3, bytes: 284 },
+            ManifestEvent::Touch { key: KEY.to_owned() },
+            ManifestEvent::Evict { key: KEY.to_owned() },
+            ManifestEvent::Clear,
+        ];
+        for ev in &events {
+            let line = ev.render();
+            assert_eq!(ManifestEvent::parse(&line).as_ref(), Some(ev), "line: {line}");
+        }
+    }
+
+    #[test]
+    fn malformed_lines_are_skipped_not_fatal() {
+        for bad in [
+            "",
+            "garbage",
+            "{\"ev\":\"put\"}",                          // missing fields
+            "{\"ev\":\"frob\",\"key\":\"00\"}",          // unknown event
+            "{\"ev\":\"touch\",\"key\":\"../etc\"}",     // non-hex key
+            "{\"ev\":\"touch\",\"key\":\"ABCDEF\"}",     // uppercase / short
+            "{\"ev\":\"put\",\"key\":\"0123456789abcdef0123456789abcdef\",\"qubits\":\"x\",\"layer\":1,\"bytes\":2}",
+            "{\"ev\":\"clear\"} trailing",
+            "{\"ev\":\"clear\"",                         // torn tail
+            "{\"ev\":\"put\",\"key\":\"0123456789abcdef0123456789abcdef\",\"qubits\":4,\"layer\":3,\"by", // torn mid-field
+        ] {
+            assert_eq!(ManifestEvent::parse(bad), None, "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn parser_tolerates_whitespace_and_field_order() {
+        let line = format!(" {{ \"key\" : \"{KEY}\" , \"ev\" : \"touch\" }} ");
+        assert_eq!(ManifestEvent::parse(&line), Some(ManifestEvent::Touch { key: KEY.into() }));
+    }
+
+    #[test]
+    fn key_hex_validation_is_strict() {
+        assert!(is_key_hex(KEY));
+        assert!(!is_key_hex("0123456789ABCDEF0123456789ABCDEF"));
+        assert!(!is_key_hex("0123456789abcdef0123456789abcde"));
+        assert!(!is_key_hex("0123456789abcdef0123456789abcdeg"));
+    }
+}

@@ -1,0 +1,203 @@
+//! The on-disk snapshot file format.
+//!
+//! One file per stored prefix state, named `<key-hex>.msv`:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic "MSV1"
+//! 4       4     n_qubits           (u32 LE)
+//! 8       4     prefix_layer       (u32 LE, inclusive)
+//! 12      8     payload length     (u64 LE, bytes)
+//! 20      8     FNV-1a-64 checksum of the payload (u64 LE)
+//! 28      …     payload: 2^n_qubits amplitudes as LE f64 (re, im) pairs
+//! ```
+//!
+//! Decoding validates every field — magic, geometry coherence (payload
+//! length must equal `16 · 2^n_qubits`), declared vs actual length, and
+//! the checksum — so a truncated or bit-flipped file is reported as
+//! [`SnapshotError`] and treated by the store as a cache miss, never as
+//! amplitudes.
+
+use std::fmt;
+
+use qsim_statevec::snapshot::{amps_from_le_bytes, amps_to_le_bytes, AMP_BYTES};
+use qsim_statevec::{AmpBuf, C64};
+
+/// File extension of snapshot files (without the dot).
+pub const SNAPSHOT_EXT: &str = "msv";
+
+const MAGIC: &[u8; 4] = b"MSV1";
+const HEADER_BYTES: usize = 28;
+/// Widest register a snapshot file will ever describe; anything larger is
+/// corruption (2^48 amplitudes would be petabytes).
+const MAX_QUBITS: u32 = 48;
+
+/// A decoded snapshot: geometry plus the restored aligned amplitudes.
+#[derive(Debug)]
+pub struct Snapshot {
+    /// Register width.
+    pub n_qubits: u32,
+    /// Layer the stored prefix extends through (inclusive).
+    pub prefix_layer: u32,
+    /// The amplitudes, 64-byte aligned.
+    pub amps: AmpBuf,
+}
+
+/// Why a snapshot file failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// File shorter than the fixed header.
+    Truncated,
+    /// Magic bytes did not match.
+    BadMagic,
+    /// Header fields are incoherent (impossible geometry or length).
+    BadGeometry(String),
+    /// Payload checksum mismatch — torn write or bit rot.
+    ChecksumMismatch,
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Truncated => f.write_str("snapshot file truncated"),
+            SnapshotError::BadMagic => f.write_str("snapshot magic mismatch"),
+            SnapshotError::BadGeometry(why) => write!(f, "snapshot geometry invalid: {why}"),
+            SnapshotError::ChecksumMismatch => f.write_str("snapshot checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// FNV-1a-64 over `bytes` — the payload checksum.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+/// Encode a snapshot file image.
+///
+/// # Panics
+///
+/// Panics if `amps` does not hold exactly `2^n_qubits` amplitudes — the
+/// caller hands in a full prefix state by construction.
+pub fn encode_snapshot(n_qubits: u32, prefix_layer: u32, amps: &[C64]) -> Vec<u8> {
+    assert_eq!(amps.len(), 1usize << n_qubits, "snapshot must hold a full state");
+    let payload = amps_to_le_bytes(amps);
+    let mut out = Vec::with_capacity(HEADER_BYTES + payload.len());
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&n_qubits.to_le_bytes());
+    out.extend_from_slice(&prefix_layer.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Decode and fully validate a snapshot file image.
+///
+/// # Errors
+///
+/// Returns [`SnapshotError`] describing the first validation failure.
+pub fn decode_snapshot(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
+    if bytes.len() < HEADER_BYTES {
+        return Err(SnapshotError::Truncated);
+    }
+    if &bytes[0..4] != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let n_qubits = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    let prefix_layer = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    let payload_len = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
+    let checksum = u64::from_le_bytes(bytes[20..28].try_into().expect("8 bytes"));
+    if n_qubits > MAX_QUBITS {
+        return Err(SnapshotError::BadGeometry(format!("{n_qubits} qubits")));
+    }
+    let expected = (1u64 << n_qubits) * AMP_BYTES as u64;
+    if payload_len != expected {
+        return Err(SnapshotError::BadGeometry(format!(
+            "payload {payload_len} bytes, {n_qubits} qubits needs {expected}"
+        )));
+    }
+    let payload = &bytes[HEADER_BYTES..];
+    if (payload.len() as u64) < payload_len {
+        return Err(SnapshotError::Truncated);
+    }
+    if payload.len() as u64 > payload_len {
+        return Err(SnapshotError::BadGeometry("trailing bytes".to_owned()));
+    }
+    if fnv1a64(payload) != checksum {
+        return Err(SnapshotError::ChecksumMismatch);
+    }
+    let amps =
+        amps_from_le_bytes(payload).map_err(|e| SnapshotError::BadGeometry(e.to_string()))?;
+    Ok(Snapshot { n_qubits, prefix_layer, amps })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_amps(n_qubits: u32) -> Vec<C64> {
+        (0..1usize << n_qubits).map(|i| C64::new(0.1 * i as f64 + 0.3, -(0.2 * i as f64))).collect()
+    }
+
+    #[test]
+    fn round_trips_bitwise() {
+        let amps = sample_amps(3);
+        let image = encode_snapshot(3, 7, &amps);
+        let snap = decode_snapshot(&image).unwrap();
+        assert_eq!(snap.n_qubits, 3);
+        assert_eq!(snap.prefix_layer, 7);
+        assert_eq!(snap.amps.len(), 8);
+        for (orig, got) in amps.iter().zip(snap.amps.iter()) {
+            assert_eq!(orig.re.to_bits(), got.re.to_bits());
+            assert_eq!(orig.im.to_bits(), got.im.to_bits());
+        }
+    }
+
+    #[test]
+    fn rejects_every_corruption_class() {
+        let image = encode_snapshot(2, 3, &sample_amps(2));
+        // Truncations at every interesting boundary.
+        assert_eq!(decode_snapshot(&[]).err(), Some(SnapshotError::Truncated));
+        assert_eq!(decode_snapshot(&image[..10]).err(), Some(SnapshotError::Truncated));
+        assert_eq!(
+            decode_snapshot(&image[..image.len() - 1]).err(),
+            Some(SnapshotError::Truncated)
+        );
+        // Magic.
+        let mut bad = image.clone();
+        bad[0] = b'X';
+        assert_eq!(decode_snapshot(&bad).err(), Some(SnapshotError::BadMagic));
+        // Impossible register width.
+        let mut bad = image.clone();
+        bad[4..8].copy_from_slice(&200u32.to_le_bytes());
+        assert!(matches!(decode_snapshot(&bad), Err(SnapshotError::BadGeometry(_))));
+        // Declared length disagreeing with geometry.
+        let mut bad = image.clone();
+        bad[12..20].copy_from_slice(&7u64.to_le_bytes());
+        assert!(matches!(decode_snapshot(&bad), Err(SnapshotError::BadGeometry(_))));
+        // Trailing junk.
+        let mut bad = image.clone();
+        bad.push(0);
+        assert!(matches!(decode_snapshot(&bad), Err(SnapshotError::BadGeometry(_))));
+        // A single flipped payload bit.
+        let mut bad = image.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x01;
+        assert_eq!(decode_snapshot(&bad).err(), Some(SnapshotError::ChecksumMismatch));
+        // The pristine image still decodes.
+        assert!(decode_snapshot(&image).is_ok());
+    }
+
+    #[test]
+    fn errors_display_their_cause() {
+        assert!(SnapshotError::Truncated.to_string().contains("truncated"));
+        assert!(SnapshotError::BadGeometry("x".into()).to_string().contains("x"));
+    }
+}

@@ -1,0 +1,578 @@
+//! The on-disk store: a directory of snapshot files plus the manifest.
+//!
+//! Concurrency model: each process keeps its own in-memory entry table,
+//! rebuilt from the manifest at [`MsvStore::open`]. All manifest writes go
+//! through `O_APPEND`, so concurrent writers interleave whole lines and a
+//! later `open` replays a coherent history. A writer that lost a race (its
+//! table is stale) degrades gracefully: `get` falls back to reading the
+//! snapshot file itself when the table has no entry, and every read
+//! validates the file before trusting it.
+//!
+//! Failure model: **any** problem on the read path — missing file,
+//! truncated payload, checksum mismatch, geometry that disagrees with the
+//! key — is a cache miss, never an error and never wrong amplitudes.
+
+use std::collections::BTreeMap;
+use std::fs::{self, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use qsim_statevec::{AmpBuf, C64};
+
+use crate::key::SemanticKey;
+use crate::manifest::{is_key_hex, ManifestEvent, MANIFEST_NAME};
+use crate::snapshot::{decode_snapshot, encode_snapshot, SNAPSHOT_EXT};
+
+/// A successful cache lookup.
+#[derive(Debug)]
+pub struct StoreHit {
+    /// The restored prefix amplitudes, bit-for-bit as stored.
+    pub amps: AmpBuf,
+    /// Snapshot file size that was read and validated.
+    pub bytes_read: u64,
+}
+
+/// What [`MsvStore::put`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PutOutcome {
+    /// Whether a new snapshot was written (false: the key was already
+    /// present and intact).
+    pub stored: bool,
+    /// Bytes written for the new snapshot (0 when not stored).
+    pub bytes_written: u64,
+    /// Entries evicted to fit the byte budget.
+    pub evicted: u64,
+    /// Bytes those evictions released.
+    pub evicted_bytes: u64,
+}
+
+/// Aggregate for one prefix depth in [`StoreStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerStat {
+    /// Prefix layer (inclusive).
+    pub layer: u64,
+    /// Entries stored at this depth.
+    pub entries: u64,
+    /// Bytes they occupy.
+    pub bytes: u64,
+    /// Hits they have served (recorded touches).
+    pub hits: u64,
+}
+
+/// A point-in-time summary of the store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Live entries.
+    pub entries: u64,
+    /// Bytes of live snapshot payload files.
+    pub bytes: u64,
+    /// Configured byte budget (0 = unlimited).
+    pub budget_bytes: u64,
+    /// Total recorded hits across live entries.
+    pub hits: u64,
+    /// Per-prefix-depth breakdown, ascending by layer.
+    pub by_layer: Vec<LayerStat>,
+}
+
+/// What [`MsvStore::gc`] cleaned up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GcReport {
+    /// Snapshot files on disk with no live manifest entry, removed.
+    pub orphan_files: u64,
+    /// Manifest entries whose snapshot file was missing or invalid,
+    /// dropped.
+    pub dead_entries: u64,
+    /// Live entries after the sweep.
+    pub entries: u64,
+    /// Live bytes after the sweep.
+    pub bytes: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    qubits: u64,
+    layer: u64,
+    bytes: u64,
+    hits: u64,
+    last_seq: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    entries: BTreeMap<String, Entry>,
+    next_seq: u64,
+}
+
+impl Inner {
+    fn apply(&mut self, event: ManifestEvent) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        match event {
+            ManifestEvent::Put { key, qubits, layer, bytes } => {
+                self.entries.insert(key, Entry { qubits, layer, bytes, hits: 0, last_seq: seq });
+            }
+            ManifestEvent::Touch { key } => {
+                if let Some(entry) = self.entries.get_mut(&key) {
+                    entry.hits += 1;
+                    entry.last_seq = seq;
+                }
+            }
+            ManifestEvent::Evict { key } => {
+                self.entries.remove(&key);
+            }
+            ManifestEvent::Clear => self.entries.clear(),
+        }
+    }
+
+    fn total_bytes(&self) -> u64 {
+        self.entries.values().map(|e| e.bytes).sum()
+    }
+
+    /// The least-valuable live entry: fewest proven hits, then least
+    /// recently used. `protect` (the key just written) is never chosen.
+    fn eviction_victim(&self, protect: &str) -> Option<String> {
+        self.entries
+            .iter()
+            .filter(|(key, _)| key.as_str() != protect)
+            .min_by_key(|(_, e)| (e.hits, e.last_seq))
+            .map(|(key, _)| key.clone())
+    }
+}
+
+/// The persistent MSV store. Cheap to open, safe to share across threads;
+/// all mutation funnels through an internal lock plus append-only disk
+/// writes.
+#[derive(Debug)]
+pub struct MsvStore {
+    dir: PathBuf,
+    budget_bytes: u64,
+    inner: Mutex<Inner>,
+}
+
+impl MsvStore {
+    /// Open (creating if needed) the store at `dir` with a snapshot byte
+    /// budget (`0` disables eviction).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the directory cannot be
+    /// created or the manifest cannot be read. A *corrupt* manifest is not
+    /// an error — unparseable lines are skipped.
+    pub fn open(dir: &Path, budget_bytes: u64) -> io::Result<MsvStore> {
+        fs::create_dir_all(dir)?;
+        let mut inner = Inner::default();
+        let manifest = dir.join(MANIFEST_NAME);
+        if manifest.exists() {
+            for line in fs::read_to_string(&manifest)?.lines() {
+                if let Some(event) = ManifestEvent::parse(line) {
+                    inner.apply(event);
+                }
+            }
+        }
+        Ok(MsvStore { dir: dir.to_owned(), budget_bytes, inner: Mutex::new(inner) })
+    }
+
+    /// Directory this store lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn snapshot_path(&self, hex: &str) -> PathBuf {
+        self.dir.join(format!("{hex}.{SNAPSHOT_EXT}"))
+    }
+
+    /// Append one event to the manifest (`O_APPEND`, one `write` call, so
+    /// concurrent writers interleave whole lines) and fold it into the
+    /// in-memory table.
+    fn append(&self, inner: &mut Inner, event: ManifestEvent) -> io::Result<()> {
+        let mut file =
+            OpenOptions::new().create(true).append(true).open(self.dir.join(MANIFEST_NAME))?;
+        let mut line = event.render();
+        line.push('\n');
+        file.write_all(line.as_bytes())?;
+        inner.apply(event);
+        Ok(())
+    }
+
+    /// Look up `key`. Returns the stored prefix state, or `None` on any
+    /// miss — absent, truncated, corrupt, or geometry disagreeing with the
+    /// key. A hit is recorded as a `touch` in the manifest (best-effort:
+    /// an unwritable manifest does not fail the hit).
+    pub fn get(&self, key: &SemanticKey) -> Option<StoreHit> {
+        let hex = key.hex();
+        let bytes = fs::read(self.snapshot_path(&hex)).ok()?;
+        let snap = decode_snapshot(&bytes).ok()?;
+        if snap.n_qubits as usize != key.n_qubits()
+            || snap.prefix_layer as usize != key.prefix_layer()
+        {
+            return None;
+        }
+        let mut inner = self.inner.lock().expect("msvstore lock");
+        if !inner.entries.contains_key(&hex) {
+            // The file is valid but the table never saw its put — a torn
+            // manifest tail or a concurrent writer. Re-adopt it.
+            let _ = self.append(
+                &mut inner,
+                ManifestEvent::Put {
+                    key: hex.clone(),
+                    qubits: u64::from(snap.n_qubits),
+                    layer: u64::from(snap.prefix_layer),
+                    bytes: bytes.len() as u64,
+                },
+            );
+        }
+        let _ = self.append(&mut inner, ManifestEvent::Touch { key: hex });
+        Some(StoreHit { amps: snap.amps, bytes_read: bytes.len() as u64 })
+    }
+
+    /// Store `amps` as the snapshot for `key`, then evict
+    /// least-valuable-first until the byte budget holds (never evicting
+    /// the entry just written).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the snapshot or manifest cannot
+    /// be written.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amps` is not a full state for the key's register width.
+    pub fn put(&self, key: &SemanticKey, amps: &[C64]) -> io::Result<PutOutcome> {
+        let hex = key.hex();
+        let path = self.snapshot_path(&hex);
+        let mut inner = self.inner.lock().expect("msvstore lock");
+        if inner.entries.contains_key(&hex) && path.exists() {
+            return Ok(PutOutcome {
+                stored: false,
+                bytes_written: 0,
+                evicted: 0,
+                evicted_bytes: 0,
+            });
+        }
+        let image = encode_snapshot(
+            u32::try_from(key.n_qubits()).expect("register width fits u32"),
+            u32::try_from(key.prefix_layer()).expect("layer fits u32"),
+            amps,
+        );
+        let tmp = self.dir.join(format!("{hex}.tmp-{}", std::process::id()));
+        fs::write(&tmp, &image)?;
+        fs::rename(&tmp, &path)?;
+        self.append(
+            &mut inner,
+            ManifestEvent::Put {
+                key: hex.clone(),
+                qubits: key.n_qubits() as u64,
+                layer: key.prefix_layer() as u64,
+                bytes: image.len() as u64,
+            },
+        )?;
+        let mut evicted = 0u64;
+        let mut evicted_bytes = 0u64;
+        if self.budget_bytes > 0 {
+            while inner.total_bytes() > self.budget_bytes {
+                let Some(victim) = inner.eviction_victim(&hex) else { break };
+                evicted_bytes += inner.entries.get(&victim).map_or(0, |e| e.bytes);
+                let _ = fs::remove_file(self.snapshot_path(&victim));
+                self.append(&mut inner, ManifestEvent::Evict { key: victim })?;
+                evicted += 1;
+            }
+        }
+        Ok(PutOutcome { stored: true, bytes_written: image.len() as u64, evicted, evicted_bytes })
+    }
+
+    /// Summarize the live entries.
+    pub fn stats(&self) -> StoreStats {
+        let inner = self.inner.lock().expect("msvstore lock");
+        let mut by_layer: BTreeMap<u64, LayerStat> = BTreeMap::new();
+        let mut hits = 0u64;
+        for entry in inner.entries.values() {
+            hits += entry.hits;
+            let stat = by_layer.entry(entry.layer).or_insert(LayerStat {
+                layer: entry.layer,
+                entries: 0,
+                bytes: 0,
+                hits: 0,
+            });
+            stat.entries += 1;
+            stat.bytes += entry.bytes;
+            stat.hits += entry.hits;
+        }
+        StoreStats {
+            entries: inner.entries.len() as u64,
+            bytes: inner.total_bytes(),
+            budget_bytes: self.budget_bytes,
+            hits,
+            by_layer: by_layer.into_values().collect(),
+        }
+    }
+
+    /// Reconcile disk and manifest: drop entries whose snapshot file no
+    /// longer decodes, delete snapshot files with no live entry, and
+    /// compact the manifest to the minimal event sequence that replays to
+    /// the surviving table.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the directory cannot be listed
+    /// or the compacted manifest cannot be written.
+    pub fn gc(&self) -> io::Result<GcReport> {
+        let mut inner = self.inner.lock().expect("msvstore lock");
+        let mut dead = Vec::new();
+        for (hex, entry) in &inner.entries {
+            let live = fs::read(self.snapshot_path(hex))
+                .ok()
+                .and_then(|bytes| decode_snapshot(&bytes).ok())
+                .is_some_and(|snap| {
+                    u64::from(snap.n_qubits) == entry.qubits
+                        && u64::from(snap.prefix_layer) == entry.layer
+                });
+            if !live {
+                dead.push(hex.clone());
+            }
+        }
+        for hex in &dead {
+            inner.entries.remove(hex);
+            let _ = fs::remove_file(self.snapshot_path(hex));
+        }
+        let mut orphans = 0u64;
+        for dir_entry in fs::read_dir(&self.dir)? {
+            let path = dir_entry?.path();
+            let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("");
+            let is_snapshot =
+                path.extension().and_then(|e| e.to_str()) == Some(SNAPSHOT_EXT) && is_key_hex(stem);
+            if is_snapshot && !inner.entries.contains_key(stem) {
+                fs::remove_file(&path)?;
+                orphans += 1;
+            }
+        }
+        self.compact(&mut inner)?;
+        Ok(GcReport {
+            orphan_files: orphans,
+            dead_entries: dead.len() as u64,
+            entries: inner.entries.len() as u64,
+            bytes: inner.total_bytes(),
+        })
+    }
+
+    /// Remove every snapshot and reset the manifest to a single `clear`
+    /// event.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if files cannot be removed or the
+    /// manifest rewritten.
+    pub fn clear(&self) -> io::Result<()> {
+        let mut inner = self.inner.lock().expect("msvstore lock");
+        for dir_entry in fs::read_dir(&self.dir)? {
+            let path = dir_entry?.path();
+            if path.extension().and_then(|e| e.to_str()) == Some(SNAPSHOT_EXT) {
+                fs::remove_file(&path)?;
+            }
+        }
+        inner.entries.clear();
+        self.rewrite_manifest(&mut inner, &[ManifestEvent::Clear])
+    }
+
+    /// Rewrite the manifest as the minimal replayable history of the
+    /// current table: each entry's `put` followed by its recorded hits as
+    /// `touch` lines, in recency order so replay reproduces both hit
+    /// counts and LRU ordering.
+    fn compact(&self, inner: &mut Inner) -> io::Result<()> {
+        let mut order: Vec<(String, Entry)> =
+            inner.entries.iter().map(|(k, e)| (k.clone(), e.clone())).collect();
+        order.sort_by_key(|(_, e)| e.last_seq);
+        let mut events = vec![ManifestEvent::Clear];
+        for (key, entry) in order {
+            events.push(ManifestEvent::Put {
+                key: key.clone(),
+                qubits: entry.qubits,
+                layer: entry.layer,
+                bytes: entry.bytes,
+            });
+            for _ in 0..entry.hits {
+                events.push(ManifestEvent::Touch { key: key.clone() });
+            }
+        }
+        self.rewrite_manifest(inner, &events)
+    }
+
+    /// Atomically replace the manifest with `events` and replay them into
+    /// a fresh table.
+    fn rewrite_manifest(&self, inner: &mut Inner, events: &[ManifestEvent]) -> io::Result<()> {
+        let mut text = String::new();
+        for event in events {
+            text.push_str(&event.render());
+            text.push('\n');
+        }
+        let tmp = self.dir.join(format!("{MANIFEST_NAME}.tmp-{}", std::process::id()));
+        fs::write(&tmp, text)?;
+        fs::rename(&tmp, self.dir.join(MANIFEST_NAME))?;
+        let mut fresh = Inner::default();
+        for event in events {
+            fresh.apply(event.clone());
+        }
+        *inner = fresh;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::DEFAULT_SEED_POLICY;
+    use qsim_circuit::catalog;
+    use qsim_noise::NoiseModel;
+
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> TempDir {
+            let dir =
+                std::env::temp_dir().join(format!("msvstore-test-{tag}-{}", std::process::id()));
+            let _ = fs::remove_dir_all(&dir);
+            fs::create_dir_all(&dir).unwrap();
+            TempDir(dir)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn key_for(n: usize, secret: usize, layer: usize) -> SemanticKey {
+        let layered = catalog::bv(n, secret).layered().unwrap();
+        let model = NoiseModel::uniform(n, 1e-3, 1e-2, 1e-2);
+        SemanticKey::compute(&layered, layer, &model, DEFAULT_SEED_POLICY)
+    }
+
+    fn amps_for(n: usize, salt: f64) -> Vec<C64> {
+        (0..1usize << n).map(|i| C64::new(i as f64 + salt, -salt)).collect()
+    }
+
+    #[test]
+    fn put_get_round_trip_survives_reopen() {
+        let tmp = TempDir::new("roundtrip");
+        let key = key_for(4, 0b101, 1);
+        let amps = amps_for(4, 0.25);
+        {
+            let store = MsvStore::open(&tmp.0, 0).unwrap();
+            let outcome = store.put(&key, &amps).unwrap();
+            assert!(outcome.stored);
+            assert_eq!(outcome.evicted, 0);
+            // A second put of the same key is a no-op.
+            assert!(!store.put(&key, &amps).unwrap().stored);
+        }
+        let store = MsvStore::open(&tmp.0, 0).unwrap();
+        let hit = store.get(&key).expect("hit after reopen");
+        for (orig, got) in amps.iter().zip(hit.amps.iter()) {
+            assert_eq!(orig.re.to_bits(), got.re.to_bits());
+            assert_eq!(orig.im.to_bits(), got.im.to_bits());
+        }
+        let stats = store.stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.by_layer.len(), 1);
+        assert_eq!(stats.by_layer[0].layer, 1);
+    }
+
+    #[test]
+    fn missing_key_is_a_miss() {
+        let tmp = TempDir::new("miss");
+        let store = MsvStore::open(&tmp.0, 0).unwrap();
+        assert!(store.get(&key_for(4, 0b011, 1)).is_none());
+    }
+
+    #[test]
+    fn eviction_prefers_fewest_hits_then_oldest() {
+        let tmp = TempDir::new("evict");
+        // Each 4-qubit snapshot is 28 + 256 = 284 bytes; budget fits two.
+        let store = MsvStore::open(&tmp.0, 600).unwrap();
+        let first = key_for(4, 0b001, 1);
+        let second = key_for(4, 0b010, 1);
+        let third = key_for(4, 0b100, 1);
+        store.put(&first, &amps_for(4, 1.0)).unwrap();
+        store.put(&second, &amps_for(4, 2.0)).unwrap();
+        // `first` earns a hit, so `second` (0 hits, older than `third`)
+        // must be the victim.
+        assert!(store.get(&first).is_some());
+        let outcome = store.put(&third, &amps_for(4, 3.0)).unwrap();
+        assert_eq!(outcome.evicted, 1);
+        assert!(outcome.evicted_bytes > 0);
+        assert!(store.get(&second).is_none(), "victim stays evicted");
+        assert!(store.get(&first).is_some());
+        assert!(store.get(&third).is_some(), "fresh write is never the victim");
+    }
+
+    #[test]
+    fn corrupt_snapshot_degrades_to_miss_and_gc_reaps_it() {
+        let tmp = TempDir::new("corrupt");
+        let store = MsvStore::open(&tmp.0, 0).unwrap();
+        let key = key_for(4, 0b110, 1);
+        store.put(&key, &amps_for(4, 0.5)).unwrap();
+        // Flip one payload bit on disk.
+        let path = store.snapshot_path(&key.hex());
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        fs::write(&path, bytes).unwrap();
+        assert!(store.get(&key).is_none(), "corruption is a miss");
+        let report = store.gc().unwrap();
+        assert_eq!(report.dead_entries, 1);
+        assert_eq!(report.entries, 0);
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn truncated_manifest_line_is_skipped_and_file_readopted() {
+        let tmp = TempDir::new("torn");
+        let key = key_for(4, 0b111, 1);
+        {
+            let store = MsvStore::open(&tmp.0, 0).unwrap();
+            store.put(&key, &amps_for(4, 4.0)).unwrap();
+        }
+        // Tear the manifest tail mid-line, as a crashed writer would.
+        let manifest = tmp.0.join(MANIFEST_NAME);
+        let text = fs::read_to_string(&manifest).unwrap();
+        fs::write(&manifest, &text[..text.len() / 2]).unwrap();
+        let store = MsvStore::open(&tmp.0, 0).unwrap();
+        assert!(store.get(&key).is_some(), "valid file re-adopted past torn manifest");
+        assert_eq!(store.stats().entries, 1);
+    }
+
+    #[test]
+    fn gc_removes_orphan_files_and_compacts() {
+        let tmp = TempDir::new("orphan");
+        let store = MsvStore::open(&tmp.0, 0).unwrap();
+        let key = key_for(4, 0b001, 2);
+        store.put(&key, &amps_for(4, 6.0)).unwrap();
+        store.get(&key).unwrap();
+        store.get(&key).unwrap();
+        // Drop an orphan snapshot with no manifest entry.
+        let orphan = tmp.0.join(format!("{}.{SNAPSHOT_EXT}", "ff".repeat(16)));
+        fs::write(&orphan, b"junk").unwrap();
+        let report = store.gc().unwrap();
+        assert_eq!(report.orphan_files, 1);
+        assert_eq!(report.dead_entries, 0);
+        assert!(!orphan.exists());
+        // Compaction preserved hit counts across reopen.
+        drop(store);
+        let store = MsvStore::open(&tmp.0, 0).unwrap();
+        assert_eq!(store.stats().hits, 2);
+    }
+
+    #[test]
+    fn clear_empties_store_and_manifest() {
+        let tmp = TempDir::new("clear");
+        let store = MsvStore::open(&tmp.0, 0).unwrap();
+        let key = key_for(4, 0b010, 1);
+        store.put(&key, &amps_for(4, 7.0)).unwrap();
+        store.clear().unwrap();
+        assert!(store.get(&key).is_none());
+        assert_eq!(store.stats().entries, 0);
+        let store = MsvStore::open(&tmp.0, 0).unwrap();
+        assert_eq!(store.stats().entries, 0);
+    }
+}

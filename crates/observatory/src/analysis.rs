@@ -45,6 +45,43 @@ pub struct ResidencyPoint {
     pub residency: u64,
 }
 
+/// The semantic prefix store's footprint in one trace, derived from its
+/// `msvstore.*` counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SemanticCacheView {
+    /// Runs served from a stored prefix snapshot.
+    pub hits: u64,
+    /// Runs that computed the prefix and (attempted to) publish it.
+    pub misses: u64,
+    /// Snapshots actually written.
+    pub stored: u64,
+    /// Entries evicted by the size budget.
+    pub evicted: u64,
+    /// Snapshot bytes read on hits.
+    pub bytes_read: u64,
+    /// Snapshot bytes written on misses.
+    pub bytes_written: u64,
+    /// Basic operations credited without execution (the `ops` metric).
+    pub credited_ops: u64,
+    /// Amplitude passes credited without execution.
+    pub credited_passes: u64,
+    /// Cacheable prefix layer of the (last) keyed run.
+    pub prefix_layer: u64,
+}
+
+impl SemanticCacheView {
+    /// Total store consultations.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of the run's amplitude passes served from disk instead of
+    /// recomputed, given the end-of-run `amplitude_passes` counter.
+    pub fn pass_savings(&self, amplitude_passes: u64) -> f64 {
+        self.credited_passes as f64 / amplitude_passes.max(1) as f64
+    }
+}
+
 /// The analysis engine's digest of one trace.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct TraceAnalysis {
@@ -149,6 +186,25 @@ impl TraceAnalysis {
         self.cache_waterfall.values().fold((0, 0), |(h, m), &(hh, mm)| (h + hh, m + mm))
     }
 
+    /// The semantic prefix store's footprint in this trace; `None` when
+    /// the run never consulted a persistent store.
+    pub fn semantic_cache(&self) -> Option<SemanticCacheView> {
+        if !self.counters.keys().any(|k| k.starts_with("msvstore.")) {
+            return None;
+        }
+        Some(SemanticCacheView {
+            hits: self.counter("msvstore.hit"),
+            misses: self.counter("msvstore.miss"),
+            stored: self.counter("msvstore.store"),
+            evicted: self.counter("msvstore.evict"),
+            bytes_read: self.counter("msvstore.bytes_read"),
+            bytes_written: self.counter("msvstore.bytes_written"),
+            credited_ops: self.counter("msvstore.credited_ops"),
+            credited_passes: self.counter("msvstore.credited_passes"),
+            prefix_layer: self.counter("msvstore.prefix_layer"),
+        })
+    }
+
     /// Cross-check the derived views against the executor's end-of-run
     /// counters: the exactness contract. Returns one message per
     /// discrepancy (empty = consistent). Checks that need reuse-style
@@ -161,17 +217,21 @@ impl TraceAnalysis {
             }
         }
         let mut problems = Vec::new();
+        // A semantic-store hit pre-credits the skipped prefix work into
+        // the end-of-run counters without emitting kernel events; the
+        // credit counter closes that gap exactly.
+        let credited = self.counter("msvstore.credited_passes");
         check(
             &mut problems,
-            "total kernel applications vs amplitude_passes",
-            self.total_kernel_count(),
+            "total kernel applications plus store credit vs amplitude_passes",
+            self.total_kernel_count() + credited,
             self.counter("amplitude_passes"),
         );
         let error_passes = self.by_class.get(&KernelClass::Error).map_or(0, |c| c.count);
         check(
             &mut problems,
-            "gate kernel applications vs fused_ops",
-            self.total_kernel_count() - error_passes,
+            "gate kernel applications plus store credit vs fused_ops",
+            self.total_kernel_count() - error_passes + credited,
             self.counter("fused_ops"),
         );
         if self.counter("ops") < self.counter("amplitude_passes") {
@@ -193,10 +253,25 @@ impl TraceAnalysis {
             let per_trial: u64 = self.trials.iter().map(|t| t.passes).sum();
             check(
                 &mut problems,
-                "per-trial passes vs amplitude_passes",
-                per_trial,
+                "per-trial passes plus store credit vs amplitude_passes",
+                per_trial + credited,
                 self.counter("amplitude_passes"),
             );
+        }
+        if let Some(sc) = self.semantic_cache() {
+            if sc.hits == 0 && sc.credited_passes != 0 {
+                problems
+                    .push(format!("store credited {} passes without a hit", sc.credited_passes));
+            }
+            if sc.stored > sc.misses {
+                problems.push(format!(
+                    "store published {} snapshots on only {} misses",
+                    sc.stored, sc.misses
+                ));
+            }
+            if sc.hits == 0 && sc.bytes_read != 0 {
+                problems.push(format!("store read {} bytes without a hit", sc.bytes_read));
+            }
         }
         if !self.residency_curve.is_empty() {
             let creates = self.msv_counts.get(&MsvEvent::Create).copied().unwrap_or(0);
@@ -254,6 +329,52 @@ mod tests {
         assert_eq!(a.spans["run/reuse"], (1, 400));
         assert_eq!(a.peak_residency, 1);
         assert_eq!(a.residency_curve.len(), 2);
+    }
+
+    fn store_hit_trace() -> &'static str {
+        concat!(
+            "{\"ev\":\"meta\",\"version\":2,\"git_rev\":\"abc\",\"seed\":1,\"qubits\":4,\"strategy\":\"reuse-cached\"}\n",
+            "{\"ev\":\"counter\",\"name\":\"msvstore.hit\",\"delta\":1}\n",
+            "{\"ev\":\"counter\",\"name\":\"msvstore.bytes_read\",\"delta\":284}\n",
+            "{\"ev\":\"counter\",\"name\":\"msvstore.credited_ops\",\"delta\":4}\n",
+            "{\"ev\":\"counter\",\"name\":\"msvstore.credited_passes\",\"delta\":2}\n",
+            "{\"ev\":\"counter\",\"name\":\"msvstore.prefix_layer\",\"delta\":3}\n",
+            "{\"ev\":\"msv\",\"kind\":\"create\",\"depth\":0,\"residency\":1}\n",
+            "{\"ev\":\"cache\",\"depth\":0,\"hit\":false}\n",
+            "{\"ev\":\"kernel\",\"phase\":\"reuse/shared\",\"class\":\"dense2\",\"layer\":4,\"count\":1,\"ns\":100}\n",
+            "{\"ev\":\"kernel\",\"phase\":\"reuse/shared\",\"class\":\"error\",\"layer\":4,\"count\":1,\"ns\":10}\n",
+            "{\"ev\":\"cache\",\"depth\":1,\"hit\":true}\n",
+            "{\"ev\":\"kernel\",\"phase\":\"reuse/remainder\",\"class\":\"cx\",\"layer\":5,\"count\":1,\"ns\":30}\n",
+            "{\"ev\":\"counter\",\"name\":\"trials\",\"delta\":2}\n",
+            "{\"ev\":\"counter\",\"name\":\"ops\",\"delta\":10}\n",
+            "{\"ev\":\"counter\",\"name\":\"fused_ops\",\"delta\":4}\n",
+            "{\"ev\":\"counter\",\"name\":\"amplitude_passes\",\"delta\":5}\n",
+        )
+    }
+
+    #[test]
+    fn cross_check_credits_semantic_store_hits_exactly() {
+        let a = TraceAnalysis::from_trace(&Trace::parse(store_hit_trace()).unwrap());
+        assert_eq!(a.cross_check(), Vec::<String>::new(), "credited run must reconcile");
+        let sc = a.semantic_cache().expect("msvstore counters present");
+        assert_eq!((sc.hits, sc.misses, sc.stored), (1, 0, 0));
+        assert_eq!((sc.credited_ops, sc.credited_passes, sc.prefix_layer), (4, 2, 3));
+        assert_eq!(sc.lookups(), 1);
+        assert!((sc.pass_savings(5) - 0.4).abs() < 1e-12);
+        // A credit without a hit must be flagged.
+        let broken = store_hit_trace().replace("msvstore.hit", "msvstore.evict");
+        let a = TraceAnalysis::from_trace(&Trace::parse(&broken).unwrap());
+        assert!(
+            a.cross_check().iter().any(|p| p.contains("without a hit")),
+            "{:?}",
+            a.cross_check()
+        );
+    }
+
+    #[test]
+    fn traces_without_store_counters_have_no_semantic_view() {
+        let a = TraceAnalysis::from_trace(&sample_trace());
+        assert_eq!(a.semantic_cache(), None);
     }
 
     #[test]

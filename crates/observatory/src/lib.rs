@@ -22,7 +22,7 @@ pub mod jsonv;
 pub mod report;
 pub mod trace;
 
-pub use analysis::{KernelCell, ResidencyPoint, TraceAnalysis, TrialSlice};
+pub use analysis::{KernelCell, ResidencyPoint, SemanticCacheView, TraceAnalysis, TrialSlice};
 pub use compare::{
     bootstrap_diff_ci, compare_bench_json, compare_samples, compare_traces, flatten_metrics,
     MetricDelta, Verdict,

@@ -107,6 +107,34 @@ pub fn render_tty(trace: &Trace, analysis: &TraceAnalysis) -> String {
         out.push('\n');
     }
 
+    if let Some(sc) = analysis.semantic_cache() {
+        out.push_str(&table(
+            "semantic prefix store",
+            &["metric", "value"],
+            &[
+                vec!["hits".to_owned(), sc.hits.to_string()],
+                vec!["misses".to_owned(), sc.misses.to_string()],
+                vec!["snapshots written".to_owned(), sc.stored.to_string()],
+                vec!["evictions".to_owned(), sc.evicted.to_string()],
+                vec!["bytes read".to_owned(), sc.bytes_read.to_string()],
+                vec!["bytes written".to_owned(), sc.bytes_written.to_string()],
+                vec!["prefix layer".to_owned(), sc.prefix_layer.to_string()],
+                vec!["credited passes".to_owned(), sc.credited_passes.to_string()],
+            ],
+        ));
+        let passes = analysis.counter("amplitude_passes");
+        if sc.lookups() > 0 {
+            out.push_str(&format!(
+                "  hit rate: {:.1}% ({}/{}); {:.1}% of {passes} amplitude passes served from disk\n",
+                sc.hits as f64 / sc.lookups() as f64 * 100.0,
+                sc.hits,
+                sc.lookups(),
+                sc.pass_savings(passes) * 100.0,
+            ));
+        }
+        out.push('\n');
+    }
+
     if !analysis.residency_curve.is_empty() {
         out.push_str(&format!(
             "msv residency: peak {} live (depth ≤ {}), {} lifecycle events\n",
@@ -210,6 +238,23 @@ pub fn render_json(trace: &Trace, analysis: &TraceAnalysis) -> String {
         })
         .collect();
     out.push_str(&format!("  \"cache_waterfall\": [{}],\n", waterfall.join(", ")));
+
+    if let Some(sc) = analysis.semantic_cache() {
+        out.push_str(&format!(
+            "  \"semantic_cache\": {{\"hits\": {}, \"misses\": {}, \"stored\": {}, \
+             \"evicted\": {}, \"bytes_read\": {}, \"bytes_written\": {}, \
+             \"credited_ops\": {}, \"credited_passes\": {}, \"prefix_layer\": {}}},\n",
+            sc.hits,
+            sc.misses,
+            sc.stored,
+            sc.evicted,
+            sc.bytes_read,
+            sc.bytes_written,
+            sc.credited_ops,
+            sc.credited_passes,
+            sc.prefix_layer
+        ));
+    }
 
     out.push_str(&format!(
         "  \"msv\": {{\"peak_residency\": {}, \"peak_depth\": {}, \"events\": {}}},\n",
@@ -333,6 +378,22 @@ pub fn render_html(trace: &Trace, analysis: &TraceAnalysis) -> String {
         .iter()
         .map(|(l, cell)| vec![l.to_string(), cell.count.to_string(), ms(cell.ns)])
         .collect();
+    let cache_html = analysis.semantic_cache().map_or(String::new(), |sc| {
+        html_table(
+            "semantic prefix store",
+            &["metric", "value"],
+            &[
+                vec!["hits".to_owned(), sc.hits.to_string()],
+                vec!["misses".to_owned(), sc.misses.to_string()],
+                vec!["snapshots written".to_owned(), sc.stored.to_string()],
+                vec!["evictions".to_owned(), sc.evicted.to_string()],
+                vec!["bytes read".to_owned(), sc.bytes_read.to_string()],
+                vec!["bytes written".to_owned(), sc.bytes_written.to_string()],
+                vec!["prefix layer".to_owned(), sc.prefix_layer.to_string()],
+                vec!["credited passes".to_owned(), sc.credited_passes.to_string()],
+            ],
+        )
+    });
     let problems = analysis.cross_check();
     let check_html = if problems.is_empty() {
         "<p class=\"ok\">cross-check: ok — derived views agree with recorded counters</p>"
@@ -361,6 +422,7 @@ svg{{width:100%;height:auto;background:#fafafa;border:1px solid #eee}}\
 {counters}\
 {classes}\
 {layers}\
+{cache}\
 <h2>MSV residency over time</h2>{residency}\
 <h2>cache waterfall</h2>{waterfall}\
 </body></html>\n",
@@ -370,6 +432,7 @@ svg{{width:100%;height:auto;background:#fafafa;border:1px solid #eee}}\
         qubits = m.qubits,
         strategy = html_escape(&m.strategy),
         check = check_html,
+        cache = cache_html,
         counters = html_table("counters", &["name", "value"], &counter_rows),
         classes = html_table("kernels by class", &["class", "applications", "ms"], &class_rows),
         layers =
@@ -433,6 +496,46 @@ mod tests {
         let trace = Trace::parse(text).unwrap();
         let analysis = TraceAnalysis::from_trace(&trace);
         (trace, analysis)
+    }
+
+    fn cached_sample() -> (Trace, TraceAnalysis) {
+        let text = concat!(
+            "{\"ev\":\"meta\",\"version\":2,\"git_rev\":\"abc\",\"seed\":1,\"qubits\":4,\"strategy\":\"reuse-cached\"}\n",
+            "{\"ev\":\"counter\",\"name\":\"msvstore.hit\",\"delta\":1}\n",
+            "{\"ev\":\"counter\",\"name\":\"msvstore.bytes_read\",\"delta\":284}\n",
+            "{\"ev\":\"counter\",\"name\":\"msvstore.credited_ops\",\"delta\":2}\n",
+            "{\"ev\":\"counter\",\"name\":\"msvstore.credited_passes\",\"delta\":1}\n",
+            "{\"ev\":\"counter\",\"name\":\"msvstore.prefix_layer\",\"delta\":2}\n",
+            "{\"ev\":\"msv\",\"kind\":\"create\",\"depth\":0,\"residency\":1}\n",
+            "{\"ev\":\"cache\",\"depth\":0,\"hit\":false}\n",
+            "{\"ev\":\"kernel\",\"phase\":\"reuse/shared\",\"class\":\"dense2\",\"layer\":2,\"count\":1,\"ns\":100}\n",
+            "{\"ev\":\"counter\",\"name\":\"trials\",\"delta\":1}\n",
+            "{\"ev\":\"counter\",\"name\":\"ops\",\"delta\":3}\n",
+            "{\"ev\":\"counter\",\"name\":\"fused_ops\",\"delta\":2}\n",
+            "{\"ev\":\"counter\",\"name\":\"amplitude_passes\",\"delta\":2}\n",
+        );
+        let trace = Trace::parse(text).unwrap();
+        let analysis = TraceAnalysis::from_trace(&trace);
+        (trace, analysis)
+    }
+
+    #[test]
+    fn reports_show_the_semantic_store_only_when_present() {
+        let (trace, analysis) = cached_sample();
+        let tty = render_tty(&trace, &analysis);
+        assert!(tty.contains("semantic prefix store"), "{tty}");
+        assert!(tty.contains("50.0% of 2 amplitude passes served from disk"), "{tty}");
+        assert!(tty.contains("cross-check: ok"), "{tty}");
+        let json = render_json(&trace, &analysis);
+        assert!(json.contains("\"semantic_cache\": {\"hits\": 1"), "{json}");
+        assert!(json.contains("\"credited_passes\": 1"), "{json}");
+        let html = render_html(&trace, &analysis);
+        assert!(html.contains("semantic prefix store"), "{html}");
+
+        let (trace, analysis) = sample();
+        assert!(!render_tty(&trace, &analysis).contains("semantic prefix store"));
+        assert!(!render_json(&trace, &analysis).contains("semantic_cache"));
+        assert!(!render_html(&trace, &analysis).contains("semantic prefix store"));
     }
 
     #[test]

@@ -42,6 +42,7 @@ mod measure;
 mod observable;
 mod pauli;
 mod pool;
+pub mod snapshot;
 mod state;
 mod stored;
 

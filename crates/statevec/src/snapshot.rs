@@ -1,0 +1,79 @@
+//! Bit-exact binary serialization of amplitude buffers.
+//!
+//! The persistent MSV store snapshots prefix states to disk and must
+//! restore them **bitwise identical** — a single flipped mantissa bit
+//! breaks the executors' exactness contract. Amplitudes therefore travel
+//! as raw IEEE-754 little-endian `f64` pairs `(re, im)`, never through a
+//! decimal round-trip. Decoding allocates through [`AmpBuf`] so restored
+//! states keep the 64-byte alignment the kernels rely on.
+
+use crate::{AmpBuf, StateVecError, C64};
+
+/// Bytes per encoded amplitude: two little-endian `f64`s.
+pub const AMP_BYTES: usize = 16;
+
+/// Encode amplitudes as little-endian `(re, im)` `f64` pairs.
+pub fn amps_to_le_bytes(amps: &[C64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(amps.len() * AMP_BYTES);
+    for a in amps {
+        out.extend_from_slice(&a.re.to_le_bytes());
+        out.extend_from_slice(&a.im.to_le_bytes());
+    }
+    out
+}
+
+/// Decode a buffer produced by [`amps_to_le_bytes`] into an aligned
+/// [`AmpBuf`].
+///
+/// # Errors
+///
+/// Returns [`StateVecError::DimensionMismatch`] (in bytes) when `bytes` is
+/// not a whole number of encoded amplitudes.
+pub fn amps_from_le_bytes(bytes: &[u8]) -> Result<AmpBuf, StateVecError> {
+    if !bytes.len().is_multiple_of(AMP_BYTES) {
+        return Err(StateVecError::DimensionMismatch {
+            expected: bytes.len() / AMP_BYTES * AMP_BYTES,
+            actual: bytes.len(),
+        });
+    }
+    let mut buf = AmpBuf::zeroed(bytes.len() / AMP_BYTES);
+    for (chunk, amp) in bytes.chunks_exact(AMP_BYTES).zip(buf.iter_mut()) {
+        let re = f64::from_le_bytes(chunk[0..8].try_into().expect("8-byte slice"));
+        let im = f64::from_le_bytes(chunk[8..16].try_into().expect("8-byte slice"));
+        *amp = C64::new(re, im);
+    }
+    Ok(buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AMP_ALIGN;
+
+    #[test]
+    fn round_trips_bitwise_including_specials() {
+        let amps = [
+            C64::new(0.1 + 0.2, -0.3), // not exactly representable — bits matter
+            C64::new(f64::MIN_POSITIVE, -0.0),
+            C64::new(1.0, f64::EPSILON),
+            C64::new(-1.5e308, 4.9e-324), // near-overflow and subnormal
+        ];
+        let bytes = amps_to_le_bytes(&amps);
+        assert_eq!(bytes.len(), amps.len() * AMP_BYTES);
+        let back = amps_from_le_bytes(&bytes).unwrap();
+        assert_eq!(back.len(), amps.len());
+        for (orig, got) in amps.iter().zip(back.iter()) {
+            assert_eq!(orig.re.to_bits(), got.re.to_bits());
+            assert_eq!(orig.im.to_bits(), got.im.to_bits());
+        }
+        assert_eq!(back.as_ptr() as usize % AMP_ALIGN, 0, "restored buffer is aligned");
+    }
+
+    #[test]
+    fn rejects_ragged_payloads() {
+        assert!(amps_from_le_bytes(&[0u8; 15]).is_err());
+        assert!(amps_from_le_bytes(&[0u8; 17]).is_err());
+        let empty = amps_from_le_bytes(&[]).unwrap();
+        assert!(empty.is_empty());
+    }
+}

@@ -37,6 +37,7 @@
 mod aggregate;
 mod clock;
 mod jsonl;
+pub mod names;
 mod recorder;
 pub mod schema;
 

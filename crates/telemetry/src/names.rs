@@ -1,0 +1,62 @@
+//! Counter names shared between emitters and consumers.
+//!
+//! Counters flow through [`crate::Recorder::counter`] as `&'static str`
+//! literals; the persistent MSV store's counters are read back by the
+//! observatory's cross-checks, so their names are pinned here once instead
+//! of being spelled independently at both ends.
+
+/// Cross-run semantic cache: lookups that restored a stored prefix.
+pub const MSVSTORE_HIT: &str = "msvstore.hit";
+/// Cross-run semantic cache: lookups that found no usable snapshot.
+pub const MSVSTORE_MISS: &str = "msvstore.miss";
+/// Snapshots published to the store after a miss.
+pub const MSVSTORE_STORE: &str = "msvstore.store";
+/// Snapshots evicted while publishing (budget pressure).
+pub const MSVSTORE_EVICT: &str = "msvstore.evict";
+/// Snapshot payload bytes read on hits.
+pub const MSVSTORE_BYTES_READ: &str = "msvstore.bytes_read";
+/// Snapshot payload bytes written on publishes.
+pub const MSVSTORE_BYTES_WRITTEN: &str = "msvstore.bytes_written";
+/// Amplitude passes *not* performed because a stored prefix was restored.
+/// On a hit run, recorded kernel events fall short of `amplitude_passes`
+/// by exactly this amount — the observatory's exactness cross-check adds
+/// it back.
+pub const MSVSTORE_CREDITED_PASSES: &str = "msvstore.credited_passes";
+/// Source-gate applications credited without execution on a hit (the
+/// `ops`-metric counterpart of [`MSVSTORE_CREDITED_PASSES`]).
+pub const MSVSTORE_CREDITED_OPS: &str = "msvstore.credited_ops";
+/// The layer the reusable prefix extends through (recorded once per
+/// cached run, as a value-carrying counter).
+pub const MSVSTORE_PREFIX_LAYER: &str = "msvstore.prefix_layer";
+
+/// Every msvstore counter name, for consumers that sweep them generically.
+pub const MSVSTORE_ALL: &[&str] = &[
+    MSVSTORE_HIT,
+    MSVSTORE_MISS,
+    MSVSTORE_STORE,
+    MSVSTORE_EVICT,
+    MSVSTORE_BYTES_READ,
+    MSVSTORE_BYTES_WRITTEN,
+    MSVSTORE_CREDITED_PASSES,
+    MSVSTORE_CREDITED_OPS,
+    MSVSTORE_PREFIX_LAYER,
+];
+
+/// Prefix shared by every msvstore counter.
+pub const MSVSTORE_PREFIX: &str = "msvstore.";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_consistent() {
+        for name in MSVSTORE_ALL {
+            assert!(name.starts_with(MSVSTORE_PREFIX), "{name} lacks the msvstore prefix");
+        }
+        let mut sorted: Vec<&str> = MSVSTORE_ALL.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), MSVSTORE_ALL.len(), "duplicate counter name");
+    }
+}

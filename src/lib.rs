@@ -33,6 +33,7 @@ pub use qsim_qasm as qasm;
 pub use qsim_statevec as statevec;
 pub use qsim_telemetry as telemetry;
 pub use redsim;
+pub use redsim_msvstore as msvstore;
 
 /// One-line import for the common workflow:
 /// `use noisy_qsim::prelude::*;`.

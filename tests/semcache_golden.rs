@@ -1,0 +1,65 @@
+//! Golden semantic keys: the canonicalizer's output for fixed workloads,
+//! pinned to committed hex strings. These keys name on-disk artifacts
+//! that survive across processes and versions — any drift silently
+//! invalidates every existing cache, so drift must be a deliberate,
+//! reviewed change (bump the domain tag when the format changes).
+
+use noisy_qsim::circuit::catalog;
+use noisy_qsim::msvstore::{SemanticKey, DEFAULT_SEED_POLICY};
+use noisy_qsim::noise::NoiseModel;
+use std::f64::consts::PI;
+
+fn key_hex(circuit: &noisy_qsim::circuit::Circuit, model: &NoiseModel, layer: usize) -> String {
+    let layered = circuit.layered().expect("catalog circuit layers");
+    SemanticKey::compute(&layered, layer, model, DEFAULT_SEED_POLICY).hex()
+}
+
+#[test]
+fn seed_policy_tag_is_pinned() {
+    assert_eq!(DEFAULT_SEED_POLICY, "stdrng-per-trial-v1");
+}
+
+#[test]
+fn canonical_keys_match_their_committed_values() {
+    let uniform = NoiseModel::uniform(4, 1e-3, 1e-2, 1e-2);
+    let hot = NoiseModel::uniform(4, 2e-3, 2e-2, 2e-2);
+    let cases: [(&str, String, &str); 4] = [
+        ("ghz4@1", key_hex(&catalog::ghz(4), &uniform, 1), "fc902494e859c7d8462d88b2c706e541"),
+        (
+            "bv4(0b101)@2",
+            key_hex(&catalog::bv(4, 0b101), &uniform, 2),
+            "f421b2c967e1b4f95ad7947821f3e00f",
+        ),
+        ("qft4@3", key_hex(&catalog::qft(4), &hot, 3), "fdb409e0d662c99a0c17e21ae18e70d0"),
+        (
+            "vqa4x2@6",
+            key_hex(&catalog::vqa_ansatz(4, 2, PI / 3.0), &uniform, 6),
+            "9e44aecfade0adf3c41139076047ba3e",
+        ),
+    ];
+    for (name, got, want) in &cases {
+        assert_eq!(got, want, "{name}: semantic key drifted from its committed value");
+    }
+}
+
+#[test]
+fn keys_separate_every_semantic_ingredient() {
+    let uniform = NoiseModel::uniform(4, 1e-3, 1e-2, 1e-2);
+    let hot = NoiseModel::uniform(4, 2e-3, 2e-2, 2e-2);
+    let base = key_hex(&catalog::ghz(4), &uniform, 1);
+    assert_ne!(base, key_hex(&catalog::ghz(4), &uniform, 2), "prefix layer must key");
+    assert_ne!(base, key_hex(&catalog::ghz(4), &hot, 1), "noise model must key");
+    assert_ne!(base, key_hex(&catalog::bv(4, 0b101), &uniform, 1), "circuit must key");
+    let layered = catalog::ghz(4).layered().expect("layers");
+    assert_ne!(
+        base,
+        SemanticKey::compute(&layered, 1, &uniform, "other-policy-v0").hex(),
+        "seed policy must key"
+    );
+    // The VQA sweep parameter lives in the tail: it must change the
+    // whole-circuit key but not a prefix cut below the final layer.
+    let a = catalog::vqa_ansatz(4, 2, PI / 3.0);
+    let b = catalog::vqa_ansatz(4, 2, PI / 5.0);
+    assert_ne!(key_hex(&a, &uniform, 6), key_hex(&b, &uniform, 6));
+    assert_eq!(key_hex(&a, &uniform, 3), key_hex(&b, &uniform, 3));
+}
