@@ -26,6 +26,8 @@ pub enum Command {
     History(HistoryAction),
     /// Persistent semantic prefix cache: stats, garbage-collect, clear.
     Cache(CacheAction),
+    /// Tail a `--live` snapshot directory as a terminal dashboard.
+    Top,
 }
 
 /// Subaction of `qsim cache`.
@@ -130,6 +132,12 @@ pub struct Options {
     pub cache: Option<String>,
     /// Cache size budget in bytes (0 = unbounded).
     pub cache_budget: u64,
+    /// Publish live snapshots into this directory (`run`/`profile`).
+    pub live: Option<String>,
+    /// Live snapshot publish interval in milliseconds.
+    pub live_interval_ms: u64,
+    /// Render one frame and exit (`top`).
+    pub once: bool,
 }
 
 /// CLI parsing/validation failure; carries a user-facing message.
@@ -162,6 +170,7 @@ COMMANDS:
     report      analyze a JSONL trace (or bench JSON) offline; TTY/JSON/HTML
     history     benchmark history: record <BENCH.json> | check | show
     cache       semantic prefix cache: stats | gc | clear
+    top         tail a --live snapshot directory as a terminal dashboard
 
 OPTIONS:
     --device <none|yorktown|linear:N|grid:RxC>   connectivity  [default: yorktown]
@@ -187,6 +196,9 @@ OPTIONS:
     --fail              exit nonzero when history check flags a regression
     --cache <DIR>       persistent prefix cache directory (run, profile, cache)
     --cache-budget <B>  cache size cap in bytes (0 = unbounded)  [default: 0]
+    --live <DIR>        publish live progress snapshots to a directory (run, profile)
+    --live-interval <MS>  live snapshot publish interval    [default: 200]
+    --once              render a single frame and exit (top)
 ";
 
 impl Options {
@@ -226,6 +238,9 @@ impl Options {
             fail: false,
             cache: None,
             cache_budget: 0,
+            live: None,
+            live_interval_ms: 200,
+            once: false,
         };
         let mut i = 0;
         while i < args.len() {
@@ -237,10 +252,11 @@ impl Options {
                 "--alap" => opts.alap = true,
                 "--json" => opts.json = true,
                 "--fail" => opts.fail = true,
+                "--once" => opts.once = true,
                 "--device" | "--noise" | "--trials" | "--seed" | "--threads" | "--budget"
                 | "--save-trials" | "--load-trials" | "--trace" | "--folded" | "--html"
                 | "--against" | "--history" | "--threshold" | "--window" | "--cache"
-                | "--cache-budget" => {
+                | "--cache-budget" | "--live" | "--live-interval" => {
                     let value =
                         args.get(i + 1).ok_or_else(|| CliError(format!("{arg} needs a value")))?;
                     match arg.as_str() {
@@ -266,6 +282,8 @@ impl Options {
                         "--window" => opts.window = parse_num(value, arg)?,
                         "--cache" => opts.cache = Some(value.clone()),
                         "--cache-budget" => opts.cache_budget = parse_num(value, arg)?,
+                        "--live" => opts.live = Some(value.clone()),
+                        "--live-interval" => opts.live_interval_ms = parse_num(value, arg)?,
                         _ => unreachable!(),
                     }
                     i += 1;
@@ -319,6 +337,7 @@ impl Options {
                     }
                 }
             }
+            "top" => Command::Top,
             other => return Err(CliError(format!("unknown command {other}\n\n{USAGE}"))),
         };
         // `history check`/`history show` and the cache subcommand operate
@@ -602,6 +621,30 @@ mod tests {
         assert_eq!(opts.cache.as_deref(), Some(".qsim-cache"));
         assert_eq!(opts.cache_budget, 0);
         assert_eq!(parse(&["run", "f.qasm"]).unwrap().cache, None);
+    }
+
+    #[test]
+    fn parses_live_options() {
+        let opts =
+            parse(&["profile", "f.qasm", "--live", "live-out", "--live-interval", "50"]).unwrap();
+        assert_eq!(opts.live.as_deref(), Some("live-out"));
+        assert_eq!(opts.live_interval_ms, 50);
+        let plain = parse(&["run", "f.qasm"]).unwrap();
+        assert_eq!(plain.live, None);
+        assert_eq!(plain.live_interval_ms, 200);
+        assert!(parse(&["run", "f.qasm", "--live"]).is_err());
+        assert!(parse(&["run", "f.qasm", "--live-interval", "soon"]).is_err());
+    }
+
+    #[test]
+    fn parses_top() {
+        let opts = parse(&["top", "live-out", "--once", "--json"]).unwrap();
+        assert_eq!(opts.command, Command::Top);
+        assert_eq!(opts.input, "live-out");
+        assert!(opts.once);
+        assert!(opts.json);
+        assert!(!parse(&["top", "live-out"]).unwrap().once);
+        assert!(parse(&["top"]).is_err(), "top needs a directory or file");
     }
 
     #[test]

@@ -6,9 +6,10 @@ use std::io::{Read, Write};
 use qsim_circuit::transpile::{transpile, TranspileOptions};
 use qsim_circuit::{to_qasm, Circuit, CouplingMap};
 use qsim_noise::NoiseModel;
+use qsim_observatory::{ExpectedStats, LiveView};
 use qsim_telemetry::{
-    AggregatingRecorder, JsonlRecorder, MetricsReport, NullRecorder, Recorder, TeeRecorder,
-    TraceMeta,
+    AggregatingRecorder, JsonlRecorder, LivePublisher, MetricsReport, NullRecorder, Recorder,
+    TeeRecorder, TraceMeta,
 };
 use redsim::{ExecStats, RunResult, Simulation};
 use redsim_msvstore::MsvStore;
@@ -27,6 +28,7 @@ pub fn execute(opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
         Command::Report => return report(opts, out),
         Command::History(action) => return history(opts, action, out),
         Command::Cache(action) => return cache_cmd(opts, action, out),
+        Command::Top => return top(opts, out),
         _ => {}
     }
     let circuit = if opts.input == "-" {
@@ -48,7 +50,7 @@ pub fn execute(opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
         Command::Verify => verify(&prepared, opts, out),
         Command::Advise => advise(&prepared, opts, out),
         Command::Profile => profile(&prepared, opts, out),
-        Command::Report | Command::History(_) | Command::Cache(_) => {
+        Command::Report | Command::History(_) | Command::Cache(_) | Command::Top => {
             unreachable!("offline commands return before circuit parsing")
         }
     }
@@ -392,6 +394,50 @@ fn trace_meta(sim: &Simulation, opts: &Options) -> TraceMeta {
     }
 }
 
+/// Build the `--live` snapshot publisher for this run, when requested.
+fn live_publisher(sim: &Simulation, opts: &Options) -> Result<Option<LivePublisher>, CliError> {
+    let Some(dir) = &opts.live else { return Ok(None) };
+    let trials_total = sim.trials().expect("trials just prepared").trials().len() as u64;
+    let interval_ns = opts.live_interval_ms.saturating_mul(1_000_000);
+    LivePublisher::create(
+        std::path::Path::new(dir),
+        &trace_meta(sim, opts),
+        trials_total,
+        interval_ns,
+    )
+    .map(Some)
+    .map_err(|e| CliError(format!("{dir}: live publisher: {e}")))
+}
+
+/// Post-run reconciliation of the published `live.json` against the
+/// executor's own counters: flush the final snapshot, read it back from
+/// disk, and fail loudly on any drift — the live plane's exactness gate.
+fn finalize_live(
+    publisher: &LivePublisher,
+    opts: &Options,
+    stats: &ExecStats,
+) -> Result<(), CliError> {
+    let dir = opts.live.as_deref().unwrap_or(".");
+    Recorder::flush(publisher).map_err(|e| CliError(format!("{dir}: live publish: {e}")))?;
+    let view = LiveView::load(&publisher.json_path()).map_err(CliError)?;
+    let expected = ExpectedStats {
+        trials: stats.n_trials as u64,
+        ops: stats.ops,
+        fused_ops: stats.fused_ops,
+        amplitude_passes: stats.amplitude_passes,
+        // No independent executor-side figures here; the conservation law
+        // inside `reconcile` still binds credited passes to the counters.
+        credited_passes: None,
+        cache_hits: None,
+    };
+    let problems = view.reconcile(&expected);
+    if problems.is_empty() {
+        Ok(())
+    } else {
+        Err(CliError(format!("live snapshot reconciliation failed:\n  {}", problems.join("\n  "))))
+    }
+}
+
 /// Execute the strategy selected by the flags under `recorder`. Shared by
 /// `run` (NullRecorder or a `--trace` sink) and `profile` (aggregating,
 /// possibly teed into a trace).
@@ -454,16 +500,27 @@ fn run_strategy<R: Recorder + ?Sized>(
 fn run(prepared: &Circuit, opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
     let sim = simulation(prepared, opts)?;
     let started = std::time::Instant::now();
-    let result = match &opts.trace {
-        Some(path) => {
+    let live = live_publisher(&sim, opts)?;
+    let result = match (&opts.trace, &live) {
+        (Some(path), publisher) => {
             let trace = JsonlRecorder::create(path, &trace_meta(&sim, opts))
                 .map_err(|e| CliError(format!("{path}: {e}")))?;
-            let result = run_strategy(&sim, opts, &trace)?;
+            let result = match publisher {
+                Some(publisher) => {
+                    let tee = TeeRecorder::new(&trace, publisher);
+                    run_strategy(&sim, opts, &tee)?
+                }
+                None => run_strategy(&sim, opts, &trace)?,
+            };
             trace.flush().map_err(|e| CliError(format!("{path}: {e}")))?;
             result
         }
-        None => run_strategy(&sim, opts, &NullRecorder)?,
+        (None, Some(publisher)) => run_strategy(&sim, opts, publisher)?,
+        (None, None) => run_strategy(&sim, opts, &NullRecorder)?,
     };
+    if let Some(publisher) = &live {
+        finalize_live(publisher, opts, &result.stats)?;
+    }
     let elapsed = started.elapsed();
     let histogram = sim.histogram(&result);
     writeln!(out, "{} ({elapsed:?})", result.stats).map_err(io_err)?;
@@ -474,17 +531,31 @@ fn run(prepared: &Circuit, opts: &Options, out: &mut dyn Write) -> Result<(), Cl
 fn profile(prepared: &Circuit, opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
     let sim = simulation(prepared, opts)?;
     let aggregate = AggregatingRecorder::new();
-    let result = match &opts.trace {
-        Some(path) => {
+    let live = live_publisher(&sim, opts)?;
+    let result = match (&opts.trace, &live) {
+        (Some(path), publisher) => {
             let trace = JsonlRecorder::create(path, &trace_meta(&sim, opts))
                 .map_err(|e| CliError(format!("{path}: {e}")))?;
             let tee = TeeRecorder::new(&aggregate, &trace);
-            let result = run_strategy(&sim, opts, &tee)?;
+            let result = match publisher {
+                Some(publisher) => {
+                    let tee = TeeRecorder::new(&tee, publisher);
+                    run_strategy(&sim, opts, &tee)?
+                }
+                None => run_strategy(&sim, opts, &tee)?,
+            };
             trace.flush().map_err(|e| CliError(format!("{path}: {e}")))?;
             result
         }
-        None => run_strategy(&sim, opts, &aggregate)?,
+        (None, Some(publisher)) => {
+            let tee = TeeRecorder::new(&aggregate, publisher);
+            run_strategy(&sim, opts, &tee)?
+        }
+        (None, None) => run_strategy(&sim, opts, &aggregate)?,
     };
+    if let Some(publisher) = &live {
+        finalize_live(publisher, opts, &result.stats)?;
+    }
     let report = aggregate.report();
     cross_check(&sim, opts, &result.stats, &report)?;
     if let Some(path) = &opts.folded {
@@ -842,6 +913,149 @@ fn cache_cmd(opts: &Options, action: CacheAction, out: &mut dyn Write) -> Result
         }
     }
     Ok(())
+}
+
+/// Resolve the `top` input to the snapshot file: a directory means its
+/// `live.json`, anything else is taken as the file itself.
+fn live_json_path(input: &str) -> std::path::PathBuf {
+    let path = std::path::PathBuf::from(input);
+    if path.is_dir() {
+        path.join("live.json")
+    } else {
+        path
+    }
+}
+
+/// Human-readable byte count (binary units).
+fn fmt_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut value = bytes as f64;
+    let mut unit = 0;
+    while value >= 1024.0 && unit + 1 < UNITS.len() {
+        value /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{value:.1} {}", UNITS[unit])
+    }
+}
+
+/// A `[####----]`-style progress bar for `frac` in `[0, 1]`.
+fn progress_bar(frac: f64, width: usize) -> String {
+    let filled = ((frac.clamp(0.0, 1.0) * width as f64).round() as usize).min(width);
+    format!("[{}{}]", "#".repeat(filled), "-".repeat(width - filled))
+}
+
+/// Unicode sparkline of recent sample values, scaled to their own max.
+fn sparkline(values: &[u64]) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = values.iter().copied().max().unwrap_or(0).max(1);
+    values
+        .iter()
+        .map(|&v| LEVELS[((v as f64 / max as f64) * (LEVELS.len() - 1) as f64).round() as usize])
+        .collect()
+}
+
+/// Render one `qsim top` dashboard frame. `pass_rates` holds recent
+/// passes-per-poll deltas for the sparkline (empty on `--once`).
+fn render_top_frame(view: &LiveView, pass_rates: &[u64]) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "qsim top — {} · {} qubits · seed {} · elapsed {:.2}s\n\n",
+        view.strategy,
+        view.qubits,
+        view.seed,
+        view.elapsed_ns as f64 / 1e9,
+    ));
+    s.push_str(&format!(
+        "trials   {} {}/{} ({:.1}%){}\n",
+        progress_bar(view.progress(), 30),
+        view.trials_done,
+        view.trials_total,
+        100.0 * view.progress(),
+        if view.finished() { "  done" } else { "" },
+    ));
+    s.push_str(&format!(
+        "passes   {} executed + {} credited = {} amplitude passes ({} ops, {} fused)\n",
+        view.passes, view.credited_passes, view.amplitude_passes, view.ops, view.fused_ops,
+    ));
+    if !pass_rates.is_empty() {
+        s.push_str(&format!("rate     {} passes/poll\n", sparkline(pass_rates)));
+    }
+    let lookups = view.cache_hits + view.cache_misses;
+    if lookups > 0 {
+        s.push_str(&format!(
+            "cache    {} hits / {} lookups ({:.1}%)\n",
+            view.cache_hits,
+            lookups,
+            100.0 * view.cache_hits as f64 / lookups as f64,
+        ));
+    }
+    if view.store_hits + view.store_misses > 0 {
+        s.push_str(&format!(
+            "store    {} hits / {} misses · {} passes credited\n",
+            view.store_hits, view.store_misses, view.credited_passes,
+        ));
+    }
+    s.push_str(&format!(
+        "msv      {} resident (peak {}) · depth {}\n",
+        view.msv_resident, view.msv_peak, view.depth,
+    ));
+    s.push_str(&format!(
+        "memory   {} resident (peak {}) · {} heartbeats\n",
+        fmt_bytes(view.resident_bytes),
+        fmt_bytes(view.peak_resident_bytes),
+        view.heartbeats,
+    ));
+    s
+}
+
+/// `qsim top`: tail a `--live` snapshot directory (or `live.json` path) as
+/// a terminal dashboard. `--once` renders a single frame and exits;
+/// `--once --json` re-emits the validated snapshot for scripts and CI.
+fn top(opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
+    let path = live_json_path(&opts.input);
+    if opts.once {
+        let view = LiveView::load(&path).map_err(CliError)?;
+        let problems = view.cross_check();
+        if !problems.is_empty() {
+            return Err(CliError(format!(
+                "live snapshot failed its cross-check:\n  {}",
+                problems.join("\n  ")
+            )));
+        }
+        if opts.json {
+            let raw = std::fs::read_to_string(&path)
+                .map_err(|e| CliError(format!("{}: {e}", path.display())))?;
+            writeln!(out, "{}", raw.trim()).map_err(io_err)?;
+        } else {
+            write!(out, "{}", render_top_frame(&view, &[])).map_err(io_err)?;
+        }
+        return Ok(());
+    }
+    // Watch mode: poll the snapshot, redraw, stop once the run finishes.
+    // History of passes-per-poll feeds the rate sparkline.
+    let mut rates: Vec<u64> = Vec::new();
+    let mut last_passes: Option<u64> = None;
+    loop {
+        let view = LiveView::load(&path).map_err(CliError)?;
+        if let Some(prev) = last_passes {
+            rates.push(view.passes.saturating_sub(prev));
+            if rates.len() > 40 {
+                rates.remove(0);
+            }
+        }
+        last_passes = Some(view.passes);
+        // ANSI clear-screen + home, then the frame.
+        write!(out, "\x1b[2J\x1b[H{}", render_top_frame(&view, &rates)).map_err(io_err)?;
+        out.flush().map_err(io_err)?;
+        if view.finished() {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(opts.live_interval_ms.max(50)));
+    }
 }
 
 #[cfg(test)]
@@ -1300,6 +1514,130 @@ mod tests {
         assert!(!diff.contains("regressed"), "{diff}");
         let _ = std::fs::remove_file(&trace);
         let _ = std::fs::remove_file(&html_path);
+    }
+
+    #[test]
+    fn live_flag_publishes_reconciled_snapshots_and_top_reads_them() {
+        let file = bell_file();
+        let dir =
+            std::env::temp_dir().join(format!("qsim-live-cli-{}-{:p}", std::process::id(), &file));
+        let dir_str = dir.to_string_lossy().into_owned();
+        // --live-interval 0 publishes on every heartbeat; run's own
+        // finalize_live already reconciles the snapshot or errors.
+        let text = run_cli(&[
+            "run",
+            &file.path_str(),
+            "--trials",
+            "128",
+            "--live",
+            &dir_str,
+            "--live-interval",
+            "0",
+        ])
+        .unwrap();
+        assert!(text.contains("128 trials:"), "{text}");
+        // The published snapshot parses, cross-checks, and is final.
+        let view = qsim_observatory::LiveView::load(&dir.join("live.json")).unwrap();
+        assert!(view.finished());
+        assert_eq!(view.trials_done, 128);
+        assert_eq!(view.strategy, "reuse");
+        assert!(view.cache_hits + view.cache_misses == 128, "one lookup per trial");
+        // The Prometheus exposition exists alongside.
+        let prom = std::fs::read_to_string(dir.join("live.prom")).unwrap();
+        assert!(prom.contains("qsim_live_trials_done{strategy=\"reuse\"} 128"), "{prom}");
+
+        // `top --once` renders a dashboard frame from the same file.
+        let frame = run_cli(&["top", &dir_str, "--once"]).unwrap();
+        assert!(frame.contains("qsim top — reuse"), "{frame}");
+        assert!(frame.contains("128/128 (100.0%)  done"), "{frame}");
+        assert!(frame.contains("heartbeats"), "{frame}");
+        // `top --once --json` re-emits the validated snapshot verbatim.
+        let json = run_cli(&["top", &dir_str, "--once", "--json"]).unwrap();
+        let reparsed = qsim_observatory::LiveView::parse(&json).unwrap();
+        assert_eq!(reparsed, view);
+        // Pointing at the file directly works too.
+        let direct = dir.join("live.json");
+        let direct_str = direct.to_string_lossy().into_owned();
+        assert!(run_cli(&["top", &direct_str, "--once"]).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn profile_with_live_covers_every_strategy() {
+        // finalize_live errors on any drift between the published snapshot
+        // and ExecStats, so a clean pass over the strategy matrix is the
+        // live plane's end-to-end exactness check.
+        let file = bell_file();
+        for extra in [
+            vec![],
+            vec!["--baseline"],
+            vec!["--budget", "1"],
+            vec!["--compressed"],
+            vec!["--threads", "2"],
+            vec!["--baseline", "--threads", "2"],
+        ] {
+            let dir = std::env::temp_dir().join(format!(
+                "qsim-live-matrix-{}-{:p}-{}",
+                std::process::id(),
+                &file,
+                extra.join("_").replace('-', "")
+            ));
+            let dir_str = dir.to_string_lossy().into_owned();
+            let path = file.path_str();
+            let mut parts = vec![
+                "profile",
+                path.as_str(),
+                "--trials",
+                "128",
+                "--live",
+                &dir_str,
+                "--live-interval",
+                "0",
+            ];
+            parts.extend(extra.iter().copied());
+            let text = run_cli(&parts).unwrap_or_else(|e| panic!("{extra:?}: {e}"));
+            assert!(text.contains("128 trials:"), "{extra:?}: {text}");
+            let view = qsim_observatory::LiveView::load(&dir.join("live.json"))
+                .unwrap_or_else(|e| panic!("{extra:?}: {e}"));
+            assert!(view.finished(), "{extra:?}");
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn top_rejects_missing_and_incoherent_snapshots() {
+        let err = run_cli(&["top", "/nonexistent/live.json", "--once"]).unwrap_err();
+        assert!(err.to_string().contains("live.json"), "{err}");
+        // A snapshot violating an invariant fails the --once cross-check.
+        let path = temp_path("top-bad", "json");
+        let bad = concat!(
+            "{\"version\":1,\"strategy\":\"reuse\",\"qubits\":2,\"seed\":1,",
+            "\"elapsed_ns\":5,\"heartbeats\":9,\"trials_done\":9,\"trials_total\":4,",
+            "\"depth\":0,\"passes\":0,\"ops\":0,\"fused_ops\":0,\"amplitude_passes\":0,",
+            "\"credited_passes\":0,\"store_hits\":0,\"store_misses\":0,\"cache_hits\":0,",
+            "\"cache_misses\":0,\"msv_resident\":0,\"msv_peak\":0,\"resident_bytes\":0,",
+            "\"peak_resident_bytes\":0}"
+        );
+        std::fs::write(&path, bad).unwrap();
+        let path_str = path.to_string_lossy().into_owned();
+        let err = run_cli(&["top", &path_str, "--once"]).unwrap_err();
+        assert!(err.to_string().contains("trials_done"), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn top_render_helpers_are_stable() {
+        assert_eq!(progress_bar(0.0, 10), "[----------]");
+        assert_eq!(progress_bar(0.5, 10), "[#####-----]");
+        assert_eq!(progress_bar(1.0, 10), "[##########]");
+        assert_eq!(progress_bar(7.0, 10), "[##########]", "clamped");
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(2048), "2.0 KiB");
+        assert_eq!(fmt_bytes(3 * 1024 * 1024), "3.0 MiB");
+        assert_eq!(sparkline(&[]), "");
+        let line = sparkline(&[0, 1, 2, 4]);
+        assert_eq!(line.chars().count(), 4);
+        assert!(line.ends_with('█'), "{line}");
     }
 
     #[test]

@@ -19,7 +19,7 @@
 use qsim_circuit::{FusedProgram, LayeredCircuit};
 use qsim_noise::Trial;
 use qsim_statevec::{MeasureOutcome, StateVector, StoredState};
-use qsim_telemetry::{KernelClass, MsvEvent, NullRecorder, Recorder};
+use qsim_telemetry::{Heartbeat, KernelClass, MsvEvent, NullRecorder, Recorder};
 
 use crate::exec::{ExecStats, RunResult};
 use crate::order::{compare_trials, lcp};
@@ -73,8 +73,16 @@ struct Frame {
     stored: StoredState,
 }
 
+/// Bytes held by the cached frontiers in their at-rest (compressed) form
+/// — the compressed executor's resident-memory gauge for heartbeats.
+fn stored_resident_bytes(stack: &[Frame]) -> u64 {
+    stack.iter().map(|f| f.stored.stored_bytes() as u64).sum()
+}
+
 /// Advance through fused segments, observing per-kernel timings when the
-/// recorder is live (mirrors the dense executors' instrumentation).
+/// recorder is live (mirrors the dense executors' instrumentation,
+/// including the batched fallback for recorders that decline per-kernel
+/// timing).
 fn advance_traced<R: Recorder + ?Sized>(
     program: &FusedProgram,
     state: &mut StateVector,
@@ -85,6 +93,15 @@ fn advance_traced<R: Recorder + ?Sized>(
 ) -> Result<(u64, u64), SimError> {
     if !recorder.enabled() {
         return Ok(program.apply_through(state, done, through)?);
+    }
+    if !recorder.kernel_timing() {
+        let start = recorder.now_ns();
+        let counts = program.apply_through(state, done, through)?;
+        let ns = recorder.now_ns().saturating_sub(start);
+        if counts.1 > 0 {
+            recorder.kernel(phase, KernelClass::Unfused, through.max(0) as u64, counts.1, ns);
+        }
+        return Ok(counts);
     }
     Ok(program.apply_through_observed(state, done, through, &mut |op, layer, ns| {
         let class = KernelClass::from_name(op.kernel_name()).unwrap_or(KernelClass::Unfused);
@@ -209,6 +226,13 @@ pub fn run_reordered_compressed_traced<R: Recorder + ?Sized>(
                     }
                 }
                 track_bytes(&mut comp, &stack, peak_msv);
+                if recorder.enabled() {
+                    recorder.heartbeat(Heartbeat {
+                        completed: 1,
+                        depth: d as u64,
+                        resident_bytes: stored_resident_bytes(&stack),
+                    });
+                }
                 break;
             }
             let target = injections[d].layer() as i64;
@@ -306,6 +330,13 @@ pub fn run_reordered_compressed_traced<R: Recorder + ?Sized>(
                 passes += f;
                 outcomes[orig] = Some(crate::exec::measure(layered, &working, cur));
                 track_bytes(&mut comp, &stack, peak_msv);
+                if recorder.enabled() {
+                    recorder.heartbeat(Heartbeat {
+                        completed: 1,
+                        depth: d as u64,
+                        resident_bytes: stored_resident_bytes(&stack),
+                    });
+                }
                 break;
             }
         }

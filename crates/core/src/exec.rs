@@ -32,7 +32,7 @@ use std::fmt;
 use qsim_circuit::{FusedProgram, LayeredCircuit};
 use qsim_noise::{injection_cut_layers, Injection, Trial};
 use qsim_statevec::{MeasureOutcome, StatePool, StateVector};
-use qsim_telemetry::{KernelClass, MsvEvent, NullRecorder, Recorder};
+use qsim_telemetry::{Heartbeat, KernelClass, MsvEvent, NullRecorder, Recorder};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -119,8 +119,10 @@ impl Engine<'_> {
 
     /// [`Engine::advance`] with per-kernel telemetry: each fused op is
     /// individually timed and attributed to `phase`; the layer-by-layer
-    /// engine reports one batched `unfused` observation. Disabled recorders
-    /// short-circuit to the unobserved path (no clock reads).
+    /// engine — and any engine observed by a recorder that declines
+    /// per-kernel timing — reports one batched `unfused` observation.
+    /// Disabled recorders short-circuit to the unobserved path (no clock
+    /// reads).
     fn advance_traced<R: Recorder + ?Sized>(
         &self,
         layered: &LayeredCircuit,
@@ -134,14 +136,13 @@ impl Engine<'_> {
             return self.advance(layered, state, done, through);
         }
         match self {
-            Engine::Fused(program) => {
-                Ok(program.apply_through_observed(state, done, through, &mut |op, layer, ns| {
+            Engine::Fused(program) if recorder.kernel_timing() => Ok(program
+                .apply_through_observed(state, done, through, &mut |op, layer, ns| {
                     let class =
                         KernelClass::from_name(op.kernel_name()).unwrap_or(KernelClass::Unfused);
                     recorder.kernel(phase, class, layer as u64, 1, ns);
-                })?)
-            }
-            Engine::Layers => {
+                })?),
+            Engine::Fused(_) | Engine::Layers => {
                 let start = recorder.now_ns();
                 let counts = self.advance(layered, state, done, through)?;
                 let ns = recorder.now_ns().saturating_sub(start);
@@ -177,6 +178,13 @@ pub(crate) fn inject_traced<R: Recorder + ?Sized>(
     let ns = recorder.now_ns().saturating_sub(start);
     recorder.kernel(phase, KernelClass::Error, injection.layer() as u64, 1, ns);
     Ok(())
+}
+
+/// Bytes of one dense amplitude vector for an `n_qubits` register (each
+/// amplitude is a 16-byte complex double) — the unit of the live plane's
+/// resident-memory gauge.
+pub(crate) fn amp_bytes(n_qubits: usize) -> u64 {
+    (1u64 << n_qubits) * 16
 }
 
 /// Emit the end-of-run counters every executor shares. These mirror
@@ -408,6 +416,14 @@ impl<'a> BaselineExecutor<'a> {
                 }
             }
             outcomes.push(measure(layered, &state, trial));
+            if recorder.enabled() {
+                // Baseline holds exactly the one working state.
+                recorder.heartbeat(Heartbeat {
+                    completed: 1,
+                    depth: n_layers as u64,
+                    resident_bytes: amp_bytes(layered.n_qubits()),
+                });
+            }
         }
         if recorder.enabled() {
             record_stats_counters(recorder, &stats);
@@ -877,6 +893,14 @@ impl<'a> ReuseExecutor<'a> {
                         !stack.is_empty(),
                         "eager drop must never pop the root (error-free) frame"
                     );
+                    if recorder.enabled() {
+                        recorder.heartbeat(Heartbeat {
+                            completed: 1,
+                            depth: d as u64,
+                            resident_bytes: (stack.len() + pool.idle()) as u64
+                                * amp_bytes(layered.n_qubits()),
+                        });
+                    }
                     break;
                 }
                 let target = injections[d].layer() as i64;
@@ -981,6 +1005,14 @@ impl<'a> ReuseExecutor<'a> {
                     stats.amplitude_passes += passes;
                     sink(orig, measure(layered, &working, cur));
                     pool.recycle(working);
+                    if recorder.enabled() {
+                        recorder.heartbeat(Heartbeat {
+                            completed: 1,
+                            depth: d as u64,
+                            resident_bytes: (stack.len() + pool.idle()) as u64
+                                * amp_bytes(layered.n_qubits()),
+                        });
+                    }
                     break;
                 }
             }

@@ -108,6 +108,13 @@ pub struct TraceAnalysis {
     pub cache_waterfall: BTreeMap<u64, (u64, u64)>,
     /// Per-trial timeline, in processing (reordered) order.
     pub trials: Vec<TrialSlice>,
+    /// Number of heartbeat events in the trace.
+    pub heartbeats: u64,
+    /// Sum of heartbeat `completed` deltas — the trials the heartbeats
+    /// claim finished.
+    pub heartbeat_completed: u64,
+    /// Largest `resident` gauge any heartbeat reported.
+    pub peak_heartbeat_resident: u64,
 }
 
 impl TraceAnalysis {
@@ -159,6 +166,11 @@ impl TraceAnalysis {
                         slot.1 += 1;
                     }
                     a.trials.push(TrialSlice { cache_depth: *depth, hit: *hit, passes: 0, ns: 0 });
+                }
+                TraceEvent::Heartbeat { completed, resident, .. } => {
+                    a.heartbeats += 1;
+                    a.heartbeat_completed = a.heartbeat_completed.saturating_add(*completed);
+                    a.peak_heartbeat_resident = a.peak_heartbeat_resident.max(*resident);
                 }
             }
         }
@@ -258,6 +270,16 @@ impl TraceAnalysis {
                 self.counter("amplitude_passes"),
             );
         }
+        // Heartbeats claim one completed trial per beat; when present they
+        // must account for exactly the recorded trial count.
+        if self.heartbeats > 0 {
+            check(
+                &mut problems,
+                "heartbeat completed deltas vs trials",
+                self.heartbeat_completed,
+                self.counter("trials"),
+            );
+        }
         if let Some(sc) = self.semantic_cache() {
             if sc.hits == 0 && sc.credited_passes != 0 {
                 problems
@@ -302,7 +324,9 @@ mod tests {
             "{\"ev\":\"kernel\",\"phase\":\"reuse/shared\",\"class\":\"error\",\"layer\":2,\"count\":1,\"ns\":10}\n",
             "{\"ev\":\"cache\",\"depth\":1,\"hit\":true}\n",
             "{\"ev\":\"msv\",\"kind\":\"reuse\",\"depth\":1,\"residency\":1}\n",
+            "{\"ev\":\"heartbeat\",\"completed\":1,\"depth\":2,\"resident\":256}\n",
             "{\"ev\":\"kernel\",\"phase\":\"reuse/remainder\",\"class\":\"cx\",\"layer\":5,\"count\":1,\"ns\":30}\n",
+            "{\"ev\":\"heartbeat\",\"completed\":1,\"depth\":5,\"resident\":512}\n",
             "{\"ev\":\"counter\",\"name\":\"trials\",\"delta\":2}\n",
             "{\"ev\":\"counter\",\"name\":\"ops\",\"delta\":5}\n",
             "{\"ev\":\"counter\",\"name\":\"fused_ops\",\"delta\":2}\n",
@@ -329,6 +353,27 @@ mod tests {
         assert_eq!(a.spans["run/reuse"], (1, 400));
         assert_eq!(a.peak_residency, 1);
         assert_eq!(a.residency_curve.len(), 2);
+        assert_eq!(a.heartbeats, 2);
+        assert_eq!(a.heartbeat_completed, 2);
+        assert_eq!(a.peak_heartbeat_resident, 512);
+    }
+
+    #[test]
+    fn cross_check_pins_heartbeat_shortfall() {
+        // Drop one heartbeat: the completed sum (1) no longer covers the
+        // recorded two trials.
+        let mut broken = sample_trace();
+        let at = broken
+            .events
+            .iter()
+            .position(|e| matches!(e, TraceEvent::Heartbeat { .. }))
+            .expect("sample has heartbeats");
+        broken.events.remove(at);
+        let problems = TraceAnalysis::from_trace(&broken).cross_check();
+        assert!(
+            problems.iter().any(|p| p.contains("heartbeat completed")),
+            "expected a heartbeat discrepancy, got {problems:?}"
+        );
     }
 
     fn store_hit_trace() -> &'static str {

@@ -7,7 +7,9 @@
 //! executors' own counters. On top of that sit run comparison with
 //! bootstrap confidence intervals, an append-only benchmark history with a
 //! trailing-window regression gate, and report rendering (TTY, JSON, and
-//! self-contained HTML).
+//! self-contained HTML). The [`live`] module reads the snapshots the
+//! runtime's live plane publishes (`live.json`) and reconciles final
+//! snapshots bitwise against executor counters.
 //!
 //! Everything is dependency-free by design: the crate carries its own
 //! small JSON reader ([`jsonv`]) and RNG ([`compare::Xorshift`]).
@@ -19,6 +21,7 @@ pub mod compare;
 pub mod env;
 pub mod history;
 pub mod jsonv;
+pub mod live;
 pub mod report;
 pub mod trace;
 
@@ -32,5 +35,6 @@ pub use history::{
     check, record_from_bench, HistoryRecord, Regression, DEFAULT_WINDOW, HISTORY_VERSION,
 };
 pub use jsonv::Json;
+pub use live::{ExpectedStats, LiveView, LIVE_VIEW_VERSION};
 pub use report::{render_deltas_json, render_deltas_tty, render_html, render_json, render_tty};
 pub use trace::{Trace, TraceEvent, TraceMetaInfo};

@@ -71,6 +71,15 @@ pub enum TraceEvent {
         /// Whether a cached frontier was reused.
         hit: bool,
     },
+    /// A progress heartbeat from an executor loop.
+    Heartbeat {
+        /// Trials completed since the previous heartbeat (usually 1).
+        completed: u64,
+        /// Current depth gauge (trie depth / layer count).
+        depth: u64,
+        /// Resident state bytes at the time of the beat.
+        resident: u64,
+    },
 }
 
 /// A fully parsed, schema-validated trace.
@@ -144,6 +153,11 @@ impl Trace {
                     depth: num(&v, "depth"),
                     hit: matches!(v.get("hit"), Some(Json::Bool(true))),
                 },
+                "heartbeat" => TraceEvent::Heartbeat {
+                    completed: num(&v, "completed"),
+                    depth: num(&v, "depth"),
+                    resident: num(&v, "resident"),
+                },
                 other => unreachable!("validator admitted unknown event {other:?}"),
             });
         }
@@ -171,6 +185,7 @@ mod tests {
         "{\"ev\":\"kernel\",\"phase\":\"reuse/shared\",\"class\":\"dense2\",\"layer\":3,\"count\":1,\"ns\":120}\n",
         "{\"ev\":\"msv\",\"kind\":\"create\",\"depth\":0,\"residency\":1}\n",
         "{\"ev\":\"counter\",\"name\":\"ops\",\"delta\":9}\n",
+        "{\"ev\":\"heartbeat\",\"completed\":1,\"depth\":3,\"resident\":512}\n",
         "{\"ev\":\"span\",\"path\":\"run/reuse\",\"start_ns\":1,\"end_ns\":500}\n",
     );
 
@@ -180,12 +195,16 @@ mod tests {
         assert_eq!(trace.meta.version, 2);
         assert_eq!(trace.meta.strategy, "reuse");
         assert_eq!(trace.meta.qubits, 4);
-        assert_eq!(trace.events.len(), 5);
+        assert_eq!(trace.events.len(), 6);
         assert!(matches!(
             &trace.events[1],
             TraceEvent::Kernel { class: KernelClass::Dense2, layer: 3, count: 1, ns: 120, .. }
         ));
-        assert!(matches!(&trace.events[4], TraceEvent::Span { end_ns: 500, .. }));
+        assert!(matches!(
+            &trace.events[4],
+            TraceEvent::Heartbeat { completed: 1, depth: 3, resident: 512 }
+        ));
+        assert!(matches!(&trace.events[5], TraceEvent::Span { end_ns: 500, .. }));
     }
 
     #[test]

@@ -1,0 +1,421 @@
+//! The flight recorder: a lock-free bounded ring buffer retaining the most
+//! recent instrumentation events.
+//!
+//! A [`FlightRecorder`] is the "black box" of a run: it keeps the newest
+//! `N` events in fixed storage with near-zero overhead (one atomic
+//! increment plus a handful of relaxed word stores per event, no
+//! allocation, no locks), counting everything it had to overwrite. Tee it
+//! with another recorder to keep a crash-dump tail alongside full
+//! aggregation, or use it alone when only the last moments of a run
+//! matter.
+//!
+//! Concurrency model: writers claim a monotonically increasing sequence
+//! number, map it onto a slot, and publish the slot's payload under a
+//! per-slot seqlock tag (the claimed sequence number itself, which is
+//! unique for the life of the recorder — so a reader that observes the
+//! same tag before and after reading the payload words has read exactly
+//! that event's words). A writer that catches a slot mid-write backs off
+//! and counts a contention drop instead of spinning, keeping the hot path
+//! wait-free.
+
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+
+use crate::clock::Clock;
+use crate::recorder::{Heartbeat, KernelClass, MsvEvent, Recorder};
+
+/// Tag value marking a slot whose payload is mid-write.
+const WRITING: u64 = u64::MAX;
+
+/// Payload words per slot: event kind, timestamp, and up to six
+/// event-specific words (the kernel event is the widest).
+const WORDS: usize = 8;
+
+const KIND_SPAN: u64 = 0;
+const KIND_KERNEL: u64 = 1;
+const KIND_COUNTER: u64 = 2;
+const KIND_MSV: u64 = 3;
+const KIND_CACHE: u64 = 4;
+const KIND_HEARTBEAT: u64 = 5;
+
+/// One decoded flight-recorder event, timestamped on the recorder's clock.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// When the event was recorded, in nanoseconds since the recorder was
+    /// created.
+    pub at_ns: u64,
+    /// The event payload.
+    pub kind: FlightEventKind,
+}
+
+/// The payload of one flight-recorder event — the [`Recorder`] vocabulary,
+/// verbatim.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlightEventKind {
+    /// A named execution span.
+    Span {
+        /// Span path (`"run/reuse"`).
+        path: &'static str,
+        /// Span start on the recorder's clock.
+        start_ns: u64,
+        /// Span end on the recorder's clock.
+        end_ns: u64,
+    },
+    /// Kernel application(s).
+    Kernel {
+        /// Execution phase (`"reuse/shared"`).
+        phase: &'static str,
+        /// Kernel class.
+        class: KernelClass,
+        /// Circuit layer the work ended on.
+        layer: u64,
+        /// Applications batched into this event.
+        count: u64,
+        /// Total nanoseconds spent.
+        ns: u64,
+    },
+    /// A counter increment.
+    Counter {
+        /// Counter name.
+        name: &'static str,
+        /// Increment.
+        delta: u64,
+    },
+    /// An MSV lifecycle event.
+    Msv {
+        /// Event kind.
+        event: MsvEvent,
+        /// Prefix-trie depth.
+        depth: u64,
+        /// Live MSVs after the event.
+        residency: u64,
+    },
+    /// A per-trial prefix-cache lookup.
+    Cache {
+        /// Reused-injection depth the lookup resolved at.
+        depth: u64,
+        /// Whether a cached frontier was reused.
+        hit: bool,
+    },
+    /// A progress heartbeat.
+    Heartbeat(Heartbeat),
+}
+
+/// One ring slot: a seqlock tag plus the payload words it guards.
+#[derive(Debug)]
+struct Slot {
+    /// `0` = never written, [`WRITING`] = mid-write, otherwise
+    /// `sequence + 1` of the event the payload words describe.
+    tag: AtomicU64,
+    words: [AtomicU64; WORDS],
+}
+
+impl Slot {
+    fn new() -> Self {
+        Slot { tag: AtomicU64::new(0), words: std::array::from_fn(|_| AtomicU64::new(0)) }
+    }
+}
+
+/// A lock-free bounded ring buffer retaining the newest `N` events (see
+/// the module docs above).
+#[derive(Debug)]
+pub struct FlightRecorder {
+    clock: Clock,
+    slots: Vec<Slot>,
+    /// Next sequence number to claim == total events ever recorded.
+    next: AtomicU64,
+    /// Events abandoned because their slot was caught mid-write.
+    contended: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// A flight recorder retaining the newest `capacity` events
+    /// (`capacity` is clamped to at least 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            clock: Clock::new(),
+            slots: (0..capacity).map(|_| Slot::new()).collect(),
+            next: AtomicU64::new(0),
+            contended: AtomicU64::new(0),
+        }
+    }
+
+    /// Maximum events retained.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total events ever offered to this recorder.
+    pub fn recorded(&self) -> u64 {
+        self.next.load(Ordering::Relaxed)
+    }
+
+    /// Events no longer retrievable: everything overwritten by newer
+    /// events plus writes abandoned under slot contention.
+    pub fn dropped(&self) -> u64 {
+        let wrapped = self.recorded().saturating_sub(self.capacity() as u64);
+        wrapped + self.contended.load(Ordering::Relaxed)
+    }
+
+    /// Decode the retained events, oldest first. Events whose slot is
+    /// mid-overwrite at read time are skipped (they are being replaced by
+    /// newer ones); with no concurrent writers this returns exactly the
+    /// newest `min(recorded, capacity)` events.
+    pub fn events(&self) -> Vec<FlightEvent> {
+        let total = self.recorded();
+        let cap = self.capacity() as u64;
+        let first = total.saturating_sub(cap);
+        let mut out = Vec::with_capacity((total - first) as usize);
+        for seq in first..total {
+            let slot = &self.slots[(seq % cap) as usize];
+            let expected = seq + 1;
+            if slot.tag.load(Ordering::Acquire) != expected {
+                continue;
+            }
+            let words: [u64; WORDS] =
+                std::array::from_fn(|i| slot.words[i].load(Ordering::Relaxed));
+            // Seqlock read validation: the tag is unique to `seq` for the
+            // recorder's whole life, so matching before and after proves
+            // the words belong to exactly this event.
+            fence(Ordering::Acquire);
+            if slot.tag.load(Ordering::Relaxed) != expected {
+                continue;
+            }
+            if let Some(event) = decode(&words) {
+                out.push(event);
+            }
+        }
+        out
+    }
+
+    /// Record one event's words. Wait-free: a slot caught mid-write drops
+    /// the new event instead of spinning.
+    fn record(&self, kind: u64, payload: [u64; WORDS - 2]) {
+        let seq = self.next.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(seq % self.capacity() as u64) as usize];
+        if slot.tag.swap(WRITING, Ordering::Relaxed) == WRITING {
+            self.contended.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        // Order the claim before the payload stores so a reader holding
+        // the old tag can never observe the new words.
+        fence(Ordering::Release);
+        slot.words[0].store(kind, Ordering::Relaxed);
+        slot.words[1].store(self.clock.now_ns(), Ordering::Relaxed);
+        for (word, value) in slot.words[2..].iter().zip(payload) {
+            word.store(value, Ordering::Relaxed);
+        }
+        slot.tag.store(seq + 1, Ordering::Release);
+    }
+}
+
+/// Pack a `&'static str` as a (pointer, length) word pair. Only `'static`
+/// strings enter the ring (every [`Recorder`] string parameter is
+/// `&'static str`), which is what makes decoding sound.
+fn pack_str(s: &'static str) -> (u64, u64) {
+    (s.as_ptr() as usize as u64, s.len() as u64)
+}
+
+/// Recover a `&'static str` packed by [`pack_str`].
+fn unpack_str(ptr: u64, len: u64) -> Option<&'static str> {
+    if ptr == 0 {
+        return None;
+    }
+    // SAFETY: the (ptr, len) pair was produced by `pack_str` from a live
+    // `&'static str`, and the seqlock tag check in `events` guarantees
+    // both words come from the same event, so the pair addresses the
+    // original static UTF-8 buffer for the program's whole life.
+    let bytes = unsafe { std::slice::from_raw_parts(ptr as usize as *const u8, len as usize) };
+    // SAFETY: the bytes are the original `&'static str`'s, hence UTF-8.
+    Some(unsafe { std::str::from_utf8_unchecked(bytes) })
+}
+
+fn decode(words: &[u64; WORDS]) -> Option<FlightEvent> {
+    let at_ns = words[1];
+    let kind = match words[0] {
+        KIND_SPAN => FlightEventKind::Span {
+            path: unpack_str(words[2], words[3])?,
+            start_ns: words[4],
+            end_ns: words[5],
+        },
+        KIND_KERNEL => FlightEventKind::Kernel {
+            phase: unpack_str(words[2], words[3])?,
+            class: *KernelClass::ALL.get(words[4] as usize)?,
+            layer: words[5],
+            count: words[6],
+            ns: words[7],
+        },
+        KIND_COUNTER => {
+            FlightEventKind::Counter { name: unpack_str(words[2], words[3])?, delta: words[4] }
+        }
+        KIND_MSV => FlightEventKind::Msv {
+            event: *MsvEvent::ALL.get(words[2] as usize)?,
+            depth: words[3],
+            residency: words[4],
+        },
+        KIND_CACHE => FlightEventKind::Cache { depth: words[2], hit: words[3] != 0 },
+        KIND_HEARTBEAT => FlightEventKind::Heartbeat(Heartbeat {
+            completed: words[2],
+            depth: words[3],
+            resident_bytes: words[4],
+        }),
+        _ => return None,
+    };
+    Some(FlightEvent { at_ns, kind })
+}
+
+fn class_index(class: KernelClass) -> u64 {
+    KernelClass::ALL.iter().position(|&c| c == class).expect("class listed in ALL") as u64
+}
+
+fn msv_index(event: MsvEvent) -> u64 {
+    MsvEvent::ALL.iter().position(|&e| e == event).expect("event listed in ALL") as u64
+}
+
+impl Recorder for FlightRecorder {
+    /// The flight ring is a liveness sink, not a profiler: it declines
+    /// per-kernel timing so fused advances report one batched event
+    /// instead of paying two clock reads per op.
+    fn kernel_timing(&self) -> bool {
+        false
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.clock.now_ns()
+    }
+
+    fn span(&self, path: &'static str, start_ns: u64, end_ns: u64) {
+        let (ptr, len) = pack_str(path);
+        self.record(KIND_SPAN, [ptr, len, start_ns, end_ns, 0, 0]);
+    }
+
+    fn kernel(&self, phase: &'static str, class: KernelClass, layer: u64, count: u64, ns: u64) {
+        let (ptr, len) = pack_str(phase);
+        self.record(KIND_KERNEL, [ptr, len, class_index(class), layer, count, ns]);
+    }
+
+    fn counter(&self, name: &'static str, delta: u64) {
+        let (ptr, len) = pack_str(name);
+        self.record(KIND_COUNTER, [ptr, len, delta, 0, 0, 0]);
+    }
+
+    fn msv(&self, event: MsvEvent, depth: usize, residency: usize) {
+        self.record(KIND_MSV, [msv_index(event), depth as u64, residency as u64, 0, 0, 0]);
+    }
+
+    fn cache(&self, depth: usize, hit: bool) {
+        self.record(KIND_CACHE, [depth as u64, u64::from(hit), 0, 0, 0, 0]);
+    }
+
+    fn heartbeat(&self, hb: Heartbeat) {
+        self.record(KIND_HEARTBEAT, [hb.completed, hb.depth, hb.resident_bytes, 0, 0, 0]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retains_everything_below_capacity() {
+        let flight = FlightRecorder::with_capacity(16);
+        flight.counter("ops", 1);
+        flight.kernel("reuse/shared", KernelClass::Cx, 3, 2, 50);
+        flight.msv(MsvEvent::Fork, 1, 2);
+        flight.cache(1, true);
+        flight.span("run/reuse", 0, 99);
+        flight.heartbeat(Heartbeat { completed: 1, depth: 2, resident_bytes: 256 });
+        assert_eq!(flight.recorded(), 6);
+        assert_eq!(flight.dropped(), 0);
+        let events = flight.events();
+        assert_eq!(events.len(), 6);
+        assert_eq!(events[0].kind, FlightEventKind::Counter { name: "ops", delta: 1 });
+        assert_eq!(
+            events[1].kind,
+            FlightEventKind::Kernel {
+                phase: "reuse/shared",
+                class: KernelClass::Cx,
+                layer: 3,
+                count: 2,
+                ns: 50
+            }
+        );
+        assert_eq!(
+            events[2].kind,
+            FlightEventKind::Msv { event: MsvEvent::Fork, depth: 1, residency: 2 }
+        );
+        assert_eq!(events[3].kind, FlightEventKind::Cache { depth: 1, hit: true });
+        assert_eq!(
+            events[4].kind,
+            FlightEventKind::Span { path: "run/reuse", start_ns: 0, end_ns: 99 }
+        );
+        assert_eq!(
+            events[5].kind,
+            FlightEventKind::Heartbeat(Heartbeat { completed: 1, depth: 2, resident_bytes: 256 })
+        );
+    }
+
+    #[test]
+    fn wrap_around_retains_newest_and_counts_drops_exactly() {
+        let flight = FlightRecorder::with_capacity(8);
+        for delta in 0..100u64 {
+            flight.counter("ops", delta);
+        }
+        assert_eq!(flight.recorded(), 100);
+        assert_eq!(flight.dropped(), 92, "drops == recorded - capacity");
+        let events = flight.events();
+        assert_eq!(events.len(), 8, "exactly the newest capacity events retained");
+        for (i, event) in events.iter().enumerate() {
+            assert_eq!(
+                event.kind,
+                FlightEventKind::Counter { name: "ops", delta: 92 + i as u64 },
+                "oldest-to-newest order"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let flight = FlightRecorder::with_capacity(0);
+        assert_eq!(flight.capacity(), 1);
+        flight.counter("ops", 7);
+        flight.counter("ops", 8);
+        assert_eq!(flight.dropped(), 1);
+        let events = flight.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, FlightEventKind::Counter { name: "ops", delta: 8 });
+    }
+
+    #[test]
+    fn concurrent_writers_never_produce_torn_events() {
+        use std::sync::Arc;
+        let flight = Arc::new(FlightRecorder::with_capacity(32));
+        let names: [&'static str; 4] = ["alpha", "beta", "gamma", "delta_counter"];
+        std::thread::scope(|scope| {
+            for (t, name) in names.iter().enumerate() {
+                let flight = Arc::clone(&flight);
+                scope.spawn(move || {
+                    for i in 0..500u64 {
+                        flight.counter(name, t as u64 * 1000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(flight.recorded(), 2000);
+        let events = flight.events();
+        assert!(events.len() <= 32);
+        for event in events {
+            // Every surviving event must be one that some writer actually
+            // emitted: a known name whose delta encodes that name's thread.
+            let FlightEventKind::Counter { name, delta } = event.kind else {
+                panic!("unexpected event {event:?}");
+            };
+            let t = names.iter().position(|&n| n == name).expect("known name");
+            assert_eq!(delta / 1000, t as u64, "delta belongs to the thread that owns {name}");
+            assert!(delta % 1000 < 500);
+        }
+        // Everything not retained is accounted for as a drop (wrap or
+        // contention), never silently lost.
+        assert!(flight.dropped() >= flight.recorded() - flight.events().len() as u64);
+    }
+}

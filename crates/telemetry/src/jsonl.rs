@@ -45,7 +45,7 @@ impl Default for TraceMeta {
 }
 
 /// Escape a metadata string for embedding in a JSON string literal.
-fn escape(s: &str) -> String {
+pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -59,16 +59,51 @@ fn escape(s: &str) -> String {
     out
 }
 
+/// The destination a [`Sink`] drains into. Files are kept as a distinct
+/// variant so the drop guard can `sync_all` them: a trace interrupted by a
+/// panic must still reach the disk, not just the OS page cache.
+enum SinkWriter {
+    Stream(Box<dyn Write + Send>),
+    File(std::io::BufWriter<std::fs::File>),
+}
+
+impl SinkWriter {
+    fn write_all(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        match self {
+            SinkWriter::Stream(w) => w.write_all(bytes),
+            SinkWriter::File(w) => w.write_all(bytes),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            SinkWriter::Stream(w) => w.flush(),
+            SinkWriter::File(w) => w.flush(),
+        }
+    }
+
+    /// Flush, then force file sinks through to stable storage.
+    fn sync(&mut self) -> std::io::Result<()> {
+        self.flush()?;
+        match self {
+            SinkWriter::Stream(_) => Ok(()),
+            SinkWriter::File(w) => w.get_ref().sync_all(),
+        }
+    }
+}
+
 struct Sink {
     buffer: String,
-    writer: Box<dyn Write + Send>,
+    writer: SinkWriter,
     error: Option<std::io::Error>,
 }
 
 /// A streaming recorder writing one JSON event object per line. Events are
 /// buffered in memory and flushed in large chunks; [`Recorder::flush`]
-/// (called automatically on drop) drains the buffer. I/O errors are sticky
-/// and surface on the next flush.
+/// drains the buffer. Dropping the recorder — including during a panic or
+/// on an interrupted run — drains the buffered tail and syncs file sinks
+/// to disk, so the trace is never silently truncated. I/O errors are
+/// sticky and surface on the next explicit flush.
 pub struct JsonlRecorder {
     clock: Clock,
     sink: Mutex<Sink>,
@@ -78,6 +113,10 @@ impl JsonlRecorder {
     /// Trace into `writer`, starting with a meta line identifying the
     /// format version and the run metadata.
     pub fn new(writer: Box<dyn Write + Send>, meta: &TraceMeta) -> Self {
+        JsonlRecorder::with_sink(SinkWriter::Stream(writer), meta)
+    }
+
+    fn with_sink(writer: SinkWriter, meta: &TraceMeta) -> Self {
         let recorder = JsonlRecorder {
             clock: Clock::new(),
             sink: Mutex::new(Sink { buffer: String::new(), writer, error: None }),
@@ -100,7 +139,7 @@ impl JsonlRecorder {
     /// Returns the I/O error if the file cannot be created.
     pub fn create(path: &str, meta: &TraceMeta) -> std::io::Result<Self> {
         let file = std::fs::File::create(path)?;
-        Ok(JsonlRecorder::new(Box::new(std::io::BufWriter::new(file)), meta))
+        Ok(JsonlRecorder::with_sink(SinkWriter::File(std::io::BufWriter::new(file)), meta))
     }
 
     fn line(&self, line: &str) {
@@ -157,6 +196,13 @@ impl Recorder for JsonlRecorder {
         self.line(&format!("{{\"ev\":\"cache\",\"depth\":{depth},\"hit\":{hit}}}"));
     }
 
+    fn heartbeat(&self, hb: crate::recorder::Heartbeat) {
+        self.line(&format!(
+            "{{\"ev\":\"heartbeat\",\"completed\":{},\"depth\":{},\"resident\":{}}}",
+            hb.completed, hb.depth, hb.resident_bytes
+        ));
+    }
+
     fn flush(&self) -> std::io::Result<()> {
         let mut sink = self.sink.lock().expect("trace sink poisoned");
         drain(&mut sink);
@@ -169,7 +215,13 @@ impl Recorder for JsonlRecorder {
 
 impl Drop for JsonlRecorder {
     fn drop(&mut self) {
-        let _ = Recorder::flush(self);
+        // The drop guard must run even when the recorder is dropped during
+        // a panic that poisoned the sink mutex mid-line: recover the inner
+        // sink (a torn final line is better than a lost tail), drain, and
+        // sync file sinks through to stable storage.
+        let mut sink = self.sink.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+        drain(&mut sink);
+        let _ = sink.writer.sync();
     }
 }
 
@@ -253,6 +305,64 @@ mod tests {
         Recorder::flush(&recorder).unwrap();
         let text = String::from_utf8(sink.0.lock().unwrap().clone()).unwrap();
         assert!(text.contains("\"git_rev\":\"a\\\"b\\\\c\""), "{text}");
+        crate::schema::validate_jsonl(&text).unwrap();
+    }
+
+    #[test]
+    fn heartbeats_become_valid_schema_lines() {
+        let text = recorded(|r| {
+            r.heartbeat(crate::Heartbeat { completed: 1, depth: 3, resident_bytes: 512 });
+        });
+        assert!(
+            text.contains("{\"ev\":\"heartbeat\",\"completed\":1,\"depth\":3,\"resident\":512}"),
+            "{text}"
+        );
+        crate::schema::validate_jsonl(&text).unwrap();
+    }
+
+    /// A unique temp-file path (no tempfile crate in this dependency-free
+    /// crate).
+    fn temp_trace_path(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "qsim-telemetry-{tag}-{}-{}.jsonl",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    #[test]
+    fn dropping_without_flush_persists_the_buffered_tail() {
+        let path = temp_trace_path("drop-guard");
+        {
+            let recorder =
+                JsonlRecorder::create(path.to_str().unwrap(), &TraceMeta::default()).unwrap();
+            recorder.counter("ops", 41);
+            recorder.cache(0, false);
+            // Well below FLUSH_THRESHOLD: nothing has hit the file yet.
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert!(text.contains("\"name\":\"ops\",\"delta\":41"), "{text}");
+        assert!(text.contains("\"ev\":\"cache\""), "{text}");
+        crate::schema::validate_jsonl(&text).unwrap();
+    }
+
+    #[test]
+    fn dropping_during_a_panic_persists_the_buffered_tail() {
+        let path = temp_trace_path("panic-guard");
+        let path_str = path.to_str().unwrap().to_owned();
+        let outcome = std::panic::catch_unwind(move || {
+            let recorder = JsonlRecorder::create(&path_str, &TraceMeta::default()).unwrap();
+            recorder.counter("trials", 7);
+            panic!("simulated interrupt mid-run");
+            // The recorder unwinds here; its drop guard must still drain.
+        });
+        assert!(outcome.is_err(), "the panic must actually fire");
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert!(text.contains("\"name\":\"trials\",\"delta\":7"), "{text}");
         crate::schema::validate_jsonl(&text).unwrap();
     }
 

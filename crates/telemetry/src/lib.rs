@@ -25,6 +25,13 @@
 //!   the `trace-check` binary in CI).
 //! * [`TeeRecorder`] — fan out one instrumentation stream to two sinks
 //!   (e.g. aggregate *and* trace in the same run).
+//! * [`FlightRecorder`] — a lock-free bounded ring buffer retaining the
+//!   newest N events with drop-counting: the "black box" of a run, cheap
+//!   enough to leave on everywhere.
+//! * [`LiveRecorder`] / [`LivePublisher`] — the live plane: all-atomic
+//!   in-flight aggregation of progress [`Heartbeat`]s and counters into a
+//!   versioned [`LiveSnapshot`], atomically published as `live.json` +
+//!   Prometheus text for `qsim top` and CI to tail.
 //!
 //! The crate is intentionally dependency-free (std only) and knows nothing
 //! about circuits or states: executors translate their domain events into
@@ -36,12 +43,16 @@
 
 mod aggregate;
 mod clock;
+mod flight;
 mod jsonl;
+mod live;
 pub mod names;
 mod recorder;
 pub mod schema;
 
 pub use aggregate::{AggregatingRecorder, CacheDepthStat, KernelStat, MetricsReport, SpanStat};
 pub use clock::Clock;
+pub use flight::{FlightEvent, FlightEventKind, FlightRecorder};
 pub use jsonl::{JsonlRecorder, TraceMeta, TRACE_VERSION};
-pub use recorder::{KernelClass, MsvEvent, NullRecorder, Recorder, TeeRecorder};
+pub use live::{LivePublisher, LiveRecorder, LiveSnapshot, LIVE_VERSION};
+pub use recorder::{Heartbeat, KernelClass, MsvEvent, NullRecorder, Recorder, TeeRecorder};

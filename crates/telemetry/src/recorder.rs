@@ -31,7 +31,9 @@ pub enum KernelClass {
     Ccx,
     /// An injected error operator (one amplitude pass).
     Error,
-    /// A layer-by-layer (unfused) advance, counted as a batch.
+    /// A batched multi-op advance not attributed to a single kernel: the
+    /// layer-by-layer engine, or a fused advance observed by a recorder
+    /// that declines per-kernel timing ([`Recorder::kernel_timing`]).
     Unfused,
 }
 
@@ -113,6 +115,26 @@ impl MsvEvent {
     }
 }
 
+/// One progress heartbeat from an executor loop, emitted after each trial's
+/// outcome is produced.
+///
+/// Fields are **deltas or instantaneous gauges**, never running totals:
+/// parallel workers share one recorder, and deltas from workers over
+/// disjoint trial chunks sum to the exact global total, which is what lets
+/// the live plane reconcile bitwise with `ExecStats` after the run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Heartbeat {
+    /// Trials newly completed since the previous heartbeat from this call
+    /// site (normally 1).
+    pub completed: u64,
+    /// Prefix-trie depth (reuse executors) or layer count (baseline) the
+    /// finished trial ran at — an instantaneous gauge.
+    pub depth: u64,
+    /// Amplitude bytes currently resident in this executor: live frontier
+    /// states plus pool-idle buffers. An instantaneous gauge.
+    pub resident_bytes: u64,
+}
+
 /// Sink for executor instrumentation. Methods take `&self` and must be
 /// thread-safe: a parallel run hands one recorder to every worker.
 ///
@@ -122,6 +144,17 @@ impl MsvEvent {
 pub trait Recorder: Sync {
     /// Whether instrumentation sites should emit events at all.
     fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Whether this recorder wants per-kernel observed timing. Profiling
+    /// sinks (aggregate, JSONL) keep the default `true` and receive one
+    /// individually timed event per fused op; liveness sinks (the flight
+    /// ring, the live publisher) return `false`, and fused instrumentation
+    /// sites fall back to one batched [`KernelClass::Unfused`] event per
+    /// advance — the same total application count for two clock reads per
+    /// segment instead of two per op.
+    fn kernel_timing(&self) -> bool {
         true
     }
 
@@ -153,6 +186,13 @@ pub trait Recorder: Sync {
     /// injections (`hit` = a previously cached frontier was reused).
     fn cache(&self, depth: usize, hit: bool);
 
+    /// A progress [`Heartbeat`], emitted once per completed trial. The
+    /// default is a no-op so pre-existing recorders (aggregate, JSONL) can
+    /// opt in individually.
+    fn heartbeat(&self, hb: Heartbeat) {
+        let _ = hb;
+    }
+
     /// Flush buffered output (streaming sinks).
     ///
     /// # Errors
@@ -175,6 +215,11 @@ impl Recorder for NullRecorder {
     }
 
     #[inline(always)]
+    fn kernel_timing(&self) -> bool {
+        false
+    }
+
+    #[inline(always)]
     fn span(&self, _: &'static str, _: u64, _: u64) {}
 
     #[inline(always)]
@@ -188,6 +233,9 @@ impl Recorder for NullRecorder {
 
     #[inline(always)]
     fn cache(&self, _: usize, _: bool) {}
+
+    #[inline(always)]
+    fn heartbeat(&self, _: Heartbeat) {}
 }
 
 /// Forward one instrumentation stream to two sinks (e.g. aggregate and
@@ -215,6 +263,10 @@ impl<'a> TeeRecorder<'a> {
 impl Recorder for TeeRecorder<'_> {
     fn enabled(&self) -> bool {
         self.a.enabled() || self.b.enabled()
+    }
+
+    fn kernel_timing(&self) -> bool {
+        self.a.kernel_timing() || self.b.kernel_timing()
     }
 
     fn now_ns(&self) -> u64 {
@@ -250,6 +302,11 @@ impl Recorder for TeeRecorder<'_> {
         self.b.cache(depth, hit);
     }
 
+    fn heartbeat(&self, hb: Heartbeat) {
+        self.a.heartbeat(hb);
+        self.b.heartbeat(hb);
+    }
+
     fn flush(&self) -> std::io::Result<()> {
         self.a.flush()?;
         self.b.flush()
@@ -279,7 +336,80 @@ mod tests {
         null.counter("ops", 5);
         null.msv(MsvEvent::Fork, 1, 2);
         null.cache(0, true);
+        null.heartbeat(Heartbeat::default());
         null.flush().unwrap();
+    }
+
+    /// A recorder that appends `"<name>:<event>"` markers to a shared log,
+    /// so tests can assert cross-sink ordering.
+    struct OrderLogger {
+        name: &'static str,
+        log: std::sync::Arc<std::sync::Mutex<Vec<String>>>,
+    }
+
+    impl OrderLogger {
+        fn mark(&self, event: &str) {
+            self.log.lock().unwrap().push(format!("{}:{event}", self.name));
+        }
+    }
+
+    impl Recorder for OrderLogger {
+        fn span(&self, path: &'static str, _: u64, _: u64) {
+            self.mark(&format!("span/{path}"));
+        }
+
+        fn kernel(&self, _: &'static str, class: KernelClass, _: u64, _: u64, _: u64) {
+            self.mark(&format!("kernel/{}", class.name()));
+        }
+
+        fn counter(&self, name: &'static str, _: u64) {
+            self.mark(&format!("counter/{name}"));
+        }
+
+        fn msv(&self, event: MsvEvent, _: usize, _: usize) {
+            self.mark(&format!("msv/{}", event.name()));
+        }
+
+        fn cache(&self, _: usize, hit: bool) {
+            self.mark(&format!("cache/{hit}"));
+        }
+
+        fn heartbeat(&self, hb: Heartbeat) {
+            self.mark(&format!("heartbeat/{}", hb.completed));
+        }
+    }
+
+    #[test]
+    fn tee_forwards_every_event_in_a_then_b_order() {
+        let log = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let a = OrderLogger { name: "a", log: std::sync::Arc::clone(&log) };
+        let b = OrderLogger { name: "b", log: std::sync::Arc::clone(&log) };
+        let tee = TeeRecorder::new(&a, &b);
+        tee.counter("ops", 1);
+        tee.kernel("p", KernelClass::Cx, 0, 1, 1);
+        tee.msv(MsvEvent::Fork, 1, 2);
+        tee.cache(0, true);
+        tee.heartbeat(Heartbeat { completed: 1, depth: 0, resident_bytes: 0 });
+        tee.span("run/reuse", 0, 1);
+        let log = log.lock().unwrap();
+        assert_eq!(
+            *log,
+            vec![
+                "a:counter/ops",
+                "b:counter/ops",
+                "a:kernel/cx",
+                "b:kernel/cx",
+                "a:msv/fork",
+                "b:msv/fork",
+                "a:cache/true",
+                "b:cache/true",
+                "a:heartbeat/1",
+                "b:heartbeat/1",
+                "a:span/run/reuse",
+                "b:span/run/reuse",
+            ],
+            "every event reaches a before b, in emission order"
+        );
     }
 
     #[test]

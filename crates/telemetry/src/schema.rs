@@ -1,7 +1,8 @@
 //! Schema validation for JSONL traces.
 //!
 //! A trace is one JSON object per line: a `meta` header followed by
-//! `span` / `kernel` / `counter` / `msv` / `cache` events. The validator
+//! `span` / `kernel` / `counter` / `msv` / `cache` / `heartbeat` events.
+//! The validator
 //! parses each line with a small built-in JSON reader (flat objects of
 //! strings, integers, and booleans — exactly what [`crate::JsonlRecorder`]
 //! emits) and checks the per-event field schema, so CI can prove a
@@ -191,6 +192,12 @@ pub fn validate_line(line: &str) -> Result<(), String> {
             int_field(&fields, "depth")?;
             bool_field(&fields, "hit")?;
         }
+        "heartbeat" => {
+            check_exact_keys(&fields, &["ev", "completed", "depth", "resident"])?;
+            int_field(&fields, "completed")?;
+            int_field(&fields, "depth")?;
+            int_field(&fields, "resident")?;
+        }
         other => return Err(format!("unknown event type {other:?}")),
     }
     Ok(())
@@ -236,6 +243,7 @@ mod tests {
             "{\"ev\":\"msv\",\"kind\":\"fork\",\"depth\":1,\"residency\":2}",
             "{\"ev\":\"cache\",\"depth\":0,\"hit\":true}",
             "{\"ev\":\"cache\",\"depth\":4,\"hit\":false}",
+            "{\"ev\":\"heartbeat\",\"completed\":1,\"depth\":2,\"resident\":1024}",
         ] {
             validate_line(line).unwrap_or_else(|e| panic!("{line}: {e}"));
         }
@@ -260,6 +268,11 @@ mod tests {
             ("{\"ev\":\"msv\",\"kind\":\"zap\",\"depth\":0,\"residency\":1}", "unknown msv event"),
             ("{\"ev\":\"span\",\"path\":\"p\",\"start_ns\":9,\"end_ns\":5}", "before it starts"),
             ("{\"ev\":\"cache\",\"depth\":0,\"hit\":1}", "must be a boolean"),
+            ("{\"ev\":\"heartbeat\",\"completed\":1,\"depth\":0}", "missing field \"resident\""),
+            (
+                "{\"ev\":\"heartbeat\",\"completed\":1,\"depth\":0,\"resident\":0,\"x\":1}",
+                "unexpected field",
+            ),
             (
                 "{\"ev\":\"meta\",\"version\":99,\"git_rev\":\"x\",\"seed\":0,\"qubits\":0,\"strategy\":\"s\"}",
                 "unsupported trace version",

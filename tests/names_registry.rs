@@ -1,0 +1,75 @@
+//! The names-registry exhaustiveness gate: every counter or span name
+//! spelled as a string literal at a production call site anywhere under
+//! `crates/` must appear in the telemetry registry
+//! (`names::COUNTERS_ALL` / `names::SPANS_ALL`). Emitters use the
+//! registry constants, but consumers (the observatory's cross-checks)
+//! read counters back by spelled name — a typo there silently reads zero
+//! forever. This test greps the workspace so the registry stays the
+//! single source of truth.
+
+use std::path::{Path, PathBuf};
+
+use noisy_qsim::telemetry::names;
+
+fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
+    for entry in std::fs::read_dir(dir).unwrap_or_else(|e| panic!("{}: {e}", dir.display())) {
+        let path = entry.expect("dir entry").path();
+        if path.is_dir() {
+            rust_sources(&path, out);
+        } else if path.extension().is_some_and(|ext| ext == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Every string literal opened immediately after `pattern`, e.g. the `X`
+/// of `.counter("X"` for pattern `.counter("`.
+fn literals_after<'a>(text: &'a str, pattern: &str) -> Vec<&'a str> {
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(pos) = rest.find(pattern) {
+        rest = &rest[pos + pattern.len()..];
+        if let Some(end) = rest.find('"') {
+            out.push(&rest[..end]);
+            rest = &rest[end..];
+        }
+    }
+    out
+}
+
+#[test]
+fn every_spelled_counter_and_span_name_is_registered() {
+    let crates = Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/crates"));
+    let mut files = Vec::new();
+    rust_sources(crates, &mut files);
+    assert!(files.len() >= 20, "workspace walk found only {} sources", files.len());
+
+    let mut spelled = 0usize;
+    for path in &files {
+        let text =
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        // Only production code: inline test modules follow their
+        // `#[cfg(test)]` attribute by workspace convention, and tests are
+        // free to spell throwaway names.
+        let production = text.split("#[cfg(test)]").next().expect("split is non-empty");
+        for name in literals_after(production, ".counter(\"") {
+            assert!(
+                names::COUNTERS_ALL.contains(&name),
+                "{}: counter \"{name}\" is not in names::COUNTERS_ALL",
+                path.display()
+            );
+            spelled += 1;
+        }
+        for name in literals_after(production, ".span(\"") {
+            assert!(
+                names::SPANS_ALL.contains(&name),
+                "{}: span \"{name}\" is not in names::SPANS_ALL",
+                path.display()
+            );
+            spelled += 1;
+        }
+    }
+    // The observatory's cross-checks alone spell over a dozen counter
+    // reads; finding fewer means the extraction broke, not the workspace.
+    assert!(spelled >= 12, "only {spelled} spelled names found — extraction is broken");
+}
