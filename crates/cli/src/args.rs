@@ -107,6 +107,9 @@ pub struct Options {
     pub load_trials: Option<String>,
     /// Use compressed at-rest frontiers for the reordered run.
     pub compressed: bool,
+    /// Explicit execution strategy for `run` (`None` = reordered reuse,
+    /// or whatever `--baseline`/`--compressed` select).
+    pub strategy: Option<String>,
     /// Layer scheduling: ALAP instead of the default ASAP.
     pub alap: bool,
     /// Emit machine-readable JSON instead of the human report (`verify`).
@@ -184,6 +187,8 @@ OPTIONS:
     --save-trials <P>   write the generated trial set to a file
     --load-trials <P>   replay a saved trial set (ignores --trials/--seed)
     --compressed        store cached frontiers in zero-elided sparse form
+    --strategy <S>      execution strategy for run: reuse | tree (batched
+                        sibling-frontier sweeps; bitwise-identical outcomes)
     --alap              schedule layers as-late-as-possible (moves idle errors)
     --json              machine-readable output (verify, advise, report)
     --trace <P>         stream a JSONL telemetry trace to a file (run, profile)
@@ -226,6 +231,7 @@ impl Options {
             save_trials: None,
             load_trials: None,
             compressed: false,
+            strategy: None,
             alap: false,
             json: false,
             trace: None,
@@ -256,7 +262,7 @@ impl Options {
                 "--device" | "--noise" | "--trials" | "--seed" | "--threads" | "--budget"
                 | "--save-trials" | "--load-trials" | "--trace" | "--folded" | "--html"
                 | "--against" | "--history" | "--threshold" | "--window" | "--cache"
-                | "--cache-budget" | "--live" | "--live-interval" => {
+                | "--cache-budget" | "--live" | "--live-interval" | "--strategy" => {
                     let value =
                         args.get(i + 1).ok_or_else(|| CliError(format!("{arg} needs a value")))?;
                     match arg.as_str() {
@@ -284,6 +290,14 @@ impl Options {
                         "--cache-budget" => opts.cache_budget = parse_num(value, arg)?,
                         "--live" => opts.live = Some(value.clone()),
                         "--live-interval" => opts.live_interval_ms = parse_num(value, arg)?,
+                        "--strategy" => {
+                            if !matches!(value.as_str(), "reuse" | "tree") {
+                                return Err(CliError(format!(
+                                    "unknown strategy {value:?} (reuse, tree)"
+                                )));
+                            }
+                            opts.strategy = Some(value.clone());
+                        }
                         _ => unreachable!(),
                     }
                     i += 1;
@@ -621,6 +635,19 @@ mod tests {
         assert_eq!(opts.cache.as_deref(), Some(".qsim-cache"));
         assert_eq!(opts.cache_budget, 0);
         assert_eq!(parse(&["run", "f.qasm"]).unwrap().cache, None);
+    }
+
+    #[test]
+    fn parses_strategy() {
+        let opts = parse(&["run", "f.qasm", "--strategy", "tree"]).unwrap();
+        assert_eq!(opts.strategy.as_deref(), Some("tree"));
+        assert_eq!(
+            parse(&["run", "f.qasm", "--strategy", "reuse"]).unwrap().strategy.as_deref(),
+            Some("reuse")
+        );
+        assert_eq!(parse(&["run", "f.qasm"]).unwrap().strategy, None);
+        assert!(parse(&["run", "f.qasm", "--strategy"]).is_err());
+        assert!(parse(&["run", "f.qasm", "--strategy", "frobnicate"]).is_err());
     }
 
     #[test]

@@ -256,9 +256,16 @@ fn declared_strategy(opts: &Options) -> qsim_analyzer::Strategy {
         qsim_analyzer::Strategy::Fused
     } else if opts.compressed {
         qsim_analyzer::Strategy::Compressed
+    } else if wants_tree(opts) {
+        qsim_analyzer::Strategy::Tree
     } else {
         qsim_analyzer::Strategy::Reuse
     }
+}
+
+/// Whether the flags select the batched tree executor.
+fn wants_tree(opts: &Options) -> bool {
+    opts.strategy.as_deref() == Some("tree")
 }
 
 fn advise(prepared: &Circuit, opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
@@ -367,6 +374,8 @@ fn advise(prepared: &Circuit, opts: &Options, out: &mut dyn Write) -> Result<(),
 fn strategy_name(opts: &Options) -> &'static str {
     if opts.cache.is_some() && !opts.baseline && !opts.compressed {
         "reuse-cached"
+    } else if wants_tree(opts) {
+        "tree"
     } else if opts.baseline {
         if opts.threads == 1 {
             "baseline"
@@ -446,6 +455,19 @@ fn run_strategy<R: Recorder + ?Sized>(
     opts: &Options,
     recorder: &R,
 ) -> Result<RunResult, CliError> {
+    if wants_tree(opts)
+        && (opts.baseline
+            || opts.compressed
+            || opts.budget != usize::MAX
+            || opts.threads != 1
+            || opts.cache.is_some())
+    {
+        return Err(CliError(
+            "--strategy tree runs the batched tree executor; \
+             drop --baseline/--compressed/--budget/--threads/--cache"
+                .to_owned(),
+        ));
+    }
     if let Some(dir) = &opts.cache {
         if opts.baseline || opts.compressed || opts.budget != usize::MAX || opts.threads != 1 {
             return Err(CliError(
@@ -487,6 +509,8 @@ fn run_strategy<R: Recorder + ?Sized>(
             );
             result
         })
+    } else if wants_tree(opts) {
+        sim.run_tree_traced(recorder)
     } else if opts.budget != usize::MAX {
         sim.run_reordered_with_budget_traced(opts.budget, recorder)
     } else if opts.threads == 1 {
@@ -594,6 +618,10 @@ fn cross_check(
         expect("fused_ops", report.counter("fused_ops"), stats.fused_ops);
         expect("amplitude_passes", report.counter("amplitude_passes"), stats.amplitude_passes);
         expect("kernel applications", report.total_kernel_count(), stats.amplitude_passes);
+        // Zero on non-batched runs (neither side records them), exact on
+        // tree runs.
+        expect("batch_sweeps", report.counter("batch_sweeps"), stats.batch_sweeps);
+        expect("batch_width_max", report.counter("batch_width_max"), stats.batch_width_max);
         // The bypassed-segment count is a pure function of the compiled
         // program, so telemetry must reproduce an independent recompile.
         let recompiled = redsim::exec::fuse_for_trials(
@@ -630,7 +658,28 @@ fn cross_check(
                 stats.ops
             ));
         }
-        if !opts.baseline && stats.peak_msv != cost.msv_peak {
+        if wants_tree(opts) {
+            // The tree frontier peaks at the number of distinct injection
+            // lists (buffer stealing keeps it monotone until the final
+            // boundary), not at the reuse stack depth the CostReport
+            // models — check it against its own closed form.
+            let mut lists: Vec<_> = sim
+                .trials()
+                .expect("trials prepared before execution")
+                .trials()
+                .iter()
+                .map(qsim_noise::Trial::injections)
+                .collect();
+            lists.sort_unstable();
+            lists.dedup();
+            if stats.peak_msv != lists.len() {
+                mismatches.push(format!(
+                    "tree frontier peak: executor held {}, {} distinct injection lists",
+                    stats.peak_msv,
+                    lists.len()
+                ));
+            }
+        } else if !opts.baseline && stats.peak_msv != cost.msv_peak {
             mismatches.push(format!(
                 "analyzer MSV peak: executor held {}, analyzer says {}",
                 stats.peak_msv, cost.msv_peak
@@ -1267,6 +1316,65 @@ mod tests {
     }
 
     #[test]
+    fn tree_strategy_reproduces_the_reuse_histogram() {
+        let circuit = bell_file();
+        let base =
+            run_cli(&["run", &circuit.path_str(), "--trials", "256", "--seed", "5"]).unwrap();
+        let tree = run_cli(&[
+            "run",
+            &circuit.path_str(),
+            "--trials",
+            "256",
+            "--seed",
+            "5",
+            "--strategy",
+            "tree",
+        ])
+        .unwrap();
+        // The stats line differs (frontier peak, batch sweeps, timing);
+        // the histogram itself must be bitwise identical.
+        let hist = |s: &str| s.lines().skip(1).collect::<Vec<_>>().join("\n");
+        assert_eq!(hist(&base), hist(&tree), "batched execution must be observationally invisible");
+        assert!(tree.contains("batch sweeps"), "{tree}");
+    }
+
+    #[test]
+    fn tree_strategy_rejects_conflicting_flags() {
+        let circuit = bell_file();
+        for extra in
+            [["--baseline"].as_slice(), &["--compressed"], &["--budget", "2"], &["--threads", "2"]]
+        {
+            let path = circuit.path_str();
+            let mut parts = vec!["run", path.as_str(), "--trials", "16", "--strategy", "tree"];
+            parts.extend(extra.iter().copied());
+            let err = run_cli(&parts).unwrap_err();
+            assert!(err.to_string().contains("--strategy tree"), "{extra:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn profile_tree_passes_the_telemetry_cross_check() {
+        // `profile` fails loudly when telemetry, ExecStats, and the
+        // frontier-peak closed form disagree, so a clean run is the gate.
+        let circuit = bell_file();
+        let text = run_cli(&[
+            "profile",
+            &circuit.path_str(),
+            "--trials",
+            "200",
+            "--seed",
+            "13",
+            "--strategy",
+            "tree",
+            "--json",
+        ])
+        .unwrap();
+        assert!(text.contains("batch sweeps"), "{text}");
+        assert!(text.contains("\"batch_sweeps\""), "{text}");
+        assert!(text.contains("\"batch_width_max\""), "{text}");
+    }
+
+    #[test]
     fn calibration_file_noise_model_runs() {
         let circuit = bell_file();
         let calib = tempfile::TempQasm::new(
@@ -1326,7 +1434,7 @@ mod tests {
         let file = bell_file();
         let text =
             run_cli(&["advise", &file.path_str(), "--trials", "128", "--seed", "4"]).unwrap();
-        for name in ["sequential", "fused", "reuse", "compressed", "frame-tracking"] {
+        for name in ["sequential", "fused", "reuse", "compressed", "tree", "frame-tracking"] {
             assert!(text.contains(name), "missing {name}:\n{text}");
         }
         assert!(text.contains("recommended:"), "{text}");

@@ -348,6 +348,7 @@ pub fn run_reordered_compressed_traced<R: Recorder + ?Sized>(
         amplitude_passes: passes,
         peak_msv: if trials.is_empty() { 0 } else { peak_msv },
         n_trials: trials.len(),
+        ..ExecStats::default()
     };
     if recorder.enabled() {
         crate::exec::record_stats_counters(recorder, &stats);

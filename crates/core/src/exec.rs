@@ -62,6 +62,16 @@ pub struct ExecStats {
     pub peak_msv: usize,
     /// Trials executed.
     pub n_trials: usize,
+    /// Batched frontier sweeps performed (one per fused op applied to a
+    /// whole frontier batch by the tree executor). Zero for every
+    /// per-state executor; defaults to zero so legacy serialized stats
+    /// load.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub batch_sweeps: u64,
+    /// Widest frontier batch a single sweep covered. Zero when no batched
+    /// sweeps ran; defaults to zero so legacy serialized stats load.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub batch_width_max: u64,
 }
 
 impl fmt::Display for ExecStats {
@@ -70,7 +80,17 @@ impl fmt::Display for ExecStats {
             f,
             "{} trials: {} basic ops, {} fused kernels, {} amplitude passes, {} stored states at peak",
             self.n_trials, self.ops, self.fused_ops, self.amplitude_passes, self.peak_msv
-        )
+        )?;
+        // Batch counters only exist for the tree executor; keep every
+        // per-state executor's rendering byte-stable.
+        if self.batch_sweeps > 0 {
+            write!(
+                f,
+                ", {} batch sweeps ({} states at widest)",
+                self.batch_sweeps, self.batch_width_max
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -259,7 +279,7 @@ pub(crate) fn paranoid_verify(
 
 /// Check that `program` fits `layered` and that every injection of every
 /// trial lands on a segment boundary.
-fn validate_program(
+pub(crate) fn validate_program(
     program: &FusedProgram,
     layered: &LayeredCircuit,
     trials: &[Trial],
@@ -1049,7 +1069,7 @@ pub(crate) fn measure(
     classical
 }
 
-fn validate(trial: &Trial, n_layers: usize) -> Result<(), SimError> {
+pub(crate) fn validate(trial: &Trial, n_layers: usize) -> Result<(), SimError> {
     if let Some(inj) = trial.injections().last() {
         if inj.layer() >= n_layers {
             return Err(SimError::LayerOutOfRange { layer: inj.layer(), n_layers });

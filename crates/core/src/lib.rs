@@ -65,6 +65,7 @@ pub mod semcache;
 mod sim_error;
 mod simulation;
 pub mod testkit;
+pub mod tree;
 
 pub use analysis::CostReport;
 pub use exec::{ExecStats, PrefixCache, RunResult};
@@ -73,3 +74,4 @@ pub use order::{compare_trials, lcp, reorder, reorder_recursive};
 pub use semcache::CacheOutcome;
 pub use sim_error::SimError;
 pub use simulation::Simulation;
+pub use tree::TreeExecutor;

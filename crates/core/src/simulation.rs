@@ -250,6 +250,35 @@ impl Simulation {
         crate::compressed::run_reordered_compressed_traced(&self.layered, trials.trials(), recorder)
     }
 
+    /// Execute all trials with the batched tree executor (see
+    /// [`crate::tree::TreeExecutor`]): the reuse trie made explicit, with
+    /// every fused op swept across the whole sibling frontier. Outcomes
+    /// and pass accounting are bitwise identical to
+    /// [`Simulation::run_reordered`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NoTrials`] before trial generation, or execution
+    /// failures.
+    pub fn run_tree(&self) -> Result<RunResult, SimError> {
+        let trials = self.trials.as_ref().ok_or(SimError::NoTrials)?;
+        crate::tree::TreeExecutor::new(&self.layered).run(trials.trials())
+    }
+
+    /// [`Simulation::run_tree`] with instrumentation streamed into
+    /// `recorder` (see [`crate::tree::TreeExecutor::run_traced`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`Simulation::run_tree`].
+    pub fn run_tree_traced<R: qsim_telemetry::Recorder + ?Sized>(
+        &self,
+        recorder: &R,
+    ) -> Result<RunResult, SimError> {
+        let trials = self.trials.as_ref().ok_or(SimError::NoTrials)?;
+        crate::tree::TreeExecutor::new(&self.layered).run_traced(trials.trials(), recorder)
+    }
+
     /// [`Simulation::run_reordered`] through the persistent cross-run
     /// prefix store (see [`crate::semcache`]): consult the store before
     /// materializing the shared prefix, publish the frontier after a
@@ -340,6 +369,8 @@ impl Simulation {
                 )?
                 .0
             }
+            Strategy::Tree => crate::tree::TreeExecutor::new(&self.layered)
+                .run_traced(trials.trials(), recorder)?,
             Strategy::FrameTracking => {
                 unreachable!("best_executable never returns a frame-tracking prediction")
             }
@@ -392,6 +423,8 @@ impl Simulation {
                 )?
                 .0
             }
+            Strategy::Tree => crate::tree::TreeExecutor::new(&self.layered)
+                .run_traced(trials.trials(), recorder)?,
             Strategy::Reuse | Strategy::FrameTracking => {
                 unreachable!("reuse handled above; frame-tracking is never executable")
             }
@@ -426,6 +459,7 @@ impl Simulation {
                     Strategy::Fused => "advisor.selected.fused",
                     Strategy::Reuse => "advisor.selected.reuse",
                     Strategy::Compressed => "advisor.selected.compressed",
+                    Strategy::Tree => "advisor.selected.tree",
                     Strategy::FrameTracking => "advisor.selected.frame-tracking",
                 },
                 1,

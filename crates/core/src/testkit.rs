@@ -131,6 +131,92 @@ pub fn vqa_sweep(
     (model, points)
 }
 
+/// One named prefix-trie shape for the batched tree executor's
+/// differential harness: a layered circuit plus a trial set whose
+/// injection structure forces that shape.
+#[derive(Clone, Debug)]
+pub struct TreeWorkload {
+    /// Shape label: `deep`, `balanced`, `shallow`, `skewed`,
+    /// `single-trial`, or `diverge-0`.
+    pub name: &'static str,
+    /// The circuit the trials run over.
+    pub layered: LayeredCircuit,
+    /// The trial set realizing the shape.
+    pub trials: TrialSet,
+}
+
+/// The canonical execution-tree shapes the tree-executor suites sweep:
+/// three generated sets whose noise scale controls how early and how wide
+/// the prefix trie branches (`deep` at 0.2× the base rates, `balanced` at
+/// 1×, `shallow` at 8×), a hand-built `skewed` set of chains of varying
+/// depth sharing one spine, and the two degenerate shapes — a
+/// `single-trial` set (the frontier never exceeds one state) and
+/// `diverge-0`, where every trial branches off the root at layer 0.
+/// Deterministic in `(trials, seed)`; every call produces bitwise-equal
+/// trial sets.
+pub fn tree_workloads(trials: usize, seed: u64) -> Vec<TreeWorkload> {
+    assert!(trials >= 4, "the shapes need at least 4 trials, got {trials}");
+    let mut out = Vec::new();
+    for (name, scale) in [("deep", 0.2), ("balanced", 1.0), ("shallow", 8.0)] {
+        let (layered, set) = uniform_workload(&catalog::qft(4), scaled_rates(scale), trials, seed);
+        out.push(TreeWorkload { name, layered, trials: set });
+    }
+
+    let layered = catalog::grover(3, 0b101, 1).layered().expect("catalog circuit layers");
+    let (n_qubits, n_layers) = (layered.n_qubits(), layered.n_layers());
+    let mut rng = XorShift64::new(seed ^ 0x72EE_5EED);
+    let mask = (1u64 << n_qubits) - 1;
+    let paulis = [Pauli::X, Pauli::Y, Pauli::Z];
+    let step = (n_layers / 4).max(1);
+
+    // Skewed: chains of depth 0..=3 hanging off a shared spine — trial i
+    // carries the first `i % 4` links, so siblings at every depth coexist
+    // with terminals.
+    let skewed: Vec<Trial> = (0..trials)
+        .map(|i| {
+            let links = (0..i % 4)
+                .map(|d| Injection::single((d * step).min(n_layers - 1), d % n_qubits, Pauli::X))
+                .collect();
+            Trial::new(links, rng.next_u64() & mask, rng.next_u64())
+        })
+        .collect();
+    out.push(TreeWorkload {
+        name: "skewed",
+        layered: layered.clone(),
+        trials: TrialSet::new(n_qubits, n_layers, skewed),
+    });
+
+    // Degenerate: one trial (the frontier is a single state end to end).
+    let single = vec![Trial::new(
+        vec![
+            Injection::single(0, 0, Pauli::Y),
+            Injection::single(n_layers - 1, 1 % n_qubits, Pauli::Z),
+        ],
+        rng.next_u64() & mask,
+        rng.next_u64(),
+    )];
+    out.push(TreeWorkload {
+        name: "single-trial",
+        layered: layered.clone(),
+        trials: TrialSet::new(n_qubits, n_layers, single),
+    });
+
+    // Degenerate: every trial diverges from the root at layer 0 — the
+    // widest, flattest tree the trial count allows.
+    let diverge: Vec<Trial> = (0..trials)
+        .map(|i| {
+            let inj = Injection::single(0, i % n_qubits, paulis[(i / n_qubits) % 3]);
+            Trial::new(vec![inj], rng.next_u64() & mask, rng.next_u64())
+        })
+        .collect();
+    out.push(TreeWorkload {
+        name: "diverge-0",
+        layered,
+        trials: TrialSet::new(n_qubits, n_layers, diverge),
+    });
+    out
+}
+
 /// A reproducible fully-entangled `n_qubits` state: xorshift amplitudes
 /// (real and imaginary parts in `[-1, 1)`), normalized. Every amplitude is
 /// non-zero with probability 1, so kernels that only touch half the state
@@ -345,6 +431,44 @@ mod tests {
             assert_eq!(a.trials.trials(), b.trials.trials());
         }
         assert_ne!(points[0].theta.to_bits(), points[1].theta.to_bits());
+    }
+
+    #[test]
+    fn tree_workloads_cover_the_documented_shapes() {
+        let shapes = tree_workloads(24, 7);
+        let names: Vec<&str> = shapes.iter().map(|w| w.name).collect();
+        assert_eq!(names, ["deep", "balanced", "shallow", "skewed", "single-trial", "diverge-0"]);
+        for w in &shapes {
+            let expected = if w.name == "single-trial" { 1 } else { 24 };
+            assert_eq!(w.trials.trials().len(), expected, "{}", w.name);
+            assert_eq!(w.trials.n_qubits(), w.layered.n_qubits(), "{}", w.name);
+            assert_eq!(w.trials.n_layers(), w.layered.n_layers(), "{}", w.name);
+            for trial in w.trials.trials() {
+                for inj in trial.injections() {
+                    assert!(inj.layer() < w.layered.n_layers(), "{}: layer in range", w.name);
+                }
+            }
+        }
+        // The shallow shape must branch earlier/wider than the deep one.
+        let distinct = |w: &TreeWorkload| {
+            let mut lists: Vec<_> = w.trials.trials().iter().map(Trial::injections).collect();
+            lists.sort_unstable();
+            lists.dedup();
+            lists.len()
+        };
+        assert!(distinct(&shapes[2]) > distinct(&shapes[0]), "shallow branches wider than deep");
+        assert!(
+            shapes[5]
+                .trials
+                .trials()
+                .iter()
+                .all(|t| t.injections().len() == 1 && t.injections()[0].layer() == 0),
+            "diverge-0 branches at layer 0 only"
+        );
+        // Deterministic: same arguments, bitwise-equal trial sets.
+        for (a, b) in shapes.iter().zip(&tree_workloads(24, 7)) {
+            assert_eq!(a.trials.trials(), b.trials.trials(), "{}", a.name);
+        }
     }
 
     #[test]

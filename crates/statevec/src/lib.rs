@@ -32,6 +32,7 @@
 //! # }
 //! ```
 
+mod batch;
 mod buffer;
 mod density;
 mod eigen;

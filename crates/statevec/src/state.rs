@@ -696,7 +696,14 @@ impl StateVector {
         StateVector { n_qubits, amps }
     }
 
-    fn check_qubit(&self, qubit: usize) -> Result<(), StateVecError> {
+    /// Mutable amplitude slice for the crate-internal batched kernels
+    /// (`crate::batch`), which stream one operator across many sibling
+    /// states and need direct index access into each buffer.
+    pub(crate) fn amps_mut(&mut self) -> &mut [C64] {
+        &mut self.amps
+    }
+
+    pub(crate) fn check_qubit(&self, qubit: usize) -> Result<(), StateVecError> {
         if qubit >= self.n_qubits {
             Err(StateVecError::QubitOutOfRange { qubit, n_qubits: self.n_qubits })
         } else {

@@ -88,6 +88,61 @@ fn trace_analysis_matches_exec_stats_and_analyzer_on_all_shipped_benchmarks() {
 }
 
 #[test]
+fn tree_traces_satisfy_every_conservation_law() {
+    let dir = std::env::temp_dir().join(format!("observatory_tree_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    for workload in testkit::tree_workloads(TRIALS, SEED) {
+        let name = workload.name;
+        let trace_path = dir.join(format!("{name}.trace.jsonl"));
+        let trace_path = trace_path.to_str().expect("utf-8 temp path");
+        let meta = TraceMeta {
+            git_rev: "test".to_owned(),
+            seed: SEED,
+            qubits: workload.layered.n_qubits() as u64,
+            strategy: "tree".to_owned(),
+        };
+        let run = {
+            let recorder = JsonlRecorder::create(trace_path, &meta).expect("trace file");
+            noisy_qsim::redsim::TreeExecutor::new(&workload.layered)
+                .run_traced(workload.trials.trials(), &recorder)
+                .expect("tree run")
+        };
+
+        let trace = Trace::load(trace_path).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let analysis = TraceAnalysis::from_trace(&trace);
+
+        // The offline cross-check includes the batched-sweep envelope
+        // (`batch_sweeps <= fused_ops <= batch_sweeps * batch_width_max`).
+        let problems = analysis.cross_check();
+        assert!(problems.is_empty(), "{name}: cross-check failed: {problems:?}");
+
+        assert_eq!(analysis.counter("trials"), run.stats.n_trials as u64, "{name}: trials");
+        assert_eq!(analysis.counter("ops"), run.stats.ops, "{name}: ops");
+        assert_eq!(
+            analysis.counter("amplitude_passes"),
+            run.stats.amplitude_passes,
+            "{name}: amplitude_passes"
+        );
+        assert_eq!(
+            analysis.total_kernel_count(),
+            run.stats.amplitude_passes,
+            "{name}: kernel histogram total"
+        );
+        assert_eq!(analysis.counter("batch_sweeps"), run.stats.batch_sweeps, "{name}: sweeps");
+        assert_eq!(
+            analysis.counter("batch_width_max"),
+            run.stats.batch_width_max,
+            "{name}: widest frontier"
+        );
+        assert_eq!(
+            analysis.peak_residency, run.stats.peak_msv as u64,
+            "{name}: frontier residency"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn html_report_is_self_contained_and_json_counters_match_stats() {
     let (name, layered, model) = shipped_benchmarks().into_iter().next().expect("suite");
     let generator = TrialGenerator::new(&layered, &model).expect("native circuit");

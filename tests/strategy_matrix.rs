@@ -1,13 +1,40 @@
 //! The full strategy matrix: every execution strategy × every compiled
 //! Table-I benchmark × both trial generators must produce outcomes bitwise
 //! identical to the baseline. This is the repository's broadest single
-//! correctness statement.
+//! correctness statement. A second matrix sweeps the same strategies over
+//! the canonical execution-tree shapes from `testkit::tree_workloads`, so
+//! the batched tree executor is exercised on every trie shape it
+//! specializes for.
 
-use noisy_qsim::noise::{NoiseModel, TrialGenerator};
+use noisy_qsim::circuit::LayeredCircuit;
+use noisy_qsim::noise::{NoiseModel, Trial, TrialGenerator};
 use noisy_qsim::redsim::compressed::run_reordered_compressed;
 use noisy_qsim::redsim::exec::{BaselineExecutor, ReuseExecutor};
 use noisy_qsim::redsim::parallel::run_reordered_parallel;
 use noisy_qsim::redsim::testkit;
+use noisy_qsim::redsim::TreeExecutor;
+use noisy_qsim::statevec::MeasureOutcome;
+
+/// Every non-baseline strategy's outcomes for one workload, labelled.
+fn all_strategies(
+    layered: &LayeredCircuit,
+    trials: &[Trial],
+) -> Vec<(&'static str, Vec<MeasureOutcome>)> {
+    vec![
+        ("reuse", ReuseExecutor::new(layered).run(trials).expect("reuse").outcomes),
+        (
+            "budget-1",
+            ReuseExecutor::new(layered).run_with_budget(trials, 1).expect("budget").outcomes,
+        ),
+        (
+            "budget-2",
+            ReuseExecutor::new(layered).run_with_budget(trials, 2).expect("budget").outcomes,
+        ),
+        ("compressed", run_reordered_compressed(layered, trials).expect("compressed").0.outcomes),
+        ("tree", TreeExecutor::new(layered).run(trials).expect("tree").outcomes),
+        ("parallel-3", run_reordered_parallel(layered, trials, 3).expect("parallel").outcomes),
+    ]
+}
 
 #[test]
 fn every_strategy_agrees_on_every_benchmark() {
@@ -19,35 +46,7 @@ fn every_strategy_agrees_on_every_benchmark() {
             [("direct", generator.generate(150, 3)), ("fast", generator.generate_fast(150, 3))]
         {
             let reference = BaselineExecutor::new(&layered).run(set.trials()).expect("baseline");
-            let strategies: Vec<(&str, Vec<_>)> = vec![
-                ("reuse", ReuseExecutor::new(&layered).run(set.trials()).expect("reuse").outcomes),
-                (
-                    "budget-1",
-                    ReuseExecutor::new(&layered)
-                        .run_with_budget(set.trials(), 1)
-                        .expect("budget")
-                        .outcomes,
-                ),
-                (
-                    "budget-2",
-                    ReuseExecutor::new(&layered)
-                        .run_with_budget(set.trials(), 2)
-                        .expect("budget")
-                        .outcomes,
-                ),
-                (
-                    "compressed",
-                    run_reordered_compressed(&layered, set.trials())
-                        .expect("compressed")
-                        .0
-                        .outcomes,
-                ),
-                (
-                    "parallel-3",
-                    run_reordered_parallel(&layered, set.trials(), 3).expect("parallel").outcomes,
-                ),
-            ];
-            for (strategy, outcomes) in strategies {
+            for (strategy, outcomes) in all_strategies(&layered, set.trials()) {
                 assert_eq!(
                     outcomes, reference.outcomes,
                     "{name} / {label} generator / {strategy} diverged"
@@ -56,6 +55,26 @@ fn every_strategy_agrees_on_every_benchmark() {
             }
         }
     }
-    // 12 benchmarks × 2 generators × 5 strategies.
-    assert_eq!(checked, 120);
+    // 12 benchmarks × 2 generators × 6 strategies.
+    assert_eq!(checked, 144);
+}
+
+#[test]
+fn every_strategy_agrees_on_every_tree_shape() {
+    let mut checked = 0usize;
+    for workload in testkit::tree_workloads(96, 2020) {
+        let reference = BaselineExecutor::new(&workload.layered)
+            .run(workload.trials.trials())
+            .expect("baseline");
+        for (strategy, outcomes) in all_strategies(&workload.layered, workload.trials.trials()) {
+            assert_eq!(
+                outcomes, reference.outcomes,
+                "{} shape / {strategy} diverged",
+                workload.name
+            );
+            checked += 1;
+        }
+    }
+    // 6 shapes × 6 strategies.
+    assert_eq!(checked, 36);
 }

@@ -10,6 +10,7 @@ use noisy_qsim::noise::TrialGenerator;
 use noisy_qsim::redsim::analysis::analyze;
 use noisy_qsim::redsim::exec::{BaselineExecutor, ReuseExecutor};
 use noisy_qsim::redsim::testkit;
+use noisy_qsim::redsim::TreeExecutor;
 use noisy_qsim::telemetry::{AggregatingRecorder, MsvEvent};
 
 const TRIALS: usize = 64;
@@ -79,4 +80,62 @@ fn telemetry_matches_exec_stats_and_analyzer_on_all_shipped_benchmarks() {
         checked += 1;
     }
     assert!(checked >= 12, "expected the full shipped suite, checked {checked}");
+}
+
+#[test]
+fn tree_telemetry_preserves_the_exactness_contract_on_every_shape() {
+    for workload in testkit::tree_workloads(TRIALS, SEED) {
+        let name = workload.name;
+        let trials = workload.trials.trials();
+        let recorder = AggregatingRecorder::new();
+        let run =
+            TreeExecutor::new(&workload.layered).run_traced(trials, &recorder).expect("tree run");
+        let report = recorder.report();
+
+        // Batching must not loosen the exactness contract: recorded
+        // kernel events still account for every amplitude pass, one by
+        // one, even though each sweep covers a whole frontier.
+        assert_eq!(report.counter("trials"), run.stats.n_trials as u64, "{name}: trials");
+        assert_eq!(report.counter("ops"), run.stats.ops, "{name}: ops");
+        assert_eq!(report.counter("fused_ops"), run.stats.fused_ops, "{name}: fused_ops");
+        assert_eq!(
+            report.counter("amplitude_passes"),
+            run.stats.amplitude_passes,
+            "{name}: amplitude_passes"
+        );
+        assert_eq!(
+            report.total_kernel_count(),
+            run.stats.amplitude_passes,
+            "{name}: kernel totals == amplitude passes"
+        );
+        assert_eq!(report.peak_residency(), run.stats.peak_msv, "{name}: frontier residency");
+        assert_eq!(report.msv_count(MsvEvent::Create), 1, "{name}: one root MSV");
+        assert_eq!(
+            report.msv_count(MsvEvent::Fork),
+            report.msv_count(MsvEvent::Drop),
+            "{name}: MSV fork/drop conservation"
+        );
+        // The batched-sweep envelope: each sweep covers between 1 and
+        // `batch_width_max` states.
+        let sweeps = report.counter("batch_sweeps");
+        let width = report.counter("batch_width_max");
+        assert_eq!(sweeps, run.stats.batch_sweeps, "{name}: batch_sweeps");
+        assert_eq!(width, run.stats.batch_width_max, "{name}: batch_width_max");
+        assert!(
+            run.stats.fused_ops >= sweeps && run.stats.fused_ops <= sweeps * width.max(1),
+            "{name}: fused_ops {} outside [{}, {}]",
+            run.stats.fused_ops,
+            sweeps,
+            sweeps * width.max(1)
+        );
+
+        // And batching never perturbs the physics or the pass counts.
+        let reuse = ReuseExecutor::new(&workload.layered).run(trials).expect("reuse run");
+        assert_eq!(run.outcomes, reuse.outcomes, "{name}: tree diverged from reuse");
+        assert_eq!(
+            (run.stats.ops, run.stats.fused_ops, run.stats.amplitude_passes),
+            (reuse.stats.ops, reuse.stats.fused_ops, reuse.stats.amplitude_passes),
+            "{name}: pass accounting diverged from reuse"
+        );
+    }
 }
